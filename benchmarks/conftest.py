@@ -1,0 +1,17 @@
+"""pytest-benchmark harness configuration.
+
+Each file in this directory regenerates one table or figure of the paper and
+is named after it.  ``pytest benchmarks/ --benchmark-only`` runs them all and
+prints the regenerated headline numbers alongside the timing statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, lines) -> None:
+    """Print a compact reproduction summary under the benchmark output."""
+    print(f"\n--- {title} ---")
+    for line in lines:
+        print(line)

@@ -1,0 +1,21 @@
+"""Figure 4: selected IMB routines and HPCG on the AWS Graviton2 preset."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import report
+from repro.harness import figure4_graviton2
+
+
+def test_figure4_graviton2(benchmark):
+    result = benchmark(figure4_graviton2)
+    lines = [
+        f"{routine:<10s} GM Wasm slowdown = {slowdown:+.3f}"
+        for routine, slowdown in result["gm_slowdowns"].items()
+    ]
+    hpcg = result["hpcg"]
+    lines.append(
+        f"HPCG @32 ranks: native={hpcg[32]['native_gflops']:.1f} GF, "
+        f"wasm={hpcg[32]['wasm_gflops']:.1f} GF (paper Figure 4f: ~20 GF, near-native)"
+    )
+    report("Figure 4 (Graviton2)", lines)
+    assert hpcg[32]["wasm_reduction"] < 0.08

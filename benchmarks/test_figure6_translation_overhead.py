@@ -1,0 +1,26 @@
+"""Figure 6: datatype translation overhead in MPIWasm."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import report
+from repro.harness import figure6_translation_overhead
+
+PAPER_AVERAGES_NS = {
+    "MPI_BYTE": 85.44, "MPI_CHAR": 84.72, "MPI_INT": 99.78,
+    "MPI_FLOAT": 96.32, "MPI_DOUBLE": 103.35, "MPI_LONG": 104.79,
+}
+
+
+def test_figure6_translation_overhead(benchmark):
+    result = benchmark(lambda: figure6_translation_overhead(functional=True))
+    lines = []
+    for name, paper_value in PAPER_AVERAGES_NS.items():
+        measured = result.get("measured_mean_ns", {}).get(name)
+        model = result["average_ns"][name]
+        measured_text = f"{measured:.1f}" if measured is not None else "n/a"
+        lines.append(
+            f"{name:<11s} model(sweep avg)={model:6.1f} ns  measured(functional)={measured_text:>6s} ns  "
+            f"paper={paper_value:.2f} ns"
+        )
+    report("Figure 6 (datatype translation overhead)", lines)
+    assert result["average_ns"]["MPI_BYTE"] < result["average_ns"]["MPI_LONG"]

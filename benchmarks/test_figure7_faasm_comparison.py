@@ -1,0 +1,22 @@
+"""Figure 7: PingPong comparison between MPIWasm and Faasm."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.harness import figure7_faasm_comparison
+
+
+def test_figure7_faasm_comparison(benchmark):
+    result = benchmark(figure7_faasm_comparison)
+    sample_sizes = (1, 1024, 65536, 1 << 20, 1 << 22)
+    lines = [
+        f"{nbytes:>8d} B   MPIWasm={result['series'][nbytes]['mpiwasm_us']:9.2f} us   "
+        f"Faasm={result['series'][nbytes]['faasm_us']:9.2f} us"
+        for nbytes in sample_sizes
+        if nbytes in result["series"]
+    ]
+    lines.append(f"GM speedup of MPIWasm over Faasm: {result['gm_speedup']:.2f}x (paper: 4.28x)")
+    report("Figure 7 (MPIWasm vs Faasm PingPong)", lines)
+    assert result["gm_speedup"] == pytest.approx(4.28, rel=0.45)

@@ -1,0 +1,22 @@
+"""Table 2: native dynamic / native static / Wasm binary sizes."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import report
+from repro.harness import table2_binary_sizes
+
+
+def test_table2_binary_sizes(benchmark):
+    result = benchmark(table2_binary_sizes)
+    rows = result["rows"]
+    report(
+        "Table 2 (paper: Wasm 139.5x smaller than static on average)",
+        [
+            f"{r['application']:<5s} dynamic={r['native_dynamic_kib']:7.1f} KiB  "
+            f"static={r['native_static_mib']:5.1f} MiB  wasm={r['wasm_kib']:7.1f} KiB  "
+            f"static/wasm={r['static_to_wasm_ratio']:6.1f}x"
+            for r in rows
+        ]
+        + [f"average static/wasm ratio: {result['average_static_to_wasm_ratio']:.1f}x"],
+    )
+    assert 110 <= result["average_static_to_wasm_ratio"] <= 175

@@ -1,0 +1,17 @@
+"""repro -- Python reproduction of *Exploring the Use of WebAssembly in HPC* (PPoPP '23).
+
+The package implements MPIWasm -- a WebAssembly embedder for MPI-based HPC
+applications -- together with every substrate it needs on a laptop: a Wasm
+module format, validator, interpreter and AoT compiler back-ends; a WASI
+layer with capability-based filesystem isolation; an MPI-2.2 library over a
+discrete-event cluster simulation calibrated against the paper's two test
+systems; the guest benchmark suites used by the paper's evaluation (Intel MPI
+Benchmarks, NPB IS/DT, IOR, HPCG); a Faasm-like baseline; and an experiment
+harness that regenerates every table and figure.
+
+See ``examples/quickstart.py`` and README.md for the full tour.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,6 @@
+"""Baselines: native execution and the Faasm platform model."""
+
+from repro.baselines.faasm import FaabricMessageBus, FaasmConfig, FaasmPlatform
+from repro.baselines.native import NativeAPI
+
+__all__ = ["NativeAPI", "FaasmPlatform", "FaasmConfig", "FaabricMessageBus"]

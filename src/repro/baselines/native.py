@@ -1,0 +1,309 @@
+"""Native execution baseline.
+
+The "Native" series of every figure in the paper is the benchmark compiled
+with clang -O3 and run directly under the host MPI library.  Here the same
+guest program runs against :class:`NativeAPI`, which exposes the *same
+interface* as :class:`repro.core.guest_api.GuestAPI` but is backed by plain
+NumPy buffers and direct calls into the host MPI runtime -- no linear memory,
+no handle translation, no embedder overhead.  The difference between a
+``run_wasm`` and a ``run_native`` job is therefore exactly the embedder layer
+the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mpi import datatypes as host_datatypes
+from repro.mpi import ops as host_ops
+from repro.mpi.communicator import Communicator
+from repro.mpi.pt2pt import ANY_SOURCE, ANY_TAG
+from repro.mpi.runtime import MPIRuntime
+from repro.toolchain import mpi_header as abi
+
+_NP_DTYPES: Dict[int, str] = {
+    abi.MPI_BYTE: "uint8",
+    abi.MPI_CHAR: "int8",
+    abi.MPI_INT: "int32",
+    abi.MPI_UNSIGNED: "uint32",
+    abi.MPI_LONG: "int64",
+    abi.MPI_LONG_LONG: "int64",
+    abi.MPI_FLOAT: "float32",
+    abi.MPI_DOUBLE: "float64",
+}
+
+
+def _host_datatype(guest_handle: int):
+    return host_datatypes.by_name(abi.GUEST_DATATYPE_NAMES[guest_handle])
+
+
+def _host_op(guest_handle: int):
+    return host_ops.by_name(abi.GUEST_OP_NAMES[guest_handle])
+
+
+class NativeAPI:
+    """GuestAPI-compatible interface backed directly by the host MPI library.
+
+    Guest "pointers" are integer indices into a private buffer table; each
+    buffer is a NumPy byte array.  Datatype/op handles use the same guest
+    integers so benchmark code is byte-for-byte identical between the native
+    and Wasm paths.
+    """
+
+    # Re-exported constants, mirroring GuestAPI.
+    MPI_COMM_WORLD = abi.MPI_COMM_WORLD
+    MPI_ANY_SOURCE = abi.MPI_ANY_SOURCE
+    MPI_ANY_TAG = abi.MPI_ANY_TAG
+    MPI_SUM = abi.MPI_SUM
+    MPI_MAX = abi.MPI_MAX
+    MPI_MIN = abi.MPI_MIN
+    MPI_BYTE = abi.MPI_BYTE
+    MPI_CHAR = abi.MPI_CHAR
+    MPI_INT = abi.MPI_INT
+    MPI_LONG = abi.MPI_LONG
+    MPI_FLOAT = abi.MPI_FLOAT
+    MPI_DOUBLE = abi.MPI_DOUBLE
+
+    def __init__(self, runtime: MPIRuntime):
+        self.runtime = runtime
+        self._buffers: Dict[int, np.ndarray] = {}
+        self._next_ptr = 16
+        self._comms: Dict[int, Communicator] = {}
+        self._next_comm = abi.FIRST_USER_COMM
+        self._stdout: List[str] = []
+        self.elapsed_virtual = 0.0
+
+    # ------------------------------------------------------------------ memory
+
+    def malloc(self, nbytes: int) -> int:
+        """Allocate a host buffer and return its handle ("pointer")."""
+        ptr = self._next_ptr
+        self._next_ptr += max(int(nbytes), 1) + 16
+        self._buffers[ptr] = np.zeros(int(nbytes), dtype=np.uint8)
+        return ptr
+
+    def free(self, ptr: int) -> None:
+        """Release a buffer."""
+        self._buffers.pop(ptr, None)
+
+    def _buffer(self, ptr: int, nbytes: int) -> np.ndarray:
+        buf = self._buffers.get(ptr)
+        if buf is None:
+            raise KeyError(f"unknown native buffer handle {ptr}")
+        if nbytes > buf.nbytes:
+            raise ValueError(f"buffer {ptr} has {buf.nbytes} bytes, {nbytes} requested")
+        return buf[:nbytes]
+
+    def view(self, ptr: int, nbytes: int) -> memoryview:
+        """Writable view of a buffer."""
+        return memoryview(self._buffer(ptr, nbytes))
+
+    def ndarray(self, ptr: int, count: int, guest_datatype: int) -> np.ndarray:
+        """Typed view of a buffer."""
+        dtype = np.dtype(_NP_DTYPES[guest_datatype])
+        return self._buffer(ptr, count * dtype.itemsize).view(dtype)[:count]
+
+    def alloc_array(self, count: int, guest_datatype: int, fill: Optional[float] = None) -> Tuple[int, np.ndarray]:
+        """Allocate and view an array; returns (handle, NumPy view)."""
+        size = abi.datatype_size(guest_datatype) * count
+        ptr = self.malloc(size)
+        arr = self.ndarray(ptr, count, guest_datatype)
+        if fill is not None:
+            arr[:] = fill
+        return ptr, arr
+
+    # -------------------------------------------------------------------- misc
+
+    def print(self, text: str) -> None:
+        """Record a line of output (native stdout)."""
+        self._stdout.append(text)
+
+    def stdout(self) -> str:
+        """Everything printed so far."""
+        return "\n".join(self._stdout) + ("\n" if self._stdout else "")
+
+    def compute(self, seconds: float) -> None:
+        """Advance the rank's virtual clock by modelled compute time."""
+        if seconds > 0:
+            self.runtime.ctx.advance(seconds)
+
+    def call_kernel(self, export_name: str, *args) -> List:
+        """Native builds have no Wasm kernels; the guests fall back to NumPy."""
+        raise NotImplementedError("native execution has no Wasm kernels")
+
+    # --------------------------------------------------------------------- MPI
+
+    def _comm(self, handle: int) -> Communicator:
+        if handle == abi.MPI_COMM_WORLD:
+            return self.runtime.comm_world
+        if handle == abi.MPI_COMM_SELF:
+            return self.runtime.comm_self
+        return self._comms[handle]
+
+    @staticmethod
+    def _source(value: int) -> int:
+        return ANY_SOURCE if value == abi.MPI_ANY_SOURCE else value
+
+    @staticmethod
+    def _tag(value: int) -> int:
+        return ANY_TAG if value == abi.MPI_ANY_TAG else value
+
+    def mpi_init(self) -> int:
+        """``MPI_Init``."""
+        self.runtime.init()
+        return abi.MPI_SUCCESS
+
+    def mpi_finalize(self) -> int:
+        """``MPI_Finalize``."""
+        self.runtime.finalize()
+        return abi.MPI_SUCCESS
+
+    def rank(self, comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Comm_rank``."""
+        return self.runtime.comm_rank(self._comm(comm))
+
+    def size(self, comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Comm_size``."""
+        return self.runtime.comm_size(self._comm(comm))
+
+    def wtime(self) -> float:
+        """``MPI_Wtime``."""
+        return self.runtime.wtime()
+
+    def send(self, buf, count, datatype, dest, tag, comm=abi.MPI_COMM_WORLD) -> int:
+        dt = _host_datatype(datatype)
+        self.runtime.send(self._buffer(buf, count * dt.size), count, dt, dest, tag, self._comm(comm))
+        return abi.MPI_SUCCESS
+
+    def recv(self, buf, count, datatype, source, tag, comm=abi.MPI_COMM_WORLD) -> Dict[str, int]:
+        dt = _host_datatype(datatype)
+        status = self.runtime.recv(
+            self._buffer(buf, count * dt.size), count, dt, self._source(source), self._tag(tag), self._comm(comm)
+        )
+        return {"source": status.source, "tag": status.tag, "error": status.error,
+                "count_bytes": status.count_bytes}
+
+    def sendrecv(self, sendbuf, sendcount, sendtype, dest, sendtag,
+                 recvbuf, recvcount, recvtype, source, recvtag,
+                 comm=abi.MPI_COMM_WORLD) -> Dict[str, int]:
+        st = _host_datatype(sendtype)
+        rt = _host_datatype(recvtype)
+        status = self.runtime.sendrecv(
+            self._buffer(sendbuf, sendcount * st.size), sendcount, st, dest, sendtag,
+            self._buffer(recvbuf, recvcount * rt.size), recvcount, rt,
+            self._source(source), self._tag(recvtag), self._comm(comm),
+        )
+        return {"source": status.source, "tag": status.tag, "error": status.error,
+                "count_bytes": status.count_bytes}
+
+    def isend(self, buf, count, datatype, dest, tag, comm=abi.MPI_COMM_WORLD):
+        dt = _host_datatype(datatype)
+        return self.runtime.isend(self._buffer(buf, count * dt.size), count, dt, dest, tag, self._comm(comm))
+
+    def irecv(self, buf, count, datatype, source, tag, comm=abi.MPI_COMM_WORLD):
+        dt = _host_datatype(datatype)
+        return self.runtime.irecv(
+            self._buffer(buf, count * dt.size), count, dt, self._source(source), self._tag(tag), self._comm(comm)
+        )
+
+    def wait(self, request) -> Dict[str, int]:
+        status = self.runtime.wait(request)
+        return {"source": status.source, "tag": status.tag, "error": status.error,
+                "count_bytes": status.count_bytes}
+
+    def barrier(self, comm: int = abi.MPI_COMM_WORLD) -> int:
+        self.runtime.barrier(self._comm(comm))
+        return abi.MPI_SUCCESS
+
+    def bcast(self, buf, count, datatype, root, comm=abi.MPI_COMM_WORLD) -> int:
+        dt = _host_datatype(datatype)
+        self.runtime.bcast(self._buffer(buf, count * dt.size), count, dt, root, self._comm(comm))
+        return abi.MPI_SUCCESS
+
+    def reduce(self, sendbuf, recvbuf, count, datatype, op, root, comm=abi.MPI_COMM_WORLD) -> int:
+        dt = _host_datatype(datatype)
+        comm_obj = self._comm(comm)
+        recv = self._buffer(recvbuf, count * dt.size) if self.rank(comm) == root else None
+        self.runtime.reduce(self._buffer(sendbuf, count * dt.size), recv, count, dt, _host_op(op), root, comm_obj)
+        return abi.MPI_SUCCESS
+
+    def allreduce(self, sendbuf, recvbuf, count, datatype, op, comm=abi.MPI_COMM_WORLD) -> int:
+        dt = _host_datatype(datatype)
+        self.runtime.allreduce(
+            self._buffer(sendbuf, count * dt.size), self._buffer(recvbuf, count * dt.size),
+            count, dt, _host_op(op), self._comm(comm),
+        )
+        return abi.MPI_SUCCESS
+
+    def gather(self, sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, root,
+               comm=abi.MPI_COMM_WORLD) -> int:
+        st = _host_datatype(sendtype)
+        rt = _host_datatype(recvtype)
+        comm_obj = self._comm(comm)
+        recv = (
+            self._buffer(recvbuf, recvcount * rt.size * comm_obj.size)
+            if self.rank(comm) == root else None
+        )
+        self.runtime.gather(self._buffer(sendbuf, sendcount * st.size), sendcount, st,
+                            recv, recvcount, rt, root, comm_obj)
+        return abi.MPI_SUCCESS
+
+    def scatter(self, sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, root,
+                comm=abi.MPI_COMM_WORLD) -> int:
+        st = _host_datatype(sendtype)
+        rt = _host_datatype(recvtype)
+        comm_obj = self._comm(comm)
+        send = (
+            self._buffer(sendbuf, sendcount * st.size * comm_obj.size)
+            if self.rank(comm) == root else None
+        )
+        self.runtime.scatter(send, sendcount, st, self._buffer(recvbuf, recvcount * rt.size),
+                             recvcount, rt, root, comm_obj)
+        return abi.MPI_SUCCESS
+
+    def allgather(self, sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype,
+                  comm=abi.MPI_COMM_WORLD) -> int:
+        st = _host_datatype(sendtype)
+        rt = _host_datatype(recvtype)
+        comm_obj = self._comm(comm)
+        self.runtime.allgather(self._buffer(sendbuf, sendcount * st.size), sendcount, st,
+                               self._buffer(recvbuf, recvcount * rt.size * comm_obj.size),
+                               recvcount, rt, comm_obj)
+        return abi.MPI_SUCCESS
+
+    def alltoall(self, sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype,
+                 comm=abi.MPI_COMM_WORLD) -> int:
+        st = _host_datatype(sendtype)
+        rt = _host_datatype(recvtype)
+        comm_obj = self._comm(comm)
+        self.runtime.alltoall(self._buffer(sendbuf, sendcount * st.size * comm_obj.size), sendcount, st,
+                              self._buffer(recvbuf, recvcount * rt.size * comm_obj.size),
+                              recvcount, rt, comm_obj)
+        return abi.MPI_SUCCESS
+
+    def comm_split(self, comm: int, color: int, key: int) -> int:
+        new_comm = self.runtime.comm_split(self._comm(comm), color, key)
+        if new_comm is None:
+            return abi.MPI_COMM_NULL
+        handle = self._next_comm
+        self._next_comm += 1
+        self._comms[handle] = new_comm
+        return handle
+
+    def comm_dup(self, comm: int) -> int:
+        new_comm = self.runtime.comm_dup(self._comm(comm))
+        handle = self._next_comm
+        self._next_comm += 1
+        self._comms[handle] = new_comm
+        return handle
+
+    def alloc_mem(self, nbytes: int) -> int:
+        """``MPI_Alloc_mem``: a plain host allocation on the native path."""
+        return self.malloc(nbytes)
+
+    def free_mem(self, ptr: int) -> int:
+        """``MPI_Free_mem``."""
+        self.free(ptr)
+        return abi.MPI_SUCCESS

@@ -1,0 +1,77 @@
+"""Custom datatype-translation PingPong (the Figure 6 probe).
+
+§4.6 of the paper measures the datatype-translation overhead by running a
+custom PingPong that iterates over the MPI datatypes BYTE, CHAR, INT, FLOAT,
+DOUBLE and LONG for a range of message sizes, with the embedder's Send path
+instrumented to record the translation latency of every call.  The embedder
+here records exactly those samples in its metrics registry
+(``embedder.translation.<DATATYPE>``), and the harness reads them back to
+regenerate the figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.toolchain import mpi_header as abi
+from repro.toolchain.guest import GuestProgram
+from repro.toolchain.linker import PAPER_APPLICATIONS
+
+#: The datatypes Figure 6 sweeps, in presentation order.
+FIGURE6_DATATYPES = (
+    ("MPI_BYTE", abi.MPI_BYTE),
+    ("MPI_CHAR", abi.MPI_CHAR),
+    ("MPI_INT", abi.MPI_INT),
+    ("MPI_FLOAT", abi.MPI_FLOAT),
+    ("MPI_DOUBLE", abi.MPI_DOUBLE),
+    ("MPI_LONG", abi.MPI_LONG),
+)
+
+#: Message sizes (bytes) on the x-axis of Figure 6.
+FIGURE6_MESSAGE_SIZES = (8, 64, 256, 1024, 32768, 262144, 1048576, 2097152, 4194304)
+
+#: Reduced sweep for functional tests.
+SMALL_MESSAGE_SIZES = (8, 256, 4096, 65536)
+
+
+def make_translation_pingpong_program(
+    message_sizes: Sequence[int] = SMALL_MESSAGE_SIZES,
+    iterations: int = 2,
+) -> GuestProgram:
+    """PingPong between ranks 0 and 1 iterating over the Figure 6 datatypes."""
+
+    def main(api, args):
+        api.mpi_init()
+        rank = api.rank()
+        if api.size() < 2:
+            api.mpi_finalize()
+            return {"skipped": "needs at least 2 ranks"}
+        max_bytes = max(message_sizes)
+        buf_ptr, buf = api.alloc_array(max_bytes, abi.MPI_BYTE, fill=1)
+        rows: Dict[str, Dict[int, float]] = {}
+        for name, handle in FIGURE6_DATATYPES:
+            elem = abi.datatype_size(handle)
+            per_size: Dict[int, float] = {}
+            for nbytes in message_sizes:
+                count = max(1, nbytes // elem)
+                t0 = api.wtime()
+                for _ in range(iterations):
+                    if rank == 0:
+                        api.send(buf_ptr, count, handle, 1, 11)
+                        api.recv(buf_ptr, count, handle, 1, 11)
+                    elif rank == 1:
+                        api.recv(buf_ptr, count, handle, 0, 11)
+                        api.send(buf_ptr, count, handle, 0, 11)
+                per_size[nbytes] = (api.wtime() - t0) / (2 * iterations)
+            rows[name] = per_size
+            api.barrier()
+        api.mpi_finalize()
+        return {"rows": rows, "message_sizes": list(message_sizes)}
+
+    return GuestProgram(
+        name="translation-pingpong",
+        main=main,
+        memory_pages=max(96, (max(message_sizes) * 2 // 65536) + 8),
+        profile=PAPER_APPLICATIONS["IMB"],
+        description="Custom PingPong iterating over MPI datatypes (Figure 6 probe)",
+    )

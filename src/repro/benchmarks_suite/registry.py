@@ -1,0 +1,46 @@
+"""Registry of bundled guest benchmarks, keyed by short name.
+
+Used by the CLI (``mpiwasm run <name>``), the launcher and the examples so
+that every entry point shares one construction path per benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.benchmarks_suite.custom_pingpong import make_translation_pingpong_program
+from repro.benchmarks_suite.hpcg import make_hpcg_program
+from repro.benchmarks_suite.imb import ROUTINES, make_imb_program, make_imb_suite_program
+from repro.benchmarks_suite.ior import make_ior_program
+from repro.benchmarks_suite.npb import DT_TOPOLOGIES, make_dt_program, make_is_program
+from repro.toolchain.guest import GuestProgram
+
+_FACTORIES: Dict[str, Callable[[], GuestProgram]] = {}
+
+
+def _register(name: str, factory: Callable[[], GuestProgram]) -> None:
+    _FACTORIES[name] = factory
+
+
+for _routine in ROUTINES:
+    _register(_routine, lambda r=_routine: make_imb_program(r))
+_register("imb-suite", make_imb_suite_program)
+_register("hpcg", make_hpcg_program)
+_register("ior", make_ior_program)
+_register("is", make_is_program)
+for _topology in DT_TOPOLOGIES:
+    _register(f"dt-{_topology}", lambda t=_topology: make_dt_program(t))
+_register("translation-pingpong", make_translation_pingpong_program)
+
+
+def names() -> List[str]:
+    """All registered benchmark names."""
+    return sorted(_FACTORIES)
+
+
+def get_program(name: str) -> GuestProgram:
+    """Construct the guest program registered under ``name``."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError as exc:
+        raise KeyError(f"unknown benchmark {name!r}; known: {names()}") from exc

@@ -1,0 +1,32 @@
+"""MPIWasm -- the paper's core contribution.
+
+``repro.core`` contains the embedder: configuration, the per-instance ``Env``
+state, address and datatype translation, the ``env.MPI_*`` import
+implementations, the WASI wiring, the AoT compilation cache, the embedder
+façade, and the ``mpirun``-style launcher.
+"""
+
+from repro.core.config import EmbedderConfig, TranslationOverheadModel
+from repro.core.datatype_translation import DatatypeTranslationError, DatatypeTranslator
+from repro.core.embedder import GuestResult, MPIWasm
+from repro.core.env import Env, HandleTable
+from repro.core.guest_api import GuestAPI
+from repro.core.launcher import JobResult, run_native, run_wasm
+from repro.core.memory_translation import AddressTranslator, translator_for
+
+__all__ = [
+    "EmbedderConfig",
+    "TranslationOverheadModel",
+    "MPIWasm",
+    "GuestResult",
+    "Env",
+    "HandleTable",
+    "GuestAPI",
+    "AddressTranslator",
+    "translator_for",
+    "DatatypeTranslator",
+    "DatatypeTranslationError",
+    "JobResult",
+    "run_wasm",
+    "run_native",
+]

@@ -1,0 +1,84 @@
+"""``mpiwasm`` command-line interface.
+
+A thin counterpart of the paper's embedder binary: inspect modules (sizes,
+imports, WAT), compile them with a chosen back-end, and run bundled guest
+benchmarks through the launcher.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.config import EmbedderConfig
+from repro.core.embedder import MPIWasm
+from repro.toolchain.wasicc import compile_guest
+from repro.wasm.decoder import decode_module
+from repro.wasm.wat import module_to_wat
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``mpiwasm`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="mpiwasm",
+        description="MPIWasm embedder utilities (inspect / compile / run guest benchmarks).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    inspect = sub.add_parser("inspect", help="summarise a .wasm module or a bundled benchmark")
+    inspect.add_argument("target", help="path to a .wasm file or a bundled benchmark name")
+    inspect.add_argument("--wat", action="store_true", help="print the module in WAT form")
+
+    compile_cmd = sub.add_parser("compile", help="AoT-compile a module and report timings")
+    compile_cmd.add_argument("target", help="path to a .wasm file or a bundled benchmark name")
+    compile_cmd.add_argument("--backend", default="llvm", choices=["singlepass", "cranelift", "llvm"])
+
+    run = sub.add_parser("run", help="run a bundled benchmark (see mpiwasm-run for options)")
+    run.add_argument("target")
+    run.add_argument("-np", "--nranks", type=int, default=2)
+    run.add_argument("--machine", default="graviton2")
+
+    args = parser.parse_args(argv)
+
+    def load_module(target: str):
+        from pathlib import Path
+
+        path = Path(target)
+        if path.exists():
+            data = path.read_bytes()
+            return decode_module(data), data
+        from repro.benchmarks_suite import registry
+
+        app = compile_guest(registry.get_program(target))
+        return app.module, app.wasm_bytes
+
+    if args.command == "inspect":
+        module, data = load_module(args.target)
+        summary = module.summary()
+        print(f"module: {module.name or args.target}")
+        print(f"encoded size: {len(data)} bytes")
+        for key, value in summary.items():
+            print(f"  {key}: {value}")
+        if args.wat:
+            print(module_to_wat(module))
+        return 0
+
+    if args.command == "compile":
+        module, data = load_module(args.target)
+        embedder = MPIWasm(EmbedderConfig(compiler_backend=args.backend, enable_cache=False))
+        compiled = embedder.compile_module(data, module)
+        print(f"backend={args.backend} functions={compiled.function_count} "
+              f"compile={compiled.compile_seconds * 1e3:.3f} ms")
+        return 0
+
+    if args.command == "run":
+        from repro.core.launcher import main as run_main
+
+        return run_main([args.target, "-np", str(args.nranks), "--machine", args.machine])
+
+    return 2  # pragma: no cover - argparse enforces the command set
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

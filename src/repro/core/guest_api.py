@@ -1,0 +1,274 @@
+"""Guest-side API handed to Python-main guest programs.
+
+The benchmark guests in :mod:`repro.benchmarks_suite` are written against this
+handle instead of C; every operation it offers corresponds one-to-one to what
+the compiled C code would do inside the Wasm sandbox:
+
+* ``malloc``/``free`` call the module's *exported Wasm functions* (the bump
+  allocator emitted by :mod:`repro.toolchain.wasicc`), so allocation really
+  executes Wasm code under the selected compiler back-end,
+* buffers are regions of the module's linear memory, addressed by 32-bit
+  guest pointers and viewed zero-copy as NumPy arrays,
+* every MPI function goes through the embedder's ``env.MPI_*`` host
+  implementations -- including handle translation, address translation and
+  overhead accounting -- via the same code path a Wasm ``call`` of the import
+  would take,
+* ``print`` goes through WASI ``fd_write`` to the captured stdout.
+
+The one (documented) substitution is that the guest's own compute statements
+run as Python instead of Wasm bytecode; compute *kernels* that matter for the
+experiments (HPCG, Table 1) are provided as real Wasm functions through
+``GuestProgram.build_kernels`` and invoked with :meth:`call_kernel`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.env import Env
+from repro.toolchain import mpi_header as abi
+from repro.wasm.runtime import Instance
+
+#: Map guest datatype handles to NumPy dtypes (for the ndarray helpers).
+_NP_DTYPES: Dict[int, str] = {
+    abi.MPI_BYTE: "uint8",
+    abi.MPI_CHAR: "int8",
+    abi.MPI_INT: "int32",
+    abi.MPI_UNSIGNED: "uint32",
+    abi.MPI_LONG: "int64",
+    abi.MPI_LONG_LONG: "int64",
+    abi.MPI_FLOAT: "float32",
+    abi.MPI_DOUBLE: "float64",
+}
+
+
+class GuestAPI:
+    """What a guest program can touch: its memory, MPI and WASI."""
+
+    def __init__(self, instance: Instance, env: Env):
+        self.instance = instance
+        self.env = env
+        self._import_index: Dict[str, int] = {}
+        for i, imp in enumerate(instance.module.imported_functions()):
+            self._import_index[f"{imp.module}.{imp.name}"] = i
+        self._scratch_status = self.malloc(abi.STATUS_SIZE_BYTES)
+        self._scratch_i32 = self.malloc(16)
+
+    # re-exported ABI constants for guest convenience
+    MPI_COMM_WORLD = abi.MPI_COMM_WORLD
+    MPI_ANY_SOURCE = abi.MPI_ANY_SOURCE
+    MPI_ANY_TAG = abi.MPI_ANY_TAG
+    MPI_SUM = abi.MPI_SUM
+    MPI_MAX = abi.MPI_MAX
+    MPI_MIN = abi.MPI_MIN
+    MPI_BYTE = abi.MPI_BYTE
+    MPI_CHAR = abi.MPI_CHAR
+    MPI_INT = abi.MPI_INT
+    MPI_LONG = abi.MPI_LONG
+    MPI_FLOAT = abi.MPI_FLOAT
+    MPI_DOUBLE = abi.MPI_DOUBLE
+
+    # ------------------------------------------------------------------ memory
+
+    def malloc(self, nbytes: int) -> int:
+        """Allocate ``nbytes`` in linear memory via the module's Wasm ``malloc``."""
+        [ptr] = self.instance.invoke("malloc", int(nbytes))
+        return int(ptr)
+
+    def free(self, guest_ptr: int) -> None:
+        """Release an allocation via the module's Wasm ``free``."""
+        self.instance.invoke("free", int(guest_ptr))
+
+    def view(self, guest_ptr: int, nbytes: int) -> memoryview:
+        """Writable zero-copy byte view of guest memory."""
+        return self.instance.exported_memory().view(guest_ptr, nbytes)
+
+    def ndarray(self, guest_ptr: int, count: int, guest_datatype: int) -> np.ndarray:
+        """Zero-copy NumPy view of ``count`` elements of a guest datatype."""
+        dtype = _NP_DTYPES.get(guest_datatype)
+        if dtype is None:
+            raise KeyError(f"no NumPy dtype for guest datatype handle {guest_datatype}")
+        return self.instance.exported_memory().ndarray(guest_ptr, count, dtype)
+
+    def alloc_array(self, count: int, guest_datatype: int, fill: Optional[float] = None) -> Tuple[int, np.ndarray]:
+        """Allocate and view an array; returns (guest pointer, NumPy view)."""
+        size = abi.datatype_size(guest_datatype) * count
+        ptr = self.malloc(size)
+        arr = self.ndarray(ptr, count, guest_datatype)
+        if fill is not None:
+            arr[:] = fill
+        return ptr, arr
+
+    # -------------------------------------------------------------------- WASI
+
+    def print(self, text: str) -> None:
+        """Write a line to the module's captured stdout (via the WASI VFS)."""
+        self.env.wasi.vfs.fd_write(1, (text + "\n").encode("utf-8"))
+
+    def stdout(self) -> str:
+        """Everything the guest printed so far."""
+        return self.env.wasi.vfs.stdout_text()
+
+    # --------------------------------------------------------------------- MPI
+
+    def _call(self, name: str, *args) -> int:
+        index = self._import_index.get(f"env.{name}")
+        if index is None:
+            raise KeyError(f"module does not import env.{name}")
+        results = self.instance.call_function(index, list(args))
+        return results[0] if results else 0
+
+    def mpi_init(self) -> int:
+        """``MPI_Init(NULL, NULL)``."""
+        return self._call("MPI_Init", 0, 0)
+
+    def mpi_finalize(self) -> int:
+        """``MPI_Finalize()``."""
+        return self._call("MPI_Finalize")
+
+    def rank(self, comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Comm_rank``."""
+        self._call("MPI_Comm_rank", comm, self._scratch_i32)
+        return int(self.instance.exported_memory().load_int(self._scratch_i32, 4, signed=True))
+
+    def size(self, comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Comm_size``."""
+        self._call("MPI_Comm_size", comm, self._scratch_i32)
+        return int(self.instance.exported_memory().load_int(self._scratch_i32, 4, signed=True))
+
+    def wtime(self) -> float:
+        """``MPI_Wtime`` (simulated seconds)."""
+        index = self._import_index["env.MPI_Wtime"]
+        [t] = self.instance.call_function(index, [])
+        return float(t)
+
+    def send(self, buf: int, count: int, datatype: int, dest: int, tag: int,
+             comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Send``."""
+        return self._call("MPI_Send", buf, count, datatype, dest, tag, comm)
+
+    def recv(self, buf: int, count: int, datatype: int, source: int, tag: int,
+             comm: int = abi.MPI_COMM_WORLD) -> Dict[str, int]:
+        """``MPI_Recv``; returns the decoded ``MPI_Status``."""
+        self._call("MPI_Recv", buf, count, datatype, source, tag, comm, self._scratch_status)
+        return self.read_status(self._scratch_status)
+
+    def sendrecv(self, sendbuf: int, sendcount: int, sendtype: int, dest: int, sendtag: int,
+                 recvbuf: int, recvcount: int, recvtype: int, source: int, recvtag: int,
+                 comm: int = abi.MPI_COMM_WORLD) -> Dict[str, int]:
+        """``MPI_Sendrecv``; returns the decoded ``MPI_Status``."""
+        self._call("MPI_Sendrecv", sendbuf, sendcount, sendtype, dest, sendtag,
+                   recvbuf, recvcount, recvtype, source, recvtag, comm, self._scratch_status)
+        return self.read_status(self._scratch_status)
+
+    def isend(self, buf: int, count: int, datatype: int, dest: int, tag: int,
+              comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Isend``; returns the guest request handle."""
+        self._call("MPI_Isend", buf, count, datatype, dest, tag, comm, self._scratch_i32)
+        return int(self.instance.exported_memory().load_int(self._scratch_i32, 4))
+
+    def irecv(self, buf: int, count: int, datatype: int, source: int, tag: int,
+              comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Irecv``; returns the guest request handle."""
+        self._call("MPI_Irecv", buf, count, datatype, source, tag, comm, self._scratch_i32)
+        return int(self.instance.exported_memory().load_int(self._scratch_i32, 4))
+
+    def wait(self, request_handle: int) -> Dict[str, int]:
+        """``MPI_Wait`` on a guest request handle."""
+        memory = self.instance.exported_memory()
+        memory.store_int(self._scratch_i32, request_handle, 4)
+        self._call("MPI_Wait", self._scratch_i32, self._scratch_status)
+        return self.read_status(self._scratch_status)
+
+    def barrier(self, comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Barrier``."""
+        return self._call("MPI_Barrier", comm)
+
+    def bcast(self, buf: int, count: int, datatype: int, root: int,
+              comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Bcast``."""
+        return self._call("MPI_Bcast", buf, count, datatype, root, comm)
+
+    def reduce(self, sendbuf: int, recvbuf: int, count: int, datatype: int, op: int, root: int,
+               comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Reduce``."""
+        return self._call("MPI_Reduce", sendbuf, recvbuf, count, datatype, op, root, comm)
+
+    def allreduce(self, sendbuf: int, recvbuf: int, count: int, datatype: int, op: int,
+                  comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Allreduce``."""
+        return self._call("MPI_Allreduce", sendbuf, recvbuf, count, datatype, op, comm)
+
+    def gather(self, sendbuf: int, sendcount: int, sendtype: int, recvbuf: int, recvcount: int,
+               recvtype: int, root: int, comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Gather``."""
+        return self._call("MPI_Gather", sendbuf, sendcount, sendtype, recvbuf, recvcount,
+                          recvtype, root, comm)
+
+    def scatter(self, sendbuf: int, sendcount: int, sendtype: int, recvbuf: int, recvcount: int,
+                recvtype: int, root: int, comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Scatter``."""
+        return self._call("MPI_Scatter", sendbuf, sendcount, sendtype, recvbuf, recvcount,
+                          recvtype, root, comm)
+
+    def allgather(self, sendbuf: int, sendcount: int, sendtype: int, recvbuf: int, recvcount: int,
+                  recvtype: int, comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Allgather``."""
+        return self._call("MPI_Allgather", sendbuf, sendcount, sendtype, recvbuf, recvcount,
+                          recvtype, comm)
+
+    def alltoall(self, sendbuf: int, sendcount: int, sendtype: int, recvbuf: int, recvcount: int,
+                 recvtype: int, comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Alltoall``."""
+        return self._call("MPI_Alltoall", sendbuf, sendcount, sendtype, recvbuf, recvcount,
+                          recvtype, comm)
+
+    def comm_split(self, comm: int, color: int, key: int) -> int:
+        """``MPI_Comm_split``; returns the new guest communicator handle."""
+        self._call("MPI_Comm_split", comm, color & 0xFFFFFFFF, key, self._scratch_i32)
+        return int(self.instance.exported_memory().load_int(self._scratch_i32, 4, signed=True))
+
+    def comm_dup(self, comm: int) -> int:
+        """``MPI_Comm_dup``; returns the new guest communicator handle."""
+        self._call("MPI_Comm_dup", comm, self._scratch_i32)
+        return int(self.instance.exported_memory().load_int(self._scratch_i32, 4, signed=True))
+
+    def alloc_mem(self, nbytes: int) -> int:
+        """``MPI_Alloc_mem`` (routed through the module's exported malloc)."""
+        self._call("MPI_Alloc_mem", nbytes, abi.MPI_INFO_NULL, self._scratch_i32)
+        return int(self.instance.exported_memory().load_int(self._scratch_i32, 4))
+
+    def free_mem(self, guest_ptr: int) -> int:
+        """``MPI_Free_mem``."""
+        return self._call("MPI_Free_mem", guest_ptr)
+
+    def read_status(self, status_ptr: int) -> Dict[str, int]:
+        """Decode a guest ``MPI_Status`` structure."""
+        memory = self.instance.exported_memory()
+        return {
+            "source": int(memory.load_int(status_ptr + abi.STATUS_SOURCE_OFFSET, 4, signed=True)),
+            "tag": int(memory.load_int(status_ptr + abi.STATUS_TAG_OFFSET, 4, signed=True)),
+            "error": int(memory.load_int(status_ptr + abi.STATUS_ERROR_OFFSET, 4, signed=True)),
+            "count_bytes": int(memory.load_int(status_ptr + abi.STATUS_COUNT_OFFSET, 4, signed=True)),
+        }
+
+    # ------------------------------------------------------------ Wasm kernels
+
+    def call_kernel(self, export_name: str, *args) -> List:
+        """Invoke a Wasm-defined kernel function exported by the module."""
+        return self.instance.invoke(export_name, *args)
+
+    # --------------------------------------------------------------- simulation
+
+    def compute(self, seconds: float) -> None:
+        """Advance this rank's virtual clock by modelled compute time.
+
+        Guests use this to account for work whose wall-clock cost is modelled
+        (e.g. the per-iteration FLOP count of HPCG at figure scale) rather
+        than executed instruction-by-instruction.
+        """
+        if seconds > 0:
+            self.env.runtime.ctx.advance(seconds)

@@ -1,0 +1,543 @@
+"""Implementations of the ``env.MPI_*`` imports (§3.7).
+
+For every function of the guest MPI ABI (:mod:`repro.toolchain.mpi_header`)
+this module registers a host function that
+
+1. charges the embedder's trampoline + translation overhead to the rank's
+   virtual clock (the quantities Figure 6 measures),
+2. translates guest handles (communicators, datatypes, ops, requests) to host
+   objects through the per-instance :class:`repro.core.env.Env`,
+3. translates guest buffer pointers to zero-copy host views of the module's
+   linear memory (§3.5),
+4. defers the actual operation to the host MPI library
+   (:class:`repro.mpi.runtime.MPIRuntime`), and
+5. writes results (statuses, output handles) back into guest memory, returning
+   ``MPI_SUCCESS`` or the appropriate error code as an ``i32``.
+
+``MPI_Alloc_mem``/``MPI_Free_mem`` are the exception described in §3.7: they
+are implemented by calling the module's own exported ``malloc``/``free`` so
+the returned address lies inside the module's 32-bit address space.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.env import Env
+from repro.core.memory_translation import AddressTranslator
+from repro.mpi.errors import MPIError
+from repro.mpi.pt2pt import ANY_SOURCE, ANY_TAG, PROC_NULL
+from repro.mpi.status import Request, Status
+from repro.toolchain import mpi_header as abi
+from repro.wasm.runtime import ImportObject, Instance
+from repro.wasm.types import FuncType
+
+ENV_NAMESPACE = "env"
+
+
+def _env_of(instance: Instance) -> Env:
+    env = instance.host_state.get(Env.HOST_STATE_KEY)
+    if env is None:
+        raise MPIError("module instance has no MPIWasm Env attached")
+    return env
+
+
+def _translator(instance: Instance) -> AddressTranslator:
+    translator = instance.host_state.get("mpiwasm.translator")
+    if translator is None:
+        translator = AddressTranslator(instance.exported_memory())
+        instance.host_state["mpiwasm.translator"] = translator
+    return translator
+
+
+def _guest_source(value: int) -> int:
+    """Map guest wildcard/sentinel source ranks to host-side values."""
+    if value == abi.MPI_ANY_SOURCE:
+        return ANY_SOURCE
+    if value == abi.MPI_PROC_NULL:
+        return PROC_NULL
+    return value
+
+
+def _guest_tag(value: int) -> int:
+    return ANY_TAG if value == abi.MPI_ANY_TAG else value
+
+
+def _signed(value: int) -> int:
+    """Interpret a u32 from Wasm as a signed C int."""
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def _write_status(instance: Instance, status_ptr: int, status: Status) -> None:
+    """Write an ``MPI_Status`` structure into guest memory (if requested)."""
+    if status_ptr in (0, abi.MPI_STATUS_IGNORE):
+        return
+    memory = instance.exported_memory()
+    memory.store_int(status_ptr + abi.STATUS_SOURCE_OFFSET, status.source & 0xFFFFFFFF, 4)
+    memory.store_int(status_ptr + abi.STATUS_TAG_OFFSET, status.tag & 0xFFFFFFFF, 4)
+    memory.store_int(status_ptr + abi.STATUS_ERROR_OFFSET, status.error, 4)
+    memory.store_int(status_ptr + abi.STATUS_COUNT_OFFSET, status.count_bytes, 4)
+
+
+def _wrap(env_fn: Callable) -> Callable:
+    """Convert host-side MPI exceptions into guest-visible error codes."""
+
+    def wrapper(instance: Instance, *args):
+        try:
+            return env_fn(instance, *args)
+        except KeyError:
+            return abi.MPI_ERR_OTHER
+        except MPIError as exc:
+            return getattr(exc, "code", abi.MPI_ERR_OTHER) or abi.MPI_ERR_OTHER
+
+    return wrapper
+
+
+def build_mpi_imports() -> Dict[str, Callable]:
+    """Build the table of host implementations keyed by import name."""
+
+    impl: Dict[str, Callable] = {}
+
+    def define(name: str):
+        def decorator(fn: Callable) -> Callable:
+            impl[name] = _wrap(fn)
+            return fn
+
+        return decorator
+
+    # ------------------------------------------------------------ init / meta
+
+    @define("MPI_Init")
+    def mpi_init(instance, argc_ptr, argv_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Init")
+        env.charge_overhead("MPI_Init", "MPI_BYTE", 0, n_datatype_args=0)
+        env.runtime.init()
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Initialized")
+    def mpi_initialized(instance, flag_ptr):
+        env = _env_of(instance)
+        instance.exported_memory().store_int(flag_ptr, 1 if env.runtime.is_initialized() else 0, 4)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Finalize")
+    def mpi_finalize(instance):
+        env = _env_of(instance)
+        env.note_call("MPI_Finalize")
+        env.charge_overhead("MPI_Finalize", "MPI_BYTE", 0, n_datatype_args=0)
+        env.runtime.finalize()
+        env.finalized = True
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Abort")
+    def mpi_abort(instance, comm_handle, errorcode):
+        env = _env_of(instance)
+        env.note_call("MPI_Abort")
+        env.runtime.abort(errorcode=_signed(errorcode))
+        return abi.MPI_SUCCESS  # pragma: no cover - abort raises
+
+    @define("MPI_Comm_rank")
+    def mpi_comm_rank(instance, comm_handle, rank_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Comm_rank")
+        env.charge_overhead("MPI_Comm_rank", "MPI_BYTE", 0, n_datatype_args=0)
+        comm = env.resolve_comm(_signed(comm_handle))
+        instance.exported_memory().store_int(rank_ptr, env.runtime.comm_rank(comm), 4)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Comm_size")
+    def mpi_comm_size(instance, comm_handle, size_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Comm_size")
+        env.charge_overhead("MPI_Comm_size", "MPI_BYTE", 0, n_datatype_args=0)
+        comm = env.resolve_comm(_signed(comm_handle))
+        instance.exported_memory().store_int(size_ptr, env.runtime.comm_size(comm), 4)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Get_processor_name")
+    def mpi_get_processor_name(instance, name_ptr, resultlen_ptr):
+        env = _env_of(instance)
+        name = env.runtime.get_processor_name()[: abi.MPI_MAX_PROCESSOR_NAME - 1]
+        written = instance.exported_memory().write_cstring(name_ptr, name)
+        instance.exported_memory().store_int(resultlen_ptr, written - 1, 4)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Wtime")
+    def mpi_wtime(instance):
+        env = _env_of(instance)
+        return env.runtime.wtime()
+
+    @define("MPI_Wtick")
+    def mpi_wtick(instance):
+        env = _env_of(instance)
+        return env.runtime.wtick()
+
+    @define("MPI_Type_size")
+    def mpi_type_size(instance, datatype_handle, size_ptr):
+        env = _env_of(instance)
+        datatype = env.resolve_datatype(_signed(datatype_handle))
+        instance.exported_memory().store_int(size_ptr, datatype.size, 4)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Get_count")
+    def mpi_get_count(instance, status_ptr, datatype_handle, count_ptr):
+        env = _env_of(instance)
+        datatype = env.resolve_datatype(_signed(datatype_handle))
+        count_bytes = instance.exported_memory().load_int(status_ptr + abi.STATUS_COUNT_OFFSET, 4)
+        count = count_bytes // datatype.size if datatype.size else 0
+        instance.exported_memory().store_int(count_ptr, count, 4)
+        return abi.MPI_SUCCESS
+
+    # ------------------------------------------------------------ point-to-point
+
+    @define("MPI_Send")
+    def mpi_send(instance, buf, count, datatype_handle, dest, tag, comm_handle):
+        env = _env_of(instance)
+        env.note_call("MPI_Send")
+        count = _signed(count)
+        datatype = env.resolve_datatype(_signed(datatype_handle))
+        nbytes = count * datatype.size
+        env.charge_overhead("MPI_Send", datatype.name, nbytes)
+        comm = env.resolve_comm(_signed(comm_handle))
+        view = _translator(instance).to_host(buf, nbytes)
+        env.runtime.send(view, count, datatype, _guest_source(_signed(dest)), _signed(tag), comm)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Recv")
+    def mpi_recv(instance, buf, count, datatype_handle, source, tag, comm_handle, status_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Recv")
+        count = _signed(count)
+        datatype = env.resolve_datatype(_signed(datatype_handle))
+        nbytes = count * datatype.size
+        env.charge_overhead("MPI_Recv", datatype.name, nbytes)
+        comm = env.resolve_comm(_signed(comm_handle))
+        view = _translator(instance).to_host(buf, nbytes)
+        status = env.runtime.recv(
+            view, count, datatype, _guest_source(_signed(source)), _guest_tag(_signed(tag)), comm
+        )
+        _write_status(instance, status_ptr, status)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Sendrecv")
+    def mpi_sendrecv(
+        instance,
+        sendbuf, sendcount, sendtype_handle, dest, sendtag,
+        recvbuf, recvcount, recvtype_handle, source, recvtag,
+        comm_handle, status_ptr,
+    ):
+        env = _env_of(instance)
+        env.note_call("MPI_Sendrecv")
+        sendcount = _signed(sendcount)
+        recvcount = _signed(recvcount)
+        sendtype = env.resolve_datatype(_signed(sendtype_handle))
+        recvtype = env.resolve_datatype(_signed(recvtype_handle))
+        send_bytes = sendcount * sendtype.size
+        env.charge_overhead("MPI_Sendrecv", sendtype.name, send_bytes, n_datatype_args=2)
+        comm = env.resolve_comm(_signed(comm_handle))
+        translator = _translator(instance)
+        send_view = translator.to_host(sendbuf, send_bytes)
+        recv_view = translator.to_host(recvbuf, recvcount * recvtype.size)
+        status = env.runtime.sendrecv(
+            send_view, sendcount, sendtype, _guest_source(_signed(dest)), _signed(sendtag),
+            recv_view, recvcount, recvtype, _guest_source(_signed(source)), _guest_tag(_signed(recvtag)),
+            comm,
+        )
+        _write_status(instance, status_ptr, status)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Isend")
+    def mpi_isend(instance, buf, count, datatype_handle, dest, tag, comm_handle, request_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Isend")
+        count = _signed(count)
+        datatype = env.resolve_datatype(_signed(datatype_handle))
+        nbytes = count * datatype.size
+        env.charge_overhead("MPI_Isend", datatype.name, nbytes)
+        comm = env.resolve_comm(_signed(comm_handle))
+        view = _translator(instance).to_host(buf, nbytes)
+        request = env.runtime.isend(view, count, datatype, _guest_source(_signed(dest)), _signed(tag), comm)
+        handle = env.requests.register(request)
+        instance.exported_memory().store_int(request_ptr, handle, 4)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Irecv")
+    def mpi_irecv(instance, buf, count, datatype_handle, source, tag, comm_handle, request_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Irecv")
+        count = _signed(count)
+        datatype = env.resolve_datatype(_signed(datatype_handle))
+        nbytes = count * datatype.size
+        env.charge_overhead("MPI_Irecv", datatype.name, nbytes)
+        comm = env.resolve_comm(_signed(comm_handle))
+        view = _translator(instance).to_host(buf, nbytes)
+        request = env.runtime.irecv(
+            view, count, datatype, _guest_source(_signed(source)), _guest_tag(_signed(tag)), comm
+        )
+        handle = env.requests.register(request)
+        instance.exported_memory().store_int(request_ptr, handle, 4)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Wait")
+    def mpi_wait(instance, request_ptr, status_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Wait")
+        env.charge_overhead("MPI_Wait", "MPI_BYTE", 0, n_datatype_args=0)
+        memory = instance.exported_memory()
+        handle = memory.load_int(request_ptr, 4)
+        if handle == abi.MPI_REQUEST_NULL or not env.requests.contains(handle):
+            _write_status(instance, status_ptr, Status())
+            return abi.MPI_SUCCESS
+        request: Request = env.requests.lookup(handle)
+        status = env.runtime.wait(request)
+        env.requests.release(handle)
+        memory.store_int(request_ptr, abi.MPI_REQUEST_NULL, 4)
+        _write_status(instance, status_ptr, status)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Waitall")
+    def mpi_waitall(instance, count, requests_ptr, statuses_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Waitall")
+        env.charge_overhead("MPI_Waitall", "MPI_BYTE", 0, n_datatype_args=0)
+        memory = instance.exported_memory()
+        count = _signed(count)
+        for i in range(count):
+            handle = memory.load_int(requests_ptr + 4 * i, 4)
+            if handle == abi.MPI_REQUEST_NULL or not env.requests.contains(handle):
+                continue
+            request: Request = env.requests.lookup(handle)
+            status = env.runtime.wait(request)
+            env.requests.release(handle)
+            memory.store_int(requests_ptr + 4 * i, abi.MPI_REQUEST_NULL, 4)
+            if statuses_ptr not in (0, abi.MPI_STATUS_IGNORE):
+                _write_status(instance, statuses_ptr + abi.STATUS_SIZE_BYTES * i, status)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Iprobe")
+    def mpi_iprobe(instance, source, tag, comm_handle, flag_ptr, status_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Iprobe")
+        comm = env.resolve_comm(_signed(comm_handle))
+        found, status = env.runtime.iprobe(_guest_source(_signed(source)), _guest_tag(_signed(tag)), comm)
+        instance.exported_memory().store_int(flag_ptr, 1 if found else 0, 4)
+        if found:
+            _write_status(instance, status_ptr, status)
+        return abi.MPI_SUCCESS
+
+    # --------------------------------------------------------------- collectives
+
+    @define("MPI_Barrier")
+    def mpi_barrier(instance, comm_handle):
+        env = _env_of(instance)
+        env.note_call("MPI_Barrier")
+        env.charge_overhead("MPI_Barrier", "MPI_BYTE", 0, n_datatype_args=0)
+        env.runtime.barrier(env.resolve_comm(_signed(comm_handle)))
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Bcast")
+    def mpi_bcast(instance, buf, count, datatype_handle, root, comm_handle):
+        env = _env_of(instance)
+        env.note_call("MPI_Bcast")
+        count = _signed(count)
+        datatype = env.resolve_datatype(_signed(datatype_handle))
+        nbytes = count * datatype.size
+        env.charge_overhead("MPI_Bcast", datatype.name, nbytes)
+        comm = env.resolve_comm(_signed(comm_handle))
+        view = _translator(instance).to_host(buf, nbytes)
+        env.runtime.bcast(view, count, datatype, _signed(root), comm)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Reduce")
+    def mpi_reduce(instance, sendbuf, recvbuf, count, datatype_handle, op_handle, root, comm_handle):
+        env = _env_of(instance)
+        env.note_call("MPI_Reduce")
+        count = _signed(count)
+        datatype = env.resolve_datatype(_signed(datatype_handle))
+        op = env.resolve_op(_signed(op_handle))
+        nbytes = count * datatype.size
+        env.charge_overhead("MPI_Reduce", datatype.name, nbytes)
+        comm = env.resolve_comm(_signed(comm_handle))
+        translator = _translator(instance)
+        send_view = translator.to_host(sendbuf, nbytes)
+        root_rank = _signed(root)
+        recv_view = (
+            translator.to_host(recvbuf, nbytes)
+            if env.runtime.comm_rank(comm) == root_rank and recvbuf != 0
+            else None
+        )
+        env.runtime.reduce(send_view, recv_view, count, datatype, op, root_rank, comm)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Allreduce")
+    def mpi_allreduce(instance, sendbuf, recvbuf, count, datatype_handle, op_handle, comm_handle):
+        env = _env_of(instance)
+        env.note_call("MPI_Allreduce")
+        count = _signed(count)
+        datatype = env.resolve_datatype(_signed(datatype_handle))
+        op = env.resolve_op(_signed(op_handle))
+        nbytes = count * datatype.size
+        env.charge_overhead("MPI_Allreduce", datatype.name, nbytes)
+        comm = env.resolve_comm(_signed(comm_handle))
+        translator = _translator(instance)
+        send_view = translator.to_host(sendbuf, nbytes)
+        recv_view = translator.to_host(recvbuf, nbytes)
+        env.runtime.allreduce(send_view, recv_view, count, datatype, op, comm)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Gather")
+    def mpi_gather(instance, sendbuf, sendcount, sendtype_handle, recvbuf, recvcount,
+                   recvtype_handle, root, comm_handle):
+        env = _env_of(instance)
+        env.note_call("MPI_Gather")
+        sendcount = _signed(sendcount)
+        recvcount = _signed(recvcount)
+        sendtype = env.resolve_datatype(_signed(sendtype_handle))
+        recvtype = env.resolve_datatype(_signed(recvtype_handle))
+        nbytes = sendcount * sendtype.size
+        env.charge_overhead("MPI_Gather", sendtype.name, nbytes, n_datatype_args=2)
+        comm = env.resolve_comm(_signed(comm_handle))
+        translator = _translator(instance)
+        send_view = translator.to_host(sendbuf, nbytes)
+        root_rank = _signed(root)
+        is_root = env.runtime.comm_rank(comm) == root_rank
+        recv_view = (
+            translator.to_host(recvbuf, recvcount * recvtype.size * comm.size) if is_root else None
+        )
+        env.runtime.gather(send_view, sendcount, sendtype, recv_view, recvcount, recvtype, root_rank, comm)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Scatter")
+    def mpi_scatter(instance, sendbuf, sendcount, sendtype_handle, recvbuf, recvcount,
+                    recvtype_handle, root, comm_handle):
+        env = _env_of(instance)
+        env.note_call("MPI_Scatter")
+        sendcount = _signed(sendcount)
+        recvcount = _signed(recvcount)
+        sendtype = env.resolve_datatype(_signed(sendtype_handle))
+        recvtype = env.resolve_datatype(_signed(recvtype_handle))
+        nbytes = recvcount * recvtype.size
+        env.charge_overhead("MPI_Scatter", recvtype.name, nbytes, n_datatype_args=2)
+        comm = env.resolve_comm(_signed(comm_handle))
+        translator = _translator(instance)
+        root_rank = _signed(root)
+        is_root = env.runtime.comm_rank(comm) == root_rank
+        send_view = (
+            translator.to_host(sendbuf, sendcount * sendtype.size * comm.size) if is_root else None
+        )
+        recv_view = translator.to_host(recvbuf, nbytes)
+        env.runtime.scatter(send_view, sendcount, sendtype, recv_view, recvcount, recvtype, root_rank, comm)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Allgather")
+    def mpi_allgather(instance, sendbuf, sendcount, sendtype_handle, recvbuf, recvcount,
+                      recvtype_handle, comm_handle):
+        env = _env_of(instance)
+        env.note_call("MPI_Allgather")
+        sendcount = _signed(sendcount)
+        recvcount = _signed(recvcount)
+        sendtype = env.resolve_datatype(_signed(sendtype_handle))
+        recvtype = env.resolve_datatype(_signed(recvtype_handle))
+        nbytes = sendcount * sendtype.size
+        env.charge_overhead("MPI_Allgather", sendtype.name, nbytes, n_datatype_args=2)
+        comm = env.resolve_comm(_signed(comm_handle))
+        translator = _translator(instance)
+        send_view = translator.to_host(sendbuf, nbytes)
+        recv_view = translator.to_host(recvbuf, recvcount * recvtype.size * comm.size)
+        env.runtime.allgather(send_view, sendcount, sendtype, recv_view, recvcount, recvtype, comm)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Alltoall")
+    def mpi_alltoall(instance, sendbuf, sendcount, sendtype_handle, recvbuf, recvcount,
+                     recvtype_handle, comm_handle):
+        env = _env_of(instance)
+        env.note_call("MPI_Alltoall")
+        sendcount = _signed(sendcount)
+        recvcount = _signed(recvcount)
+        sendtype = env.resolve_datatype(_signed(sendtype_handle))
+        recvtype = env.resolve_datatype(_signed(recvtype_handle))
+        nbytes = sendcount * sendtype.size
+        env.charge_overhead("MPI_Alltoall", sendtype.name, nbytes, n_datatype_args=2)
+        comm = env.resolve_comm(_signed(comm_handle))
+        translator = _translator(instance)
+        send_view = translator.to_host(sendbuf, nbytes * comm.size)
+        recv_view = translator.to_host(recvbuf, recvcount * recvtype.size * comm.size)
+        env.runtime.alltoall(send_view, sendcount, sendtype, recv_view, recvcount, recvtype, comm)
+        return abi.MPI_SUCCESS
+
+    # -------------------------------------------------------------- communicators
+
+    @define("MPI_Comm_split")
+    def mpi_comm_split(instance, comm_handle, color, key, newcomm_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Comm_split")
+        env.charge_overhead("MPI_Comm_split", "MPI_BYTE", 0, n_datatype_args=0)
+        comm = env.resolve_comm(_signed(comm_handle))
+        new_comm = env.runtime.comm_split(comm, _signed(color), _signed(key))
+        if new_comm is None:
+            handle = abi.MPI_COMM_NULL
+        else:
+            handle = env.register_comm(new_comm)
+        instance.exported_memory().store_int(newcomm_ptr, handle & 0xFFFFFFFF, 4)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Comm_dup")
+    def mpi_comm_dup(instance, comm_handle, newcomm_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Comm_dup")
+        env.charge_overhead("MPI_Comm_dup", "MPI_BYTE", 0, n_datatype_args=0)
+        comm = env.resolve_comm(_signed(comm_handle))
+        new_comm = env.runtime.comm_dup(comm)
+        handle = env.register_comm(new_comm)
+        instance.exported_memory().store_int(newcomm_ptr, handle, 4)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Comm_free")
+    def mpi_comm_free(instance, comm_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Comm_free")
+        memory = instance.exported_memory()
+        handle = _signed(memory.load_int(comm_ptr, 4))
+        if handle >= abi.FIRST_USER_COMM and env.comms.contains(handle):
+            env.runtime.comm_free(env.comms.lookup(handle))
+            env.comms.release(handle)
+        memory.store_int(comm_ptr, abi.MPI_COMM_NULL & 0xFFFFFFFF, 4)
+        return abi.MPI_SUCCESS
+
+    # --------------------------------------------------------------------- memory
+
+    @define("MPI_Alloc_mem")
+    def mpi_alloc_mem(instance, size, info, baseptr_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Alloc_mem")
+        env.charge_overhead("MPI_Alloc_mem", "MPI_BYTE", 0, n_datatype_args=0)
+        if not instance.has_export("malloc"):
+            return abi.MPI_ERR_OTHER
+        # §3.7: defer to the module's own allocator so the address is a valid
+        # 32-bit module address rather than a 64-bit host address.
+        [guest_ptr] = instance.invoke("malloc", _signed(size))
+        instance.exported_memory().store_int(baseptr_ptr, guest_ptr, 4)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Free_mem")
+    def mpi_free_mem(instance, guest_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Free_mem")
+        if not instance.has_export("free"):
+            return abi.MPI_ERR_OTHER
+        instance.invoke("free", guest_ptr)
+        return abi.MPI_SUCCESS
+
+    return impl
+
+
+def register_mpi_imports(imports: ImportObject) -> None:
+    """Register all ``env.MPI_*`` host functions on an import object."""
+    implementations = build_mpi_imports()
+    for name, (params, results) in abi.MPI_SIGNATURES.items():
+        fn = implementations.get(name)
+        if fn is None:  # pragma: no cover - table integrity guard
+            raise MPIError(f"no host implementation for {name}")
+        imports.register(ENV_NAMESPACE, name, FuncType.of(params, results), fn)

@@ -1,0 +1,30 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from repro.harness import experiments, report
+from repro.harness.experiments import (
+    figure3_imb_supermuc,
+    figure4_graviton2,
+    figure5_npb_ior_hpcg,
+    figure6_translation_overhead,
+    figure7_faasm_comparison,
+    functional_crosscheck,
+    hpcg_scaling_model,
+    imb_model_series,
+    table1_compiler_backends,
+    table2_binary_sizes,
+)
+
+__all__ = [
+    "experiments",
+    "report",
+    "table1_compiler_backends",
+    "table2_binary_sizes",
+    "figure3_imb_supermuc",
+    "figure4_graviton2",
+    "figure5_npb_ior_hpcg",
+    "figure6_translation_overhead",
+    "figure7_faasm_comparison",
+    "functional_crosscheck",
+    "hpcg_scaling_model",
+    "imb_model_series",
+]

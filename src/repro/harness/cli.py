@@ -1,0 +1,82 @@
+"""``repro-experiments`` command line interface.
+
+Runs any subset of the paper's experiments and prints text tables (optionally
+CSV) -- the "regenerate every table and figure" entry point referenced by
+EXPERIMENTS.md and the README.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+
+EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "table1": experiments.table1_compiler_backends,
+    "table2": experiments.table2_binary_sizes,
+    "figure3": experiments.figure3_imb_supermuc,
+    "figure4": experiments.figure4_graviton2,
+    "figure5": experiments.figure5_npb_ior_hpcg,
+    "figure6": experiments.figure6_translation_overhead,
+    "figure7": experiments.figure7_faasm_comparison,
+    "crosscheck": experiments.functional_crosscheck,
+}
+
+
+def _print_summary(name: str, result) -> None:
+    print(f"\n=== {name} ===")
+    if name == "table1":
+        rows = [[b, f"{r['compile_ms']:.3f}", f"{r['kernel_mflops']:.3f}"] for b, r in result.items()]
+        print(format_table(["backend", "compile (ms)", "kernel MFLOP/s"], rows))
+    elif name == "table2":
+        rows = [
+            [r["application"], f"{r['native_dynamic_kib']:.0f}", f"{r['native_static_mib']:.1f}",
+             f"{r['wasm_kib']:.1f}", f"{r['static_to_wasm_ratio']:.1f}x"]
+            for r in result["rows"]
+        ]
+        print(format_table(
+            ["application", "dynamic (KiB)", "static (MiB)", "wasm (KiB)", "static/wasm"], rows))
+        print(f"average static/wasm ratio: {result['average_static_to_wasm_ratio']:.1f}x")
+    elif name in ("figure3", "figure4"):
+        rows = [[routine, f"{slowdown:+.3f}"] for routine, slowdown in result["gm_slowdowns"].items()]
+        print(format_table(["routine", "GM Wasm slowdown"], rows))
+    elif name == "figure5":
+        print(f"HPCG Wasm reduction at 6144 ranks: {result['hpcg_reduction_at_6144']:.1%}")
+        print(f"DT SIMD speedup (Wasm w/ vs w/o SIMD): {result['dt_simd_speedup']:.2f}x")
+    elif name == "figure6":
+        rows = [[dt, f"{ns:.2f}"] for dt, ns in result["average_ns"].items()]
+        print(format_table(["datatype", "avg translation (ns)"], rows))
+    elif name == "figure7":
+        print(f"MPIWasm vs Faasm PingPong GM speedup: {result['gm_speedup']:.2f}x")
+    else:
+        print(json.dumps(result, indent=2, default=str)[:2000])
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro-experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of 'Exploring the Use of WebAssembly in HPC'.",
+    )
+    parser.add_argument("experiments", nargs="*", default=[],
+                        help=f"which experiments to run (default: all of {sorted(EXPERIMENTS)})")
+    parser.add_argument("--json", action="store_true", help="dump raw JSON instead of tables")
+    args = parser.parse_args(argv)
+
+    selected = args.experiments or sorted(EXPERIMENTS)
+    for name in selected:
+        if name not in EXPERIMENTS:
+            parser.error(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}")
+        result = EXPERIMENTS[name]()
+        if args.json:
+            print(json.dumps({name: result}, indent=2, default=str))
+        else:
+            _print_summary(name, result)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,75 @@
+"""Plain-text and CSV rendering of experiment results.
+
+Every experiment in :mod:`repro.harness.experiments` returns a dictionary of
+rows or series; these helpers turn them into aligned text tables (what the
+benchmark harness prints) and CSV files (what a plotting script would
+consume), so the repository needs no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render an aligned text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def series_to_csv(series: Mapping[object, Mapping[str, object]], x_name: str = "x") -> str:
+    """Render a {x: {column: value}} mapping as CSV text."""
+    columns: List[str] = []
+    for row in series.values():
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow([x_name, *columns])
+    for x, row in series.items():
+        writer.writerow([x, *[row.get(c, "") for c in columns]])
+    return out.getvalue()
+
+
+def rows_to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render header + rows as CSV text."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return out.getvalue()
+
+
+def geometric_mean_ratio(numerators: Mapping, denominators: Mapping) -> float:
+    """Geometric mean of pointwise ratios over the shared keys."""
+    import math
+
+    keys = [k for k in numerators if k in denominators and denominators[k] > 0 and numerators[k] > 0]
+    if not keys:
+        return 0.0
+    return math.exp(sum(math.log(numerators[k] / denominators[k]) for k in keys) / len(keys))

@@ -1,0 +1,51 @@
+"""Host-side MPI-2.2 substrate over the simulated cluster.
+
+This package is the stand-in for the host MPI library (OpenMPI/MPICH reached
+through rsmpi in the paper's implementation).  The embedder defers every MPI
+call made by a Wasm guest to :class:`repro.mpi.runtime.MPIRuntime`; native
+benchmark programs call the same runtime directly, which is what makes the
+native-vs-Wasm comparisons in the figures meaningful.
+"""
+
+from repro.mpi import datatypes, ops
+from repro.mpi.communicator import Communicator, Group, world_communicator, self_communicator
+from repro.mpi.datatypes import Datatype
+from repro.mpi.errors import (
+    MPIError,
+    MPI_SUCCESS,
+    InvalidCountError,
+    InvalidRankError,
+    InvalidTagError,
+    NotInitializedError,
+    TruncationError,
+)
+from repro.mpi.ops import Op
+from repro.mpi.pt2pt import ANY_SOURCE, ANY_TAG, PROC_NULL, MatchingEngine
+from repro.mpi.runtime import MPIRuntime, MPIWorld
+from repro.mpi.status import Request, Status
+
+__all__ = [
+    "datatypes",
+    "ops",
+    "Datatype",
+    "Op",
+    "Communicator",
+    "Group",
+    "world_communicator",
+    "self_communicator",
+    "MPIError",
+    "MPI_SUCCESS",
+    "InvalidCountError",
+    "InvalidRankError",
+    "InvalidTagError",
+    "NotInitializedError",
+    "TruncationError",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "PROC_NULL",
+    "MatchingEngine",
+    "MPIRuntime",
+    "MPIWorld",
+    "Request",
+    "Status",
+]

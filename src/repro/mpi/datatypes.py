@@ -1,0 +1,125 @@
+"""MPI datatypes of the host library.
+
+The MPI standard leaves the concrete representation of ``MPI_Datatype`` to the
+implementation -- this is exactly the ABI gap that MPIWasm's datatype
+translation layer (§3.6 of the paper) bridges.  On the host side (this
+module) datatypes are rich Python objects carrying a size and a NumPy dtype;
+on the guest side they are plain 32-bit integers defined by
+:mod:`repro.toolchain.mpi_header`.  The embedder's
+:mod:`repro.core.datatype_translation` maps between the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """One MPI predefined datatype.
+
+    Attributes
+    ----------
+    name:
+        The MPI name, e.g. ``"MPI_DOUBLE"``.
+    size:
+        Size of one element in bytes (``MPI_Type_size``).
+    np_dtype:
+        NumPy dtype string used to view buffers of this type, or ``None`` for
+        pure byte types that are only ever copied.
+    """
+
+    name: str
+    size: int
+    np_dtype: Optional[str]
+
+    def numpy(self) -> np.dtype:
+        """NumPy dtype object for this datatype (uint8 for byte-like types)."""
+        return np.dtype(self.np_dtype or "uint8")
+
+    def extent(self, count: int) -> int:
+        """Number of bytes occupied by ``count`` contiguous elements."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return self.size * count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Datatype({self.name}, size={self.size})"
+
+
+# Predefined datatypes of the MPI-2.2 standard that the benchmarks exercise.
+BYTE = Datatype("MPI_BYTE", 1, "uint8")
+PACKED = Datatype("MPI_PACKED", 1, "uint8")
+CHAR = Datatype("MPI_CHAR", 1, "int8")
+SIGNED_CHAR = Datatype("MPI_SIGNED_CHAR", 1, "int8")
+UNSIGNED_CHAR = Datatype("MPI_UNSIGNED_CHAR", 1, "uint8")
+SHORT = Datatype("MPI_SHORT", 2, "int16")
+UNSIGNED_SHORT = Datatype("MPI_UNSIGNED_SHORT", 2, "uint16")
+INT = Datatype("MPI_INT", 4, "int32")
+UNSIGNED = Datatype("MPI_UNSIGNED", 4, "uint32")
+LONG = Datatype("MPI_LONG", 8, "int64")
+UNSIGNED_LONG = Datatype("MPI_UNSIGNED_LONG", 8, "uint64")
+LONG_LONG = Datatype("MPI_LONG_LONG", 8, "int64")
+UNSIGNED_LONG_LONG = Datatype("MPI_UNSIGNED_LONG_LONG", 8, "uint64")
+FLOAT = Datatype("MPI_FLOAT", 4, "float32")
+DOUBLE = Datatype("MPI_DOUBLE", 8, "float64")
+LONG_DOUBLE = Datatype("MPI_LONG_DOUBLE", 16, "float64")
+C_BOOL = Datatype("MPI_C_BOOL", 1, "uint8")
+INT8_T = Datatype("MPI_INT8_T", 1, "int8")
+INT16_T = Datatype("MPI_INT16_T", 2, "int16")
+INT32_T = Datatype("MPI_INT32_T", 4, "int32")
+INT64_T = Datatype("MPI_INT64_T", 8, "int64")
+UINT8_T = Datatype("MPI_UINT8_T", 1, "uint8")
+UINT16_T = Datatype("MPI_UINT16_T", 2, "uint16")
+UINT32_T = Datatype("MPI_UINT32_T", 4, "uint32")
+UINT64_T = Datatype("MPI_UINT64_T", 8, "uint64")
+# Fortran-compatible aliases used by some benchmarks.
+DOUBLE_PRECISION = Datatype("MPI_DOUBLE_PRECISION", 8, "float64")
+REAL = Datatype("MPI_REAL", 4, "float32")
+INTEGER = Datatype("MPI_INTEGER", 4, "int32")
+
+
+PREDEFINED: Dict[str, Datatype] = {
+    dt.name: dt
+    for dt in (
+        BYTE,
+        PACKED,
+        CHAR,
+        SIGNED_CHAR,
+        UNSIGNED_CHAR,
+        SHORT,
+        UNSIGNED_SHORT,
+        INT,
+        UNSIGNED,
+        LONG,
+        UNSIGNED_LONG,
+        LONG_LONG,
+        UNSIGNED_LONG_LONG,
+        FLOAT,
+        DOUBLE,
+        LONG_DOUBLE,
+        C_BOOL,
+        INT8_T,
+        INT16_T,
+        INT32_T,
+        INT64_T,
+        UINT8_T,
+        UINT16_T,
+        UINT32_T,
+        UINT64_T,
+        DOUBLE_PRECISION,
+        REAL,
+        INTEGER,
+    )
+}
+
+
+def by_name(name: str) -> Datatype:
+    """Look up a predefined datatype by its MPI name."""
+    try:
+        return PREDEFINED[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown MPI datatype {name!r}") from exc

@@ -1,0 +1,81 @@
+"""MPI reduction operations of the host library.
+
+Like datatypes, ``MPI_Op`` handles are opaque to applications; on the host
+side they are objects carrying a NumPy-vectorised combine function, on the
+guest side plain integers translated by the embedder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.mpi.datatypes import Datatype
+
+
+@dataclass(frozen=True)
+class Op:
+    """One MPI reduction operation.
+
+    Attributes
+    ----------
+    name:
+        MPI name, e.g. ``"MPI_SUM"``.
+    fn:
+        Element-wise combine: ``fn(accumulator, contribution) -> combined``.
+        Both arguments are NumPy arrays of the same dtype and shape.
+    commutative:
+        Whether the operation is commutative (all predefined ops are).
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    commutative: bool = True
+
+    def apply(self, acc: np.ndarray, contribution: np.ndarray) -> np.ndarray:
+        """Combine ``contribution`` into ``acc`` and return the result."""
+        return self.fn(acc, contribution)
+
+    def reduce_bytes(self, acc: bytearray, contribution: bytes, datatype: Datatype, count: int) -> None:
+        """Combine raw byte buffers in place, viewing them as ``datatype``.
+
+        This is the path the matching engine and collectives use: buffers are
+        raw bytes (possibly views into a Wasm module's linear memory), and the
+        datatype provides the element interpretation.
+        """
+        dt = datatype.numpy()
+        nbytes = count * datatype.size
+        a = np.frombuffer(memoryview(acc)[:nbytes], dtype=dt).copy()
+        b = np.frombuffer(memoryview(contribution)[:nbytes], dtype=dt)
+        result = self.fn(a, b)
+        memoryview(acc)[:nbytes] = result.astype(dt, copy=False).tobytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Op({self.name})"
+
+
+SUM = Op("MPI_SUM", lambda a, b: a + b)
+PROD = Op("MPI_PROD", lambda a, b: a * b)
+MAX = Op("MPI_MAX", np.maximum)
+MIN = Op("MPI_MIN", np.minimum)
+LAND = Op("MPI_LAND", lambda a, b: ((a != 0) & (b != 0)).astype(a.dtype))
+LOR = Op("MPI_LOR", lambda a, b: ((a != 0) | (b != 0)).astype(a.dtype))
+LXOR = Op("MPI_LXOR", lambda a, b: ((a != 0) ^ (b != 0)).astype(a.dtype))
+BAND = Op("MPI_BAND", lambda a, b: a & b)
+BOR = Op("MPI_BOR", lambda a, b: a | b)
+BXOR = Op("MPI_BXOR", lambda a, b: a ^ b)
+
+PREDEFINED: Dict[str, Op] = {
+    op.name: op
+    for op in (SUM, PROD, MAX, MIN, LAND, LOR, LXOR, BAND, BOR, BXOR)
+}
+
+
+def by_name(name: str) -> Op:
+    """Look up a predefined reduction op by its MPI name."""
+    try:
+        return PREDEFINED[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown MPI op {name!r}") from exc

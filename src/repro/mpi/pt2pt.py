@@ -1,0 +1,234 @@
+"""Point-to-point message matching engine.
+
+One :class:`MatchingEngine` instance is shared by every rank of a simulation
+(it lives in the engine's shared blackboard).  It implements the MPI matching
+rules -- messages match on (communicator context, source, tag) in send order,
+with ``ANY_SOURCE``/``ANY_TAG`` wildcards -- and drives the virtual-time
+accounting for sends and receives using the cluster's transport models:
+
+* the sender is charged the transport's injection overhead,
+* the message "arrives" at ``send_time + latency + size/bandwidth``,
+* the receiver's clock advances to at least the arrival time,
+* messages larger than the transport's eager threshold use a rendezvous
+  protocol: the sender blocks until the receiver has drained the message.
+
+Data movement is real: send buffers are copied into the message at injection
+time and copied out into the receive buffer at match time, so every benchmark
+and test validates actual payloads, not just timings.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.mpi.errors import TruncationError
+from repro.mpi.status import Status
+from repro.sim.cluster import Cluster
+from repro.sim.engine import RankContext
+
+# Wildcards (host-side symbolic values; the guest ABI defines its own).
+ANY_SOURCE = -1
+ANY_TAG = -1
+PROC_NULL = -2
+
+
+@dataclass
+class Message:
+    """An in-flight (or buffered) point-to-point message."""
+
+    msg_id: int
+    src_world: int
+    dst_world: int
+    context_id: int
+    tag: int
+    data: bytes
+    send_time: float
+    rendezvous: bool = False
+    consumed: bool = False
+    consumed_time: float = 0.0
+
+
+@dataclass
+class _WaitingReceiver:
+    """A rank blocked inside a receive, with its match pattern."""
+
+    world_rank: int
+    context_id: int
+    src: int
+    tag: int
+
+
+class MatchingEngine:
+    """Shared MPI message-matching and timing engine.
+
+    Parameters
+    ----------
+    cluster:
+        Supplies the per-pair transport models.
+    extra_send_overhead, extra_recv_overhead:
+        Additional per-call CPU time charged on top of the transport model.
+        The MPIWasm embedder uses these hooks to charge its translation costs
+        (Figure 6) to the ranks running Wasm guests.
+    """
+
+    SHARED_KEY = "mpi.matching"
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self._queues: Dict[Tuple[int, int], List[Message]] = {}
+        self._waiting: Dict[int, _WaitingReceiver] = {}
+        self._msg_counter = itertools.count(1)
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------ helpers
+
+    def _queue(self, dst_world: int, context_id: int) -> List[Message]:
+        return self._queues.setdefault((dst_world, context_id), [])
+
+    @staticmethod
+    def _matches(msg: Message, src: int, tag: int) -> bool:
+        if src != ANY_SOURCE and msg.src_world != src:
+            return False
+        if tag != ANY_TAG and msg.tag != tag:
+            return False
+        return True
+
+    def _find_match(
+        self, dst_world: int, context_id: int, src: int, tag: int
+    ) -> Optional[Message]:
+        for msg in self._queue(dst_world, context_id):
+            if self._matches(msg, src, tag):
+                return msg
+        return None
+
+    def has_match(self, dst_world: int, context_id: int, src: int, tag: int) -> bool:
+        """Whether a matching message is already buffered (``MPI_Iprobe``)."""
+        return self._find_match(dst_world, context_id, src, tag) is not None
+
+    def probe_match(
+        self, dst_world: int, context_id: int, src: int, tag: int
+    ) -> Optional[Message]:
+        """Return (without consuming) the first matching buffered message."""
+        return self._find_match(dst_world, context_id, src, tag)
+
+    # -------------------------------------------------------------------- send
+
+    def post_send(
+        self,
+        ctx: RankContext,
+        src_world: int,
+        dst_world: int,
+        context_id: int,
+        tag: int,
+        data: bytes,
+        extra_overhead: float = 0.0,
+        blocking: bool = True,
+    ) -> Message:
+        """Inject a message; optionally block for rendezvous completion.
+
+        Returns the :class:`Message` record (used by ``MPI_Isend`` requests and
+        by ``Sendrecv`` to defer the rendezvous wait).
+        """
+        nbytes = len(data)
+        transport = self.cluster.transport(src_world, dst_world)
+        ctx.advance(transport.send_overhead(nbytes) + extra_overhead)
+        msg = Message(
+            msg_id=next(self._msg_counter),
+            src_world=src_world,
+            dst_world=dst_world,
+            context_id=context_id,
+            tag=tag,
+            data=bytes(data),
+            send_time=ctx.now,
+            rendezvous=transport.is_rendezvous(nbytes),
+        )
+        self._queue(dst_world, context_id).append(msg)
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        # Wake the receiver if it is blocked on a matching pattern.
+        waiter = self._waiting.get(dst_world)
+        if waiter is not None and waiter.context_id == context_id and self._matches(
+            msg, waiter.src, waiter.tag
+        ):
+            arrival = msg.send_time + transport.transfer_time(nbytes)
+            ctx.wake(dst_world, not_before=arrival)
+        if blocking and msg.rendezvous:
+            self.wait_send(ctx, msg)
+        return msg
+
+    def wait_send(self, ctx: RankContext, msg: Message) -> None:
+        """Block the sender until a rendezvous message has been consumed."""
+        if not msg.rendezvous:
+            return
+        while not msg.consumed:
+            # Record that the sender is waiting so the receiver can wake it via
+            # the message record itself (the receiver always knows the sender).
+            ctx.block(reason=f"rendezvous send to {msg.dst_world} tag={msg.tag}")
+        ctx.advance_to(msg.consumed_time)
+
+    # -------------------------------------------------------------------- recv
+
+    def recv(
+        self,
+        ctx: RankContext,
+        dst_world: int,
+        context_id: int,
+        src: int,
+        tag: int,
+        buffer: Optional[memoryview],
+        max_bytes: int,
+        extra_overhead: float = 0.0,
+    ) -> Status:
+        """Blocking receive into ``buffer`` (or a pure timing receive if None).
+
+        Raises :class:`TruncationError` if the matched message is larger than
+        ``max_bytes`` -- the same condition ``MPI_ERR_TRUNCATE`` reports.
+        """
+        transport_hint = None
+        msg = self._find_match(dst_world, context_id, src, tag)
+        while msg is None:
+            self._waiting[dst_world] = _WaitingReceiver(dst_world, context_id, src, tag)
+            ctx.block(reason=f"recv src={src} tag={tag} ctx={context_id}")
+            self._waiting.pop(dst_world, None)
+            msg = self._find_match(dst_world, context_id, src, tag)
+        self._queue(dst_world, context_id).remove(msg)
+
+        nbytes = len(msg.data)
+        if nbytes > max_bytes:
+            raise TruncationError(
+                f"message of {nbytes} bytes truncated by receive buffer of {max_bytes} bytes"
+            )
+        transport = transport_hint or self.cluster.transport(msg.src_world, dst_world)
+        ctx.advance(transport.recv_overhead(nbytes) + extra_overhead)
+        arrival = msg.send_time + transport.transfer_time(nbytes)
+        ctx.advance_to(arrival)
+        if buffer is not None and nbytes > 0:
+            buffer[:nbytes] = msg.data
+        if msg.rendezvous:
+            msg.consumed = True
+            msg.consumed_time = ctx.now
+            # Wake the sender if it blocked waiting for the rendezvous.
+            ctx.wake(msg.src_world, not_before=ctx.now)
+        else:
+            msg.consumed = True
+            msg.consumed_time = ctx.now
+        return Status(source=msg.src_world, tag=msg.tag, count_bytes=nbytes)
+
+    # ------------------------------------------------------------- diagnostics
+
+    def pending_count(self) -> int:
+        """Total number of buffered, unconsumed messages (for leak checks)."""
+        return sum(len(q) for q in self._queues.values())
+
+    def describe_pending(self) -> List[str]:
+        """Human-readable list of buffered messages (test diagnostics)."""
+        out = []
+        for (dst, ctx_id), q in self._queues.items():
+            for m in q:
+                out.append(
+                    f"msg#{m.msg_id} {m.src_world}->{dst} ctx={ctx_id} tag={m.tag} bytes={len(m.data)}"
+                )
+        return out

@@ -1,0 +1,642 @@
+"""Host-side MPI library: world state and the per-rank runtime.
+
+This module plays the role that OpenMPI (reached through the rsmpi bindings)
+plays for the real MPIWasm: it is the *host MPI library* the embedder defers
+to.  :class:`MPIWorld` owns the state shared by all ranks of one simulation
+(the matching engine, collective coordination, timing bases);
+:class:`MPIRuntime` is the per-rank handle exposing the MPI-2.2 subset the
+benchmarks use.
+
+Buffers are anything that supports the Python buffer protocol -- NumPy arrays,
+``bytes``/``bytearray``/``memoryview`` -- including memoryviews straight into a
+Wasm module's linear memory, which is how the embedder achieves its zero-copy
+path (§3.5 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.mpi import collectives as coll
+from repro.mpi import datatypes as dts
+from repro.mpi import ops as mpi_ops
+from repro.mpi.communicator import (
+    Communicator,
+    Group,
+    SplitCoordinator,
+    self_communicator,
+    world_communicator,
+)
+from repro.mpi.datatypes import Datatype
+from repro.mpi.errors import (
+    InvalidCountError,
+    InvalidRankError,
+    InvalidRootError,
+    InvalidTagError,
+    MPIError,
+    NotInitializedError,
+)
+from repro.mpi.ops import Op
+from repro.mpi.pt2pt import ANY_SOURCE, ANY_TAG, PROC_NULL, MatchingEngine, Message
+from repro.mpi.status import Request, Status
+from repro.sim.cluster import Cluster
+from repro.sim.engine import RankContext, SimEngine
+from repro.sim.metrics import MetricsRegistry
+
+BufferLike = Union[bytes, bytearray, memoryview, np.ndarray]
+
+
+def _readable(buf: BufferLike, nbytes: int, what: str) -> bytes:
+    """View the first ``nbytes`` of ``buf`` as immutable bytes."""
+    view = memoryview(buf).cast("B")
+    if view.nbytes < nbytes:
+        raise InvalidCountError(
+            f"{what} buffer of {view.nbytes} bytes is smaller than the {nbytes} bytes requested"
+        )
+    return view[:nbytes].tobytes()
+
+
+def _writable(buf: BufferLike, nbytes: int, what: str) -> memoryview:
+    """Writable byte view over the first ``nbytes`` of ``buf``."""
+    view = memoryview(buf).cast("B")
+    if view.readonly:
+        raise MPIError(f"{what} buffer is read-only")
+    if view.nbytes < nbytes:
+        raise InvalidCountError(
+            f"{what} buffer of {view.nbytes} bytes is smaller than the {nbytes} bytes required"
+        )
+    return view[:nbytes]
+
+
+class MPIWorld:
+    """State shared by every rank of one simulated MPI job."""
+
+    SHARED_KEY = "mpi.world"
+
+    def __init__(self, cluster: Cluster, engine: SimEngine, metrics: Optional[MetricsRegistry] = None):
+        self.cluster = cluster
+        self.engine = engine
+        self.matching = MatchingEngine(cluster)
+        self.metrics = metrics or MetricsRegistry()
+        self.nranks = cluster.nranks
+        # Collective coordination state keyed by (context_id, purpose, sequence).
+        self.split_coordinators: Dict[Tuple[int, int], SplitCoordinator] = {}
+        # Per-element combine cost used by reduction collectives.
+        self.reduce_compute_per_byte = 0.04e-9
+        self.finalized_ranks: set = set()
+
+    @classmethod
+    def install(cls, cluster: Cluster, engine: SimEngine, metrics: Optional[MetricsRegistry] = None) -> "MPIWorld":
+        """Create a world and store it on the engine's shared blackboard."""
+        world = cls(cluster, engine, metrics)
+        engine.shared[cls.SHARED_KEY] = world
+        return world
+
+    @classmethod
+    def of(cls, engine: SimEngine) -> "MPIWorld":
+        """Fetch the world previously installed on ``engine``."""
+        world = engine.shared.get(cls.SHARED_KEY)
+        if world is None:
+            raise NotInitializedError("no MPIWorld installed on this simulation engine")
+        return world
+
+
+class MPIRuntime:
+    """Per-rank MPI-2.2 runtime (the interface a rank's program calls).
+
+    The embedder holds one of these per Wasm module instance and forwards
+    every ``env.MPI_*`` import to it; native benchmark programs call it
+    directly.  All ``comm`` arguments default to ``MPI_COMM_WORLD``.
+    """
+
+    def __init__(self, world: MPIWorld, ctx: RankContext):
+        self.world = world
+        self.ctx = ctx
+        self.rank_world = ctx.rank
+        self.comm_world = world_communicator(world.nranks)
+        self.comm_self = self_communicator(ctx.rank)
+        self.initialized = False
+        self.finalized = False
+        # Per-communicator collective sequence numbers (MPI mandates identical
+        # collective call order on all ranks, so these stay in agreement).
+        self._coll_seq: Dict[int, int] = {}
+        self._active_requests: List[Request] = []
+
+    # re-export the wildcard constants for caller convenience
+    ANY_SOURCE = ANY_SOURCE
+    ANY_TAG = ANY_TAG
+    PROC_NULL = PROC_NULL
+
+    # ------------------------------------------------------------ init/finalize
+
+    def init(self) -> None:
+        """``MPI_Init``."""
+        self.initialized = True
+
+    def finalize(self) -> None:
+        """``MPI_Finalize``."""
+        self._require_init()
+        self.finalized = True
+        self.world.finalized_ranks.add(self.rank_world)
+
+    def is_initialized(self) -> bool:
+        """``MPI_Initialized``."""
+        return self.initialized
+
+    def abort(self, comm: Optional[Communicator] = None, errorcode: int = 1) -> None:
+        """``MPI_Abort``: raise, tearing the simulation down."""
+        raise MPIError(f"MPI_Abort called on rank {self.rank_world} with code {errorcode}")
+
+    def _require_init(self) -> None:
+        if not self.initialized or self.finalized:
+            raise NotInitializedError(
+                f"MPI call on rank {self.rank_world} outside Init/Finalize window"
+            )
+
+    # ----------------------------------------------------------------- queries
+
+    def comm_rank(self, comm: Optional[Communicator] = None) -> int:
+        """``MPI_Comm_rank``."""
+        self._require_init()
+        comm = comm or self.comm_world
+        local = comm.rank_of_world(self.rank_world)
+        if local is None:
+            raise InvalidRankError(f"rank {self.rank_world} is not a member of {comm.name}")
+        return local
+
+    def comm_size(self, comm: Optional[Communicator] = None) -> int:
+        """``MPI_Comm_size``."""
+        self._require_init()
+        comm = comm or self.comm_world
+        return comm.size
+
+    def wtime(self) -> float:
+        """``MPI_Wtime``: the rank's virtual clock in seconds."""
+        return self.ctx.now
+
+    def wtick(self) -> float:
+        """``MPI_Wtick``: resolution of the virtual clock."""
+        return 1e-9
+
+    def get_processor_name(self) -> str:
+        """``MPI_Get_processor_name``: the simulated node's name."""
+        node = self.world.cluster.node_of(self.rank_world)
+        return f"{self.world.cluster.machine.name}-node{node:04d}"
+
+    # ----------------------------------------------------------- point-to-point
+
+    def _validate_pt2pt(self, comm: Communicator, peer: int, tag: int, count: int) -> None:
+        if count < 0:
+            raise InvalidCountError(f"count must be non-negative, got {count}")
+        if tag != ANY_TAG and tag < 0:
+            raise InvalidTagError(f"tag must be non-negative, got {tag}")
+        if peer not in (ANY_SOURCE, PROC_NULL) and not 0 <= peer < comm.size:
+            raise InvalidRankError(f"peer rank {peer} out of range for {comm.name} of size {comm.size}")
+
+    def send(
+        self,
+        buf: BufferLike,
+        count: int,
+        datatype: Datatype,
+        dest: int,
+        tag: int,
+        comm: Optional[Communicator] = None,
+        extra_overhead: float = 0.0,
+    ) -> None:
+        """``MPI_Send`` (standard mode; rendezvous above the eager threshold)."""
+        self._require_init()
+        comm = comm or self.comm_world
+        self._validate_pt2pt(comm, dest, tag, count)
+        if dest == PROC_NULL:
+            return
+        nbytes = count * datatype.size
+        data = _readable(buf, nbytes, "send")
+        self.world.matching.post_send(
+            self.ctx,
+            self.rank_world,
+            comm.world_rank(dest),
+            comm.context_id,
+            tag,
+            data,
+            extra_overhead=extra_overhead,
+            blocking=True,
+        )
+
+    def recv(
+        self,
+        buf: Optional[BufferLike],
+        count: int,
+        datatype: Datatype,
+        source: int,
+        tag: int,
+        comm: Optional[Communicator] = None,
+        extra_overhead: float = 0.0,
+    ) -> Status:
+        """``MPI_Recv``."""
+        self._require_init()
+        comm = comm or self.comm_world
+        self._validate_pt2pt(comm, source, tag, count)
+        if source == PROC_NULL:
+            return Status(source=PROC_NULL, tag=ANY_TAG, count_bytes=0)
+        nbytes = count * datatype.size
+        view = _writable(buf, nbytes, "recv") if buf is not None and nbytes > 0 else None
+        src_world = ANY_SOURCE if source == ANY_SOURCE else comm.world_rank(source)
+        status = self.world.matching.recv(
+            self.ctx,
+            self.rank_world,
+            comm.context_id,
+            src_world,
+            tag,
+            view,
+            nbytes,
+            extra_overhead=extra_overhead,
+        )
+        # Convert the world-rank source back to a communicator-local rank.
+        local_src = comm.rank_of_world(status.source)
+        if local_src is not None:
+            status.source = local_src
+        return status
+
+    def sendrecv(
+        self,
+        sendbuf: BufferLike,
+        sendcount: int,
+        sendtype: Datatype,
+        dest: int,
+        sendtag: int,
+        recvbuf: BufferLike,
+        recvcount: int,
+        recvtype: Datatype,
+        source: int,
+        recvtag: int,
+        comm: Optional[Communicator] = None,
+    ) -> Status:
+        """``MPI_Sendrecv``: post the send without blocking, then receive."""
+        self._require_init()
+        comm = comm or self.comm_world
+        self._validate_pt2pt(comm, dest, sendtag, sendcount)
+        self._validate_pt2pt(comm, source, recvtag, recvcount)
+        msg: Optional[Message] = None
+        if dest != PROC_NULL:
+            nbytes = sendcount * sendtype.size
+            data = _readable(sendbuf, nbytes, "send")
+            msg = self.world.matching.post_send(
+                self.ctx,
+                self.rank_world,
+                comm.world_rank(dest),
+                comm.context_id,
+                sendtag,
+                data,
+                blocking=False,
+            )
+        status = self.recv(recvbuf, recvcount, recvtype, source, recvtag, comm)
+        if msg is not None:
+            self.world.matching.wait_send(self.ctx, msg)
+        return status
+
+    def isend(
+        self,
+        buf: BufferLike,
+        count: int,
+        datatype: Datatype,
+        dest: int,
+        tag: int,
+        comm: Optional[Communicator] = None,
+    ) -> Request:
+        """``MPI_Isend`` (buffered at post time; completes at wait)."""
+        self._require_init()
+        comm = comm or self.comm_world
+        self._validate_pt2pt(comm, dest, tag, count)
+        req = Request(kind="isend")
+        if dest == PROC_NULL:
+            req.mark_complete()
+            return req
+        nbytes = count * datatype.size
+        data = _readable(buf, nbytes, "send")
+        msg = self.world.matching.post_send(
+            self.ctx,
+            self.rank_world,
+            comm.world_rank(dest),
+            comm.context_id,
+            tag,
+            data,
+            blocking=False,
+        )
+        req._pending_message = msg  # type: ignore[attr-defined]
+        req.mark_complete(Status(source=dest, tag=tag, count_bytes=nbytes))
+        return req
+
+    def irecv(
+        self,
+        buf: BufferLike,
+        count: int,
+        datatype: Datatype,
+        source: int,
+        tag: int,
+        comm: Optional[Communicator] = None,
+    ) -> Request:
+        """``MPI_Irecv``: the matching receive is performed by ``wait``."""
+        self._require_init()
+        comm = comm or self.comm_world
+        self._validate_pt2pt(comm, source, tag, count)
+        req = Request(kind="irecv")
+        req._recv_args = (buf, count, datatype, source, tag, comm)  # type: ignore[attr-defined]
+        self._active_requests.append(req)
+        return req
+
+    def wait(self, request: Request) -> Status:
+        """``MPI_Wait``."""
+        self._require_init()
+        if request.kind == "irecv" and not request.complete:
+            buf, count, datatype, source, tag, comm = request._recv_args  # type: ignore[attr-defined]
+            status = self.recv(buf, count, datatype, source, tag, comm)
+            request.mark_complete(status)
+        elif not request.complete:
+            request.mark_complete()
+        if request in self._active_requests:
+            self._active_requests.remove(request)
+        return request.status
+
+    def waitall(self, requests: List[Request]) -> List[Status]:
+        """``MPI_Waitall``."""
+        return [self.wait(r) for r in requests]
+
+    def iprobe(
+        self, source: int, tag: int, comm: Optional[Communicator] = None
+    ) -> Tuple[bool, Status]:
+        """``MPI_Iprobe``: non-blocking check for a matching message."""
+        self._require_init()
+        comm = comm or self.comm_world
+        src_world = ANY_SOURCE if source == ANY_SOURCE else comm.world_rank(source)
+        msg = self.world.matching.probe_match(self.rank_world, comm.context_id, src_world, tag)
+        if msg is None:
+            # Give other ranks a chance to post their sends before returning.
+            self.ctx.yield_turn()
+            msg = self.world.matching.probe_match(self.rank_world, comm.context_id, src_world, tag)
+        if msg is None:
+            return False, Status()
+        local = comm.rank_of_world(msg.src_world)
+        return True, Status(source=local if local is not None else msg.src_world, tag=msg.tag, count_bytes=len(msg.data))
+
+    # -------------------------------------------------------------- collectives
+
+    def _next_seq(self, comm: Communicator) -> int:
+        seq = self._coll_seq.get(comm.context_id, 0)
+        self._coll_seq[comm.context_id] = seq + 1
+        return seq
+
+    def _collective_context(self, comm: Communicator) -> coll.CollectiveContext:
+        local_rank = self.comm_rank(comm)
+
+        def send(dst_local: int, tag: int, data: bytes) -> None:
+            self.world.matching.post_send(
+                self.ctx,
+                self.rank_world,
+                comm.world_rank(dst_local),
+                comm.context_id,
+                tag,
+                data,
+                blocking=False,
+            )
+
+        def recv(src_local: int, tag: int, nbytes: int) -> bytes:
+            buf = bytearray(nbytes)
+            view = memoryview(buf) if nbytes > 0 else None
+            self.world.matching.recv(
+                self.ctx,
+                self.rank_world,
+                comm.context_id,
+                comm.world_rank(src_local),
+                tag,
+                view,
+                nbytes,
+            )
+            return bytes(buf)
+
+        def compute(seconds: float) -> None:
+            self.ctx.advance(seconds)
+
+        return coll.CollectiveContext(
+            rank=local_rank,
+            size=comm.size,
+            send=send,
+            recv=recv,
+            compute=compute,
+            reduce_compute_per_byte=self.world.reduce_compute_per_byte,
+        )
+
+    def barrier(self, comm: Optional[Communicator] = None) -> None:
+        """``MPI_Barrier``."""
+        self._require_init()
+        comm = comm or self.comm_world
+        coll.barrier(self._collective_context(comm), self._next_seq(comm))
+
+    def bcast(
+        self,
+        buf: BufferLike,
+        count: int,
+        datatype: Datatype,
+        root: int,
+        comm: Optional[Communicator] = None,
+    ) -> None:
+        """``MPI_Bcast``."""
+        self._require_init()
+        comm = comm or self.comm_world
+        self._check_root(comm, root)
+        nbytes = count * datatype.size
+        view = _writable(buf, nbytes, "bcast") if nbytes > 0 else memoryview(bytearray(0))
+        tmp = bytearray(view.tobytes()) if nbytes > 0 else bytearray(0)
+        coll.bcast(self._collective_context(comm), tmp, nbytes, root, self._next_seq(comm))
+        if nbytes > 0:
+            view[:nbytes] = tmp[:nbytes]
+
+    def reduce(
+        self,
+        sendbuf: BufferLike,
+        recvbuf: Optional[BufferLike],
+        count: int,
+        datatype: Datatype,
+        op: Op,
+        root: int,
+        comm: Optional[Communicator] = None,
+    ) -> None:
+        """``MPI_Reduce``."""
+        self._require_init()
+        comm = comm or self.comm_world
+        self._check_root(comm, root)
+        nbytes = count * datatype.size
+        send_bytes = _readable(sendbuf, nbytes, "reduce send")
+        out = bytearray(nbytes) if self.comm_rank(comm) == root else None
+        coll.reduce(
+            self._collective_context(comm), send_bytes, out, count, datatype, op, root, self._next_seq(comm)
+        )
+        if out is not None and recvbuf is not None and nbytes > 0:
+            _writable(recvbuf, nbytes, "reduce recv")[:nbytes] = out
+
+    def allreduce(
+        self,
+        sendbuf: BufferLike,
+        recvbuf: BufferLike,
+        count: int,
+        datatype: Datatype,
+        op: Op,
+        comm: Optional[Communicator] = None,
+    ) -> None:
+        """``MPI_Allreduce``."""
+        self._require_init()
+        comm = comm or self.comm_world
+        nbytes = count * datatype.size
+        send_bytes = _readable(sendbuf, nbytes, "allreduce send")
+        out = bytearray(nbytes)
+        coll.allreduce(
+            self._collective_context(comm), send_bytes, out, count, datatype, op, self._next_seq(comm)
+        )
+        if nbytes > 0:
+            _writable(recvbuf, nbytes, "allreduce recv")[:nbytes] = out
+
+    def gather(
+        self,
+        sendbuf: BufferLike,
+        sendcount: int,
+        sendtype: Datatype,
+        recvbuf: Optional[BufferLike],
+        recvcount: int,
+        recvtype: Datatype,
+        root: int,
+        comm: Optional[Communicator] = None,
+    ) -> None:
+        """``MPI_Gather``."""
+        self._require_init()
+        comm = comm or self.comm_world
+        self._check_root(comm, root)
+        nbytes = sendcount * sendtype.size
+        send_bytes = _readable(sendbuf, nbytes, "gather send")
+        is_root = self.comm_rank(comm) == root
+        out = bytearray(nbytes * comm.size) if is_root else None
+        coll.gather(self._collective_context(comm), send_bytes, out, nbytes, root, self._next_seq(comm))
+        if is_root and recvbuf is not None:
+            total = recvcount * recvtype.size * comm.size
+            _writable(recvbuf, total, "gather recv")[: nbytes * comm.size] = out
+
+    def scatter(
+        self,
+        sendbuf: Optional[BufferLike],
+        sendcount: int,
+        sendtype: Datatype,
+        recvbuf: BufferLike,
+        recvcount: int,
+        recvtype: Datatype,
+        root: int,
+        comm: Optional[Communicator] = None,
+    ) -> None:
+        """``MPI_Scatter``."""
+        self._require_init()
+        comm = comm or self.comm_world
+        self._check_root(comm, root)
+        nbytes = recvcount * recvtype.size
+        is_root = self.comm_rank(comm) == root
+        send_bytes = (
+            _readable(sendbuf, nbytes * comm.size, "scatter send") if is_root and sendbuf is not None else None
+        )
+        out = bytearray(nbytes)
+        coll.scatter(self._collective_context(comm), send_bytes, out, nbytes, root, self._next_seq(comm))
+        _writable(recvbuf, nbytes, "scatter recv")[:nbytes] = out
+
+    def allgather(
+        self,
+        sendbuf: BufferLike,
+        sendcount: int,
+        sendtype: Datatype,
+        recvbuf: BufferLike,
+        recvcount: int,
+        recvtype: Datatype,
+        comm: Optional[Communicator] = None,
+    ) -> None:
+        """``MPI_Allgather``."""
+        self._require_init()
+        comm = comm or self.comm_world
+        nbytes = sendcount * sendtype.size
+        send_bytes = _readable(sendbuf, nbytes, "allgather send")
+        out = bytearray(nbytes * comm.size)
+        coll.allgather(self._collective_context(comm), send_bytes, out, nbytes, self._next_seq(comm))
+        _writable(recvbuf, nbytes * comm.size, "allgather recv")[: nbytes * comm.size] = out
+
+    def alltoall(
+        self,
+        sendbuf: BufferLike,
+        sendcount: int,
+        sendtype: Datatype,
+        recvbuf: BufferLike,
+        recvcount: int,
+        recvtype: Datatype,
+        comm: Optional[Communicator] = None,
+    ) -> None:
+        """``MPI_Alltoall``."""
+        self._require_init()
+        comm = comm or self.comm_world
+        nbytes = sendcount * sendtype.size
+        send_bytes = _readable(sendbuf, nbytes * comm.size, "alltoall send")
+        out = bytearray(nbytes * comm.size)
+        coll.alltoall(self._collective_context(comm), send_bytes, out, nbytes, self._next_seq(comm))
+        _writable(recvbuf, nbytes * comm.size, "alltoall recv")[: nbytes * comm.size] = out
+
+    def _check_root(self, comm: Communicator, root: int) -> None:
+        if not 0 <= root < comm.size:
+            raise InvalidRootError(f"root {root} out of range for {comm.name} of size {comm.size}")
+
+    # ------------------------------------------------------------ communicators
+
+    def comm_dup(self, comm: Optional[Communicator] = None) -> Communicator:
+        """``MPI_Comm_dup``: same group, fresh context id (collective)."""
+        self._require_init()
+        comm = comm or self.comm_world
+        # Derive the duplicate's context id deterministically from the parent's
+        # id and the per-communicator duplicate count so all ranks agree
+        # without additional communication.
+        seq = self._next_seq(comm)
+        context_id = (comm.context_id + 1) * 10_000 + seq
+        # A dup is collective: synchronise so no rank races ahead.
+        coll.barrier(self._collective_context(comm), seq)
+        return Communicator(comm.group, name=f"{comm.name}.dup", context_id=context_id)
+
+    def comm_split(
+        self, comm: Optional[Communicator], color: int, key: int
+    ) -> Optional[Communicator]:
+        """``MPI_Comm_split`` (collective).  ``color < 0`` yields ``None``."""
+        self._require_init()
+        comm = comm or self.comm_world
+        seq = self._next_seq(comm)
+        coord_key = (comm.context_id, seq)
+        coord = self.world.split_coordinators.get(coord_key)
+        if coord is None:
+            coord = SplitCoordinator(comm)
+            self.world.split_coordinators[coord_key] = coord
+        coord.contribute(self.rank_world, color, key)
+        # Synchronise: everyone must have contributed before anyone proceeds.
+        coll.barrier(self._collective_context(comm), seq)
+        return coord.communicator_for(self.rank_world)
+
+    def comm_free(self, comm: Communicator) -> None:
+        """``MPI_Comm_free``."""
+        self._require_init()
+        comm.freed = True
+
+    # ----------------------------------------------------------------- memory
+
+    def alloc_mem(self, size: int) -> bytearray:
+        """``MPI_Alloc_mem`` for native programs: a plain host allocation.
+
+        (For Wasm guests the embedder redirects this to the module's exported
+        ``malloc`` -- see §3.7 of the paper and ``repro.core.mpi_imports``.)
+        """
+        self._require_init()
+        if size < 0:
+            raise InvalidCountError(f"allocation size must be non-negative, got {size}")
+        return bytearray(size)
+
+    def free_mem(self, buf: bytearray) -> None:
+        """``MPI_Free_mem`` for native programs (no-op; GC reclaims it)."""
+        self._require_init()

@@ -1,0 +1,62 @@
+"""``MPI_Status`` and request objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mpi.datatypes import Datatype
+from repro.mpi.errors import MPI_SUCCESS
+
+
+@dataclass
+class Status:
+    """Result of a completed receive (the ``MPI_Status`` structure).
+
+    ``count_bytes`` is the number of bytes actually received;
+    ``get_count(datatype)`` converts it to an element count the way
+    ``MPI_Get_count`` does.
+    """
+
+    source: int = -1
+    tag: int = -1
+    error: int = MPI_SUCCESS
+    count_bytes: int = 0
+
+    def get_count(self, datatype: Datatype) -> int:
+        """Number of ``datatype`` elements received (``MPI_Get_count``)."""
+        if datatype.size == 0:
+            return 0
+        if self.count_bytes % datatype.size != 0:
+            # MPI_UNDEFINED when the byte count is not a whole number of elements.
+            return -1
+        return self.count_bytes // datatype.size
+
+
+@dataclass
+class Request:
+    """A nonblocking-operation handle (``MPI_Request``).
+
+    Requests are created by ``Isend``/``Irecv`` and completed by ``Wait`` /
+    ``Waitall`` / ``Test``.  The completion callback is installed by the
+    point-to-point engine; user code only observes :attr:`complete` and the
+    resulting :attr:`status`.
+    """
+
+    kind: str = "null"
+    complete: bool = False
+    status: Status = field(default_factory=Status)
+    # Internal: identifier of the pending operation inside the matching engine.
+    _op_id: Optional[int] = None
+
+    def mark_complete(self, status: Optional[Status] = None) -> None:
+        """Mark the request as complete, optionally recording a status."""
+        self.complete = True
+        if status is not None:
+            self.status = status
+
+    @classmethod
+    def null(cls) -> "Request":
+        """The ``MPI_REQUEST_NULL`` handle: already complete, empty status."""
+        req = cls(kind="null", complete=True)
+        return req

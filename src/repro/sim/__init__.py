@@ -1,0 +1,71 @@
+"""Discrete-event HPC cluster simulation substrate.
+
+This package provides the simulated hardware that replaces the paper's
+testbeds (SuperMUC-NG and an AWS Graviton2 node):
+
+* :mod:`repro.sim.engine` -- a cooperative discrete-event engine in which every
+  MPI rank runs as a real Python thread with its own virtual clock,
+* :mod:`repro.sim.cluster` -- node/socket/core topology and rank placement,
+* :mod:`repro.sim.network` -- LogGP-style interconnect models (Intel Omni-Path,
+  intra-node shared memory, TCP and gRPC transports for the Faasm baseline)
+  together with closed-form collective cost models,
+* :mod:`repro.sim.machines` -- calibrated machine presets used by the
+  experiment harness,
+* :mod:`repro.sim.filesystem` -- a parallel filesystem bandwidth model (the
+  GPFS/DSS-G substitute used by the IOR experiment),
+* :mod:`repro.sim.metrics` -- lightweight counters and timers.
+"""
+
+from repro.sim.engine import (
+    DeadlockError,
+    RankContext,
+    RankState,
+    SimEngine,
+    SimulationError,
+)
+from repro.sim.cluster import Cluster, Node, RankPlacement
+from repro.sim.machines import (
+    MachinePreset,
+    graviton2,
+    supermuc_ng,
+    faasm_cloud,
+    PRESETS,
+    get_preset,
+)
+from repro.sim.network import (
+    CollectiveCostModel,
+    GrpcMessagingModel,
+    InterconnectModel,
+    LogGPParameters,
+    OmniPathModel,
+    SharedMemoryModel,
+    TcpEthernetModel,
+)
+from repro.sim.filesystem import ParallelFileSystemModel
+from repro.sim.metrics import MetricsRegistry
+
+__all__ = [
+    "DeadlockError",
+    "RankContext",
+    "RankState",
+    "SimEngine",
+    "SimulationError",
+    "Cluster",
+    "Node",
+    "RankPlacement",
+    "MachinePreset",
+    "supermuc_ng",
+    "graviton2",
+    "faasm_cloud",
+    "PRESETS",
+    "get_preset",
+    "LogGPParameters",
+    "InterconnectModel",
+    "OmniPathModel",
+    "SharedMemoryModel",
+    "TcpEthernetModel",
+    "GrpcMessagingModel",
+    "CollectiveCostModel",
+    "ParallelFileSystemModel",
+    "MetricsRegistry",
+]

@@ -1,0 +1,357 @@
+"""Cooperative discrete-event engine for simulated MPI ranks.
+
+Every simulated MPI rank executes real Python code (a native guest program or
+a WebAssembly module driven through the MPIWasm embedder) on its own thread.
+Exactly one rank thread runs at a time; the engine hands the execution token
+to the runnable rank with the smallest virtual clock, which keeps execution
+deterministic and makes the per-rank virtual clocks well defined.
+
+Rank code never touches the engine directly -- it goes through a
+:class:`RankContext`, which exposes the rank id, the virtual clock, explicit
+time advancement (used by the network and compute models) and a
+block/wake protocol used by the MPI matching engine.
+
+The engine detects deadlock: if every unfinished rank is blocked and no wake
+is pending, a :class:`DeadlockError` is raised describing the blocked ranks.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation engine."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when every unfinished rank is blocked and nothing can wake them."""
+
+
+class RankFailedError(SimulationError):
+    """Raised when a rank's program raised an exception.
+
+    The original traceback text is preserved in :attr:`rank_traceback` so test
+    failures point at the guest code, not at the engine.
+    """
+
+    def __init__(self, rank: int, original: BaseException, tb: str):
+        super().__init__(f"rank {rank} failed: {original!r}")
+        self.rank = rank
+        self.original = original
+        self.rank_traceback = tb
+
+
+class RankState(Enum):
+    """Lifecycle state of a simulated rank."""
+
+    CREATED = "created"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class _RankRecord:
+    """Internal book-keeping for one rank thread."""
+
+    rank: int
+    target: Callable[["RankContext"], Any]
+    state: RankState = RankState.CREATED
+    clock: float = 0.0
+    thread: Optional[threading.Thread] = None
+    resume_event: threading.Event = field(default_factory=threading.Event)
+    result: Any = None
+    error: Optional[BaseException] = None
+    error_tb: str = ""
+    block_reason: str = ""
+    # Earliest virtual time at which the rank may resume after being woken.
+    wake_not_before: float = 0.0
+    wake_pending: bool = False
+
+
+class RankContext:
+    """Handle given to rank code for interacting with the simulation.
+
+    The context is the only sanctioned way for guest-side code (the MPI
+    library, the embedder, benchmark drivers) to read or advance virtual time
+    and to block waiting for communication partners.
+    """
+
+    def __init__(self, engine: "SimEngine", rank: int):
+        self._engine = engine
+        self._rank = rank
+
+    @property
+    def rank(self) -> int:
+        """Identifier of this rank within the simulation (0-based)."""
+        return self._rank
+
+    @property
+    def nranks(self) -> int:
+        """Total number of ranks in the simulation."""
+        return self._engine.nranks
+
+    @property
+    def now(self) -> float:
+        """Current virtual time of this rank, in seconds."""
+        return self._engine.clock_of(self._rank)
+
+    def advance(self, dt: float) -> float:
+        """Advance this rank's virtual clock by ``dt`` seconds.
+
+        Negative advances are clamped to zero; returns the new clock value.
+        """
+        return self._engine.advance(self._rank, dt)
+
+    def advance_to(self, t: float) -> float:
+        """Advance this rank's virtual clock to at least ``t`` seconds."""
+        return self._engine.advance_to(self._rank, t)
+
+    def block(self, reason: str = "") -> float:
+        """Block this rank until another rank wakes it.
+
+        Returns the virtual time at which execution resumed.  Callers are
+        expected to re-check their wait condition after returning (the wake
+        protocol is a condition-variable style "notify", not a guarantee).
+        """
+        return self._engine.block(self._rank, reason)
+
+    def wake(self, other: int, not_before: float = 0.0) -> None:
+        """Wake another rank, optionally constraining its resume time."""
+        self._engine.wake(other, not_before)
+
+    def yield_turn(self) -> None:
+        """Voluntarily yield the execution token without blocking.
+
+        The rank stays runnable but hands the token back to the scheduler, so
+        any rank with an earlier virtual clock runs first; used by busy-wait
+        style loops (e.g. ``MPI_Iprobe`` polling).
+        """
+        self._engine.yield_rank(self._rank)
+
+    def log(self, message: str) -> None:
+        """Record a trace message tagged with the rank and virtual time."""
+        self._engine.trace(self._rank, message)
+
+
+class SimEngine:
+    """Deterministic cooperative scheduler for a fixed set of ranks.
+
+    Parameters
+    ----------
+    nranks:
+        Number of ranks to simulate.
+    trace:
+        When true, :meth:`RankContext.log` messages are retained in
+        :attr:`trace_log` (useful in tests); otherwise they are dropped.
+    """
+
+    def __init__(self, nranks: int, trace: bool = False):
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        self.nranks = nranks
+        self._records: List[_RankRecord] = []
+        self._lock = threading.Lock()
+        self._scheduler_event = threading.Event()
+        self._trace_enabled = trace
+        self.trace_log: List[str] = []
+        self._started = False
+        # Shared blackboard for cross-rank state (used by the MPI matching
+        # engine); the engine itself never interprets it.
+        self.shared: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ setup
+
+    def spawn(self, target: Callable[[RankContext], Any], rank: Optional[int] = None) -> int:
+        """Register the program for one rank.
+
+        If ``rank`` is omitted, ranks are assigned in registration order.
+        Returns the rank id assigned.
+        """
+        if self._started:
+            raise SimulationError("cannot spawn ranks after the simulation started")
+        if rank is None:
+            rank = len(self._records)
+        if rank != len(self._records):
+            raise SimulationError(
+                f"ranks must be spawned in order; expected {len(self._records)}, got {rank}"
+            )
+        if rank >= self.nranks:
+            raise SimulationError(f"rank {rank} out of range for nranks={self.nranks}")
+        self._records.append(_RankRecord(rank=rank, target=target))
+        return rank
+
+    def spawn_all(self, factory: Callable[[int], Callable[[RankContext], Any]]) -> None:
+        """Spawn every rank using ``factory(rank)`` to build each program."""
+        for r in range(self.nranks):
+            self.spawn(factory(r))
+
+    # ------------------------------------------------------------ clock access
+
+    def clock_of(self, rank: int) -> float:
+        """Return the current virtual clock of ``rank``."""
+        return self._records[rank].clock
+
+    def advance(self, rank: int, dt: float) -> float:
+        """Advance ``rank``'s clock by ``dt`` (clamped at zero) seconds."""
+        rec = self._records[rank]
+        if dt > 0:
+            rec.clock += dt
+        return rec.clock
+
+    def advance_to(self, rank: int, t: float) -> float:
+        """Advance ``rank``'s clock to at least ``t`` seconds."""
+        rec = self._records[rank]
+        if t > rec.clock:
+            rec.clock = t
+        return rec.clock
+
+    @property
+    def max_clock(self) -> float:
+        """Largest virtual clock across all ranks (the makespan so far)."""
+        return max((r.clock for r in self._records), default=0.0)
+
+    # ------------------------------------------------------------ block / wake
+
+    def block(self, rank: int, reason: str = "") -> float:
+        """Block the calling rank thread until another rank wakes it."""
+        rec = self._records[rank]
+        with self._lock:
+            if rec.wake_pending:
+                # A wake arrived before we blocked: consume it and continue.
+                rec.wake_pending = False
+                if rec.wake_not_before > rec.clock:
+                    rec.clock = rec.wake_not_before
+                return rec.clock
+            rec.state = RankState.BLOCKED
+            rec.block_reason = reason
+            rec.resume_event.clear()
+        # Hand the token back to the scheduler.
+        self._scheduler_event.set()
+        rec.resume_event.wait()
+        with self._lock:
+            rec.state = RankState.RUNNING
+            if rec.wake_not_before > rec.clock:
+                rec.clock = rec.wake_not_before
+            rec.wake_not_before = 0.0
+        return rec.clock
+
+    def yield_rank(self, rank: int) -> float:
+        """Hand the token back to the scheduler while staying runnable."""
+        rec = self._records[rank]
+        with self._lock:
+            if rec.wake_pending:
+                # Someone already re-scheduled us; keep running.
+                rec.wake_pending = False
+                return rec.clock
+            rec.state = RankState.READY
+            rec.resume_event.clear()
+        self._scheduler_event.set()
+        rec.resume_event.wait()
+        with self._lock:
+            rec.state = RankState.RUNNING
+            if rec.wake_not_before > rec.clock:
+                rec.clock = rec.wake_not_before
+            rec.wake_not_before = 0.0
+        return rec.clock
+
+    def wake(self, rank: int, not_before: float = 0.0) -> None:
+        """Mark ``rank`` as runnable, not resuming before ``not_before``."""
+        rec = self._records[rank]
+        with self._lock:
+            rec.wake_not_before = max(rec.wake_not_before, not_before)
+            if rec.state == RankState.BLOCKED:
+                rec.state = RankState.READY
+                rec.block_reason = ""
+            else:
+                # Rank has not blocked yet (or is running); remember the wake.
+                rec.wake_pending = True
+
+    def trace(self, rank: int, message: str) -> None:
+        """Append a trace line (no-op unless tracing is enabled)."""
+        if self._trace_enabled:
+            self.trace_log.append(f"[t={self._records[rank].clock:.9f}][rank {rank}] {message}")
+
+    # ------------------------------------------------------------------- run
+
+    def _thread_main(self, rec: _RankRecord) -> None:
+        ctx = RankContext(self, rec.rank)
+        # Wait for the scheduler to give us the first turn.
+        rec.resume_event.wait()
+        rec.state = RankState.RUNNING
+        try:
+            rec.result = rec.target(ctx)
+            rec.state = RankState.DONE
+        except BaseException as exc:  # noqa: BLE001 - report guest failures
+            rec.error = exc
+            rec.error_tb = traceback.format_exc()
+            rec.state = RankState.FAILED
+        finally:
+            self._scheduler_event.set()
+
+    def run(self) -> List[Any]:
+        """Run all ranks to completion and return their results by rank.
+
+        Raises :class:`RankFailedError` if any rank raised, and
+        :class:`DeadlockError` if the simulation cannot make progress.
+        """
+        if len(self._records) != self.nranks:
+            raise SimulationError(
+                f"{len(self._records)} ranks spawned but nranks={self.nranks}"
+            )
+        self._started = True
+        for rec in self._records:
+            rec.state = RankState.READY
+            rec.thread = threading.Thread(
+                target=self._thread_main, args=(rec,), name=f"sim-rank-{rec.rank}", daemon=True
+            )
+            rec.thread.start()
+
+        while True:
+            with self._lock:
+                unfinished = [
+                    r for r in self._records if r.state not in (RankState.DONE, RankState.FAILED)
+                ]
+                failed = [r for r in self._records if r.state == RankState.FAILED]
+                if failed:
+                    rec = failed[0]
+                    raise RankFailedError(rec.rank, rec.error, rec.error_tb)
+                if not unfinished:
+                    break
+                runnable = [r for r in unfinished if r.state == RankState.READY]
+                if not runnable:
+                    blocked = ", ".join(
+                        f"rank {r.rank} ({r.block_reason or 'unknown'})"
+                        for r in unfinished
+                        if r.state == RankState.BLOCKED
+                    )
+                    raise DeadlockError(f"simulation deadlocked; blocked: {blocked}")
+                nxt = min(runnable, key=lambda r: (r.clock, r.rank))
+                nxt.state = RankState.RUNNING
+                self._scheduler_event.clear()
+            nxt.resume_event.set()
+            # Wait until the running rank blocks, finishes or fails.
+            self._scheduler_event.wait()
+
+        failed = [r for r in self._records if r.state == RankState.FAILED]
+        if failed:
+            rec = failed[0]
+            raise RankFailedError(rec.rank, rec.error, rec.error_tb)
+        return [r.result for r in self._records]
+
+    # ------------------------------------------------------------- inspection
+
+    def states(self) -> Dict[int, RankState]:
+        """Return a snapshot of every rank's lifecycle state."""
+        return {r.rank: r.state for r in self._records}
+
+    def clocks(self) -> List[float]:
+        """Return the virtual clocks of all ranks, indexed by rank."""
+        return [r.clock for r in self._records]

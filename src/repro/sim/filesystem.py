@@ -1,0 +1,117 @@
+"""Parallel filesystem bandwidth model.
+
+The IOR experiment in the paper (Figure 5b) measures the aggregate POSIX
+read/write bandwidth available to MPI processes on SuperMUC-NG's GPFS
+filesystem (Lenovo DSS-G, ~200 GiB/s aggregate, 100 Gbit/s per-node links).
+The key observation the experiment makes is that MPIWasm's userspace
+filesystem indirection (the WASI virtual directory tree) does not limit the
+achievable bandwidth -- the bottleneck is the storage system and the node
+links either way.
+
+This module models exactly that bottleneck structure: per-node link bandwidth,
+aggregate backend bandwidth, per-operation latency, and a small client-side
+software overhead that can be inflated by the embedder to represent the WASI
+indirection cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ParallelFileSystemModel:
+    """Bandwidth/latency model of a parallel (or local) filesystem.
+
+    Attributes
+    ----------
+    aggregate_read_bandwidth, aggregate_write_bandwidth:
+        Backend limits across all clients, bytes/second.
+    node_link_bandwidth:
+        Per-node network link to the filesystem servers, bytes/second.
+    per_op_latency:
+        Fixed latency of a single read/write call, seconds.
+    client_overhead_per_byte:
+        Client-side software cost (buffer management, page cache interaction),
+        seconds per byte; the WASI layer adds its own small term on top.
+    """
+
+    name: str
+    aggregate_read_bandwidth: float
+    aggregate_write_bandwidth: float
+    node_link_bandwidth: float
+    per_op_latency: float = 35e-6
+    client_overhead_per_byte: float = 0.008e-9
+
+    @classmethod
+    def dss_g(cls) -> "ParallelFileSystemModel":
+        """SuperMUC-NG's Lenovo DSS-G / IBM Spectrum Scale (GPFS) system."""
+        return cls(
+            name="dss-g-gpfs",
+            aggregate_read_bandwidth=200 * 2**30,
+            aggregate_write_bandwidth=160 * 2**30,
+            node_link_bandwidth=100e9 / 8,  # 100 Gbit/s Omni-Path link
+            per_op_latency=35e-6,
+            client_overhead_per_byte=0.008e-9,
+        )
+
+    @classmethod
+    def local_scratch(cls) -> "ParallelFileSystemModel":
+        """A single-node NVMe scratch filesystem (Graviton2 / cloud nodes)."""
+        return cls(
+            name="local-nvme",
+            aggregate_read_bandwidth=6.0e9,
+            aggregate_write_bandwidth=3.5e9,
+            node_link_bandwidth=6.0e9,
+            per_op_latency=12e-6,
+            client_overhead_per_byte=0.02e-9,
+        )
+
+    # ------------------------------------------------------------------ model
+
+    def _effective_bandwidth(self, backend_bw: float, nnodes: int, nranks: int) -> float:
+        """Aggregate bandwidth visible to ``nranks`` clients on ``nnodes`` nodes."""
+        if nnodes <= 0 or nranks <= 0:
+            raise ValueError("nnodes and nranks must be positive")
+        link_limit = nnodes * self.node_link_bandwidth
+        return min(backend_bw, link_limit)
+
+    def transfer_time(
+        self,
+        nbytes: int,
+        nranks: int,
+        nnodes: int,
+        write: bool,
+        extra_overhead_per_byte: float = 0.0,
+    ) -> float:
+        """Time for one rank to read/write ``nbytes`` while all ranks do I/O.
+
+        The aggregate backend bandwidth is shared fairly across ranks; the
+        per-rank share cannot exceed the per-node link share either.  Client
+        software overhead (plus any ``extra_overhead_per_byte`` added by the
+        WASI layer) is charged on top but typically does not dominate -- that
+        is the point of the paper's IOR experiment.
+        """
+        backend = self.aggregate_write_bandwidth if write else self.aggregate_read_bandwidth
+        agg = self._effective_bandwidth(backend, nnodes, nranks)
+        per_rank = agg / nranks
+        ranks_per_node = max(1, -(-nranks // nnodes))
+        per_rank = min(per_rank, self.node_link_bandwidth / ranks_per_node)
+        sw = (self.client_overhead_per_byte + extra_overhead_per_byte) * nbytes
+        return self.per_op_latency + nbytes / per_rank + sw
+
+    def aggregate_bandwidth(
+        self,
+        block_size: int,
+        nranks: int,
+        nnodes: int,
+        write: bool,
+        extra_overhead_per_byte: float = 0.0,
+    ) -> float:
+        """Aggregate bandwidth (bytes/s) the IOR benchmark would report."""
+        t = self.transfer_time(block_size, nranks, nnodes, write, extra_overhead_per_byte)
+        return nranks * block_size / t
+
+    def with_overrides(self, **kwargs) -> "ParallelFileSystemModel":
+        """Copy of the model with selected fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,140 @@
+"""Lightweight counters and timers shared across the simulation stack.
+
+The embedder instruments its translation layers (Figure 6 measures the MPI
+datatype translation latency by instrumenting the Send path); the metrics
+registry is where those instrumented samples are collected without the
+callers having to know who consumes them.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class SampleSeries:
+    """Accumulates scalar samples and exposes summary statistics."""
+
+    values: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        """Sum of all samples."""
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 if empty)."""
+        return self.total / self.count if self.values else 0.0
+
+    @property
+    def minimum(self) -> float:
+        """Smallest sample (0.0 if empty)."""
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample (0.0 if empty)."""
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation (0.0 with fewer than two samples)."""
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / len(self.values))
+
+    def geometric_mean(self) -> float:
+        """Geometric mean of strictly positive samples (0.0 if none)."""
+        positive = [v for v in self.values if v > 0]
+        if not positive:
+            return 0.0
+        return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+    def summary(self) -> Dict[str, float]:
+        """Dictionary summary used in harness reports."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "stddev": self.stddev,
+        }
+
+
+class MetricsRegistry:
+    """Named counters and sample series.
+
+    Counters are plain integers; series are :class:`SampleSeries`.  Keys are
+    free-form dotted strings, e.g. ``"embedder.translation.MPI_INT"``.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+        self._series: Dict[str, SampleSeries] = defaultdict(SampleSeries)
+
+    # --------------------------------------------------------------- counters
+
+    def increment(self, name: str, amount: int = 1) -> int:
+        """Increase counter ``name`` by ``amount`` and return the new value."""
+        self._counters[name] += amount
+        return self._counters[name]
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of all counters."""
+        return dict(self._counters)
+
+    # ----------------------------------------------------------------- series
+
+    def record(self, name: str, value: float) -> None:
+        """Append ``value`` to series ``name``."""
+        self._series[name].add(value)
+
+    def series(self, name: str) -> SampleSeries:
+        """Series ``name`` (created empty on first access)."""
+        return self._series[name]
+
+    def series_names(self, prefix: str = "") -> List[str]:
+        """Names of all series, optionally filtered by prefix."""
+        return sorted(k for k in self._series if k.startswith(prefix))
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's counters and series into this one."""
+        for name, value in other._counters.items():
+            self._counters[name] += value
+        for name, series in other._series.items():
+            self._series[name].values.extend(series.values)
+
+    def reset(self) -> None:
+        """Drop all counters and series."""
+        self._counters.clear()
+        self._series.clear()
+
+    def report(self, prefix: str = "") -> Dict[str, Dict[str, float]]:
+        """Summaries of every series matching ``prefix``."""
+        return {name: self._series[name].summary() for name in self.series_names(prefix)}
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of an iterable of strictly positive values."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,32 @@
+"""Toolchain substrate: the customised WASI-SDK of §3.2.
+
+Contains the guest-side MPI ABI (``mpi.h``), the ``wasicc`` compile driver
+that produces Wasm modules for guest programs, and the linker size model that
+regenerates Table 2.
+"""
+
+from repro.toolchain import mpi_header
+from repro.toolchain.guest import GuestProgram
+from repro.toolchain.libraries import KIB, MIB
+from repro.toolchain.linker import (
+    ApplicationProfile,
+    LinkerModel,
+    LinkSizes,
+    PAPER_APPLICATIONS,
+    table2_rows,
+)
+from repro.toolchain.wasicc import CompiledApplication, compile_guest
+
+__all__ = [
+    "mpi_header",
+    "GuestProgram",
+    "compile_guest",
+    "CompiledApplication",
+    "ApplicationProfile",
+    "LinkerModel",
+    "LinkSizes",
+    "PAPER_APPLICATIONS",
+    "table2_rows",
+    "KIB",
+    "MIB",
+]

@@ -1,0 +1,23 @@
+"""WASI substrate: virtual filesystem, errno space, and host functions.
+
+The embedder attaches one :class:`WasiEnvironment` per module instance so
+that guest POSIX-style I/O stays inside the capability-limited virtual
+directory tree (§3.4 of the paper).
+"""
+
+from repro.wasi.errno import SUCCESS, WasiError, errno_name
+from repro.wasi.snapshot_preview1 import NAMESPACE, WasiEnvironment, build_wasi_imports
+from repro.wasi.vfs import Preopen, VirtualDirectory, VirtualFile, VirtualFilesystem
+
+__all__ = [
+    "SUCCESS",
+    "WasiError",
+    "errno_name",
+    "NAMESPACE",
+    "WasiEnvironment",
+    "build_wasi_imports",
+    "VirtualFilesystem",
+    "VirtualFile",
+    "VirtualDirectory",
+    "Preopen",
+]

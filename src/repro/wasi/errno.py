@@ -1,0 +1,47 @@
+"""WASI error numbers (``__wasi_errno_t``) used by the snapshot_preview1 API."""
+
+from __future__ import annotations
+
+# Subset of the WASI errno space that the virtual filesystem reports.
+SUCCESS = 0
+E2BIG = 1
+EACCES = 2
+EBADF = 8
+EEXIST = 20
+EINVAL = 28
+EIO = 29
+EISDIR = 31
+ENOENT = 44
+ENOSYS = 52
+ENOTDIR = 54
+ENOTEMPTY = 55
+ENOTCAPABLE = 76
+
+_NAMES = {
+    SUCCESS: "ESUCCESS",
+    E2BIG: "E2BIG",
+    EACCES: "EACCES",
+    EBADF: "EBADF",
+    EEXIST: "EEXIST",
+    EINVAL: "EINVAL",
+    EIO: "EIO",
+    EISDIR: "EISDIR",
+    ENOENT: "ENOENT",
+    ENOSYS: "ENOSYS",
+    ENOTDIR: "ENOTDIR",
+    ENOTEMPTY: "ENOTEMPTY",
+    ENOTCAPABLE: "ENOTCAPABLE",
+}
+
+
+def errno_name(code: int) -> str:
+    """Symbolic name of a WASI errno value (for diagnostics)."""
+    return _NAMES.get(code, f"errno({code})")
+
+
+class WasiError(Exception):
+    """Internal exception carrying a WASI errno; converted to a return code."""
+
+    def __init__(self, errno: int, message: str = ""):
+        super().__init__(message or errno_name(errno))
+        self.errno = errno

@@ -1,0 +1,86 @@
+"""WebAssembly substrate: module format, toolchain-facing builder, runtime.
+
+This package is the stand-in for Wasmer + the Wasm specification in the
+paper's stack.  It provides:
+
+* the module model (:mod:`repro.wasm.module`) and type system
+  (:mod:`repro.wasm.types`),
+* a builder API used by the guest toolchain (:mod:`repro.wasm.builder`),
+* the binary encoder/decoder (:mod:`repro.wasm.encoder`,
+  :mod:`repro.wasm.decoder`) and a WAT printer (:mod:`repro.wasm.wat`),
+* a validator (:mod:`repro.wasm.validation`),
+* bounds-checked linear memory (:mod:`repro.wasm.memory`), instance/runtime
+  objects (:mod:`repro.wasm.runtime`),
+* an interpreter and three compiler back-ends
+  (:mod:`repro.wasm.compilers`) mirroring Wasmer's Singlepass / Cranelift /
+  LLVM choices.
+"""
+
+from repro.wasm.builder import FunctionBuilder, ModuleBuilder
+from repro.wasm.decoder import DecodeError, decode_module
+from repro.wasm.encoder import EncodeError, encode_module, module_size
+from repro.wasm.errors import (
+    ExitTrap,
+    LinkError,
+    MemoryOutOfBoundsTrap,
+    Trap,
+    UnreachableTrap,
+    ValidationError,
+    WasmError,
+)
+from repro.wasm.instructions import BlockType, Instruction, MemArg, make
+from repro.wasm.memory import PAGE_SIZE, LinearMemory
+from repro.wasm.module import (
+    DataSegment,
+    Export,
+    ExternKind,
+    Function,
+    Global,
+    Import,
+    Module,
+)
+from repro.wasm.runtime import HostFunction, ImportObject, Instance
+from repro.wasm.types import FuncType, GlobalType, Limits, MemoryType, TableType, ValType
+from repro.wasm.validation import validate_module
+from repro.wasm.wat import module_to_wat
+
+__all__ = [
+    "ModuleBuilder",
+    "FunctionBuilder",
+    "Module",
+    "Function",
+    "Import",
+    "Export",
+    "Global",
+    "DataSegment",
+    "ExternKind",
+    "FuncType",
+    "GlobalType",
+    "MemoryType",
+    "TableType",
+    "Limits",
+    "ValType",
+    "Instruction",
+    "BlockType",
+    "MemArg",
+    "make",
+    "encode_module",
+    "decode_module",
+    "module_size",
+    "module_to_wat",
+    "validate_module",
+    "EncodeError",
+    "DecodeError",
+    "ValidationError",
+    "WasmError",
+    "Trap",
+    "UnreachableTrap",
+    "MemoryOutOfBoundsTrap",
+    "ExitTrap",
+    "LinkError",
+    "LinearMemory",
+    "PAGE_SIZE",
+    "Instance",
+    "ImportObject",
+    "HostFunction",
+]

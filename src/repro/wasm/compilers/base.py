@@ -1,0 +1,100 @@
+"""Compiler back-end interface and registry.
+
+MPIWasm (like Wasmer) can translate Wasm to executable form with one of three
+back-ends -- Singlepass, Cranelift, or LLVM -- trading compile time for run
+time (Table 1 of the paper).  The analogues here share that exact trade-off
+structure:
+
+* :class:`repro.wasm.compilers.singlepass.SinglepassBackend` does essentially
+  no ahead-of-time work and interprets the structured instruction stream,
+  resolving control-flow matches by scanning at run time,
+* :class:`repro.wasm.compilers.cranelift.CraneliftBackend` spends compile time
+  pre-resolving control flow and pre-indexing function metadata,
+* :class:`repro.wasm.compilers.llvm.LLVMBackend` translates every function
+  body into generated Python source (its "shared object"), pays the largest
+  compile cost and runs fastest.
+
+All three produce a :class:`CompiledModule` artifact that records what was
+produced and how long compilation took; the artifact is what the embedder's
+filesystem cache stores (§3.3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Type
+
+from repro.wasm.module import Module
+from repro.wasm.runtime import Executor
+
+
+@dataclass
+class CompiledModule:
+    """Result of ahead-of-time compiling a module with one back-end.
+
+    ``artifact`` is back-end specific: ``None`` for Singlepass, the control
+    maps for Cranelift, and the generated Python source text for LLVM (the
+    analogue of the shared object Wasmer's LLVM backend emits, which is what
+    gets cached on disk).
+    """
+
+    backend_name: str
+    module: Module
+    compile_seconds: float
+    artifact: Optional[object] = None
+    function_count: int = 0
+
+    def make_executor(self) -> Executor:
+        """Build a fresh executor bound to this compiled artifact."""
+        backend = get_backend(self.backend_name)
+        return backend.executor_for(self)
+
+
+class CompilerBackend:
+    """A named compiler back-end."""
+
+    name = "abstract"
+
+    def compile(self, module: Module) -> CompiledModule:
+        """Ahead-of-time compile ``module`` and return the artifact record."""
+        start = time.perf_counter()
+        artifact = self._compile(module)
+        elapsed = time.perf_counter() - start
+        return CompiledModule(
+            backend_name=self.name,
+            module=module,
+            compile_seconds=elapsed,
+            artifact=artifact,
+            function_count=len(module.functions),
+        )
+
+    def _compile(self, module: Module) -> Optional[object]:
+        """Back-end specific compilation work (may be trivial)."""
+        raise NotImplementedError
+
+    def executor_for(self, compiled: CompiledModule) -> Executor:
+        """Create an :class:`Executor` that runs the compiled artifact."""
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, CompilerBackend] = {}
+
+
+def register_backend(backend: CompilerBackend) -> CompilerBackend:
+    """Add a back-end instance to the global registry."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> CompilerBackend:
+    """Look up a back-end by name (``singlepass``, ``cranelift``, ``llvm``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown compiler backend {name!r}; known: {sorted(_REGISTRY)}") from exc
+
+
+def backend_names() -> List[str]:
+    """Names of all registered back-ends."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,41 @@
+"""Cranelift back-end: moderate compile work, moderate execution speed.
+
+Cranelift translates Wasm through its own IR with local optimisations; the
+analogue here spends its compile time pre-resolving every function's control
+flow (the ``block``/``else``/``end`` matching) and pre-computing per-function
+metadata, so the shared interpreter never scans forward at run time.  Compile
+duration sits between Singlepass and LLVM, as does execution speed -- the
+middle row of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.wasm.compilers.base import CompiledModule, CompilerBackend, register_backend
+from repro.wasm.interpreter import Interpreter, build_control_map
+from repro.wasm.module import Module
+from repro.wasm.runtime import Executor
+
+
+class CraneliftBackend(CompilerBackend):
+    """Pre-decodes control flow into per-function maps at compile time."""
+
+    name = "cranelift"
+
+    def _compile(self, module: Module) -> Optional[object]:
+        control_maps: Dict[int, Dict[int, Tuple[Optional[int], int]]] = {}
+        for i, func in enumerate(module.functions):
+            control_maps[i] = build_control_map(func.body)
+        return control_maps
+
+    def executor_for(self, compiled: CompiledModule) -> Executor:
+        interpreter = Interpreter(precompute=True)
+        if isinstance(compiled.artifact, dict):
+            interpreter._control_maps = dict(compiled.artifact)
+        else:  # pragma: no cover - defensive: recompute if the artifact is missing
+            interpreter.prepare(compiled.module)
+        return interpreter
+
+
+register_backend(CraneliftBackend())

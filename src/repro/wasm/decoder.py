@@ -1,0 +1,274 @@
+"""Binary decoder: ``.wasm`` bytes -> :class:`repro.wasm.module.Module`.
+
+The inverse of :mod:`repro.wasm.encoder`.  The embedder uses it to load
+distributed Wasm binaries, and the round-trip property
+``decode(encode(m)) == m`` (up to function/module names, which live in custom
+sections we do not emit) is exercised by the hypothesis tests.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from repro.wasm import opcodes
+from repro.wasm.encoder import MAGIC, VERSION
+from repro.wasm.instructions import BlockType, Instruction, MemArg
+from repro.wasm.module import (
+    CustomSection,
+    DataSegment,
+    ElementSegment,
+    Export,
+    ExternKind,
+    Function,
+    Global,
+    Import,
+    Module,
+)
+from repro.wasm.opcodes import Imm
+from repro.wasm.types import FuncType, GlobalType, Limits, MemoryType, TableType, ValType
+
+
+class DecodeError(ValueError):
+    """Raised when the byte stream is not a valid module for this decoder."""
+
+
+class _Reader:
+    """Byte-stream reader with LEB128 helpers and bounds checking."""
+
+    def __init__(self, data: bytes, pos: int = 0, end: Optional[int] = None):
+        self.data = data
+        self.pos = pos
+        self.end = len(data) if end is None else end
+
+    def eof(self) -> bool:
+        return self.pos >= self.end
+
+    def bytes(self, n: int) -> bytes:
+        if self.pos + n > self.end:
+            raise DecodeError(f"unexpected end of stream at offset {self.pos} (wanted {n} bytes)")
+        out = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+    def byte(self) -> int:
+        return self.bytes(1)[0]
+
+    def u32(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            b = self.byte()
+            result |= (b & 0x7F) << shift
+            if not b & 0x80:
+                break
+            shift += 7
+            if shift > 35:
+                raise DecodeError("u32 LEB128 too long")
+        return result
+
+    def sleb(self, bits: int) -> int:
+        result = 0
+        shift = 0
+        while True:
+            b = self.byte()
+            result |= (b & 0x7F) << shift
+            shift += 7
+            if not b & 0x80:
+                if b & 0x40:
+                    result |= -(1 << shift)
+                break
+            if shift > bits + 7:
+                raise DecodeError(f"s{bits} LEB128 too long")
+        return result
+
+    def s32(self) -> int:
+        return self.sleb(32)
+
+    def s64(self) -> int:
+        return self.sleb(64)
+
+    def f32(self) -> float:
+        return struct.unpack("<f", self.bytes(4))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self.bytes(8))[0]
+
+    def name(self) -> str:
+        return self.bytes(self.u32()).decode("utf-8")
+
+    def valtype(self) -> ValType:
+        return ValType.from_byte(self.byte())
+
+    def limits(self) -> Limits:
+        flag = self.byte()
+        minimum = self.u32()
+        maximum = self.u32() if flag & 0x01 else None
+        return Limits(minimum, maximum)
+
+
+# ---------------------------------------------------------------- instructions
+
+
+def _decode_instruction(r: _Reader) -> Instruction:
+    opcode = r.byte()
+    if opcode == 0xFD:
+        opcode = 0xFD00 | r.u32()
+    try:
+        info = opcodes.info(opcode)
+    except KeyError as exc:
+        raise DecodeError(str(exc)) from exc
+
+    imm = info.imm
+    if imm == Imm.NONE:
+        return Instruction(info, ())
+    if imm == Imm.BLOCKTYPE:
+        b = r.byte()
+        result = None if b == 0x40 else ValType.from_byte(b)
+        return Instruction(info, (BlockType(result),))
+    if imm in (Imm.LABEL, Imm.FUNC, Imm.LOCAL, Imm.GLOBAL, Imm.MEMORY, Imm.LANE):
+        return Instruction(info, (r.u32(),))
+    if imm == Imm.LABEL_TABLE:
+        n = r.u32()
+        targets = tuple(r.u32() for _ in range(n))
+        default = r.u32()
+        return Instruction(info, (targets, default))
+    if imm == Imm.CALL_INDIRECT:
+        return Instruction(info, (r.u32(), r.u32()))
+    if imm == Imm.MEMARG:
+        return Instruction(info, (MemArg(r.u32(), r.u32()),))
+    if imm == Imm.I32_CONST:
+        return Instruction(info, (r.s32(),))
+    if imm == Imm.I64_CONST:
+        return Instruction(info, (r.s64(),))
+    if imm == Imm.F32_CONST:
+        return Instruction(info, (r.f32(),))
+    if imm == Imm.F64_CONST:
+        return Instruction(info, (r.f64(),))
+    if imm == Imm.V128_CONST:
+        return Instruction(info, (r.bytes(16),))
+    raise DecodeError(f"unhandled immediate kind {imm}")  # pragma: no cover
+
+
+def _decode_expression(r: _Reader) -> List[Instruction]:
+    """Decode instructions until the matching top-level ``end`` (consumed)."""
+    body: List[Instruction] = []
+    depth = 0
+    while True:
+        instr = _decode_instruction(r)
+        if instr.name in ("block", "loop", "if"):
+            depth += 1
+        elif instr.name == "end":
+            if depth == 0:
+                return body
+            depth -= 1
+        body.append(instr)
+
+
+# -------------------------------------------------------------------- sections
+
+
+def _decode_import(r: _Reader) -> Import:
+    module = r.name()
+    name = r.name()
+    kind = ExternKind(r.byte())
+    if kind == ExternKind.FUNC:
+        desc: object = r.u32()
+    elif kind == ExternKind.MEMORY:
+        desc = MemoryType(r.limits())
+    elif kind == ExternKind.GLOBAL:
+        vt = r.valtype()
+        desc = GlobalType(vt, bool(r.byte()))
+    elif kind == ExternKind.TABLE:
+        element = r.valtype()
+        desc = TableType(r.limits(), element)
+    else:  # pragma: no cover - ExternKind covers all cases
+        raise DecodeError(f"unknown import kind {kind}")
+    return Import(module=module, name=name, kind=kind, desc=desc)
+
+
+def decode_module(data: bytes) -> Module:
+    """Decode ``.wasm`` bytes into a :class:`Module`."""
+    if data[:4] != MAGIC:
+        raise DecodeError("not a Wasm module: bad magic")
+    if data[4:8] != VERSION:
+        raise DecodeError(f"unsupported Wasm version {data[4:8]!r}")
+    r = _Reader(data, pos=8)
+    module = Module()
+    func_type_indices: List[int] = []
+
+    while not r.eof():
+        section_id = r.byte()
+        size = r.u32()
+        section = _Reader(r.data, r.pos, r.pos + size)
+        r.pos += size
+
+        if section_id == 1:  # type
+            for _ in range(section.u32()):
+                if section.byte() != 0x60:
+                    raise DecodeError("malformed functype")
+                params = tuple(section.valtype() for _ in range(section.u32()))
+                results = tuple(section.valtype() for _ in range(section.u32()))
+                module.types.append(FuncType(params, results))
+        elif section_id == 2:  # import
+            for _ in range(section.u32()):
+                module.imports.append(_decode_import(section))
+        elif section_id == 3:  # function (type indices)
+            func_type_indices = [section.u32() for _ in range(section.u32())]
+        elif section_id == 4:  # table
+            for _ in range(section.u32()):
+                element = section.valtype()
+                module.tables.append(TableType(section.limits(), element))
+        elif section_id == 5:  # memory
+            for _ in range(section.u32()):
+                module.memories.append(MemoryType(section.limits()))
+        elif section_id == 6:  # global
+            for _ in range(section.u32()):
+                vt = section.valtype()
+                mutable = bool(section.byte())
+                init = _decode_expression(section)
+                module.globals.append(Global(GlobalType(vt, mutable), init))
+        elif section_id == 7:  # export
+            for _ in range(section.u32()):
+                name = section.name()
+                kind = ExternKind(section.byte())
+                index = section.u32()
+                module.exports.append(Export(name=name, kind=kind, index=index))
+        elif section_id == 8:  # start
+            module.start = section.u32()
+        elif section_id == 9:  # element
+            for _ in range(section.u32()):
+                table_index = section.u32()
+                offset = _decode_expression(section)
+                funcs = [section.u32() for _ in range(section.u32())]
+                module.elements.append(ElementSegment(table_index, offset, funcs))
+        elif section_id == 10:  # code
+            count = section.u32()
+            if count != len(func_type_indices):
+                raise DecodeError("function and code section counts disagree")
+            for type_index in func_type_indices:
+                body_size = section.u32()
+                body_reader = _Reader(section.data, section.pos, section.pos + body_size)
+                section.pos += body_size
+                locals_list: List[ValType] = []
+                for _ in range(body_reader.u32()):
+                    n = body_reader.u32()
+                    vt = body_reader.valtype()
+                    locals_list.extend([vt] * n)
+                body = _decode_expression(body_reader)
+                module.functions.append(
+                    Function(type_index=type_index, locals=locals_list, body=body)
+                )
+        elif section_id == 11:  # data
+            for _ in range(section.u32()):
+                memory_index = section.u32()
+                offset = _decode_expression(section)
+                data_bytes = section.bytes(section.u32())
+                module.data.append(DataSegment(memory_index, offset, data_bytes))
+        elif section_id == 0:  # custom
+            name = section.name()
+            module.customs.append(CustomSection(name, section.bytes(section.end - section.pos)))
+        else:
+            raise DecodeError(f"unknown section id {section_id}")
+
+    return module

@@ -1,0 +1,89 @@
+"""Trap and validation error types for the Wasm runtime."""
+
+from __future__ import annotations
+
+
+class WasmError(RuntimeError):
+    """Base class for all Wasm runtime/validation errors."""
+
+
+class Trap(WasmError):
+    """A runtime trap: execution of the module is aborted.
+
+    Traps are the enforcement mechanism of the Wasm sandbox -- out-of-bounds
+    memory accesses, integer division by zero, invalid conversions, indirect
+    call mismatches and ``unreachable`` all trap instead of corrupting state
+    (§2.2 of the paper).
+    """
+
+    def __init__(self, message: str, kind: str = "trap"):
+        super().__init__(message)
+        self.kind = kind
+
+
+class MemoryOutOfBoundsTrap(Trap):
+    """Linear-memory access outside the module's memory."""
+
+    def __init__(self, address: int, size: int, memory_size: int):
+        super().__init__(
+            f"out-of-bounds memory access: {size} bytes at address {address} "
+            f"(memory is {memory_size} bytes)",
+            kind="memory-out-of-bounds",
+        )
+        self.address = address
+        self.size = size
+
+
+class IntegerDivideByZeroTrap(Trap):
+    """Integer division or remainder by zero."""
+
+    def __init__(self) -> None:
+        super().__init__("integer divide by zero", kind="divide-by-zero")
+
+
+class IntegerOverflowTrap(Trap):
+    """Integer overflow (e.g. ``INT_MIN / -1`` or out-of-range float truncation)."""
+
+    def __init__(self, message: str = "integer overflow") -> None:
+        super().__init__(message, kind="integer-overflow")
+
+
+class UnreachableTrap(Trap):
+    """The ``unreachable`` instruction was executed."""
+
+    def __init__(self) -> None:
+        super().__init__("unreachable executed", kind="unreachable")
+
+
+class IndirectCallTrap(Trap):
+    """``call_indirect`` through a null or signature-mismatched table entry."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, kind="indirect-call")
+
+
+class StackExhaustionTrap(Trap):
+    """Call depth exceeded the runtime's configured limit."""
+
+    def __init__(self, depth: int) -> None:
+        super().__init__(f"call stack exhausted at depth {depth}", kind="stack-exhaustion")
+
+
+class ValidationError(WasmError):
+    """The module failed validation (type-checking) before instantiation."""
+
+
+class LinkError(WasmError):
+    """Instantiation failed because an import could not be resolved."""
+
+
+class ExitTrap(Trap):
+    """Raised by the WASI ``proc_exit`` host call to unwind the guest.
+
+    Not an error per se: the embedder catches it and records the exit code,
+    mirroring how Wasmer handles ``proc_exit``.
+    """
+
+    def __init__(self, exit_code: int) -> None:
+        super().__init__(f"proc_exit({exit_code})", kind="proc-exit")
+        self.exit_code = exit_code

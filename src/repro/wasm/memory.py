@@ -1,0 +1,148 @@
+"""Linear memory with bounds-checked access.
+
+A Wasm module's memory is a contiguous, byte-addressable array grown in
+64 KiB pages, addressed with 32-bit offsets (which is why the paper notes the
+4 GiB per-module limit, §3.8).  All loads and stores are bounds-checked and
+raise :class:`MemoryOutOfBoundsTrap` on violation -- the software-fault-
+isolation property of the Wasm sandbox.
+
+The embedder's zero-copy path (§3.5) is exposed through :meth:`view`:
+a writable ``memoryview`` of a region of the linear memory that can be handed
+straight to the host MPI library, which is exactly how MPIWasm passes guest
+buffers to OpenMPI without copying.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+import numpy as np
+
+from repro.wasm.errors import MemoryOutOfBoundsTrap, Trap
+from repro.wasm.types import Limits, MemoryType
+
+PAGE_SIZE = MemoryType.PAGE_SIZE
+
+
+class LinearMemory:
+    """A bounds-checked, growable linear memory."""
+
+    def __init__(self, memory_type: MemoryType):
+        memory_type.validate()
+        self.type = memory_type
+        self._pages = memory_type.limits.minimum
+        self._max_pages = (
+            memory_type.limits.maximum
+            if memory_type.limits.maximum is not None
+            else MemoryType.MAX_PAGES
+        )
+        self._buffer = bytearray(self._pages * PAGE_SIZE)
+
+    # ------------------------------------------------------------------- sizes
+
+    @property
+    def pages(self) -> int:
+        """Current size in 64 KiB pages (``memory.size``)."""
+        return self._pages
+
+    @property
+    def size(self) -> int:
+        """Current size in bytes."""
+        return self._pages * PAGE_SIZE
+
+    def grow(self, delta_pages: int) -> int:
+        """Grow by ``delta_pages``; returns the old page count or -1 on failure."""
+        if delta_pages < 0:
+            return -1
+        new_pages = self._pages + delta_pages
+        if new_pages > self._max_pages:
+            return -1
+        old = self._pages
+        self._buffer.extend(bytes(delta_pages * PAGE_SIZE))
+        self._pages = new_pages
+        return old
+
+    # ---------------------------------------------------------------- raw access
+
+    def _check(self, address: int, nbytes: int) -> None:
+        if address < 0 or nbytes < 0 or address + nbytes > self.size:
+            raise MemoryOutOfBoundsTrap(address, nbytes, self.size)
+
+    def read(self, address: int, nbytes: int) -> bytes:
+        """Copy ``nbytes`` out of memory (bounds-checked)."""
+        self._check(address, nbytes)
+        return bytes(self._buffer[address : address + nbytes])
+
+    def write(self, address: int, data: bytes) -> None:
+        """Copy ``data`` into memory (bounds-checked)."""
+        self._check(address, len(data))
+        self._buffer[address : address + len(data)] = data
+
+    def view(self, address: int, nbytes: int) -> memoryview:
+        """Writable zero-copy view of a memory region (bounds-checked).
+
+        This is the host-address-translation primitive of §3.5: the embedder
+        converts a 32-bit guest pointer into a host view by offsetting into
+        the module's base buffer, and the host MPI library reads/writes the
+        guest's buffer directly.
+        """
+        self._check(address, nbytes)
+        return memoryview(self._buffer)[address : address + nbytes]
+
+    def ndarray(self, address: int, count: int, dtype) -> np.ndarray:
+        """Zero-copy NumPy view of ``count`` elements of ``dtype`` at ``address``."""
+        dt = np.dtype(dtype)
+        self._check(address, count * dt.itemsize)
+        return np.frombuffer(self._buffer, dtype=dt, count=count, offset=address)
+
+    def fill(self, address: int, value: int, nbytes: int) -> None:
+        """memset-style fill (bounds-checked)."""
+        self._check(address, nbytes)
+        self._buffer[address : address + nbytes] = bytes([value & 0xFF]) * nbytes
+
+    # ------------------------------------------------------------ scalar access
+
+    def load_int(self, address: int, nbytes: int, signed: bool = False) -> int:
+        """Load a little-endian integer of ``nbytes`` bytes."""
+        raw = self.read(address, nbytes)
+        return int.from_bytes(raw, "little", signed=signed)
+
+    def store_int(self, address: int, value: int, nbytes: int) -> None:
+        """Store a little-endian integer of ``nbytes`` bytes (wraps silently)."""
+        mask = (1 << (8 * nbytes)) - 1
+        self.write(address, (value & mask).to_bytes(nbytes, "little"))
+
+    def load_f32(self, address: int) -> float:
+        """Load an IEEE-754 single."""
+        return struct.unpack("<f", self.read(address, 4))[0]
+
+    def store_f32(self, address: int, value: float) -> None:
+        """Store an IEEE-754 single."""
+        self.write(address, struct.pack("<f", value))
+
+    def load_f64(self, address: int) -> float:
+        """Load an IEEE-754 double."""
+        return struct.unpack("<d", self.read(address, 8))[0]
+
+    def store_f64(self, address: int, value: float) -> None:
+        """Store an IEEE-754 double."""
+        self.write(address, struct.pack("<d", value))
+
+    # ---------------------------------------------------------- string helpers
+
+    def read_cstring(self, address: int, max_len: int = 1 << 20) -> str:
+        """Read a NUL-terminated UTF-8 string (bounds-checked)."""
+        end = address
+        limit = min(self.size, address + max_len)
+        while end < limit and self._buffer[end] != 0:
+            end += 1
+        if end >= limit and (end >= self.size or self._buffer[end] != 0):
+            raise Trap(f"unterminated string at address {address}")
+        return bytes(self._buffer[address:end]).decode("utf-8", errors="replace")
+
+    def write_cstring(self, address: int, text: str) -> int:
+        """Write a NUL-terminated UTF-8 string; returns bytes written."""
+        raw = text.encode("utf-8") + b"\x00"
+        self.write(address, raw)
+        return len(raw)

@@ -1,0 +1,297 @@
+"""Module validation (type checking).
+
+Implements the stack-polymorphic validation algorithm of the Wasm
+specification appendix for the instruction subset in
+:mod:`repro.wasm.opcodes`: every function body is checked instruction by
+instruction against a typed operand stack and a stack of control frames, so
+ill-typed modules are rejected before instantiation -- the static half of the
+sandbox guarantees described in §2.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.wasm.errors import ValidationError
+from repro.wasm.instructions import BlockType, Instruction
+from repro.wasm.module import ExternKind, Module
+from repro.wasm.opcodes import Imm
+from repro.wasm.types import FuncType, ValType
+
+
+@dataclass
+class _ControlFrame:
+    """Validation-time control frame."""
+
+    opcode: str
+    start_types: List[ValType]
+    end_types: List[ValType]
+    height: int
+    unreachable: bool = False
+
+    def label_types(self) -> List[ValType]:
+        """Types a branch to this frame must provide."""
+        return self.start_types if self.opcode == "loop" else self.end_types
+
+
+class FunctionValidator:
+    """Validates a single function body."""
+
+    def __init__(self, module: Module, func_type: FuncType, locals_: Sequence[ValType]):
+        self.module = module
+        self.func_type = func_type
+        self.locals = list(func_type.params) + list(locals_)
+        self.stack: List[ValType] = []
+        self.frames: List[_ControlFrame] = []
+
+    # ------------------------------------------------------------ stack helpers
+
+    def _push(self, vt: ValType) -> None:
+        self.stack.append(vt)
+
+    def _pop(self, expected: Optional[ValType] = None) -> Optional[ValType]:
+        frame = self.frames[-1]
+        if len(self.stack) == frame.height:
+            if frame.unreachable:
+                return expected
+            raise ValidationError(
+                f"stack underflow (expected {expected.short_name if expected else 'a value'})"
+            )
+        actual = self.stack.pop()
+        if expected is not None and actual != expected:
+            raise ValidationError(
+                f"type mismatch: expected {expected.short_name}, found {actual.short_name}"
+            )
+        return actual
+
+    def _push_many(self, types: Sequence[ValType]) -> None:
+        for t in types:
+            self._push(t)
+
+    def _pop_many(self, types: Sequence[ValType]) -> None:
+        for t in reversed(list(types)):
+            self._pop(t)
+
+    def _push_frame(self, opcode: str, start: Sequence[ValType], end: Sequence[ValType]) -> None:
+        self.frames.append(
+            _ControlFrame(opcode, list(start), list(end), height=len(self.stack))
+        )
+        self._push_many(start)
+
+    def _pop_frame(self) -> _ControlFrame:
+        frame = self.frames[-1]
+        self._pop_many(frame.end_types)
+        if len(self.stack) != frame.height and not frame.unreachable:
+            raise ValidationError(
+                f"values remaining on stack at end of {frame.opcode} "
+                f"({len(self.stack) - frame.height} extra)"
+            )
+        del self.stack[frame.height :]
+        self.frames.pop()
+        return frame
+
+    def _set_unreachable(self) -> None:
+        frame = self.frames[-1]
+        del self.stack[frame.height :]
+        frame.unreachable = True
+
+    def _label(self, depth: int) -> _ControlFrame:
+        if depth >= len(self.frames):
+            raise ValidationError(f"branch depth {depth} exceeds nesting {len(self.frames)}")
+        return self.frames[-1 - depth]
+
+    # ---------------------------------------------------------------- validate
+
+    def validate(self, body: Sequence[Instruction]) -> None:
+        """Validate the instruction sequence of one function body."""
+        self._push_frame("func", [], list(self.func_type.results))
+        for position, instr in enumerate(body):
+            try:
+                self._validate_instruction(instr)
+            except ValidationError as exc:
+                raise ValidationError(f"at instruction {position} ({instr.name}): {exc}") from None
+        # The implicit end of the function body.
+        frame = self._pop_frame()
+        self._push_many(frame.end_types)
+
+    def _validate_instruction(self, instr: Instruction) -> None:  # noqa: C901
+        name = instr.name
+        info = instr.info
+
+        if name in ("block", "loop"):
+            bt: BlockType = instr.operands[0]
+            results = [bt.result] if bt.result is not None else []
+            self._push_frame(name, [], results)
+            return
+        if name == "if":
+            self._pop(ValType.I32)
+            bt = instr.operands[0]
+            results = [bt.result] if bt.result is not None else []
+            self._push_frame("if", [], results)
+            return
+        if name == "else":
+            frame = self._pop_frame()
+            self._push_frame("else", [], frame.end_types)
+            return
+        if name == "end":
+            frame = self._pop_frame()
+            self._push_many(frame.end_types)
+            return
+        if name == "br":
+            frame = self._label(instr.operands[0])
+            self._pop_many(frame.label_types())
+            self._set_unreachable()
+            return
+        if name == "br_if":
+            self._pop(ValType.I32)
+            frame = self._label(instr.operands[0])
+            self._pop_many(frame.label_types())
+            self._push_many(frame.label_types())
+            return
+        if name == "br_table":
+            targets, default = instr.operands
+            self._pop(ValType.I32)
+            default_types = self._label(default).label_types()
+            for t in targets:
+                if [x for x in self._label(t).label_types()] != list(default_types):
+                    raise ValidationError("br_table targets have inconsistent label types")
+            self._pop_many(default_types)
+            self._set_unreachable()
+            return
+        if name == "return":
+            self._pop_many(self.func_type.results)
+            self._set_unreachable()
+            return
+        if name == "unreachable":
+            self._set_unreachable()
+            return
+        if name == "call":
+            func_index = instr.operands[0]
+            if func_index >= self.module.total_functions():
+                raise ValidationError(f"call to unknown function index {func_index}")
+            ft = self.module.func_type(func_index)
+            self._pop_many(ft.params)
+            self._push_many(ft.results)
+            return
+        if name == "call_indirect":
+            type_index, table_index = instr.operands
+            if type_index >= len(self.module.types):
+                raise ValidationError(f"call_indirect references unknown type {type_index}")
+            if not self.module.tables and not any(
+                imp.kind == ExternKind.TABLE for imp in self.module.imports
+            ):
+                raise ValidationError("call_indirect requires a table")
+            self._pop(ValType.I32)
+            ft = self.module.types[type_index]
+            self._pop_many(ft.params)
+            self._push_many(ft.results)
+            return
+        if name == "drop":
+            self._pop(None)
+            return
+        if name == "select":
+            self._pop(ValType.I32)
+            a = self._pop(None)
+            b = self._pop(None)
+            if a is not None and b is not None and a != b:
+                raise ValidationError("select operands must have the same type")
+            self._push(a or b or ValType.I32)
+            return
+        if name in ("local.get", "local.set", "local.tee"):
+            index = instr.operands[0]
+            if index >= len(self.locals):
+                raise ValidationError(f"local index {index} out of range ({len(self.locals)} locals)")
+            lt = self.locals[index]
+            if name == "local.get":
+                self._push(lt)
+            elif name == "local.set":
+                self._pop(lt)
+            else:
+                self._pop(lt)
+                self._push(lt)
+            return
+        if name in ("global.get", "global.set"):
+            index = instr.operands[0]
+            imported = self.module.imported_globals()
+            total = len(imported) + len(self.module.globals)
+            if index >= total:
+                raise ValidationError(f"global index {index} out of range ({total} globals)")
+            if index < len(imported):
+                gtype = imported[index].desc
+            else:
+                gtype = self.module.globals[index - len(imported)].type
+            if name == "global.get":
+                self._push(gtype.value_type)
+            else:
+                if not gtype.mutable:
+                    raise ValidationError(f"global.set on immutable global {index}")
+                self._pop(gtype.value_type)
+            return
+        if info.imm == Imm.MEMARG or name in ("memory.size", "memory.grow"):
+            if not self.module.memories and not self.module.imported_memories():
+                raise ValidationError(f"{name} requires a linear memory")
+            self._pop_many(info.pops)
+            self._push_many(info.pushes)
+            return
+
+        # Plain numeric / const / SIMD instructions: use the static signature.
+        self._pop_many(info.pops)
+        self._push_many(info.pushes)
+
+
+def validate_module(module: Module) -> None:
+    """Validate a whole module; raises :class:`ValidationError` on failure."""
+    # Type indices referenced by imports and functions must exist.
+    for imp in module.imports:
+        if imp.kind == ExternKind.FUNC and imp.desc >= len(module.types):
+            raise ValidationError(f"import {imp.qualified_name} references unknown type {imp.desc}")
+    for func in module.functions:
+        if func.type_index >= len(module.types):
+            raise ValidationError(
+                f"function {func.name or '<anon>'} references unknown type {func.type_index}"
+            )
+
+    # Memory limits.
+    for mem in module.memories:
+        try:
+            mem.validate()
+        except ValueError as exc:
+            raise ValidationError(str(exc)) from None
+    if len(module.memories) + len(module.imported_memories()) > 1:
+        raise ValidationError("at most one linear memory is allowed")
+
+    # Exports must reference existing entities, with unique names.
+    seen = set()
+    for export in module.exports:
+        if export.name in seen:
+            raise ValidationError(f"duplicate export name {export.name!r}")
+        seen.add(export.name)
+        if export.kind == ExternKind.FUNC and export.index >= module.total_functions():
+            raise ValidationError(f"export {export.name!r} references unknown function {export.index}")
+        if export.kind == ExternKind.MEMORY and export.index >= (
+            len(module.memories) + len(module.imported_memories())
+        ):
+            raise ValidationError(f"export {export.name!r} references unknown memory {export.index}")
+
+    # Start function must be () -> ().
+    if module.start is not None:
+        if module.start >= module.total_functions():
+            raise ValidationError(f"start function index {module.start} out of range")
+        st = module.func_type(module.start)
+        if st.params or st.results:
+            raise ValidationError("start function must have no parameters and no results")
+
+    # Data segments must target memory 0 with a constant offset.
+    for seg in module.data:
+        if seg.memory_index != 0:
+            raise ValidationError("data segments must target memory 0")
+
+    # Function bodies.
+    for i, func in enumerate(module.functions):
+        func_type = module.types[func.type_index]
+        validator = FunctionValidator(module, func_type, func.locals)
+        try:
+            validator.validate(func.body)
+        except ValidationError as exc:
+            raise ValidationError(f"function {func.name or i}: {exc}") from None

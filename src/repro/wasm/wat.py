@@ -1,0 +1,119 @@
+"""WebAssembly text format (WAT) printer.
+
+Produces a human-readable rendering of a module in the style of Listing 1 of
+the paper -- useful for debugging guest modules and exercised by the examples.
+This is a printer only; modules are built programmatically (builder) or loaded
+from binaries (decoder), so a WAT parser is not needed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.wasm.instructions import BlockType, Instruction, MemArg
+from repro.wasm.module import ExternKind, Module
+from repro.wasm.opcodes import Imm
+from repro.wasm.types import FuncType
+
+
+def _format_operand(instr: Instruction) -> str:
+    imm = instr.info.imm
+    if imm == Imm.NONE or not instr.operands:
+        return ""
+    if imm == Imm.BLOCKTYPE:
+        bt: BlockType = instr.operands[0]
+        return f" {bt.wat()}" if bt.result is not None else ""
+    if imm == Imm.MEMARG:
+        memarg: MemArg = instr.operands[0]
+        parts = []
+        if memarg.offset:
+            parts.append(f"offset={memarg.offset}")
+        if memarg.align:
+            parts.append(f"align={1 << memarg.align}")
+        return (" " + " ".join(parts)) if parts else ""
+    if imm == Imm.LABEL_TABLE:
+        targets, default = instr.operands
+        return " " + " ".join(str(t) for t in targets) + f" {default}"
+    if imm == Imm.CALL_INDIRECT:
+        return f" (type {instr.operands[0]})"
+    if imm == Imm.V128_CONST:
+        return " i8x16 " + " ".join(str(b) for b in instr.operands[0])
+    if imm in (Imm.F32_CONST, Imm.F64_CONST):
+        return f" {float(instr.operands[0])!r}"
+    return " " + " ".join(str(o) for o in instr.operands)
+
+
+def _print_body(body: List[Instruction], indent: int) -> List[str]:
+    lines: List[str] = []
+    level = indent
+    for instr in body:
+        name = instr.name
+        if name in ("end", "else"):
+            level = max(indent, level - 1)
+        lines.append("  " * level + name + _format_operand(instr))
+        if name in ("block", "loop", "if", "else"):
+            level += 1
+    return lines
+
+
+def _functype_wat(ft: FuncType) -> str:
+    return (" " + ft.wat()) if (ft.params or ft.results) else ""
+
+
+def module_to_wat(module: Module) -> str:
+    """Render ``module`` in the WebAssembly text format."""
+    lines: List[str] = ["(module" + (f" ;; {module.name}" if module.name else "")]
+
+    for i, ft in enumerate(module.types):
+        lines.append(f"  (type (;{i};) (func{_functype_wat(ft)}))")
+
+    for imp in module.imports:
+        if imp.kind == ExternKind.FUNC:
+            ft = module.types[imp.desc]
+            lines.append(
+                f'  (import "{imp.module}" "{imp.name}" (func ${imp.name}{_functype_wat(ft)}))'
+            )
+        elif imp.kind == ExternKind.MEMORY:
+            lines.append(
+                f'  (import "{imp.module}" "{imp.name}" (memory {imp.desc.limits.minimum}))'
+            )
+        else:
+            lines.append(f'  (import "{imp.module}" "{imp.name}" ({imp.kind.name.lower()}))')
+
+    for i, mem in enumerate(module.memories):
+        maximum = f" {mem.limits.maximum}" if mem.limits.maximum is not None else ""
+        lines.append(f"  (memory (;{i};) {mem.limits.minimum}{maximum})")
+
+    for i, glob in enumerate(module.globals):
+        mut = "mut " if glob.type.mutable else ""
+        init = glob.init[0] if glob.init else None
+        init_text = f"{init.name} {init.operands[0]}" if init is not None else "i32.const 0"
+        lines.append(
+            f"  (global (;{i};) ({mut}{glob.type.value_type.short_name}) ({init_text}))"
+        )
+
+    n_imported = module.num_imported_functions()
+    for i, func in enumerate(module.functions):
+        ft = module.types[func.type_index]
+        name = f" ${func.name}" if func.name else f" (;{n_imported + i};)"
+        lines.append(f"  (func{name}{_functype_wat(ft)}")
+        if func.locals:
+            lines.append("    (local " + " ".join(l.short_name for l in func.locals) + ")")
+        lines.extend(_print_body(func.body, 2))
+        lines.append("  )")
+
+    for seg in module.data:
+        offset = seg.offset[0].operands[0] if seg.offset else 0
+        preview = seg.data[:16].hex()
+        suffix = "..." if len(seg.data) > 16 else ""
+        lines.append(f'  (data (i32.const {offset}) "{preview}{suffix}" (;{len(seg.data)} bytes;))')
+
+    for export in module.exports:
+        kind = export.kind.name.lower()
+        lines.append(f'  (export "{export.name}" ({kind} {export.index}))')
+
+    if module.start is not None:
+        lines.append(f"  (start {module.start})")
+
+    lines.append(")")
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""Tests for the MPI collectives and communicator management."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import datatypes, ops
+from repro.mpi.errors import InvalidRootError
+from tests.conftest import run_mpi_program
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 4, 5])
+@pytest.mark.parametrize("root", [0, 1])
+def test_bcast_delivers_root_data(nranks, root):
+    def program(rt, ctx):
+        buf = np.full(16, ctx.rank, dtype=np.int32)
+        rt.bcast(buf, 16, datatypes.INT, root=root)
+        return buf.tolist()
+
+    results = run_mpi_program(program, nranks)
+    for r in results:
+        assert r == [root] * 16
+
+
+@pytest.mark.parametrize("op,expected_fn", [
+    (ops.SUM, lambda ranks: sum(ranks)),
+    (ops.MAX, lambda ranks: max(ranks)),
+    (ops.MIN, lambda ranks: min(ranks)),
+    (ops.PROD, lambda ranks: int(np.prod(ranks))),
+])
+def test_allreduce_operations(op, expected_fn):
+    nranks = 4
+
+    def program(rt, ctx):
+        send = np.array([ctx.rank + 1, 2 * (ctx.rank + 1)], dtype=np.int64)
+        recv = np.zeros(2, dtype=np.int64)
+        rt.allreduce(send, recv, 2, datatypes.LONG, op)
+        return recv.tolist()
+
+    results = run_mpi_program(program, nranks)
+    ranks = [r + 1 for r in range(nranks)]
+    expected = [expected_fn(ranks), expected_fn([2 * r for r in ranks])]
+    for r in results:
+        assert r == expected
+
+
+def test_allreduce_double_precision_sum():
+    def program(rt, ctx):
+        send = np.full(8, 0.5 * (ctx.rank + 1))
+        recv = np.zeros(8)
+        rt.allreduce(send, recv, 8, datatypes.DOUBLE, ops.SUM)
+        return recv[0]
+
+    results = run_mpi_program(program, 4)
+    assert all(r == pytest.approx(0.5 * (1 + 2 + 3 + 4)) for r in results)
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 4])
+def test_reduce_only_root_gets_result(nranks):
+    def program(rt, ctx):
+        send = np.array([ctx.rank], dtype=np.int32)
+        recv = np.full(1, -1, dtype=np.int32)
+        rt.reduce(send, recv, 1, datatypes.INT, ops.SUM, root=0)
+        return int(recv[0])
+
+    results = run_mpi_program(program, nranks)
+    assert results[0] == sum(range(nranks))
+    assert all(r == -1 for r in results[1:])
+
+
+def test_gather_and_scatter_roundtrip():
+    nranks = 4
+
+    def program(rt, ctx):
+        send = np.array([ctx.rank * 10, ctx.rank * 10 + 1], dtype=np.int32)
+        recv = np.zeros(2 * nranks, dtype=np.int32) if ctx.rank == 1 else None
+        rt.gather(send, 2, datatypes.INT, recv, 2, datatypes.INT, root=1)
+        gathered = recv.tolist() if ctx.rank == 1 else None
+
+        out = np.zeros(2, dtype=np.int32)
+        rt.scatter(recv if ctx.rank == 1 else None, 2, datatypes.INT, out, 2, datatypes.INT, root=1)
+        return (gathered, out.tolist())
+
+    results = run_mpi_program(program, nranks)
+    assert results[1][0] == [0, 1, 10, 11, 20, 21, 30, 31]
+    for rank, (_g, scattered) in enumerate(results):
+        assert scattered == [rank * 10, rank * 10 + 1]
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 4, 6])
+def test_allgather_collects_every_rank_block(nranks):
+    def program(rt, ctx):
+        send = np.array([ctx.rank], dtype=np.float64)
+        recv = np.zeros(nranks)
+        rt.allgather(send, 1, datatypes.DOUBLE, recv, 1, datatypes.DOUBLE)
+        return recv.tolist()
+
+    for r in run_mpi_program(program, nranks):
+        assert r == list(range(nranks))
+
+
+@pytest.mark.parametrize("nranks", [2, 4, 5])
+def test_alltoall_transposes_blocks(nranks):
+    def program(rt, ctx):
+        send = np.array([ctx.rank * 100 + j for j in range(nranks)], dtype=np.int32)
+        recv = np.zeros(nranks, dtype=np.int32)
+        rt.alltoall(send, 1, datatypes.INT, recv, 1, datatypes.INT)
+        return recv.tolist()
+
+    results = run_mpi_program(program, nranks)
+    for rank, received in enumerate(results):
+        assert received == [src * 100 + rank for src in range(nranks)]
+
+
+def test_barrier_synchronises_virtual_clocks():
+    def program(rt, ctx):
+        ctx.advance(0.001 * (ctx.rank + 1))
+        rt.barrier()
+        return rt.wtime()
+
+    times = run_mpi_program(program, 4)
+    # After the barrier no rank may be earlier than the slowest pre-barrier rank.
+    assert min(times) >= 0.004
+
+
+def test_invalid_root_raises():
+    def program(rt, ctx):
+        with pytest.raises(InvalidRootError):
+            rt.bcast(np.zeros(1, dtype=np.int32), 1, datatypes.INT, root=77)
+        return True
+
+    assert all(run_mpi_program(program, 2))
+
+
+def test_comm_split_even_odd():
+    def program(rt, ctx):
+        color = ctx.rank % 2
+        sub = rt.comm_split(None, color, key=ctx.rank)
+        sub_rank = rt.comm_rank(sub)
+        sub_size = rt.comm_size(sub)
+        # Reduce inside the sub-communicator only.
+        send = np.array([ctx.rank], dtype=np.int32)
+        recv = np.zeros(1, dtype=np.int32)
+        rt.allreduce(send, recv, 1, datatypes.INT, ops.SUM, comm=sub)
+        return (color, sub_rank, sub_size, int(recv[0]))
+
+    results = run_mpi_program(program, 4)
+    # Even ranks {0, 2}: sum 2; odd ranks {1, 3}: sum 4.
+    assert results[0] == (0, 0, 2, 2)
+    assert results[2] == (0, 1, 2, 2)
+    assert results[1] == (1, 0, 2, 4)
+    assert results[3] == (1, 1, 2, 4)
+
+
+def test_comm_split_undefined_color_returns_none():
+    def program(rt, ctx):
+        sub = rt.comm_split(None, -1 if ctx.rank == 0 else 0, key=0)
+        return sub is None
+
+    results = run_mpi_program(program, 3)
+    assert results == [True, False, False]
+
+
+def test_comm_dup_isolates_traffic():
+    def program(rt, ctx):
+        dup = rt.comm_dup()
+        # Same group, different context: collectives on the dup still work.
+        send = np.array([1], dtype=np.int32)
+        recv = np.zeros(1, dtype=np.int32)
+        rt.allreduce(send, recv, 1, datatypes.INT, ops.SUM, comm=dup)
+        return (dup.context_id != rt.comm_world.context_id, int(recv[0]))
+
+    results = run_mpi_program(program, 3)
+    assert all(distinct and total == 3 for distinct, total in results)
+
+
+@given(counts=st.integers(min_value=1, max_value=64), nranks=st.sampled_from([2, 3, 4]))
+@settings(max_examples=10, deadline=None)
+def test_allreduce_sum_matches_numpy_for_random_sizes(counts, nranks):
+    def program(rt, ctx):
+        send = np.arange(counts, dtype=np.float64) * (ctx.rank + 1)
+        recv = np.zeros(counts)
+        rt.allreduce(send, recv, counts, datatypes.DOUBLE, ops.SUM)
+        return recv
+
+    results = run_mpi_program(program, nranks)
+    expected = np.arange(counts, dtype=np.float64) * sum(range(1, nranks + 1))
+    for r in results:
+        assert np.allclose(r, expected)
+
+
+def test_bitwise_ops_on_integers():
+    def program(rt, ctx):
+        send = np.array([1 << ctx.rank], dtype=np.int32)
+        recv = np.zeros(1, dtype=np.int32)
+        rt.allreduce(send, recv, 1, datatypes.INT, ops.BOR)
+        return int(recv[0])
+
+    assert run_mpi_program(program, 4) == [0b1111] * 4

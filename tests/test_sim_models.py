@@ -1,0 +1,239 @@
+"""Tests for interconnect models, machine presets, cluster placement, PFS model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cluster import Cluster
+from repro.sim.filesystem import ParallelFileSystemModel
+from repro.sim.machines import PRESETS, faasm_cloud, get_preset, graviton2, supermuc_ng
+from repro.sim.metrics import MetricsRegistry, SampleSeries, geometric_mean
+from repro.sim.network import (
+    CollectiveCostModel,
+    GrpcMessagingModel,
+    OmniPathModel,
+    SharedMemoryModel,
+    TcpEthernetModel,
+    make_interconnect,
+)
+
+
+# ------------------------------------------------------------------ transports
+
+
+@pytest.mark.parametrize("model_cls", [OmniPathModel, SharedMemoryModel, TcpEthernetModel, GrpcMessagingModel])
+def test_transfer_time_monotone_in_size(model_cls):
+    model = model_cls()
+    times = [model.transfer_time(n) for n in (0, 64, 4096, 1 << 20)]
+    assert times == sorted(times)
+    assert times[0] > 0
+
+
+def test_pingpong_bandwidth_saturates_near_link_bandwidth():
+    model = OmniPathModel()
+    bw = model.uni_bandwidth(4 << 20)
+    assert 0.5 * model.params.bandwidth < bw < model.params.bandwidth
+
+
+def test_grpc_is_slower_than_omnipath_at_every_size():
+    grpc = GrpcMessagingModel()
+    opa = OmniPathModel()
+    for nbytes in (1, 1024, 65536, 1 << 22):
+        assert grpc.pingpong_roundtrip(nbytes) > opa.pingpong_roundtrip(nbytes)
+
+
+def test_rendezvous_threshold():
+    model = OmniPathModel()
+    assert not model.is_rendezvous(model.params.eager_threshold)
+    assert model.is_rendezvous(model.params.eager_threshold + 1)
+
+
+def test_make_interconnect_registry():
+    assert make_interconnect("omnipath").name == "omnipath"
+    with pytest.raises(KeyError):
+        make_interconnect("carrier-pigeon")
+
+
+# ------------------------------------------------------------------ collectives
+
+
+@pytest.fixture
+def cost_model():
+    return CollectiveCostModel(OmniPathModel())
+
+
+@pytest.mark.parametrize("routine", ["bcast", "reduce", "allreduce", "gather", "scatter",
+                                     "allgather", "alltoall", "sendrecv", "barrier", "pingpong"])
+def test_collective_cost_positive_and_size_monotone(cost_model, routine):
+    small = cost_model.cost(routine, 64, 64)
+    large = cost_model.cost(routine, 1 << 20, 64)
+    assert small > 0
+    assert large >= small
+
+
+@pytest.mark.parametrize("routine", ["bcast", "allreduce", "allgather", "alltoall"])
+def test_collective_cost_grows_with_ranks(cost_model, routine):
+    assert cost_model.cost(routine, 1024, 1024) > cost_model.cost(routine, 1024, 8)
+
+
+def test_alltoall_more_expensive_than_bcast(cost_model):
+    assert cost_model.alltoall(4096, 512) > cost_model.bcast(4096, 512)
+
+
+def test_unknown_routine_raises(cost_model):
+    with pytest.raises(KeyError):
+        cost_model.cost("gatherv", 1, 2)
+
+
+@given(nbytes=st.integers(min_value=0, max_value=1 << 22), ranks=st.integers(min_value=1, max_value=8192))
+@settings(max_examples=50, deadline=None)
+def test_allreduce_cost_never_negative(nbytes, ranks):
+    model = CollectiveCostModel(OmniPathModel())
+    assert model.allreduce(nbytes, ranks) >= 0
+
+
+# --------------------------------------------------------------------- machines
+
+
+def test_presets_registered():
+    assert set(PRESETS) >= {"supermuc-ng", "graviton2", "faasm-cloud"}
+    assert get_preset("supermuc-ng").architecture == "x86_64"
+    assert get_preset("graviton2").architecture == "aarch64"
+    with pytest.raises(KeyError):
+        get_preset("summit")
+
+
+def test_supermuc_matches_paper_description():
+    m = supermuc_ng()
+    assert m.cores_per_node == 48
+    assert m.max_nodes == 128
+    assert m.total_cores() == 6144
+    assert m.native_simd_bits == 512
+    assert m.wasm_simd_bits == 128
+    assert m.interconnect_name == "omnipath"
+
+
+def test_graviton2_matches_paper_description():
+    m = graviton2()
+    assert m.cores_per_node == 32
+    assert m.max_nodes == 1
+    assert m.native_simd_bits == 128
+
+
+def test_wasm_simd_penalty_behaviour():
+    m = supermuc_ng()
+    # No vectorised code: only the scalar-efficiency factor remains.
+    assert m.wasm_simd_penalty(0.0) == pytest.approx(1 / m.wasm_scalar_efficiency)
+    # Fully vectorised code: bounded by the SIMD width ratio (512/128 = 4).
+    assert m.wasm_simd_penalty(1.0) == pytest.approx(4 / m.wasm_scalar_efficiency)
+    # Disabling SIMD generation makes things worse, never better.
+    assert m.wasm_simd_penalty(0.5, wasm_simd_enabled=False) > m.wasm_simd_penalty(0.5, True)
+    with pytest.raises(ValueError):
+        m.wasm_simd_penalty(1.5)
+
+
+def test_graviton_has_no_simd_gap():
+    m = graviton2()
+    assert m.wasm_simd_penalty(1.0) == pytest.approx(1 / m.wasm_scalar_efficiency)
+
+
+def test_nodes_for():
+    m = supermuc_ng()
+    assert m.nodes_for(48) == 1
+    assert m.nodes_for(49) == 2
+    assert m.nodes_for(6144) == 128
+
+
+# ---------------------------------------------------------------------- cluster
+
+
+def test_cluster_placement_and_transport_selection(supermuc):
+    cluster = Cluster(supermuc, nranks=96, ranks_per_node=48)
+    assert cluster.nnodes == 2
+    assert cluster.same_node(0, 47)
+    assert not cluster.same_node(0, 48)
+    assert cluster.transport(0, 1).name == "shm"
+    assert cluster.transport(0, 95).name == "omnipath"
+    assert cluster.ranks_on_node(1) == list(range(48, 96))
+    assert cluster.describe()["nnodes"] == 2
+
+
+def test_cluster_rejects_oversized_allocation(graviton):
+    with pytest.raises(ValueError):
+        Cluster(graviton, nranks=64, ranks_per_node=32)  # needs 2 nodes, has 1
+
+
+def test_cluster_rejects_nonpositive_ranks(graviton):
+    with pytest.raises(ValueError):
+        Cluster(graviton, nranks=0)
+
+
+# ------------------------------------------------------------------- filesystem
+
+
+def test_pfs_bandwidth_bounded_by_backend_and_links():
+    fs = ParallelFileSystemModel.dss_g()
+    agg = fs.aggregate_bandwidth(16 << 20, nranks=192, nnodes=4, write=False)
+    assert agg <= fs.aggregate_read_bandwidth
+    assert agg <= 4 * fs.node_link_bandwidth
+    assert agg > 0
+
+
+def test_pfs_write_slower_than_read():
+    fs = ParallelFileSystemModel.dss_g()
+    assert fs.aggregate_bandwidth(8 << 20, 96, 2, write=True) <= fs.aggregate_bandwidth(
+        8 << 20, 96, 2, write=False
+    )
+
+
+def test_pfs_extra_overhead_reduces_bandwidth_slightly():
+    fs = ParallelFileSystemModel.dss_g()
+    base = fs.aggregate_bandwidth(4 << 20, 192, 4, write=False)
+    with_overhead = fs.aggregate_bandwidth(4 << 20, 192, 4, write=False,
+                                           extra_overhead_per_byte=0.004e-9)
+    assert with_overhead < base
+    assert with_overhead > 0.9 * base  # the WASI indirection must stay negligible
+
+
+def test_pfs_invalid_arguments():
+    fs = ParallelFileSystemModel.local_scratch()
+    with pytest.raises(ValueError):
+        fs.transfer_time(1024, nranks=0, nnodes=1, write=False)
+
+
+# ---------------------------------------------------------------------- metrics
+
+
+def test_sample_series_statistics():
+    series = SampleSeries()
+    for v in (1.0, 2.0, 3.0):
+        series.add(v)
+    assert series.count == 3
+    assert series.mean == pytest.approx(2.0)
+    assert series.minimum == 1.0
+    assert series.maximum == 3.0
+    assert series.stddev == pytest.approx(0.8164965, rel=1e-5)
+    assert series.geometric_mean() == pytest.approx(1.8171205, rel=1e-5)
+
+
+def test_metrics_registry_counters_series_merge():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.increment("calls", 2)
+    b.increment("calls", 3)
+    a.record("lat", 1.0)
+    b.record("lat", 3.0)
+    a.merge(b)
+    assert a.counter("calls") == 5
+    assert a.series("lat").mean == pytest.approx(2.0)
+    assert "lat" in a.series_names()
+    report = a.report()
+    assert report["lat"]["count"] == 2
+    a.reset()
+    assert a.counter("calls") == 0
+
+
+def test_geometric_mean_helper():
+    assert geometric_mean([1, 4]) == pytest.approx(2.0)
+    assert geometric_mean([]) == 0.0

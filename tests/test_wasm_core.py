@@ -1,0 +1,340 @@
+"""Tests for the Wasm substrate: values, encoding, builder, validation, memory."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.wasm import (
+    FuncType,
+    Limits,
+    MemoryType,
+    Module,
+    ModuleBuilder,
+    ValType,
+    decode_module,
+    encode_module,
+    module_to_wat,
+    validate_module,
+)
+from repro.wasm import values as V
+from repro.wasm.builder import BuildError
+from repro.wasm.decoder import DecodeError, _Reader
+from repro.wasm.encoder import encode_s32, encode_s64, encode_u32
+from repro.wasm.errors import (
+    IntegerDivideByZeroTrap,
+    IntegerOverflowTrap,
+    MemoryOutOfBoundsTrap,
+    ValidationError,
+)
+from repro.wasm.instructions import make
+from repro.wasm.memory import PAGE_SIZE, LinearMemory
+from repro.wasm.opcodes import count as opcode_count, info
+
+
+# ----------------------------------------------------------------------- values
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+@settings(max_examples=200, deadline=None)
+def test_signed32_roundtrip(x):
+    assert V.signed32(V.wrap32(x)) == x
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+@settings(max_examples=200, deadline=None)
+def test_signed64_roundtrip(x):
+    assert V.signed64(V.wrap64(x)) == x
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=100, deadline=None)
+def test_div_rem_identity_u32(a, b):
+    if b == 0:
+        with pytest.raises(IntegerDivideByZeroTrap):
+            V.div_u(a, b, 32)
+    else:
+        q = V.div_u(a, b, 32)
+        r = V.rem_u(a, b, 32)
+        assert q * b + r == a
+
+
+def test_div_s_overflow_traps():
+    with pytest.raises(IntegerOverflowTrap):
+        V.div_s(0x80000000, 0xFFFFFFFF, 32)  # INT_MIN / -1
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=0, max_value=100))
+@settings(max_examples=100, deadline=None)
+def test_rotl_rotr_inverse(a, b):
+    assert V.rotr(V.rotl(a, b, 32), b, 32) == a
+
+
+def test_clz_ctz_popcnt():
+    assert V.clz(1, 32) == 31
+    assert V.clz(0, 32) == 32
+    assert V.ctz(0b1000, 32) == 3
+    assert V.ctz(0, 64) == 64
+    assert V.popcnt(0xFF00FF00, 32) == 16
+
+
+def test_trunc_traps_on_nan_and_overflow():
+    with pytest.raises(IntegerOverflowTrap):
+        V.trunc_to_int(float("nan"), 32, True)
+    with pytest.raises(IntegerOverflowTrap):
+        V.trunc_to_int(1e20, 32, True)
+    assert V.trunc_to_int(-3.7, 32, True) == V.wrap32(-3)
+
+
+def test_nearest_ties_to_even():
+    assert V.nearest(2.5) == 2.0
+    assert V.nearest(3.5) == 4.0
+    assert V.nearest(-0.5) == -0.0
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+@settings(max_examples=100, deadline=None)
+def test_f32_reinterpret_roundtrip(x):
+    assert V.reinterpret_i32_to_f32(V.reinterpret_f32_to_i32(x)) == pytest.approx(x, nan_ok=True) or x != x
+
+
+def test_float_min_max_zero_signs():
+    assert str(V.float_min(0.0, -0.0)) == "-0.0"
+    assert str(V.float_max(-0.0, 0.0)) == "0.0"
+
+
+# ----------------------------------------------------------------------- LEB128
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=200, deadline=None)
+def test_uleb_roundtrip(x):
+    assert _Reader(encode_u32(x)).u32() == x
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+@settings(max_examples=200, deadline=None)
+def test_sleb32_roundtrip(x):
+    assert _Reader(encode_s32(x)).s32() == x
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+@settings(max_examples=200, deadline=None)
+def test_sleb64_roundtrip(x):
+    assert _Reader(encode_s64(x)).s64() == x
+
+
+# --------------------------------------------------------------------- opcodes
+
+
+def test_opcode_table_sanity():
+    assert opcode_count() > 180
+    assert info("i32.add").opcode == 0x6A
+    assert info(0x6A).name == "i32.add"
+    assert info("f64x2.mul").is_simd
+    with pytest.raises(KeyError):
+        info("i128.add")
+
+
+# ----------------------------------------------------------------------- memory
+
+
+def test_linear_memory_bounds_checks():
+    mem = LinearMemory(MemoryType(Limits(1, 2)))
+    assert mem.size == PAGE_SIZE
+    mem.store_int(0, 0xDEADBEEF, 4)
+    assert mem.load_int(0, 4) == 0xDEADBEEF
+    with pytest.raises(MemoryOutOfBoundsTrap):
+        mem.read(PAGE_SIZE - 2, 4)
+    with pytest.raises(MemoryOutOfBoundsTrap):
+        mem.write(-1, b"x")
+
+
+def test_linear_memory_grow_respects_maximum():
+    mem = LinearMemory(MemoryType(Limits(1, 2)))
+    assert mem.grow(1) == 1
+    assert mem.pages == 2
+    assert mem.grow(1) == -1  # beyond the maximum
+    assert mem.grow(-1) == -1
+
+
+def test_linear_memory_zero_copy_view():
+    mem = LinearMemory(MemoryType(Limits(1)))
+    view = mem.view(100, 8)
+    view[:] = b"ABCDEFGH"
+    assert mem.read(100, 8) == b"ABCDEFGH"
+    arr = mem.ndarray(100, 2, "int32")
+    arr[0] = 7
+    assert mem.load_int(100, 4) == 7
+
+
+def test_linear_memory_float_and_string_access():
+    mem = LinearMemory(MemoryType(Limits(1)))
+    mem.store_f64(8, 2.5)
+    assert mem.load_f64(8) == 2.5
+    mem.store_f32(16, 1.5)
+    assert mem.load_f32(16) == 1.5
+    n = mem.write_cstring(64, "hello")
+    assert n == 6
+    assert mem.read_cstring(64) == "hello"
+
+
+# ---------------------------------------------------------------------- builder
+
+
+def _simple_module() -> Module:
+    mb = ModuleBuilder(name="unit")
+    mb.add_memory(1)
+    mb.add_global("g", "i32", 5)
+    mb.add_data(64, b"hi")
+    f = mb.function("addg", params=[("x", "i32")], results=["i32"], export=True)
+    f.get("x").emit("global.get", "g").emit("i32.add")
+    return mb.build()
+
+
+def test_builder_produces_valid_module():
+    module = _simple_module()
+    validate_module(module)
+    assert module.export_by_name("addg") is not None
+    assert module.export_by_name("memory") is not None
+    assert module.summary()["functions"] == 1
+
+
+def test_builder_rejects_duplicate_names_and_unknown_refs():
+    mb = ModuleBuilder()
+    mb.function("f")
+    with pytest.raises(BuildError):
+        mb.function("f")
+    g = mb.function("g")
+    g.call("nonexistent")
+    with pytest.raises(BuildError):
+        mb.build()
+    mb2 = ModuleBuilder()
+    mb2.add_memory(1)
+    with pytest.raises(BuildError):
+        mb2.add_memory(1)
+
+
+def test_builder_local_management():
+    mb = ModuleBuilder()
+    f = mb.function("f", params=[("a", "i32")])
+    idx = f.add_local("tmp", "f64")
+    assert idx == 1
+    with pytest.raises(BuildError):
+        f.add_local("tmp", "f64")
+    with pytest.raises(BuildError):
+        f.get("missing")
+
+
+# ------------------------------------------------------------------- round trip
+
+
+def test_encode_decode_roundtrip_preserves_structure():
+    module = _simple_module()
+    data = encode_module(module)
+    assert data[:4] == b"\x00asm"
+    decoded = decode_module(data)
+    validate_module(decoded)
+    assert decoded.summary()["functions"] == module.summary()["functions"]
+    assert [e.name for e in decoded.exports] == [e.name for e in module.exports]
+    assert decoded.functions[0].body[-1].name == module.functions[0].body[-1].name
+    assert decoded.data[0].data == b"hi"
+    # Round-tripping again is byte-stable.
+    assert encode_module(decoded) == data
+
+
+def test_decoder_rejects_garbage():
+    with pytest.raises(DecodeError):
+        decode_module(b"not a wasm module")
+    with pytest.raises(DecodeError):
+        decode_module(b"\x00asm\x02\x00\x00\x00")
+
+
+@given(st.integers(min_value=-100, max_value=100), st.integers(min_value=0, max_value=7))
+@settings(max_examples=50, deadline=None)
+def test_instruction_roundtrip_through_binary(const_value, local_index):
+    mb = ModuleBuilder()
+    mb.add_memory(1)
+    f = mb.function("f", params=[("a", "i32")] * (local_index + 1), results=["i32"], export=True)
+    f.i32_const(const_value).get(local_index).emit("i32.add")
+    module = mb.build()
+    decoded = decode_module(encode_module(module))
+    body = decoded.functions[0].body
+    assert body[0].operands[0] == const_value
+    assert body[1].operands[0] == local_index
+
+
+# ------------------------------------------------------------------------- WAT
+
+
+def test_wat_rendering_mentions_key_constructs():
+    module = _simple_module()
+    wat = module_to_wat(module)
+    assert wat.startswith("(module")
+    assert '(export "addg"' in wat
+    assert "i32.add" in wat
+    assert "(memory" in wat
+
+
+# ------------------------------------------------------------------ validation
+
+
+def test_validator_rejects_type_mismatch():
+    mb = ModuleBuilder()
+    f = mb.function("bad", results=["i32"])
+    f.f64_const(1.0)  # f64 left on the stack where an i32 result is required
+    with pytest.raises(ValidationError):
+        validate_module(mb.build())
+
+
+def test_validator_rejects_stack_underflow():
+    mb = ModuleBuilder()
+    f = mb.function("bad")
+    f.emit("i32.add")
+    with pytest.raises(ValidationError):
+        validate_module(mb.build())
+
+
+def test_validator_rejects_bad_local_and_branch_depth():
+    mb = ModuleBuilder()
+    f = mb.function("bad")
+    f.emit("local.get", 3)
+    with pytest.raises(ValidationError):
+        validate_module(mb.build())
+
+    mb2 = ModuleBuilder()
+    g = mb2.function("bad2")
+    g.emit("br", 4)
+    with pytest.raises(ValidationError):
+        validate_module(mb2.build())
+
+
+def test_validator_rejects_memory_ops_without_memory():
+    mb = ModuleBuilder()
+    f = mb.function("bad", results=["i32"])
+    f.i32_const(0).load("i32.load")
+    with pytest.raises(ValidationError):
+        validate_module(mb.build())
+
+
+def test_validator_accepts_unreachable_code():
+    mb = ModuleBuilder()
+    f = mb.function("ok", results=["i32"])
+    f.emit("unreachable")
+    f.emit("i32.add")  # dead code after unreachable is allowed to be polymorphic
+    validate_module(mb.build())
+
+
+def test_validator_rejects_duplicate_exports():
+    module = _simple_module()
+    module.exports.append(module.exports[0])
+    with pytest.raises(ValidationError):
+        validate_module(module)
+
+
+def test_functype_wat_and_valtype_helpers():
+    ft = FuncType.of(["i32", "f64"], ["i32"])
+    assert ft.wat() == "(param i32 f64) (result i32)"
+    assert ValType.from_byte(0x7F) is ValType.I32
+    with pytest.raises(ValueError):
+        ValType.from_byte(0x00)
