@@ -213,6 +213,27 @@ class NativeAPI:
         return {"source": status.source, "tag": status.tag, "error": status.error,
                 "count_bytes": status.count_bytes}
 
+    def waitany(self, requests) -> Tuple[int, Dict[str, int]]:
+        """``MPI_Waitany`` over host request objects."""
+        index, status = self.runtime.waitany(list(requests))
+        return index, {"source": status.source, "tag": status.tag, "error": status.error,
+                       "count_bytes": status.count_bytes}
+
+    def testall(self, requests) -> Tuple[bool, List[Dict[str, int]]]:
+        """``MPI_Testall`` over host request objects."""
+        flag, statuses = self.runtime.testall(list(requests))
+        rows = [{"source": s.source, "tag": s.tag, "error": s.error,
+                 "count_bytes": s.count_bytes} for s in statuses] if flag else []
+        return flag, rows
+
+    def set_collective_algorithm(self, collective: str, algorithm: Optional[str]) -> None:
+        """Force one collective's algorithm (``None`` restores the table)."""
+        self.runtime.world.collectives.force(collective, algorithm)
+
+    def collective_algorithm(self, collective: str) -> Optional[str]:
+        """The algorithm currently forced for ``collective`` (None = table)."""
+        return self.runtime.world.collectives.forced().get(collective)
+
     def barrier(self, comm: int = abi.MPI_COMM_WORLD) -> int:
         self.runtime.barrier(self._comm(comm))
         return abi.MPI_SUCCESS

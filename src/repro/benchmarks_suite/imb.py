@@ -38,6 +38,10 @@ ROUTINES = (
     "scatter",
 )
 
+#: IMB routines that exercise a collective (their names coincide with the
+#: collective the algorithm subsystem dispatches); used by the sweep mode.
+COLLECTIVE_ROUTINES = tuple(r for r in ROUTINES if r not in ("pingpong", "sendrecv"))
+
 
 def _stats(samples: List[float]) -> Dict[str, float]:
     return {
@@ -133,6 +137,60 @@ def make_imb_program(
         memory_pages=max(64, (max(message_sizes) * 4 // 65536) + 16),
         profile=PAPER_APPLICATIONS["IMB"],
         description=f"Intel MPI Benchmarks {routine} sweep",
+    )
+
+
+def make_imb_algorithm_sweep_program(
+    routine: str,
+    message_sizes: Sequence[int] = SMALL_MESSAGE_SIZES,
+    iterations: int = 4,
+    algorithms: Optional[Sequence[str]] = None,
+) -> GuestProgram:
+    """Build an IMB guest that re-runs one routine's sweep per algorithm.
+
+    The counterpart of benchmarking Open MPI under different
+    ``coll_tuned_*_algorithm`` MCA settings: for every registered algorithm of
+    the routine's collective the guest forces that algorithm (through the
+    selector shared by all ranks), runs the full message-size sweep, and
+    reports rows keyed ``algorithm -> size``.  The force is applied right
+    after a barrier so every rank switches at the same sequence point.
+    """
+    if routine not in COLLECTIVE_ROUTINES:
+        raise KeyError(
+            f"IMB routine {routine!r} has no collective to sweep; "
+            f"known: {sorted(COLLECTIVE_ROUTINES)}"
+        )
+    collective = routine
+
+    def main(api, args):
+        from repro.mpi.algorithms import registry as algo_registry
+
+        api.mpi_init()
+        names = list(algorithms or algo_registry.algorithms_for(collective))
+        # Restore any job-level force (REPRO_COLL_ALGO / config) afterwards
+        # instead of clearing it outright.
+        previous = api.collective_algorithm(collective)
+        per_algorithm: Dict[str, Dict[int, Dict[str, float]]] = {}
+        for name in names:
+            api.barrier()
+            api.set_collective_algorithm(collective, name)
+            per_algorithm[name] = _run_routine(api, routine, list(message_sizes), iterations)
+        api.barrier()
+        api.set_collective_algorithm(collective, previous)
+        if api.rank() == 0:
+            api.print(
+                f"# IMB {routine} algorithm sweep: {len(names)} algorithms x "
+                f"{len(message_sizes)} sizes"
+            )
+        api.mpi_finalize()
+        return {"routine": routine, "collective": collective, "algorithms": per_algorithm}
+
+    return GuestProgram(
+        name=f"imb-algosweep-{routine}",
+        main=main,
+        memory_pages=max(64, (max(message_sizes) * 8 // 65536) + 16),
+        profile=PAPER_APPLICATIONS["IMB"],
+        description=f"Intel MPI Benchmarks {routine} per-algorithm sweep",
     )
 
 

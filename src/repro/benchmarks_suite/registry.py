@@ -10,7 +10,13 @@ from typing import Callable, Dict, List
 
 from repro.benchmarks_suite.custom_pingpong import make_translation_pingpong_program
 from repro.benchmarks_suite.hpcg import make_hpcg_program
-from repro.benchmarks_suite.imb import ROUTINES, make_imb_program, make_imb_suite_program
+from repro.benchmarks_suite.imb import (
+    COLLECTIVE_ROUTINES,
+    ROUTINES,
+    make_imb_algorithm_sweep_program,
+    make_imb_program,
+    make_imb_suite_program,
+)
 from repro.benchmarks_suite.ior import make_ior_program
 from repro.benchmarks_suite.npb import DT_TOPOLOGIES, make_dt_program, make_is_program
 from repro.toolchain.guest import GuestProgram
@@ -24,6 +30,8 @@ def _register(name: str, factory: Callable[[], GuestProgram]) -> None:
 
 for _routine in ROUTINES:
     _register(_routine, lambda r=_routine: make_imb_program(r))
+for _routine in sorted(COLLECTIVE_ROUTINES):
+    _register(f"algosweep-{_routine}", lambda r=_routine: make_imb_algorithm_sweep_program(r))
 _register("imb-suite", make_imb_suite_program)
 _register("hpcg", make_hpcg_program)
 _register("ior", make_ior_program)

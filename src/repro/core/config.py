@@ -78,6 +78,11 @@ class EmbedderConfig:
     guest_args: Tuple[str, ...] = ()
     environ: Dict[str, str] = field(default_factory=dict)
     validate: bool = True
+    #: Forced collective algorithms, {collective: algorithm} -- the
+    #: programmatic equivalent of the ``REPRO_COLL_ALGO`` environment knob
+    #: (and it wins over the environment, like MCA parameters beat env vars
+    #: in Open MPI).  Empty means: let the decision table pick per call.
+    collective_algorithms: Dict[str, str] = field(default_factory=dict)
 
     def with_backend(self, backend: str) -> "EmbedderConfig":
         """Copy of this configuration using a different compiler back-end."""

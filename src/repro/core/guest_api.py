@@ -183,6 +183,49 @@ class GuestAPI:
         self._call("MPI_Wait", self._scratch_i32, self._scratch_status)
         return self.read_status(self._scratch_status)
 
+    def waitany(self, request_handles: Sequence[int]) -> Tuple[int, Dict[str, int]]:
+        """``MPI_Waitany`` on guest request handles.
+
+        Returns ``(index, status)``; the completed handle is released host
+        side (``MPI_UNDEFINED`` index when no handle was active).  Callers
+        iterating should treat the returned slot as ``MPI_REQUEST_NULL`` from
+        then on, exactly like the C API.
+        """
+        memory = self.instance.exported_memory()
+        n = len(request_handles)
+        arr_ptr = self.malloc(max(4 * n, 4))
+        for i, handle in enumerate(request_handles):
+            memory.store_int(arr_ptr + 4 * i, handle, 4)
+        self._call("MPI_Waitany", n, arr_ptr, self._scratch_i32, self._scratch_status)
+        index = int(memory.load_int(self._scratch_i32, 4, signed=True))
+        self.free(arr_ptr)
+        return index, self.read_status(self._scratch_status)
+
+    def testall(self, request_handles: Sequence[int]) -> Tuple[bool, List[Dict[str, int]]]:
+        """``MPI_Testall`` on guest request handles.
+
+        Returns ``(flag, statuses)``; when ``flag`` is true every handle has
+        been completed and released, and ``statuses`` has one entry per
+        handle.  When false, ``statuses`` is empty (the standard leaves them
+        undefined).
+        """
+        memory = self.instance.exported_memory()
+        n = len(request_handles)
+        arr_ptr = self.malloc(max(4 * n, 4))
+        statuses_ptr = self.malloc(max(abi.STATUS_SIZE_BYTES * n, 4))
+        for i, handle in enumerate(request_handles):
+            memory.store_int(arr_ptr + 4 * i, handle, 4)
+        self._call("MPI_Testall", n, arr_ptr, self._scratch_i32, statuses_ptr)
+        flag = bool(memory.load_int(self._scratch_i32, 4))
+        statuses = (
+            [self.read_status(statuses_ptr + abi.STATUS_SIZE_BYTES * i) for i in range(n)]
+            if flag
+            else []
+        )
+        self.free(statuses_ptr)
+        self.free(arr_ptr)
+        return flag, statuses
+
     def barrier(self, comm: int = abi.MPI_COMM_WORLD) -> int:
         """``MPI_Barrier``."""
         return self._call("MPI_Barrier", comm)
@@ -262,6 +305,22 @@ class GuestAPI:
         return self.instance.invoke(export_name, *args)
 
     # --------------------------------------------------------------- simulation
+
+    def set_collective_algorithm(self, collective: str, algorithm: Optional[str]) -> None:
+        """Force the algorithm used for one collective (``None`` restores the
+        decision table).
+
+        A simulator-side hook, not an MPI call: it is the in-run equivalent of
+        relaunching the job with ``REPRO_COLL_ALGO=collective:algorithm``.
+        Because the selector is shared by all ranks, call it at a point where
+        every rank is synchronised (e.g. straight after a barrier) and from
+        every rank, so each rank's subsequent collectives agree.
+        """
+        self.env.runtime.world.collectives.force(collective, algorithm)
+
+    def collective_algorithm(self, collective: str) -> Optional[str]:
+        """The algorithm currently forced for ``collective`` (None = table)."""
+        return self.env.runtime.world.collectives.forced().get(collective)
 
     def compute(self, seconds: float) -> None:
         """Advance this rank's virtual clock by modelled compute time.

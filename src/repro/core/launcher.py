@@ -84,6 +84,8 @@ def run_wasm(
     metrics = MetricsRegistry()
     world = MPIWorld.install(cluster, engine, metrics)
     embedder_config = config or EmbedderConfig()
+    if embedder_config.collective_algorithms:
+        world.collectives.force_many(embedder_config.collective_algorithms)
 
     compiled_app = app if isinstance(app, CompiledApplication) else compile_guest(app)
 
@@ -117,6 +119,7 @@ def run_native(
     machine: Union[str, MachinePreset] = "supermuc-ng",
     ranks_per_node: Optional[int] = None,
     guest_args: Sequence[str] = (),
+    collective_algorithms: Optional[Dict[str, str]] = None,
 ) -> JobResult:
     """Run the same guest program natively (no Wasm, no embedder)."""
     preset = _resolve_machine(machine)
@@ -124,6 +127,8 @@ def run_native(
     engine = SimEngine(nranks)
     metrics = MetricsRegistry()
     world = MPIWorld.install(cluster, engine, metrics)
+    if collective_algorithms:
+        world.collectives.force_many(collective_algorithms)
     program = app.program if isinstance(app, CompiledApplication) else app
 
     def make_rank_program(rank: int):
@@ -176,4 +181,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"machine={job.machine} makespan={job.makespan*1e6:.2f} us")
     if job.stdout:
         print(job.stdout, end="")
+    from repro.harness.report import format_collective_report
+
+    collective_report = format_collective_report(job.metrics)
+    if collective_report:
+        print(collective_report)
     return max(job.exit_codes(), default=0)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -80,6 +80,24 @@ def _write_status(instance: Instance, status_ptr: int, status: Status) -> None:
     memory.store_int(status_ptr + abi.STATUS_COUNT_OFFSET, status.count_bytes, 4)
 
 
+def _live_requests(env: Env, memory, requests_ptr: int, count: int):
+    """Collect the live host requests of a guest ``MPI_Request`` array.
+
+    Returns ``(requests, slots)`` where ``slots[i]`` is the array index of
+    ``requests[i]``; null and stale handles are skipped, as the array
+    functions require.
+    """
+    requests: List[Request] = []
+    slots: List[int] = []
+    for i in range(count):
+        handle = memory.load_int(requests_ptr + 4 * i, 4)
+        if handle == abi.MPI_REQUEST_NULL or not env.requests.contains(handle):
+            continue
+        requests.append(env.requests.lookup(handle))
+        slots.append(i)
+    return requests, slots
+
+
 def _wrap(env_fn: Callable) -> Callable:
     """Convert host-side MPI exceptions into guest-visible error codes."""
 
@@ -314,6 +332,54 @@ def build_mpi_imports() -> Dict[str, Callable]:
             memory.store_int(requests_ptr + 4 * i, abi.MPI_REQUEST_NULL, 4)
             if statuses_ptr not in (0, abi.MPI_STATUS_IGNORE):
                 _write_status(instance, statuses_ptr + abi.STATUS_SIZE_BYTES * i, status)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Waitany")
+    def mpi_waitany(instance, count, requests_ptr, index_ptr, status_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Waitany")
+        env.charge_overhead("MPI_Waitany", "MPI_BYTE", 0, n_datatype_args=0)
+        memory = instance.exported_memory()
+        count = _signed(count)
+        live, slots = _live_requests(env, memory, requests_ptr, count)
+        if not live:
+            memory.store_int(index_ptr, abi.MPI_UNDEFINED & 0xFFFFFFFF, 4)
+            _write_status(instance, status_ptr, Status())
+            return abi.MPI_SUCCESS
+        which, status = env.runtime.waitany(live)
+        slot = slots[which]
+        handle = memory.load_int(requests_ptr + 4 * slot, 4)
+        env.requests.release(handle)
+        memory.store_int(requests_ptr + 4 * slot, abi.MPI_REQUEST_NULL, 4)
+        memory.store_int(index_ptr, slot & 0xFFFFFFFF, 4)
+        _write_status(instance, status_ptr, status)
+        return abi.MPI_SUCCESS
+
+    @define("MPI_Testall")
+    def mpi_testall(instance, count, requests_ptr, flag_ptr, statuses_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Testall")
+        env.charge_overhead("MPI_Testall", "MPI_BYTE", 0, n_datatype_args=0)
+        memory = instance.exported_memory()
+        count = _signed(count)
+        live, slots = _live_requests(env, memory, requests_ptr, count)
+        flag, statuses = env.runtime.testall(live)
+        memory.store_int(flag_ptr, 1 if flag else 0, 4)
+        if flag:
+            # Release every completed request and write back null handles
+            # plus the statuses at their original slots.
+            by_slot = dict(zip(slots, statuses))
+            for i in range(count):
+                handle = memory.load_int(requests_ptr + 4 * i, 4)
+                if handle != abi.MPI_REQUEST_NULL and env.requests.contains(handle):
+                    env.requests.release(handle)
+                memory.store_int(requests_ptr + 4 * i, abi.MPI_REQUEST_NULL, 4)
+                if statuses_ptr not in (0, abi.MPI_STATUS_IGNORE):
+                    _write_status(
+                        instance,
+                        statuses_ptr + abi.STATUS_SIZE_BYTES * i,
+                        by_slot.get(i, Status()),
+                    )
         return abi.MPI_SUCCESS
 
     @define("MPI_Iprobe")

@@ -23,6 +23,7 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "figure6": experiments.figure6_translation_overhead,
     "figure7": experiments.figure7_faasm_comparison,
     "crosscheck": experiments.functional_crosscheck,
+    "algosweep": experiments.imb_algorithm_sweep,
 }
 
 
@@ -51,6 +52,17 @@ def _print_summary(name: str, result) -> None:
         print(format_table(["datatype", "avg translation (ns)"], rows))
     elif name == "figure7":
         print(f"MPIWasm vs Faasm PingPong GM speedup: {result['gm_speedup']:.2f}x")
+    elif name == "algosweep":
+        algorithms = sorted(result["series"])
+        rows = []
+        for size, best in result["best_per_size"].items():
+            timings = [f"{result['series'][a][size]['t_avg_us']:.2f}" for a in algorithms]
+            rows.append([size, *timings, best, result["table_choice_per_size"][size]])
+        print(format_table(
+            ["bytes", *[f"{a} (us)" for a in algorithms], "fastest", "table picks"],
+            rows,
+            title=f"IMB {result['routine']} x {result['nranks']} ranks on {result['machine']}",
+        ))
     else:
         print(json.dumps(result, indent=2, default=str)[:2000])
 

@@ -438,6 +438,57 @@ def figure7_faasm_comparison(
     }
 
 
+# ----------------------------------------------------- collective algorithms
+
+
+def imb_algorithm_sweep(
+    routine: str = "allreduce",
+    nranks: int = 5,
+    machine: str = "graviton2",
+    message_sizes: Sequence[int] = (256, 4096, 65536),
+    iterations: int = 2,
+    algorithms: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Functional IMB sweep over every registered algorithm of one collective.
+
+    The algorithm-selection analogue of the figure experiments: runs the IMB
+    routine once per algorithm (forced through the shared selector, the same
+    path ``REPRO_COLL_ALGO`` takes), reports the per-size timings, the
+    fastest algorithm per message size, and what the default decision table
+    would have picked -- so decision-table thresholds can be (re)calibrated
+    against measured behaviour.  The default 5 ranks deliberately exercise
+    the non-power-of-two code paths.
+    """
+    from repro.benchmarks_suite.imb import make_imb_algorithm_sweep_program
+    from repro.mpi.algorithms.decision import DecisionTable
+
+    program = make_imb_algorithm_sweep_program(
+        routine, message_sizes=message_sizes, iterations=iterations, algorithms=algorithms
+    )
+    job = run_wasm(program, nranks, machine=machine)
+    result = job.return_values()[0]
+    collective = result["collective"]
+    per_algorithm: Dict[str, Dict[int, Dict[str, float]]] = result["algorithms"]
+    table = DecisionTable()
+    best_per_size: Dict[int, str] = {}
+    table_choice_per_size: Dict[int, str] = {}
+    for size in message_sizes:
+        times = {name: rows[size]["t_avg_us"] for name, rows in per_algorithm.items()}
+        best_per_size[size] = min(times, key=times.get)
+        table_choice_per_size[size] = table.decide(collective, size, nranks)
+    return {
+        "routine": routine,
+        "collective": collective,
+        "machine": job.machine,
+        "nranks": nranks,
+        "mode": "functional",
+        "series": per_algorithm,
+        "best_per_size": best_per_size,
+        "table_choice_per_size": table_choice_per_size,
+        "collective_counters": job.metrics.collective_summary(),
+    }
+
+
 # ------------------------------------------------------------- functional runs
 
 

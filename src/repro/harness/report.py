@@ -55,6 +55,27 @@ def series_to_csv(series: Mapping[object, Mapping[str, object]], x_name: str = "
     return out.getvalue()
 
 
+def format_collective_report(metrics, title: str = "MPI collectives") -> str:
+    """Render the per-collective counters of a :class:`MetricsRegistry`.
+
+    One row per collective: rank-call count (each rank's participation counts
+    once, so a p-rank bcast shows p calls), payload bytes through each rank's
+    buffers summed over ranks, and the algorithms the decision layer chose
+    (with per-algorithm rank-call counts).  Returns an empty string when the
+    job ran no collectives.
+    """
+    summary = metrics.collective_summary()
+    if not summary:
+        return ""
+    rows = []
+    for collective, entry in summary.items():
+        algorithms = " ".join(
+            f"{name}:{count}" for name, count in sorted(entry["algorithms"].items())
+        )
+        rows.append([collective, entry["calls"], entry["bytes"], algorithms])
+    return format_table(["collective", "calls", "bytes", "algorithms"], rows, title=title)
+
+
 def rows_to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
     """Render header + rows as CSV text."""
     out = io.StringIO()

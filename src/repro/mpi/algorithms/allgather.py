@@ -1,0 +1,83 @@
+"""Allgather algorithms: ring and Bruck.
+
+Signature shared by every allgather algorithm::
+
+    fn(cc, sendbuf, recvbuf, nbytes_per_rank, seq) -> None
+"""
+
+from __future__ import annotations
+
+from repro.mpi.algorithms.base import KIND_ALLGATHER, CollectiveContext, coll_tag
+from repro.mpi.algorithms.registry import register
+
+
+@register("allgather", "ring")
+def allgather_ring(
+    cc: CollectiveContext,
+    sendbuf: bytes,
+    recvbuf: bytearray,
+    nbytes_per_rank: int,
+    seq: int,
+) -> None:
+    """Ring allgather: ``p - 1`` steps, each forwarding the next rank's block."""
+    p = cc.size
+    tag = coll_tag(KIND_ALLGATHER, seq)
+    recvbuf[cc.rank * nbytes_per_rank : (cc.rank + 1) * nbytes_per_rank] = sendbuf[
+        :nbytes_per_rank
+    ]
+    if p <= 1:
+        return
+    left = (cc.rank - 1) % p
+    right = (cc.rank + 1) % p
+    # At step s each rank forwards the block that originated at (rank - s) % p.
+    for step in range(p - 1):
+        send_origin = (cc.rank - step) % p
+        recv_origin = (cc.rank - step - 1) % p
+        block = bytes(
+            recvbuf[send_origin * nbytes_per_rank : (send_origin + 1) * nbytes_per_rank]
+        )
+        cc.send(right, tag + step, block)
+        incoming = cc.recv(left, tag + step, nbytes_per_rank)
+        recvbuf[
+            recv_origin * nbytes_per_rank : (recv_origin + 1) * nbytes_per_rank
+        ] = incoming
+
+
+@register("allgather", "bruck")
+def allgather_bruck(
+    cc: CollectiveContext,
+    sendbuf: bytes,
+    recvbuf: bytearray,
+    nbytes_per_rank: int,
+    seq: int,
+) -> None:
+    """Bruck allgather: ``ceil(log2 p)`` rounds of doubling block exchanges.
+
+    After the round at distance ``d``, position ``j`` of the rotated working
+    buffer holds the block that originated at rank ``(rank + j) % p`` for all
+    ``j < min(2d, p)``; a final rotation restores rank order.  Works for any
+    ``p`` and needs far fewer rounds than the ring for small blocks.
+    """
+    p = cc.size
+    b = nbytes_per_rank
+    rank = cc.rank
+    recvbuf[rank * b : (rank + 1) * b] = sendbuf[:b]
+    if p <= 1:
+        return
+    tag = coll_tag(KIND_ALLGATHER, seq)
+    tmp = bytearray(p * b)
+    tmp[0:b] = sendbuf[:b]
+    dist = 1
+    round_no = 0
+    while dist < p:
+        nblocks = min(dist, p - dist)
+        dst = (rank - dist) % p
+        src = (rank + dist) % p
+        cc.send(dst, tag + round_no, bytes(tmp[0 : nblocks * b]))
+        incoming = cc.recv(src, tag + round_no, nblocks * b)
+        tmp[dist * b : (dist + nblocks) * b] = incoming
+        dist <<= 1
+        round_no += 1
+    for j in range(p):
+        origin = (rank + j) % p
+        recvbuf[origin * b : (origin + 1) * b] = tmp[j * b : (j + 1) * b]

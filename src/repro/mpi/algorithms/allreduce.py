@@ -1,0 +1,161 @@
+"""Allreduce algorithms: recursive doubling, ring, and reduce+bcast.
+
+Signature shared by every allreduce algorithm::
+
+    fn(cc, sendbuf, recvbuf, count, datatype, op, seq) -> None
+"""
+
+from __future__ import annotations
+
+from repro.mpi.algorithms.base import (
+    KIND_ALLREDUCE,
+    CollectiveContext,
+    chunk_counts,
+    chunk_offsets,
+    coll_tag,
+    combine,
+    combine_segment,
+    largest_power_of_two_leq,
+)
+from repro.mpi.algorithms.registry import register
+from repro.mpi.algorithms.reduce import _absolute_rank, _fold_to_power_of_two
+from repro.mpi.datatypes import Datatype
+from repro.mpi.ops import Op
+
+# Tag offset for the post-phase that hands results back to folded-out ranks
+# (doubling rounds use offsets 1..log2(p), far below 63).
+_UNFOLD_TAG_OFFSET = 63
+
+
+@register("allreduce", "recursive_doubling")
+def allreduce_recursive_doubling(
+    cc: CollectiveContext,
+    sendbuf: bytes,
+    recvbuf: bytearray,
+    count: int,
+    datatype: Datatype,
+    op: Op,
+    seq: int,
+) -> None:
+    """Recursive-doubling allreduce: ``log2(p)`` full-vector exchanges.
+
+    Latency-optimal for short vectors.  Non-power-of-two sizes fold the extra
+    ranks into neighbours first and hand the result back afterwards.
+    """
+    p = cc.size
+    nbytes = count * datatype.size
+    acc = bytearray(sendbuf[:nbytes])
+    if p <= 1:
+        recvbuf[:nbytes] = acc
+        return
+
+    tag = coll_tag(KIND_ALLREDUCE, seq)
+    pof2 = largest_power_of_two_leq(p)
+    rem = p - pof2
+    vrank = _fold_to_power_of_two(cc, acc, count, datatype, op, tag, rem)
+
+    if vrank != -1:
+        mask = 1
+        round_no = 1
+        while mask < pof2:
+            partner = _absolute_rank(vrank ^ mask, rem)
+            cc.send(partner, tag + round_no, bytes(acc))
+            contribution = cc.recv(partner, tag + round_no, nbytes)
+            combine(cc, op, acc, contribution, datatype, count)
+            mask <<= 1
+            round_no += 1
+
+    # Post-phase: odd members of the folded pairs return the result.
+    rank = cc.rank
+    if rank < 2 * rem:
+        if rank % 2 == 1:
+            cc.send(rank - 1, tag + _UNFOLD_TAG_OFFSET, bytes(acc))
+        else:
+            acc = bytearray(cc.recv(rank + 1, tag + _UNFOLD_TAG_OFFSET, nbytes))
+    recvbuf[:nbytes] = acc
+
+
+@register("allreduce", "ring")
+def allreduce_ring(
+    cc: CollectiveContext,
+    sendbuf: bytes,
+    recvbuf: bytearray,
+    count: int,
+    datatype: Datatype,
+    op: Op,
+    seq: int,
+) -> None:
+    """Ring allreduce: ring reduce-scatter followed by ring allgather.
+
+    Bandwidth-optimal (~``2 * nbytes`` moved per rank independent of ``p``),
+    the algorithm behind large-message allreduce in Open MPI's tuned module
+    and in collective communication libraries for ML.  Works for any ``p``;
+    chunk boundaries follow the MPICH near-equal split.
+    """
+    p = cc.size
+    esize = datatype.size
+    nbytes = count * esize
+    acc = bytearray(sendbuf[:nbytes])
+    if p <= 1:
+        recvbuf[:nbytes] = acc
+        return
+
+    tag = coll_tag(KIND_ALLREDUCE, seq)
+    rank = cc.rank
+    right = (rank + 1) % p
+    left = (rank - 1) % p
+    cnts = chunk_counts(count, p)
+    offs = chunk_offsets(cnts)
+
+    def chunk(index: int) -> bytes:
+        lo = offs[index] * esize
+        return bytes(acc[lo : lo + cnts[index] * esize])
+
+    # Reduce-scatter: after step s this rank has combined s+1 contributions
+    # into chunk (rank - s - 1); after p-1 steps chunk (rank + 1) is complete.
+    for step in range(p - 1):
+        send_idx = (rank - step) % p
+        recv_idx = (rank - step - 1) % p
+        cc.send(right, tag + step, chunk(send_idx))
+        incoming = cc.recv(left, tag + step, cnts[recv_idx] * esize)
+        combine_segment(cc, op, acc, incoming, datatype, offs[recv_idx], cnts[recv_idx])
+
+    # Allgather: circulate the completed chunks around the ring.
+    for step in range(p - 1):
+        send_idx = (rank + 1 - step) % p
+        recv_idx = (rank - step) % p
+        cc.send(right, tag + (p - 1) + step, chunk(send_idx))
+        incoming = cc.recv(left, tag + (p - 1) + step, cnts[recv_idx] * esize)
+        lo = offs[recv_idx] * esize
+        acc[lo : lo + cnts[recv_idx] * esize] = incoming
+
+    recvbuf[:nbytes] = acc
+
+
+@register("allreduce", "reduce_bcast")
+def allreduce_reduce_bcast(
+    cc: CollectiveContext,
+    sendbuf: bytes,
+    recvbuf: bytearray,
+    count: int,
+    datatype: Datatype,
+    op: Op,
+    seq: int,
+) -> None:
+    """Allreduce composed from a binomial reduce-to-0 and a binomial bcast.
+
+    The textbook composition the original single-algorithm implementation
+    used; kept as a registered algorithm so the composition stays selectable
+    and comparable against the fused ones.
+    """
+    from repro.mpi.algorithms.bcast import bcast_binomial
+    from repro.mpi.algorithms.reduce import reduce_binomial
+
+    nbytes = count * datatype.size
+    tmp = bytearray(nbytes)
+    reduce_binomial(cc, sendbuf, tmp if cc.rank == 0 else None, count, datatype, op, 0, seq)
+    if cc.rank == 0:
+        recvbuf[:nbytes] = tmp
+    bcast_buf = bytearray(recvbuf[:nbytes]) if cc.rank == 0 else bytearray(nbytes)
+    bcast_binomial(cc, bcast_buf, nbytes, 0, seq)
+    recvbuf[:nbytes] = bcast_buf[:nbytes]

@@ -1,0 +1,70 @@
+"""Alltoall algorithms: pairwise exchange and basic linear.
+
+Signature shared by every alltoall algorithm::
+
+    fn(cc, sendbuf, recvbuf, nbytes_per_rank, seq) -> None
+"""
+
+from __future__ import annotations
+
+from repro.mpi.algorithms.base import KIND_ALLTOALL, CollectiveContext, coll_tag
+from repro.mpi.algorithms.registry import register
+
+
+@register("alltoall", "pairwise")
+def alltoall_pairwise(
+    cc: CollectiveContext,
+    sendbuf: bytes,
+    recvbuf: bytearray,
+    nbytes_per_rank: int,
+    seq: int,
+) -> None:
+    """Pairwise-exchange alltoall: ``p - 1`` shifted exchange steps.
+
+    At step ``s`` every rank sends to ``rank + s`` and receives from
+    ``rank - s``, so at most one message per rank is in flight per step --
+    the bandwidth-friendly schedule for large blocks.
+    """
+    p = cc.size
+    tag = coll_tag(KIND_ALLTOALL, seq)
+    # Local block copies directly.
+    recvbuf[cc.rank * nbytes_per_rank : (cc.rank + 1) * nbytes_per_rank] = sendbuf[
+        cc.rank * nbytes_per_rank : (cc.rank + 1) * nbytes_per_rank
+    ]
+    for step in range(1, p):
+        dst = (cc.rank + step) % p
+        src = (cc.rank - step) % p
+        block = bytes(sendbuf[dst * nbytes_per_rank : (dst + 1) * nbytes_per_rank])
+        cc.send(dst, tag + step, block)
+        incoming = cc.recv(src, tag + step, nbytes_per_rank)
+        recvbuf[src * nbytes_per_rank : (src + 1) * nbytes_per_rank] = incoming
+
+
+@register("alltoall", "linear")
+def alltoall_linear(
+    cc: CollectiveContext,
+    sendbuf: bytes,
+    recvbuf: bytearray,
+    nbytes_per_rank: int,
+    seq: int,
+) -> None:
+    """Basic linear alltoall: post every send up front, then drain receives.
+
+    Relies on the context's non-blocking sends (the matching engine buffers),
+    so all ``p - 1`` outgoing blocks are in flight at once -- the
+    latency-friendly schedule for small blocks.  Messages are distinguished
+    by source, so a single tag suffices.
+    """
+    p = cc.size
+    b = nbytes_per_rank
+    rank = cc.rank
+    tag = coll_tag(KIND_ALLTOALL, seq)
+    recvbuf[rank * b : (rank + 1) * b] = sendbuf[rank * b : (rank + 1) * b]
+    for peer in range(p):
+        if peer == rank:
+            continue
+        cc.send(peer, tag, bytes(sendbuf[peer * b : (peer + 1) * b]))
+    for peer in range(p):
+        if peer == rank:
+            continue
+        recvbuf[peer * b : (peer + 1) * b] = cc.recv(peer, tag, b)

@@ -1,0 +1,46 @@
+"""Barrier algorithms: dissemination and linear (central coordinator)."""
+
+from __future__ import annotations
+
+from repro.mpi.algorithms.base import KIND_BARRIER, CollectiveContext, coll_tag
+from repro.mpi.algorithms.registry import register
+
+
+@register("barrier", "dissemination")
+def barrier_dissemination(cc: CollectiveContext, seq: int) -> None:
+    """Dissemination barrier: ``ceil(log2 p)`` rounds of token exchange."""
+    p = cc.size
+    if p <= 1:
+        return
+    tag = coll_tag(KIND_BARRIER, seq)
+    step = 1
+    round_no = 0
+    while step < p:
+        dst = (cc.rank + step) % p
+        src = (cc.rank - step) % p
+        cc.send(dst, tag + round_no, b"")
+        cc.recv(src, tag + round_no, 0)
+        step <<= 1
+        round_no += 1
+
+
+@register("barrier", "linear")
+def barrier_linear(cc: CollectiveContext, seq: int) -> None:
+    """Linear barrier: rank 0 collects a token from everyone, then releases.
+
+    Two sequential fan-in/fan-out phases -- latency grows linearly with the
+    communicator size, but only ``2(p-1)`` messages total, which wins on very
+    small communicators.
+    """
+    p = cc.size
+    if p <= 1:
+        return
+    tag = coll_tag(KIND_BARRIER, seq)
+    if cc.rank == 0:
+        for src in range(1, p):
+            cc.recv(src, tag, 0)
+        for dst in range(1, p):
+            cc.send(dst, tag + 1, b"")
+    else:
+        cc.send(0, tag, b"")
+        cc.recv(0, tag + 1, 0)

@@ -1,0 +1,90 @@
+"""Broadcast algorithms: binomial tree and scatter-allgather (Van de Geijn).
+
+Signature shared by every bcast algorithm::
+
+    fn(cc, buffer, nbytes, root, seq) -> None
+
+``buffer`` is a ``bytearray`` holding the payload on the root and receiving
+it everywhere else.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.algorithms.base import KIND_BCAST, CollectiveContext, coll_tag
+from repro.mpi.algorithms.registry import register
+
+
+@register("bcast", "binomial")
+def bcast_binomial(cc: CollectiveContext, buffer: bytearray, nbytes: int, root: int, seq: int) -> None:
+    """Binomial-tree broadcast of ``nbytes`` from ``root`` into ``buffer``."""
+    p = cc.size
+    if p <= 1 or nbytes < 0:
+        return
+    tag = coll_tag(KIND_BCAST, seq)
+    vrank = (cc.rank - root) % p
+
+    # Phase 1: every rank except the root receives from its binomial parent.
+    # ``mask`` ends up at the bit position where this rank hangs off the tree
+    # (or at the first power of two >= p for the root).
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            parent = ((vrank - mask) + root) % p
+            data = cc.recv(parent, tag, nbytes)
+            buffer[:nbytes] = data
+            break
+        mask <<= 1
+    # Phase 2: forward to children at all lower bit positions.
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < p:
+            child = ((vrank + mask) + root) % p
+            cc.send(child, tag, bytes(buffer[:nbytes]))
+        mask >>= 1
+
+
+@register("bcast", "scatter_allgather")
+def bcast_scatter_allgather(cc: CollectiveContext, buffer: bytearray, nbytes: int, root: int, seq: int) -> None:
+    """Scatter-allgather broadcast (Van de Geijn): the root scatters the
+    payload into ``p`` blocks, then a ring allgather reassembles it everywhere.
+
+    Moves ~``2 * nbytes * (p-1)/p`` bytes per rank instead of the binomial
+    tree's ``nbytes * log2(p)`` at the root, which wins for large payloads.
+    Blocks are addressed in root-relative (virtual) rank order so any root
+    works; trailing blocks may be empty when ``nbytes < p``.
+    """
+    p = cc.size
+    if p <= 1 or nbytes <= 0:
+        return
+    tag = coll_tag(KIND_BCAST, seq)
+    vrank = (cc.rank - root) % p
+    blk = (nbytes + p - 1) // p
+
+    def span(v: int):
+        lo = min(v * blk, nbytes)
+        return lo, min(lo + blk, nbytes)
+
+    # Phase 1: linear scatter from the root -- virtual rank v gets block v.
+    if vrank == 0:
+        for v in range(1, p):
+            lo, hi = span(v)
+            cc.send((v + root) % p, tag, bytes(buffer[lo:hi]))
+    else:
+        lo, hi = span(vrank)
+        data = cc.recv(root, tag, hi - lo)
+        buffer[lo:hi] = data
+
+    # Phase 2: ring allgather of the blocks.  At step s each rank forwards the
+    # block that originated at virtual rank (vrank - s) and receives the one
+    # from (vrank - s - 1); neighbours in virtual-rank space map to the
+    # (rank +/- 1) ring in absolute ranks.
+    right = (cc.rank + 1) % p
+    left = (cc.rank - 1) % p
+    for step in range(p - 1):
+        send_v = (vrank - step) % p
+        recv_v = (vrank - step - 1) % p
+        slo, shi = span(send_v)
+        rlo, rhi = span(recv_v)
+        cc.send(right, tag + 1 + step, bytes(buffer[slo:shi]))
+        incoming = cc.recv(left, tag + 1 + step, rhi - rlo)
+        buffer[rlo:rhi] = incoming

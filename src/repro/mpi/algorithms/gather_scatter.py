@@ -1,0 +1,171 @@
+"""Gather and scatter algorithms: linear (root exchanges with every rank)
+and binomial tree (blocks aggregated/partitioned along subtrees).
+
+Signatures::
+
+    gather:  fn(cc, sendbuf, recvbuf, nbytes_per_rank, root, seq) -> None
+    scatter: fn(cc, sendbuf, recvbuf, nbytes_per_rank, root, seq) -> None
+
+For gather, ``recvbuf`` is a ``bytearray`` of ``p`` blocks on the root and
+``None`` elsewhere; for scatter, ``sendbuf`` is ``p`` blocks on the root and
+``None`` elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.mpi.algorithms.base import (
+    KIND_GATHER,
+    KIND_SCATTER,
+    CollectiveContext,
+    coll_tag,
+)
+from repro.mpi.algorithms.registry import register
+
+
+@register("gather", "linear")
+def gather_linear(
+    cc: CollectiveContext,
+    sendbuf: bytes,
+    recvbuf: Optional[bytearray],
+    nbytes_per_rank: int,
+    root: int,
+    seq: int,
+) -> None:
+    """Linear gather: every non-root rank sends its block to the root."""
+    p = cc.size
+    tag = coll_tag(KIND_GATHER, seq)
+    if cc.rank == root:
+        if recvbuf is None:
+            raise ValueError("root must supply a receive buffer to gather")
+        recvbuf[root * nbytes_per_rank : (root + 1) * nbytes_per_rank] = sendbuf[:nbytes_per_rank]
+        for src in range(p):
+            if src == root:
+                continue
+            block = cc.recv(src, tag, nbytes_per_rank)
+            recvbuf[src * nbytes_per_rank : (src + 1) * nbytes_per_rank] = block
+    else:
+        cc.send(root, tag, bytes(sendbuf[:nbytes_per_rank]))
+
+
+@register("gather", "binomial")
+def gather_binomial(
+    cc: CollectiveContext,
+    sendbuf: bytes,
+    recvbuf: Optional[bytearray],
+    nbytes_per_rank: int,
+    root: int,
+    seq: int,
+) -> None:
+    """Binomial-tree gather: subtree blocks are aggregated on the way up.
+
+    The subtree hanging off virtual rank ``v`` at bit position ``m`` covers
+    the contiguous virtual-rank range ``[v, min(v + m, p))``, so every
+    internal node forwards one packed message per child instead of the root
+    receiving ``p - 1`` individual blocks.
+    """
+    p = cc.size
+    b = nbytes_per_rank
+    tag = coll_tag(KIND_GATHER, seq)
+    vrank = (cc.rank - root) % p
+    blocks: Dict[int, bytes] = {vrank: bytes(sendbuf[:b])}
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            parent = ((vrank - mask) + root) % p
+            span = min(mask, p - vrank)
+            payload = b"".join(blocks[v] for v in range(vrank, vrank + span))
+            cc.send(parent, tag, payload)
+            break
+        vchild = vrank | mask
+        if vchild < p:
+            span = min(mask, p - vchild)
+            data = cc.recv((vchild + root) % p, tag, span * b)
+            for i in range(span):
+                blocks[vchild + i] = bytes(data[i * b : (i + 1) * b])
+        mask <<= 1
+    if vrank == 0:
+        if recvbuf is None:
+            raise ValueError("root must supply a receive buffer to gather")
+        for v in range(p):
+            absolute = (v + root) % p
+            recvbuf[absolute * b : (absolute + 1) * b] = blocks[v]
+
+
+@register("scatter", "linear")
+def scatter_linear(
+    cc: CollectiveContext,
+    sendbuf: Optional[bytes],
+    recvbuf: bytearray,
+    nbytes_per_rank: int,
+    root: int,
+    seq: int,
+) -> None:
+    """Linear scatter: the root sends one block to every other rank."""
+    p = cc.size
+    tag = coll_tag(KIND_SCATTER, seq)
+    if cc.rank == root:
+        if sendbuf is None:
+            raise ValueError("root must supply a send buffer to scatter")
+        recvbuf[:nbytes_per_rank] = sendbuf[
+            root * nbytes_per_rank : (root + 1) * nbytes_per_rank
+        ]
+        for dst in range(p):
+            if dst == root:
+                continue
+            block = bytes(sendbuf[dst * nbytes_per_rank : (dst + 1) * nbytes_per_rank])
+            cc.send(dst, tag, block)
+    else:
+        data = cc.recv(root, tag, nbytes_per_rank)
+        recvbuf[:nbytes_per_rank] = data
+
+
+@register("scatter", "binomial")
+def scatter_binomial(
+    cc: CollectiveContext,
+    sendbuf: Optional[bytes],
+    recvbuf: bytearray,
+    nbytes_per_rank: int,
+    root: int,
+    seq: int,
+) -> None:
+    """Binomial-tree scatter: the mirror of the binomial gather.
+
+    Each rank receives the packed blocks of its whole subtree from its parent
+    and forwards the halves belonging to its children, so the root injects
+    ``log2(p)`` messages instead of ``p - 1``.
+    """
+    p = cc.size
+    b = nbytes_per_rank
+    tag = coll_tag(KIND_SCATTER, seq)
+    vrank = (cc.rank - root) % p
+
+    blocks: Dict[int, bytes] = {}
+    if vrank == 0:
+        if sendbuf is None:
+            raise ValueError("root must supply a send buffer to scatter")
+        for v in range(p):
+            absolute = (v + root) % p
+            blocks[v] = bytes(sendbuf[absolute * b : (absolute + 1) * b])
+    # Phase 1: receive this rank's subtree from the binomial parent.
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            parent = ((vrank - mask) + root) % p
+            span = min(mask, p - vrank)
+            data = cc.recv(parent, tag, span * b)
+            for i in range(span):
+                blocks[vrank + i] = bytes(data[i * b : (i + 1) * b])
+            break
+        mask <<= 1
+    # Phase 2: forward each child its sub-range.
+    mask >>= 1
+    while mask > 0:
+        vchild = vrank + mask
+        if vchild < p:
+            span = min(mask, p - vchild)
+            payload = b"".join(blocks[v] for v in range(vchild, vchild + span))
+            cc.send((vchild + root) % p, tag, payload)
+        mask >>= 1
+    recvbuf[:b] = blocks[vrank]

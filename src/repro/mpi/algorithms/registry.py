@@ -1,0 +1,76 @@
+"""Registry of collective algorithms, keyed by ``(collective, algorithm)``.
+
+Mirrors the structure of Open MPI's ``coll`` framework: each collective
+operation has several interchangeable algorithm implementations registered
+under short names (``"binomial"``, ``"ring"``, ...), and a decision layer
+(:mod:`repro.mpi.algorithms.decision`) picks one per call based on message
+size and communicator size -- unless an override forces a specific one.
+
+Algorithm functions share a fixed signature per collective (see the
+individual modules); all of them operate on a
+:class:`repro.mpi.algorithms.base.CollectiveContext`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+#: The collectives the subsystem dispatches.
+COLLECTIVES = (
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "alltoall",
+)
+
+
+class UnknownAlgorithmError(KeyError):
+    """Raised when a (collective, algorithm) pair is not registered."""
+
+
+_REGISTRY: Dict[Tuple[str, str], Callable] = {}
+
+
+def register(collective: str, name: str) -> Callable[[Callable], Callable]:
+    """Decorator registering ``fn`` as algorithm ``name`` of ``collective``."""
+    if collective not in COLLECTIVES:
+        raise ValueError(f"unknown collective {collective!r}; known: {COLLECTIVES}")
+
+    def decorator(fn: Callable) -> Callable:
+        key = (collective, name)
+        if key in _REGISTRY:
+            raise ValueError(f"algorithm {name!r} already registered for {collective!r}")
+        _REGISTRY[key] = fn
+        return fn
+
+    return decorator
+
+
+def get(collective: str, name: str) -> Callable:
+    """Look up the implementation of algorithm ``name`` for ``collective``."""
+    try:
+        return _REGISTRY[(collective, name)]
+    except KeyError:
+        known = algorithms_for(collective)
+        raise UnknownAlgorithmError(
+            f"no algorithm {name!r} for collective {collective!r}; known: {known}"
+        ) from None
+
+
+def algorithms_for(collective: str) -> List[str]:
+    """Names of every algorithm registered for ``collective``."""
+    return sorted(n for (c, n) in _REGISTRY if c == collective)
+
+
+def is_registered(collective: str, name: str) -> bool:
+    """Whether ``(collective, name)`` is a registered algorithm."""
+    return (collective, name) in _REGISTRY
+
+
+def catalog() -> Dict[str, List[str]]:
+    """Snapshot of the full registry: collective -> algorithm names."""
+    return {collective: algorithms_for(collective) for collective in COLLECTIVES}

@@ -1,16 +1,12 @@
-"""Algorithmic implementations of the MPI collectives.
+"""Dispatcher for the MPI collectives.
 
-Every collective is built on top of the point-to-point engine, using the
-textbook algorithms the closed-form cost model in
-:class:`repro.sim.network.CollectiveCostModel` describes:
-
-* ``barrier``    -- dissemination,
-* ``bcast``      -- binomial tree,
-* ``reduce``     -- binomial tree (children combined into the parent),
-* ``allreduce``  -- reduce followed by broadcast,
-* ``gather`` / ``scatter`` -- linear (root exchanges with every other rank),
-* ``allgather``  -- ring,
-* ``alltoall``   -- pairwise exchange.
+The algorithm implementations live in :mod:`repro.mpi.algorithms` -- a
+registry of interchangeable algorithms per collective (at least two each,
+mirroring Open MPI's ``tuned`` module) plus a size-based decision layer.
+This module is the thin call surface the per-rank runtime uses: each function
+accepts an ``algorithm`` name and forwards to the registered implementation,
+defaulting to the algorithm the original single-algorithm implementation
+hardwired so direct callers keep their historical behaviour.
 
 The functions operate on raw byte buffers; element interpretation (for the
 reduction collectives) comes from the datatype argument.  Successive
@@ -21,112 +17,54 @@ to call collectives in the same order, so the sequence numbers agree.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
-import numpy as np
-
+from repro.mpi.algorithms import registry
+from repro.mpi.algorithms.base import (
+    COLL_TAG_BASE as _COLL_TAG_BASE,  # noqa: F401  (re-exported for compat)
+    COLL_TAG_MOD as _COLL_TAG_MOD,  # noqa: F401
+    KIND_ALLGATHER,
+    KIND_ALLREDUCE,
+    KIND_ALLTOALL,
+    KIND_BARRIER,
+    KIND_BCAST,
+    KIND_GATHER,
+    KIND_REDUCE,
+    KIND_SCATTER,
+    CollectiveContext,
+    coll_tag as _coll_tag,
+)
 from repro.mpi.datatypes import Datatype
 from repro.mpi.ops import Op
 
-# Tag space reserved for collectives (user tags are non-negative and small).
-_COLL_TAG_BASE = 1 << 24
-_COLL_TAG_MOD = 1 << 20
+__all__ = [
+    "CollectiveContext",
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "alltoall",
+]
 
 
-def _coll_tag(kind: int, seq: int) -> int:
-    """Tag for the ``seq``-th collective of a given kind on a communicator."""
-    return _COLL_TAG_BASE + kind * _COLL_TAG_MOD + (seq % _COLL_TAG_MOD)
+def barrier(cc: CollectiveContext, seq: int, algorithm: str = "dissemination") -> None:
+    """Barrier through the selected algorithm."""
+    registry.get("barrier", algorithm)(cc, seq)
 
 
-# Kind identifiers (kept distinct so different collectives never cross-match).
-KIND_BARRIER = 0
-KIND_BCAST = 1
-KIND_REDUCE = 2
-KIND_GATHER = 3
-KIND_SCATTER = 4
-KIND_ALLGATHER = 5
-KIND_ALLTOALL = 6
-KIND_ALLREDUCE = 7
-
-
-class CollectiveContext:
-    """Bundle of callables the collectives need from the per-rank runtime.
-
-    ``send(dst_local, tag, data)`` and ``recv(src_local, tag, nbytes) -> bytes``
-    operate on *communicator-local* ranks; the runtime translates to world
-    ranks and forwards to the matching engine.  ``compute(seconds)`` charges
-    local computation time (used for the combine step of reductions).
-    """
-
-    def __init__(
-        self,
-        rank: int,
-        size: int,
-        send: Callable[[int, int, bytes], None],
-        recv: Callable[[int, int, int], bytes],
-        compute: Callable[[float], None],
-        reduce_compute_per_byte: float = 0.04e-9,
-    ):
-        self.rank = rank
-        self.size = size
-        self.send = send
-        self.recv = recv
-        self.compute = compute
-        self.reduce_compute_per_byte = reduce_compute_per_byte
-
-
-# ----------------------------------------------------------------------- barrier
-
-
-def barrier(cc: CollectiveContext, seq: int) -> None:
-    """Dissemination barrier: ``ceil(log2 p)`` rounds of token exchange."""
-    p = cc.size
-    if p <= 1:
-        return
-    tag = _coll_tag(KIND_BARRIER, seq)
-    step = 1
-    round_no = 0
-    while step < p:
-        dst = (cc.rank + step) % p
-        src = (cc.rank - step) % p
-        cc.send(dst, tag + round_no, b"")
-        cc.recv(src, tag + round_no, 0)
-        step <<= 1
-        round_no += 1
-
-
-# ------------------------------------------------------------------------ bcast
-
-
-def bcast(cc: CollectiveContext, buffer: bytearray, nbytes: int, root: int, seq: int) -> None:
-    """Binomial-tree broadcast of ``nbytes`` from ``root`` into ``buffer``."""
-    p = cc.size
-    if p <= 1 or nbytes < 0:
-        return
-    tag = _coll_tag(KIND_BCAST, seq)
-    vrank = (cc.rank - root) % p
-
-    # Phase 1: every rank except the root receives from its binomial parent.
-    # ``mask`` ends up at the bit position where this rank hangs off the tree
-    # (or at the first power of two >= p for the root).
-    mask = 1
-    while mask < p:
-        if vrank & mask:
-            parent = ((vrank - mask) + root) % p
-            data = cc.recv(parent, tag, nbytes)
-            buffer[:nbytes] = data
-            break
-        mask <<= 1
-    # Phase 2: forward to children at all lower bit positions.
-    mask >>= 1
-    while mask > 0:
-        if vrank + mask < p:
-            child = ((vrank + mask) + root) % p
-            cc.send(child, tag, bytes(buffer[:nbytes]))
-        mask >>= 1
-
-
-# ----------------------------------------------------------------------- reduce
+def bcast(
+    cc: CollectiveContext,
+    buffer: bytearray,
+    nbytes: int,
+    root: int,
+    seq: int,
+    algorithm: str = "binomial",
+) -> None:
+    """Broadcast ``nbytes`` from ``root`` into ``buffer``."""
+    registry.get("bcast", algorithm)(cc, buffer, nbytes, root, seq)
 
 
 def reduce(
@@ -138,33 +76,10 @@ def reduce(
     op: Op,
     root: int,
     seq: int,
+    algorithm: str = "binomial",
 ) -> None:
-    """Binomial-tree reduction of ``count`` elements to ``root``."""
-    p = cc.size
-    nbytes = count * datatype.size
-    acc = bytearray(sendbuf[:nbytes])
-    if p > 1:
-        tag = _coll_tag(KIND_REDUCE, seq)
-        vrank = (cc.rank - root) % p
-        mask = 1
-        while mask < p:
-            if vrank & mask:
-                parent = ((vrank & ~mask) + root) % p
-                cc.send(parent, tag, bytes(acc))
-                break
-            else:
-                vchild = vrank | mask
-                if vchild < p:
-                    child = (vchild + root) % p
-                    contribution = cc.recv(child, tag, nbytes)
-                    op.reduce_bytes(acc, contribution, datatype, count)
-                    cc.compute(nbytes * cc.reduce_compute_per_byte)
-            mask <<= 1
-    if cc.rank == root and recvbuf is not None:
-        recvbuf[:nbytes] = acc
-
-
-# -------------------------------------------------------------------- allreduce
+    """Reduce ``count`` elements to ``root``."""
+    registry.get("reduce", algorithm)(cc, sendbuf, recvbuf, count, datatype, op, root, seq)
 
 
 def allreduce(
@@ -175,19 +90,10 @@ def allreduce(
     datatype: Datatype,
     op: Op,
     seq: int,
+    algorithm: str = "reduce_bcast",
 ) -> None:
-    """Allreduce implemented as reduce-to-0 followed by broadcast."""
-    nbytes = count * datatype.size
-    tmp = bytearray(nbytes)
-    reduce(cc, sendbuf, tmp if cc.rank == 0 else None, count, datatype, op, 0, seq)
-    if cc.rank == 0:
-        recvbuf[:nbytes] = tmp
-    bcast_buf = bytearray(recvbuf[:nbytes]) if cc.rank == 0 else bytearray(nbytes)
-    bcast(cc, bcast_buf, nbytes, 0, seq)
-    recvbuf[:nbytes] = bcast_buf[:nbytes]
-
-
-# ---------------------------------------------------------------- gather/scatter
+    """Allreduce ``count`` elements into every rank's ``recvbuf``."""
+    registry.get("allreduce", algorithm)(cc, sendbuf, recvbuf, count, datatype, op, seq)
 
 
 def gather(
@@ -197,21 +103,10 @@ def gather(
     nbytes_per_rank: int,
     root: int,
     seq: int,
+    algorithm: str = "linear",
 ) -> None:
-    """Linear gather: every non-root rank sends its block to the root."""
-    p = cc.size
-    tag = _coll_tag(KIND_GATHER, seq)
-    if cc.rank == root:
-        if recvbuf is None:
-            raise ValueError("root must supply a receive buffer to gather")
-        recvbuf[root * nbytes_per_rank : (root + 1) * nbytes_per_rank] = sendbuf[:nbytes_per_rank]
-        for src in range(p):
-            if src == root:
-                continue
-            block = cc.recv(src, tag, nbytes_per_rank)
-            recvbuf[src * nbytes_per_rank : (src + 1) * nbytes_per_rank] = block
-    else:
-        cc.send(root, tag, bytes(sendbuf[:nbytes_per_rank]))
+    """Gather one block per rank to ``root``."""
+    registry.get("gather", algorithm)(cc, sendbuf, recvbuf, nbytes_per_rank, root, seq)
 
 
 def scatter(
@@ -221,27 +116,10 @@ def scatter(
     nbytes_per_rank: int,
     root: int,
     seq: int,
+    algorithm: str = "linear",
 ) -> None:
-    """Linear scatter: the root sends one block to every other rank."""
-    p = cc.size
-    tag = _coll_tag(KIND_SCATTER, seq)
-    if cc.rank == root:
-        if sendbuf is None:
-            raise ValueError("root must supply a send buffer to scatter")
-        recvbuf[:nbytes_per_rank] = sendbuf[
-            root * nbytes_per_rank : (root + 1) * nbytes_per_rank
-        ]
-        for dst in range(p):
-            if dst == root:
-                continue
-            block = bytes(sendbuf[dst * nbytes_per_rank : (dst + 1) * nbytes_per_rank])
-            cc.send(dst, tag, block)
-    else:
-        data = cc.recv(root, tag, nbytes_per_rank)
-        recvbuf[:nbytes_per_rank] = data
-
-
-# -------------------------------------------------------------------- allgather
+    """Scatter one block per rank from ``root``."""
+    registry.get("scatter", algorithm)(cc, sendbuf, recvbuf, nbytes_per_rank, root, seq)
 
 
 def allgather(
@@ -250,32 +128,10 @@ def allgather(
     recvbuf: bytearray,
     nbytes_per_rank: int,
     seq: int,
+    algorithm: str = "ring",
 ) -> None:
-    """Ring allgather: ``p - 1`` steps, each forwarding the next rank's block."""
-    p = cc.size
-    tag = _coll_tag(KIND_ALLGATHER, seq)
-    recvbuf[cc.rank * nbytes_per_rank : (cc.rank + 1) * nbytes_per_rank] = sendbuf[
-        :nbytes_per_rank
-    ]
-    if p <= 1:
-        return
-    left = (cc.rank - 1) % p
-    right = (cc.rank + 1) % p
-    # At step s each rank forwards the block that originated at (rank - s) % p.
-    for step in range(p - 1):
-        send_origin = (cc.rank - step) % p
-        recv_origin = (cc.rank - step - 1) % p
-        block = bytes(
-            recvbuf[send_origin * nbytes_per_rank : (send_origin + 1) * nbytes_per_rank]
-        )
-        cc.send(right, tag + step, block)
-        incoming = cc.recv(left, tag + step, nbytes_per_rank)
-        recvbuf[
-            recv_origin * nbytes_per_rank : (recv_origin + 1) * nbytes_per_rank
-        ] = incoming
-
-
-# --------------------------------------------------------------------- alltoall
+    """Allgather one block per rank into every rank's ``recvbuf``."""
+    registry.get("allgather", algorithm)(cc, sendbuf, recvbuf, nbytes_per_rank, seq)
 
 
 def alltoall(
@@ -284,18 +140,7 @@ def alltoall(
     recvbuf: bytearray,
     nbytes_per_rank: int,
     seq: int,
+    algorithm: str = "pairwise",
 ) -> None:
-    """Pairwise-exchange alltoall of one block per peer."""
-    p = cc.size
-    tag = _coll_tag(KIND_ALLTOALL, seq)
-    # Local block copies directly.
-    recvbuf[cc.rank * nbytes_per_rank : (cc.rank + 1) * nbytes_per_rank] = sendbuf[
-        cc.rank * nbytes_per_rank : (cc.rank + 1) * nbytes_per_rank
-    ]
-    for step in range(1, p):
-        dst = (cc.rank + step) % p
-        src = (cc.rank - step) % p
-        block = bytes(sendbuf[dst * nbytes_per_rank : (dst + 1) * nbytes_per_rank])
-        cc.send(dst, tag + step, block)
-        incoming = cc.recv(src, tag + step, nbytes_per_rank)
-        recvbuf[src * nbytes_per_rank : (src + 1) * nbytes_per_rank] = incoming
+    """Alltoall of one block per peer."""
+    registry.get("alltoall", algorithm)(cc, sendbuf, recvbuf, nbytes_per_rank, seq)

@@ -23,6 +23,7 @@ import numpy as np
 from repro.mpi import collectives as coll
 from repro.mpi import datatypes as dts
 from repro.mpi import ops as mpi_ops
+from repro.mpi.algorithms.decision import CollectiveSelector
 from repro.mpi.communicator import (
     Communicator,
     Group,
@@ -87,6 +88,9 @@ class MPIWorld:
         # Per-element combine cost used by reduction collectives.
         self.reduce_compute_per_byte = 0.04e-9
         self.finalized_ranks: set = set()
+        # Collective-algorithm selection, shared by all ranks of the job
+        # (decision table + REPRO_COLL_ALGO / config overrides).
+        self.collectives = CollectiveSelector.from_env()
 
     @classmethod
     def install(cls, cluster: Cluster, engine: SimEngine, metrics: Optional[MetricsRegistry] = None) -> "MPIWorld":
@@ -364,6 +368,86 @@ class MPIRuntime:
         """``MPI_Waitall``."""
         return [self.wait(r) for r in requests]
 
+    def test(self, request: Request) -> Tuple[bool, Status]:
+        """``MPI_Test``: non-blocking completion check.
+
+        Completes the request (performing the deferred receive) if a matching
+        message is already buffered; never blocks.
+        """
+        self._require_init()
+        if request.complete:
+            if request in self._active_requests:
+                self._active_requests.remove(request)
+            return True, request.status
+        if request.kind == "irecv":
+            buf, count, datatype, source, tag, comm = request._recv_args  # type: ignore[attr-defined]
+            comm = comm or self.comm_world
+            # A PROC_NULL receive completes immediately (recv handles it below).
+            if source != PROC_NULL:
+                src_world = ANY_SOURCE if source == ANY_SOURCE else comm.world_rank(source)
+                if not self.world.matching.has_match(self.rank_world, comm.context_id, src_world, tag):
+                    return False, Status()
+            status = self.recv(buf, count, datatype, source, tag, comm)
+            request.mark_complete(status)
+            if request in self._active_requests:
+                self._active_requests.remove(request)
+            return True, status
+        request.mark_complete()
+        return True, request.status
+
+    #: Bounded busy-wait budget of ``waitany`` before it falls back to a
+    #: blocking wait (which integrates with the engine's deadlock detection).
+    WAITANY_SPIN_LIMIT = 1024
+
+    def waitany(self, requests: List[Request]) -> Tuple[int, Status]:
+        """``MPI_Waitany``: block until one request completes.
+
+        Returns ``(index, status)`` of the completed request, or
+        ``(-1, empty status)`` when no request is active (``MPI_UNDEFINED``).
+        While no request is ready the rank nudges its virtual clock forward
+        one tick and yields, letting other ranks post their sends; after
+        :data:`WAITANY_SPIN_LIMIT` fruitless rounds it blocks on the first
+        active request so a genuine deadlock is still detected.
+        """
+        self._require_init()
+        active = [i for i, r in enumerate(requests) if r.kind != "null"]
+        if not active:
+            return -1, Status()
+        for _ in range(self.WAITANY_SPIN_LIMIT):
+            for i in active:
+                flag, status = self.test(requests[i])
+                if flag:
+                    return i, status
+            self.ctx.advance(self.wtick())
+            self.ctx.yield_turn()
+        first = active[0]
+        return first, self.wait(requests[first])
+
+    def testall(self, requests: List[Request]) -> Tuple[bool, List[Status]]:
+        """``MPI_Testall``: complete every request if all can complete now.
+
+        Returns ``(True, statuses)`` when every request is complete after the
+        call; otherwise ``(False, statuses)`` where only already-completed
+        requests carry a meaningful status (the MPI standard leaves statuses
+        undefined when ``flag`` is false).
+        """
+        self._require_init()
+
+        def attempt() -> bool:
+            done = True
+            for r in requests:
+                if not self.test(r)[0]:
+                    done = False
+            return done
+
+        if not attempt():
+            # Give other ranks a chance to post their sends, then re-check
+            # (the same courtesy yield iprobe performs).
+            self.ctx.yield_turn()
+            if not attempt():
+                return False, [r.status if r.complete else Status() for r in requests]
+        return True, [r.status for r in requests]
+
     def iprobe(
         self, source: int, tag: int, comm: Optional[Communicator] = None
     ) -> Tuple[bool, Status]:
@@ -387,6 +471,25 @@ class MPIRuntime:
         seq = self._coll_seq.get(comm.context_id, 0)
         self._coll_seq[comm.context_id] = seq + 1
         return seq
+
+    def _select_algorithm(
+        self, collective: str, comm: Communicator, nbytes: int,
+        bytes_moved: Optional[int] = None,
+    ) -> str:
+        """Pick the algorithm for one collective call and record the counters.
+
+        Selection is a pure function of (collective, message size,
+        communicator size) -- every rank computes the same answer, which is
+        what keeps the chosen wire protocols in agreement without
+        negotiation.  ``bytes_moved`` is the payload passing through *this
+        rank's* buffers (defaults to ``nbytes``); e.g. a gather root counts
+        ``p`` blocks while a leaf counts one.
+        """
+        algorithm = self.world.collectives.decide(collective, nbytes, comm.size)
+        self.world.metrics.record_collective(
+            collective, algorithm, nbytes if bytes_moved is None else bytes_moved
+        )
+        return algorithm
 
     def _collective_context(self, comm: Communicator) -> coll.CollectiveContext:
         local_rank = self.comm_rank(comm)
@@ -432,7 +535,8 @@ class MPIRuntime:
         """``MPI_Barrier``."""
         self._require_init()
         comm = comm or self.comm_world
-        coll.barrier(self._collective_context(comm), self._next_seq(comm))
+        algorithm = self._select_algorithm("barrier", comm, 0)
+        coll.barrier(self._collective_context(comm), self._next_seq(comm), algorithm=algorithm)
 
     def bcast(
         self,
@@ -449,7 +553,11 @@ class MPIRuntime:
         nbytes = count * datatype.size
         view = _writable(buf, nbytes, "bcast") if nbytes > 0 else memoryview(bytearray(0))
         tmp = bytearray(view.tobytes()) if nbytes > 0 else bytearray(0)
-        coll.bcast(self._collective_context(comm), tmp, nbytes, root, self._next_seq(comm))
+        algorithm = self._select_algorithm("bcast", comm, nbytes)
+        coll.bcast(
+            self._collective_context(comm), tmp, nbytes, root, self._next_seq(comm),
+            algorithm=algorithm,
+        )
         if nbytes > 0:
             view[:nbytes] = tmp[:nbytes]
 
@@ -470,8 +578,10 @@ class MPIRuntime:
         nbytes = count * datatype.size
         send_bytes = _readable(sendbuf, nbytes, "reduce send")
         out = bytearray(nbytes) if self.comm_rank(comm) == root else None
+        algorithm = self._select_algorithm("reduce", comm, nbytes)
         coll.reduce(
-            self._collective_context(comm), send_bytes, out, count, datatype, op, root, self._next_seq(comm)
+            self._collective_context(comm), send_bytes, out, count, datatype, op, root,
+            self._next_seq(comm), algorithm=algorithm,
         )
         if out is not None and recvbuf is not None and nbytes > 0:
             _writable(recvbuf, nbytes, "reduce recv")[:nbytes] = out
@@ -491,8 +601,10 @@ class MPIRuntime:
         nbytes = count * datatype.size
         send_bytes = _readable(sendbuf, nbytes, "allreduce send")
         out = bytearray(nbytes)
+        algorithm = self._select_algorithm("allreduce", comm, nbytes)
         coll.allreduce(
-            self._collective_context(comm), send_bytes, out, count, datatype, op, self._next_seq(comm)
+            self._collective_context(comm), send_bytes, out, count, datatype, op,
+            self._next_seq(comm), algorithm=algorithm,
         )
         if nbytes > 0:
             _writable(recvbuf, nbytes, "allreduce recv")[:nbytes] = out
@@ -516,7 +628,14 @@ class MPIRuntime:
         send_bytes = _readable(sendbuf, nbytes, "gather send")
         is_root = self.comm_rank(comm) == root
         out = bytearray(nbytes * comm.size) if is_root else None
-        coll.gather(self._collective_context(comm), send_bytes, out, nbytes, root, self._next_seq(comm))
+        algorithm = self._select_algorithm(
+            "gather", comm, nbytes,
+            bytes_moved=nbytes * comm.size if is_root else nbytes,
+        )
+        coll.gather(
+            self._collective_context(comm), send_bytes, out, nbytes, root,
+            self._next_seq(comm), algorithm=algorithm,
+        )
         if is_root and recvbuf is not None:
             total = recvcount * recvtype.size * comm.size
             _writable(recvbuf, total, "gather recv")[: nbytes * comm.size] = out
@@ -542,7 +661,14 @@ class MPIRuntime:
             _readable(sendbuf, nbytes * comm.size, "scatter send") if is_root and sendbuf is not None else None
         )
         out = bytearray(nbytes)
-        coll.scatter(self._collective_context(comm), send_bytes, out, nbytes, root, self._next_seq(comm))
+        algorithm = self._select_algorithm(
+            "scatter", comm, nbytes,
+            bytes_moved=nbytes * comm.size if is_root else nbytes,
+        )
+        coll.scatter(
+            self._collective_context(comm), send_bytes, out, nbytes, root,
+            self._next_seq(comm), algorithm=algorithm,
+        )
         _writable(recvbuf, nbytes, "scatter recv")[:nbytes] = out
 
     def allgather(
@@ -561,7 +687,11 @@ class MPIRuntime:
         nbytes = sendcount * sendtype.size
         send_bytes = _readable(sendbuf, nbytes, "allgather send")
         out = bytearray(nbytes * comm.size)
-        coll.allgather(self._collective_context(comm), send_bytes, out, nbytes, self._next_seq(comm))
+        algorithm = self._select_algorithm("allgather", comm, nbytes, bytes_moved=nbytes * comm.size)
+        coll.allgather(
+            self._collective_context(comm), send_bytes, out, nbytes,
+            self._next_seq(comm), algorithm=algorithm,
+        )
         _writable(recvbuf, nbytes * comm.size, "allgather recv")[: nbytes * comm.size] = out
 
     def alltoall(
@@ -580,7 +710,11 @@ class MPIRuntime:
         nbytes = sendcount * sendtype.size
         send_bytes = _readable(sendbuf, nbytes * comm.size, "alltoall send")
         out = bytearray(nbytes * comm.size)
-        coll.alltoall(self._collective_context(comm), send_bytes, out, nbytes, self._next_seq(comm))
+        algorithm = self._select_algorithm("alltoall", comm, nbytes, bytes_moved=nbytes * comm.size)
+        coll.alltoall(
+            self._collective_context(comm), send_bytes, out, nbytes,
+            self._next_seq(comm), algorithm=algorithm,
+        )
         _writable(recvbuf, nbytes * comm.size, "alltoall recv")[: nbytes * comm.size] = out
 
     def _check_root(self, comm: Communicator, root: int) -> None:
@@ -599,7 +733,8 @@ class MPIRuntime:
         seq = self._next_seq(comm)
         context_id = (comm.context_id + 1) * 10_000 + seq
         # A dup is collective: synchronise so no rank races ahead.
-        coll.barrier(self._collective_context(comm), seq)
+        algorithm = self._select_algorithm("barrier", comm, 0)
+        coll.barrier(self._collective_context(comm), seq, algorithm=algorithm)
         return Communicator(comm.group, name=f"{comm.name}.dup", context_id=context_id)
 
     def comm_split(
@@ -616,7 +751,8 @@ class MPIRuntime:
             self.world.split_coordinators[coord_key] = coord
         coord.contribute(self.rank_world, color, key)
         # Synchronise: everyone must have contributed before anyone proceeds.
-        coll.barrier(self._collective_context(comm), seq)
+        algorithm = self._select_algorithm("barrier", comm, 0)
+        coll.barrier(self._collective_context(comm), seq, algorithm=algorithm)
         return coord.communicator_for(self.rank_world)
 
     def comm_free(self, comm: Communicator) -> None:

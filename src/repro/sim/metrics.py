@@ -101,6 +101,43 @@ class MetricsRegistry:
         """Snapshot of all counters."""
         return dict(self._counters)
 
+    # ------------------------------------------------------------- collectives
+
+    COLLECTIVE_PREFIX = "mpi.coll."
+
+    def record_collective(self, collective: str, algorithm: str, nbytes: int) -> None:
+        """Count one rank's collective invocation: calls, bytes, algorithm.
+
+        The host MPI runtime calls this once *per rank* per collective with
+        the algorithm the decision layer picked, so counts aggregated across
+        a job are rank-calls (a p-rank bcast records p calls), matching how
+        per-rank MPI profiling interfaces count.
+        """
+        prefix = f"{self.COLLECTIVE_PREFIX}{collective}"
+        self.increment(f"{prefix}.calls")
+        self.increment(f"{prefix}.bytes", max(int(nbytes), 0))
+        self.increment(f"{prefix}.algo.{algorithm}")
+
+    def collective_summary(self) -> Dict[str, Dict[str, object]]:
+        """Aggregate the per-collective counters back into structured rows.
+
+        Returns ``{collective: {"calls": int, "bytes": int,
+        "algorithms": {name: calls}}}`` sorted by collective name.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for name, value in self._counters.items():
+            if not name.startswith(self.COLLECTIVE_PREFIX):
+                continue
+            collective, _, metric = name[len(self.COLLECTIVE_PREFIX):].partition(".")
+            entry = out.setdefault(collective, {"calls": 0, "bytes": 0, "algorithms": {}})
+            if metric == "calls":
+                entry["calls"] = value
+            elif metric == "bytes":
+                entry["bytes"] = value
+            elif metric.startswith("algo."):
+                entry["algorithms"][metric[len("algo."):]] = value  # type: ignore[index]
+        return {name: out[name] for name in sorted(out)}
+
     # ----------------------------------------------------------------- series
 
     def record(self, name: str, value: float) -> None:

@@ -158,6 +158,8 @@ MPI_SIGNATURES: Dict[str, Tuple[List[str], List[str]]] = {
     "MPI_Irecv": (["i32", "i32", "i32", "i32", "i32", "i32", "i32"], ["i32"]),
     "MPI_Wait": (["i32", "i32"], ["i32"]),
     "MPI_Waitall": (["i32", "i32", "i32"], ["i32"]),
+    "MPI_Waitany": (["i32", "i32", "i32", "i32"], ["i32"]),
+    "MPI_Testall": (["i32", "i32", "i32", "i32"], ["i32"]),
     "MPI_Iprobe": (["i32", "i32", "i32", "i32", "i32"], ["i32"]),
     "MPI_Barrier": (["i32"], ["i32"]),
     "MPI_Bcast": (["i32", "i32", "i32", "i32", "i32"], ["i32"]),
