@@ -1,137 +1,17 @@
-"""Ahead-of-time compilation cache (§3.3).
+"""Backwards-compatible façade for the AoT compilation cache (§3.3).
 
-MPIWasm offsets the LLVM back-end's long compile times by caching the
-generated shared object in the filesystem, keyed by a Blake-3 hash of the
-Wasm module.  The analogue here caches each back-end's compilation artifact
-(generated Python source for LLVM, control maps for Cranelift) keyed by a
-``blake2b`` hash of the module bytes -- Blake-3 is not packaged offline, and
-the only property used is collision-resistant content addressing, so the
-substitution is behaviour-preserving (documented in DESIGN.md).
+The cache implementation moved next to the compiler back-ends it serves --
+see :mod:`repro.wasm.compilers.cache`, which keys artifacts on module bytes +
+back-end + IR version and is shared by all three back-ends since the lowering
+refactor.  This module re-exports the public names so existing imports keep
+working.
 """
 
-from __future__ import annotations
+from repro.wasm.compilers.cache import (  # noqa: F401
+    GLOBAL_CACHE,
+    FileSystemCache,
+    InMemoryCache,
+    module_hash,
+)
 
-import hashlib
-import json
-import pickle
-from pathlib import Path
-from typing import Dict, Optional, Tuple
-
-from repro.wasm.compilers import CompiledModule, get_backend
-from repro.wasm.module import Module
-
-
-def module_hash(wasm_bytes: bytes, backend_name: str) -> str:
-    """Content hash of a module + back-end combination (the cache key)."""
-    h = hashlib.blake2b(digest_size=32)
-    h.update(backend_name.encode("utf-8"))
-    h.update(b"\x00")
-    h.update(wasm_bytes)
-    return h.hexdigest()
-
-
-class FileSystemCache:
-    """Filesystem-backed cache of compilation artifacts.
-
-    Any change to the module bytes changes the hash, which transparently
-    triggers recompilation; repeated executions of the same application hit
-    the cache and skip the compile step entirely.
-    """
-
-    def __init__(self, directory: Path | str):
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        self.hits = 0
-        self.misses = 0
-
-    def _path(self, key: str) -> Path:
-        return self.directory / f"{key}.mpiwasm"
-
-    def contains(self, key: str) -> bool:
-        """Whether an artifact for ``key`` is cached."""
-        return self._path(key).exists()
-
-    def store(self, key: str, compiled: CompiledModule) -> Path:
-        """Persist a compilation artifact under ``key``."""
-        payload = {
-            "backend": compiled.backend_name,
-            "compile_seconds": compiled.compile_seconds,
-            "function_count": compiled.function_count,
-            "artifact": compiled.artifact,
-        }
-        path = self._path(key)
-        with open(path, "wb") as fh:
-            pickle.dump(payload, fh)
-        return path
-
-    def load(self, key: str, module: Module) -> Optional[CompiledModule]:
-        """Load a cached artifact for ``key`` (``None`` on miss)."""
-        path = self._path(key)
-        if not path.exists():
-            self.misses += 1
-            return None
-        with open(path, "rb") as fh:
-            payload = pickle.load(fh)
-        self.hits += 1
-        return CompiledModule(
-            backend_name=payload["backend"],
-            module=module,
-            compile_seconds=0.0,  # cache hits skip compilation
-            artifact=payload["artifact"],
-            function_count=payload["function_count"],
-        )
-
-    def entries(self) -> Dict[str, int]:
-        """Cache entries and their sizes in bytes."""
-        return {p.stem: p.stat().st_size for p in self.directory.glob("*.mpiwasm")}
-
-    def clear(self) -> int:
-        """Delete all cached artifacts; returns the number removed."""
-        removed = 0
-        for p in self.directory.glob("*.mpiwasm"):
-            p.unlink()
-            removed += 1
-        return removed
-
-
-class InMemoryCache:
-    """Process-local artifact cache used when no cache directory is configured."""
-
-    def __init__(self) -> None:
-        self._store: Dict[str, CompiledModule] = {}
-        self.hits = 0
-        self.misses = 0
-
-    def contains(self, key: str) -> bool:
-        """Whether an artifact for ``key`` is cached."""
-        return key in self._store
-
-    def store(self, key: str, compiled: CompiledModule) -> None:
-        """Keep a compilation artifact in memory."""
-        self._store[key] = compiled
-
-    def load(self, key: str, module: Module) -> Optional[CompiledModule]:
-        """Load a cached artifact (``None`` on miss)."""
-        cached = self._store.get(key)
-        if cached is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return CompiledModule(
-            backend_name=cached.backend_name,
-            module=module,
-            compile_seconds=0.0,
-            artifact=cached.artifact,
-            function_count=cached.function_count,
-        )
-
-    def clear(self) -> int:
-        """Drop everything; returns the number of entries removed."""
-        n = len(self._store)
-        self._store.clear()
-        return n
-
-
-#: Process-wide shared cache used by default (one per Python process, like the
-#: per-node cache directory MPIWasm uses).
-GLOBAL_CACHE = InMemoryCache()
+__all__ = ["FileSystemCache", "InMemoryCache", "GLOBAL_CACHE", "module_hash"]

@@ -9,6 +9,7 @@ Figure 6 measures).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -69,7 +70,14 @@ class EmbedderConfig:
     compiler_backend: str = "llvm"
     #: Directories exposed to the module: (guest path, writable).
     preopen_dirs: Tuple[Tuple[str, bool], ...] = (("/work", True),)
-    cache_dir: Optional[str] = None
+    #: On-disk AoT cache directory (the paper's per-node cache, §3.3).  The
+    #: ``REPRO_CACHE_DIR`` environment variable provides the default; ``None``
+    #: falls back to the process-wide in-memory cache.  Clear a directory
+    #: cache with ``FileSystemCache(path).clear()`` or by deleting the
+    #: ``*.mpiwasm`` files.
+    cache_dir: Optional[str] = field(
+        default_factory=lambda: os.environ.get("REPRO_CACHE_DIR") or None
+    )
     enable_cache: bool = True
     memory_pages: Optional[int] = None       # override the module's declared minimum
     max_call_depth: int = 256

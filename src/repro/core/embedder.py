@@ -18,7 +18,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.core.cache import GLOBAL_CACHE, FileSystemCache, InMemoryCache, module_hash
+from repro.wasm.compilers.cache import (
+    GLOBAL_CACHE,
+    FileSystemCache,
+    InMemoryCache,
+    module_hash,
+)
 from repro.core.config import EmbedderConfig
 from repro.core.env import Env
 from repro.core.guest_api import GuestAPI
@@ -76,6 +81,8 @@ class MPIWasm:
         if self.config.validate:
             validate_module(module)
         backend = get_backend(self.config.compiler_backend)
+        # Content-addressed key: module bytes + back-end + IR version, so an
+        # IR format change transparently invalidates stale artifacts.
         key = module_hash(wasm_bytes, backend.name)
         if self.config.enable_cache:
             cached = self.cache.load(key, module)
@@ -121,6 +128,7 @@ class MPIWasm:
             imports.register_module(ns, wasi_imports._functions[ns])  # noqa: SLF001
 
         executor = compiled.make_executor()
+        executor.configure(max_call_depth=self.config.max_call_depth)
         instance = Instance(
             compiled.module,
             imports,
@@ -146,6 +154,8 @@ class MPIWasm:
         compiled = self.compile_application(app)
         cache_hit = self.last_cache_hit
         instance, env, api = self.instantiate(compiled, runtime, guest_args)
+        env.metrics.record_cache_event(cache_hit)
+        env.metrics.record("wasm.compile_seconds", compiled.compile_seconds)
         start_virtual = runtime.ctx.now
         exit_code = 0
         return_value: object = None

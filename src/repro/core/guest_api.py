@@ -183,6 +183,23 @@ class GuestAPI:
         self._call("MPI_Wait", self._scratch_i32, self._scratch_status)
         return self.read_status(self._scratch_status)
 
+    def test(self, request_handle: int) -> Tuple[bool, Optional[Dict[str, int]]]:
+        """``MPI_Test`` on a guest request handle (never blocks).
+
+        Returns ``(flag, status)``; when ``flag`` is true the request has
+        completed and been released host side -- treat the handle as
+        ``MPI_REQUEST_NULL`` from then on, exactly like the C API.  When
+        false, ``status`` is ``None`` (the standard leaves it undefined).
+        """
+        memory = self.instance.exported_memory()
+        memory.store_int(self._scratch_i32, request_handle, 4)
+        flag_ptr = self._scratch_i32 + 4
+        self._call("MPI_Test", self._scratch_i32, flag_ptr, self._scratch_status)
+        flag = bool(memory.load_int(flag_ptr, 4))
+        if not flag:
+            return False, None
+        return True, self.read_status(self._scratch_status)
+
     def waitany(self, request_handles: Sequence[int]) -> Tuple[int, Dict[str, int]]:
         """``MPI_Waitany`` on guest request handles.
 

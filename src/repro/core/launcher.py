@@ -181,11 +181,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"machine={job.machine} makespan={job.makespan*1e6:.2f} us")
     if job.stdout:
         print(job.stdout, end="")
-    from repro.harness.report import format_collective_report
+    from repro.harness.report import format_cache_report, format_collective_report
 
     collective_report = format_collective_report(job.metrics)
     if collective_report:
         print(collective_report)
+    cache_report = format_cache_report(job.metrics)
+    if cache_report:
+        print(cache_report)
     return max(job.exit_codes(), default=0)
 
 

@@ -298,6 +298,27 @@ def build_mpi_imports() -> Dict[str, Callable]:
         instance.exported_memory().store_int(request_ptr, handle, 4)
         return abi.MPI_SUCCESS
 
+    @define("MPI_Test")
+    def mpi_test(instance, request_ptr, flag_ptr, status_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Test")
+        env.charge_overhead("MPI_Test", "MPI_BYTE", 0, n_datatype_args=0)
+        memory = instance.exported_memory()
+        handle = memory.load_int(request_ptr, 4)
+        if handle == abi.MPI_REQUEST_NULL or not env.requests.contains(handle):
+            # Null/stale requests test as complete with an empty status.
+            memory.store_int(flag_ptr, 1, 4)
+            _write_status(instance, status_ptr, Status())
+            return abi.MPI_SUCCESS
+        request: Request = env.requests.lookup(handle)
+        flag, status = env.runtime.test(request)
+        memory.store_int(flag_ptr, 1 if flag else 0, 4)
+        if flag:
+            env.requests.release(handle)
+            memory.store_int(request_ptr, abi.MPI_REQUEST_NULL, 4)
+            _write_status(instance, status_ptr, status)
+        return abi.MPI_SUCCESS
+
     @define("MPI_Wait")
     def mpi_wait(instance, request_ptr, status_ptr):
         env = _env_of(instance)

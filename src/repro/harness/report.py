@@ -76,6 +76,20 @@ def format_collective_report(metrics, title: str = "MPI collectives") -> str:
     return format_table(["collective", "calls", "bytes", "algorithms"], rows, title=title)
 
 
+def format_cache_report(metrics, title: str = "AoT compilation cache") -> str:
+    """Render the embedder's compilation-cache counters.
+
+    One row summarising hits, misses and the hit rate across every rank's
+    compile step (ranks after the first hit the shared artifact, §3.3).
+    Returns an empty string when no cache lookups were recorded.
+    """
+    summary = metrics.cache_summary()
+    if not summary["hits"] and not summary["misses"]:
+        return ""
+    rows = [[summary["hits"], summary["misses"], f"{summary['hit_rate']:.1%}"]]
+    return format_table(["hits", "misses", "hit rate"], rows, title=title)
+
+
 def rows_to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
     """Render header + rows as CSV text."""
     out = io.StringIO()

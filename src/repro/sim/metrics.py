@@ -138,6 +138,29 @@ class MetricsRegistry:
                 entry["algorithms"][metric[len("algo."):]] = value  # type: ignore[index]
         return {name: out[name] for name in sorted(out)}
 
+    # ------------------------------------------------------ compilation cache
+
+    CACHE_PREFIX = "wasm.cache."
+
+    def record_cache_event(self, hit: bool) -> None:
+        """Count one AoT-cache lookup (the embedder calls this per compile)."""
+        self.increment(f"{self.CACHE_PREFIX}{'hit' if hit else 'miss'}")
+
+    def cache_summary(self) -> Dict[str, float]:
+        """Aggregate the AoT compilation-cache counters.
+
+        Returns ``{"hits": int, "misses": int, "hit_rate": float}``; the rate
+        is 0.0 when no lookups were recorded.
+        """
+        hits = self.counter(f"{self.CACHE_PREFIX}hit")
+        misses = self.counter(f"{self.CACHE_PREFIX}miss")
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+        }
+
     # ----------------------------------------------------------------- series
 
     def record(self, name: str, value: float) -> None:

@@ -156,6 +156,7 @@ MPI_SIGNATURES: Dict[str, Tuple[List[str], List[str]]] = {
     ),
     "MPI_Isend": (["i32", "i32", "i32", "i32", "i32", "i32", "i32"], ["i32"]),
     "MPI_Irecv": (["i32", "i32", "i32", "i32", "i32", "i32", "i32"], ["i32"]),
+    "MPI_Test": (["i32", "i32", "i32"], ["i32"]),
     "MPI_Wait": (["i32", "i32"], ["i32"]),
     "MPI_Waitall": (["i32", "i32", "i32"], ["i32"]),
     "MPI_Waitany": (["i32", "i32", "i32", "i32"], ["i32"]),

@@ -3,20 +3,22 @@
 MPIWasm (like Wasmer) can translate Wasm to executable form with one of three
 back-ends -- Singlepass, Cranelift, or LLVM -- trading compile time for run
 time (Table 1 of the paper).  The analogues here share that exact trade-off
-structure:
+structure, all rebased on the pre-resolved IR of :mod:`repro.wasm.lowering`:
 
 * :class:`repro.wasm.compilers.singlepass.SinglepassBackend` does essentially
-  no ahead-of-time work and interprets the structured instruction stream,
-  resolving control-flow matches by scanning at run time,
+  no ahead-of-time work; its executor lowers each function lazily on first
+  call,
 * :class:`repro.wasm.compilers.cranelift.CraneliftBackend` spends compile time
-  pre-resolving control flow and pre-indexing function metadata,
-* :class:`repro.wasm.compilers.llvm.LLVMBackend` translates every function
-  body into generated Python source (its "shared object"), pays the largest
-  compile cost and runs fastest.
+  eagerly lowering every function body (pre-resolved handlers, jump offsets
+  and superinstructions),
+* :class:`repro.wasm.compilers.llvm.LLVMBackend` consumes the lowered IR as
+  the input to its Python code generator (its "shared object"), pays the
+  largest compile cost and runs fastest.
 
-All three produce a :class:`CompiledModule` artifact that records what was
-produced and how long compilation took; the artifact is what the embedder's
-filesystem cache stores (§3.3).
+All three produce a :class:`CompiledModule` whose ``artifact`` is a
+*serializable* payload -- what the content-addressed cache in
+:mod:`repro.wasm.compilers.cache` stores on disk (§3.3), stamped with the IR
+version so format changes invalidate stale entries.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Type
 
+from repro.wasm.lowering import IR_VERSION
 from repro.wasm.module import Module
 from repro.wasm.runtime import Executor
 
@@ -33,10 +36,11 @@ from repro.wasm.runtime import Executor
 class CompiledModule:
     """Result of ahead-of-time compiling a module with one back-end.
 
-    ``artifact`` is back-end specific: ``None`` for Singlepass, the control
-    maps for Cranelift, and the generated Python source text for LLVM (the
-    analogue of the shared object Wasmer's LLVM backend emits, which is what
-    gets cached on disk).
+    ``artifact`` is back-end specific but always plain serializable data: a
+    summary record for Singlepass, the serialized lowered IR for Cranelift,
+    and the generated Python source for LLVM (the analogue of the shared
+    object Wasmer's LLVM backend emits).  ``ir_version`` stamps the lowered
+    representation the artifact was produced against.
     """
 
     backend_name: str
@@ -44,6 +48,7 @@ class CompiledModule:
     compile_seconds: float
     artifact: Optional[object] = None
     function_count: int = 0
+    ir_version: int = IR_VERSION
 
     def make_executor(self) -> Executor:
         """Build a fresh executor bound to this compiled artifact."""
@@ -67,6 +72,7 @@ class CompilerBackend:
             compile_seconds=elapsed,
             artifact=artifact,
             function_count=len(module.functions),
+            ir_version=IR_VERSION,
         )
 
     def _compile(self, module: Module) -> Optional[object]:

@@ -1,0 +1,164 @@
+"""Content-addressed ahead-of-time compilation cache (§3.3).
+
+MPIWasm offsets the LLVM back-end's long compile times by caching the
+generated shared object in the filesystem, keyed by a Blake-3 hash of the
+Wasm module.  Since the lowering refactor *every* back-end produces a
+serializable artifact (lowered IR for the interpreting back-ends, generated
+Python source for LLVM), so the cache is useful for all three -- repeated
+launches of the same application skip lowering and code generation entirely.
+
+Keys are a ``blake2b`` hash over module bytes + back-end name + IR version
+(Blake-3 is not packaged offline; the only property used is collision-
+resistant content addressing, so the substitution is behaviour-preserving).
+Including :data:`repro.wasm.lowering.IR_VERSION` in the key means an IR
+format change transparently invalidates stale artifacts instead of loading
+them into a newer runtime.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.wasm.compilers.base import CompiledModule
+from repro.wasm.lowering import IR_VERSION
+from repro.wasm.module import Module
+
+
+def module_hash(wasm_bytes: bytes, backend_name: str, ir_version: int = IR_VERSION) -> str:
+    """Content hash of a (module bytes, back-end, IR version) combination."""
+    h = hashlib.blake2b(digest_size=32)
+    h.update(backend_name.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(str(ir_version).encode("ascii"))
+    h.update(b"\x00")
+    h.update(wasm_bytes)
+    return h.hexdigest()
+
+
+class _CacheStatsMixin:
+    """Hit/miss accounting shared by both cache flavours."""
+
+    hits: int
+    misses: int
+
+    def stats(self) -> Dict[str, int]:
+        """Counters in the shape the metrics registry and reports consume."""
+        return {"hits": self.hits, "misses": self.misses}
+
+
+class FileSystemCache(_CacheStatsMixin):
+    """Filesystem-backed cache of compilation artifacts.
+
+    Any change to the module bytes (or the back-end, or the IR version)
+    changes the hash, which transparently triggers recompilation; repeated
+    executions of the same application hit the cache and skip the compile
+    step entirely.
+    """
+
+    def __init__(self, directory: Union[Path, str]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.mpiwasm"
+
+    def contains(self, key: str) -> bool:
+        """Whether an artifact for ``key`` is cached."""
+        return self._path(key).exists()
+
+    def store(self, key: str, compiled: CompiledModule) -> Path:
+        """Persist a compilation artifact under ``key``."""
+        payload = {
+            "backend": compiled.backend_name,
+            "ir_version": compiled.ir_version,
+            "compile_seconds": compiled.compile_seconds,
+            "function_count": compiled.function_count,
+            "artifact": compiled.artifact,
+        }
+        path = self._path(key)
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+        return path
+
+    def load(self, key: str, module: Module) -> Optional[CompiledModule]:
+        """Load a cached artifact for ``key`` (``None`` on miss)."""
+        path = self._path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        if payload.get("ir_version", IR_VERSION) != IR_VERSION:
+            # Stale artifact from an older IR: treat as a miss and recompile.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return CompiledModule(
+            backend_name=payload["backend"],
+            module=module,
+            compile_seconds=0.0,  # cache hits skip compilation
+            artifact=payload["artifact"],
+            function_count=payload["function_count"],
+            ir_version=payload.get("ir_version", IR_VERSION),
+        )
+
+    def entries(self) -> Dict[str, int]:
+        """Cache entries and their sizes in bytes."""
+        return {p.stem: p.stat().st_size for p in self.directory.glob("*.mpiwasm")}
+
+    def clear(self) -> int:
+        """Delete all cached artifacts; returns the number removed."""
+        removed = 0
+        for p in self.directory.glob("*.mpiwasm"):
+            p.unlink()
+            removed += 1
+        return removed
+
+
+class InMemoryCache(_CacheStatsMixin):
+    """Process-local artifact cache used when no cache directory is configured."""
+
+    def __init__(self) -> None:
+        self._store: Dict[str, CompiledModule] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def contains(self, key: str) -> bool:
+        """Whether an artifact for ``key`` is cached."""
+        return key in self._store
+
+    def store(self, key: str, compiled: CompiledModule) -> None:
+        """Keep a compilation artifact in memory."""
+        self._store[key] = compiled
+
+    def load(self, key: str, module: Module) -> Optional[CompiledModule]:
+        """Load a cached artifact (``None`` on miss)."""
+        cached = self._store.get(key)
+        if cached is None or cached.ir_version != IR_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return CompiledModule(
+            backend_name=cached.backend_name,
+            module=module,
+            compile_seconds=0.0,
+            artifact=cached.artifact,
+            function_count=cached.function_count,
+            ir_version=cached.ir_version,
+        )
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries removed."""
+        n = len(self._store)
+        self._store.clear()
+        return n
+
+
+#: Process-wide shared cache used by default (one per Python process, like the
+#: per-node cache directory MPIWasm uses).
+GLOBAL_CACHE = InMemoryCache()

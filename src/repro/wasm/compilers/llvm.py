@@ -1,13 +1,15 @@
-"""LLVM back-end: translate function bodies to generated Python source.
+"""LLVM back-end: translate lowered function bodies to generated Python source.
 
 Wasmer's LLVM back-end lowers Wasm through LLVM-IR into an optimised shared
-object that is later ``dlopen``-ed.  The analogue here lowers every function
-body into Python source code (the module's "shared object"), compiles it with
-``compile``/``exec`` once, and thereafter executes plain Python functions with
-no per-instruction dispatch -- the slowest back-end to compile and the fastest
-to run, reproducing the LLVM row of Table 1.  The generated source is a plain
-string, which is exactly what the embedder's filesystem cache stores and
-reloads (§3.3 of the paper).
+object that is later ``dlopen``-ed.  The analogue here consumes the
+pre-resolved IR of :mod:`repro.wasm.lowering` -- the same lowered form the
+interpreting back-ends execute, including fused superinstructions -- and
+translates it into Python source code (the module's "shared object"), compiles
+it with ``compile``/``exec`` once, and thereafter executes plain Python
+functions with no per-instruction dispatch: the slowest back-end to compile
+and the fastest to run, reproducing the LLVM row of Table 1.  The generated
+source travels inside a serializable artifact dict, which is exactly what the
+compilation cache stores and reloads (§3.3 of the paper).
 
 Structured Wasm control flow is lowered with the label-id scheme: every
 ``block``/``loop``/``if`` gets a unique integer label, branches set ``_br`` to
@@ -17,79 +19,102 @@ epilogue of the target construct consumes the branch.
 
 from __future__ import annotations
 
+import math
 import struct
 from typing import Dict, List, Optional, Sequence
 
 from repro.wasm import values as V
 from repro.wasm.compilers.base import CompiledModule, CompilerBackend, register_backend
 from repro.wasm.errors import IndirectCallTrap, StackExhaustionTrap, Trap, UnreachableTrap
-from repro.wasm.instructions import BlockType, MemArg
-from repro.wasm.interpreter import (
-    _CONVERSIONS,
-    _F_BIN,
-    _I32_BIN,
-    _I64_BIN,
-    _LOADS,
-    _STORES,
-    _UNARY_INT,
-    _f_unary,
+from repro.wasm.lowering import (
+    IR_VERSION,
+    LoweredFunction,
+    _BINOPS,
+    _UNOPS,
     _simd_binary,
-    _simd_lanes,
+    lower_module,
 )
-from repro.wasm.module import Function, Module
+from repro.wasm.module import Module
 from repro.wasm.runtime import Executor, HostFunction, Instance
 
 MAX_CALL_DEPTH = 256
 
-# Operations inlined directly into generated code for speed; everything else
+# Binary operations inlined as expressions in generated code; everything else
 # falls back to the shared semantic tables (still correct, slightly slower).
-_INLINE_I32 = {
-    "i32.add": "S.append((_a + _b) & 0xFFFFFFFF)",
-    "i32.sub": "S.append((_a - _b) & 0xFFFFFFFF)",
-    "i32.mul": "S.append((_a * _b) & 0xFFFFFFFF)",
-    "i32.and": "S.append(_a & _b)",
-    "i32.or": "S.append(_a | _b)",
-    "i32.xor": "S.append(_a ^ _b)",
-    "i32.eq": "S.append(int(_a == _b))",
-    "i32.ne": "S.append(int(_a != _b))",
-    "i32.lt_u": "S.append(int(_a < _b))",
-    "i32.gt_u": "S.append(int(_a > _b))",
-    "i32.le_u": "S.append(int(_a <= _b))",
-    "i32.ge_u": "S.append(int(_a >= _b))",
-    "i32.lt_s": "S.append(int(_S32(_a) < _S32(_b)))",
-    "i32.gt_s": "S.append(int(_S32(_a) > _S32(_b)))",
-    "i32.le_s": "S.append(int(_S32(_a) <= _S32(_b)))",
-    "i32.ge_s": "S.append(int(_S32(_a) >= _S32(_b)))",
-    "i64.add": "S.append((_a + _b) & 0xFFFFFFFFFFFFFFFF)",
-    "i64.sub": "S.append((_a - _b) & 0xFFFFFFFFFFFFFFFF)",
-    "i64.mul": "S.append((_a * _b) & 0xFFFFFFFFFFFFFFFF)",
-    "i64.and": "S.append(_a & _b)",
-    "i64.or": "S.append(_a | _b)",
-    "i64.xor": "S.append(_a ^ _b)",
-    "f32.add": "S.append(_F32(_a + _b))",
-    "f32.sub": "S.append(_F32(_a - _b))",
-    "f32.mul": "S.append(_F32(_a * _b))",
-    "f64.add": "S.append(_a + _b)",
-    "f64.sub": "S.append(_a - _b)",
-    "f64.mul": "S.append(_a * _b)",
-    "f64.lt": "S.append(int(_a < _b))",
-    "f64.gt": "S.append(int(_a > _b))",
-    "f64.le": "S.append(int(_a <= _b))",
-    "f64.ge": "S.append(int(_a >= _b))",
-    "f64.eq": "S.append(int(_a == _b))",
-    "f64.ne": "S.append(int(_a != _b))",
+_INLINE_EXPR = {
+    "i32.add": "(({a}) + ({b})) & 0xFFFFFFFF",
+    "i32.sub": "(({a}) - ({b})) & 0xFFFFFFFF",
+    "i32.mul": "(({a}) * ({b})) & 0xFFFFFFFF",
+    "i32.and": "({a}) & ({b})",
+    "i32.or": "({a}) | ({b})",
+    "i32.xor": "({a}) ^ ({b})",
+    "i32.eq": "int(({a}) == ({b}))",
+    "i32.ne": "int(({a}) != ({b}))",
+    "i32.lt_u": "int(({a}) < ({b}))",
+    "i32.gt_u": "int(({a}) > ({b}))",
+    "i32.le_u": "int(({a}) <= ({b}))",
+    "i32.ge_u": "int(({a}) >= ({b}))",
+    "i32.lt_s": "int(_S32({a}) < _S32({b}))",
+    "i32.gt_s": "int(_S32({a}) > _S32({b}))",
+    "i32.le_s": "int(_S32({a}) <= _S32({b}))",
+    "i32.ge_s": "int(_S32({a}) >= _S32({b}))",
+    "i64.add": "(({a}) + ({b})) & 0xFFFFFFFFFFFFFFFF",
+    "i64.sub": "(({a}) - ({b})) & 0xFFFFFFFFFFFFFFFF",
+    "i64.mul": "(({a}) * ({b})) & 0xFFFFFFFFFFFFFFFF",
+    "i64.and": "({a}) & ({b})",
+    "i64.or": "({a}) | ({b})",
+    "i64.xor": "({a}) ^ ({b})",
+    "i64.eq": "int(({a}) == ({b}))",
+    "i64.ne": "int(({a}) != ({b}))",
+    "i64.lt_u": "int(({a}) < ({b}))",
+    "i64.gt_u": "int(({a}) > ({b}))",
+    "i64.le_u": "int(({a}) <= ({b}))",
+    "i64.ge_u": "int(({a}) >= ({b}))",
+    "i64.lt_s": "int(_S64({a}) < _S64({b}))",
+    "i64.gt_s": "int(_S64({a}) > _S64({b}))",
+    "i64.le_s": "int(_S64({a}) <= _S64({b}))",
+    "i64.ge_s": "int(_S64({a}) >= _S64({b}))",
+    "f32.add": "_F32(({a}) + ({b}))",
+    "f32.sub": "_F32(({a}) - ({b}))",
+    "f32.mul": "_F32(({a}) * ({b}))",
+    "f64.add": "({a}) + ({b})",
+    "f64.sub": "({a}) - ({b})",
+    "f64.mul": "({a}) * ({b})",
+    "f32.eq": "int(({a}) == ({b}))",
+    "f32.ne": "int(({a}) != ({b}))",
+    "f32.lt": "int(({a}) < ({b}))",
+    "f32.gt": "int(({a}) > ({b}))",
+    "f32.le": "int(({a}) <= ({b}))",
+    "f32.ge": "int(({a}) >= ({b}))",
+    "f64.eq": "int(({a}) == ({b}))",
+    "f64.ne": "int(({a}) != ({b}))",
+    "f64.lt": "int(({a}) < ({b}))",
+    "f64.gt": "int(({a}) > ({b}))",
+    "f64.le": "int(({a}) <= ({b}))",
+    "f64.ge": "int(({a}) >= ({b}))",
 }
 
 
-class _FunctionCodeGen:
-    """Generates the Python source for one Wasm function."""
+def _binexpr(name: str, a: str, b: str) -> str:
+    """Python expression computing binary op ``name`` over operand exprs."""
+    template = _INLINE_EXPR.get(name)
+    if template is not None:
+        return template.format(a=a, b=b)
+    return f"_BIN[{name!r}]({a}, {b})"
 
-    def __init__(self, module: Module, func: Function, func_name: str):
-        self.module = module
-        self.func = func
+
+def _addr(offset: int) -> str:
+    return f"S.pop() + {offset}" if offset else "S.pop()"
+
+
+class _FunctionCodeGen:
+    """Generates the Python source for one lowered Wasm function."""
+
+    def __init__(self, lowered: LoweredFunction, func_name: str):
+        self.lowered = lowered
         self.func_name = func_name
         self.lines: List[str] = []
-        self.indent = 1
+        self.indent = 0
         self.label_counter = 0
         # Stack of (label_id, kind); index -1 is the innermost label.
         self.labels: List[tuple] = []
@@ -109,14 +134,12 @@ class _FunctionCodeGen:
     # ---------------------------------------------------------------- generate
 
     def generate(self) -> str:
-        func_type = self.module.types[self.func.type_index]
-        nresults = len(func_type.results)
+        nresults = self.lowered.nresults
         self._emit(f"def {self.func_name}(instance, args):")
         self.indent += 1
         self._emit("L = list(args)")
-        if self.func.locals:
-            defaults = [V.default_value(vt.short_name) for vt in self.func.locals]
-            self._emit(f"L.extend({defaults!r})")
+        if self.lowered.local_defaults:
+            self._emit(f"L.extend({list(self.lowered.local_defaults)!r})")
         self._emit("S = []")
         self._emit("M = instance.memory")
         self._emit("G = instance.globals")
@@ -126,8 +149,8 @@ class _FunctionCodeGen:
         self.labels.append((func_label, "func"))
         self._emit("while True:")
         self.indent += 1
-        for instr in self.func.body:
-            self._instruction(instr, nresults)
+        for kind, imm in self.lowered.ops:
+            self._op(kind, imm)
         self._emit("break")
         self.indent -= 1
         self.labels.pop()
@@ -138,30 +161,35 @@ class _FunctionCodeGen:
         self.indent -= 1
         return "\n".join(self.lines)
 
-    # ------------------------------------------------------------- instructions
+    # --------------------------------------------------------------------- ops
 
-    def _instruction(self, instr, nresults: int) -> None:  # noqa: C901 - one big dispatcher
-        name = instr.name
+    def _branch_stmts(self, depth: int) -> None:
+        self._emit(f"    _br = {self._target(depth)}")
+        self._emit("    break")
+
+    def _op(self, kind: str, imm) -> None:  # noqa: C901 - one big dispatcher
         emit = self._emit
 
         # ----- control flow ------------------------------------------------
-        if name == "nop":
+        if kind == "fused.pad":
+            return  # interior of a superinstruction: unreachable by construction
+        if kind == "nop":
             emit("pass")
-        elif name == "unreachable":
+        elif kind == "unreachable":
             emit("raise UnreachableTrap()")
-        elif name == "block":
+        elif kind == "block":
             label = self._new_label()
             self.labels.append((label, "block"))
             emit("while True:")
             self.indent += 1
-        elif name == "loop":
+        elif kind == "loop":
             label = self._new_label()
             self.labels.append((label, "loop"))
             emit("while True:")
             self.indent += 1
             emit("while True:")
             self.indent += 1
-        elif name == "if":
+        elif kind == "if":
             label = self._new_label()
             self.labels.append((label, "if"))
             emit("while True:")
@@ -169,15 +197,16 @@ class _FunctionCodeGen:
             emit("if S.pop():")
             self.indent += 1
             emit("pass")
-        elif name == "else":
+        elif kind == "else":
             self.indent -= 1
             emit("else:")
             self.indent += 1
             emit("pass")
-        elif name == "end":
-            label, kind = self.labels.pop()
-            if kind == "if":
-                self.indent -= 1  # close the then/else suite
+        elif kind == "end":
+            label, label_kind = self.labels.pop()
+            if label_kind in ("if", "block"):
+                if label_kind == "if":
+                    self.indent -= 1  # close the then/else suite
                 emit("_br = None")
                 emit("break")
                 self.indent -= 1  # close the region while
@@ -186,16 +215,7 @@ class _FunctionCodeGen:
                 emit("        _br = None")
                 emit("    else:")
                 emit("        break")
-            elif kind == "block":
-                emit("_br = None")
-                emit("break")
-                self.indent -= 1
-                emit("if _br is not None:")
-                emit(f"    if _br == {label}:")
-                emit("        _br = None")
-                emit("    else:")
-                emit("        break")
-            elif kind == "loop":
+            elif label_kind == "loop":
                 emit("_br = None")
                 emit("break")
                 self.indent -= 1  # close the body region
@@ -208,38 +228,32 @@ class _FunctionCodeGen:
                 emit("    break")
             else:  # pragma: no cover - function-level end handled by generate()
                 raise Trap("unexpected end at function level")
-        elif name == "br":
-            emit(f"_br = {self._target(instr.operands[0])}")
+        elif kind == "br":
+            emit(f"_br = {self._target(imm)}")
             emit("break")
-        elif name == "br_if":
+        elif kind == "br_if":
             emit("if S.pop():")
-            emit(f"    _br = {self._target(instr.operands[0])}")
-            emit("    break")
-        elif name == "br_table":
-            targets, default = instr.operands
+            self._branch_stmts(imm)
+        elif kind == "br_table":
+            targets, default = imm
             ids = [self._target(d) for d in targets]
             default_id = self._target(default)
             emit("_i = S.pop()")
             emit(f"_br = {ids!r}[_i] if _i < {len(ids)} else {default_id}")
             emit("break")
-        elif name == "return":
-            func_type = self.module.types[self.func.type_index]
-            n = len(func_type.results)
+        elif kind == "return":
+            n = self.lowered.nresults
             emit(f"return S[-{n}:]" if n else "return []")
-        elif name == "call":
-            callee_index = instr.operands[0]
-            callee_type = self.module.func_type(callee_index)
-            nargs = len(callee_type.params)
+        elif kind == "call":
+            callee_index, nargs = imm
             if nargs:
                 emit(f"_a = S[-{nargs}:]")
                 emit(f"del S[-{nargs}:]")
                 emit(f"S.extend(call({callee_index}, _a))")
             else:
                 emit(f"S.extend(call({callee_index}, []))")
-        elif name == "call_indirect":
-            type_index, table_index = instr.operands
-            expected = self.module.types[type_index]
-            nargs = len(expected.params)
+        elif kind == "call_indirect":
+            type_index, table_index, nargs = imm
             emit("_i = S.pop()")
             emit(f"_fi = instance.tables[{table_index}].get(_i)")
             emit("if _fi is None:")
@@ -254,104 +268,109 @@ class _FunctionCodeGen:
                 emit("S.extend(call(_fi, []))")
 
         # ----- parametric / variables ----------------------------------------
-        elif name == "drop":
+        elif kind == "drop":
             emit("S.pop()")
-        elif name == "select":
+        elif kind == "select":
             emit("_c = S.pop(); _b = S.pop(); _a = S.pop()")
             emit("S.append(_a if _c else _b)")
-        elif name == "local.get":
-            emit(f"S.append(L[{instr.operands[0]}])")
-        elif name == "local.set":
-            emit(f"L[{instr.operands[0]}] = S.pop()")
-        elif name == "local.tee":
-            emit(f"L[{instr.operands[0]}] = S[-1]")
-        elif name == "global.get":
-            emit(f"S.append(G[{instr.operands[0]}].value)")
-        elif name == "global.set":
-            emit(f"G[{instr.operands[0]}].set(S.pop())")
+        elif kind == "local.get":
+            emit(f"S.append(L[{imm}])")
+        elif kind == "local.set":
+            emit(f"L[{imm}] = S.pop()")
+        elif kind == "local.tee":
+            emit(f"L[{imm}] = S[-1]")
+        elif kind == "global.get":
+            emit(f"S.append(G[{imm}].value)")
+        elif kind == "global.set":
+            emit(f"G[{imm}].set(S.pop())")
 
-        # ----- constants ------------------------------------------------------
-        elif name == "i32.const":
-            emit(f"S.append({V.wrap32(instr.operands[0])})")
-        elif name == "i64.const":
-            emit(f"S.append({V.wrap64(instr.operands[0])})")
-        elif name == "f32.const":
-            emit(f"S.append({V.round_f32(float(instr.operands[0]))!r})")
-        elif name == "f64.const":
-            emit(f"S.append({float(instr.operands[0])!r})")
-        elif name == "v128.const":
-            emit(f"S.append({bytes(instr.operands[0])!r})")
+        # ----- constants (pre-validated at lower time) -----------------------
+        elif kind == "const":
+            emit(f"S.append({imm!r})")
 
         # ----- memory ---------------------------------------------------------
-        elif name in _LOADS:
-            memarg: MemArg = instr.operands[0]
-            off = memarg.offset
-            addr = f"S.pop() + {off}" if off else "S.pop()"
-            nbytes, kind = _LOADS[name]
-            if kind == "f32":
-                emit(f"S.append(M.load_f32({addr}))")
-            elif kind == "f64":
-                emit(f"S.append(M.load_f64({addr}))")
-            elif kind == "v128":
-                emit(f"S.append(M.read({addr}, 16))")
-            elif kind == "s32":
-                emit(f"S.append(M.load_int({addr}, {nbytes}, signed=True) & 0xFFFFFFFF)")
-            elif kind == "s64":
-                emit(f"S.append(M.load_int({addr}, {nbytes}, signed=True) & 0xFFFFFFFFFFFFFFFF)")
-            else:
-                emit(f"S.append(M.load_int({addr}, {nbytes}))")
-        elif name in _STORES:
-            memarg = instr.operands[0]
-            off = memarg.offset
-            addr = f"S.pop() + {off}" if off else "S.pop()"
+        elif kind == "load.u":
+            emit(f"S.append(M.load_int({_addr(imm[0])}, {imm[1]}))")
+        elif kind == "load.s32":
+            emit(f"S.append(M.load_int({_addr(imm[0])}, {imm[1]}, signed=True) & 0xFFFFFFFF)")
+        elif kind == "load.s64":
+            emit(
+                f"S.append(M.load_int({_addr(imm[0])}, {imm[1]}, signed=True)"
+                " & 0xFFFFFFFFFFFFFFFF)"
+            )
+        elif kind == "load.f32":
+            emit(f"S.append(M.load_f32({_addr(imm)}))")
+        elif kind == "load.f64":
+            emit(f"S.append(M.load_f64({_addr(imm)}))")
+        elif kind == "load.v128":
+            emit(f"S.append(M.read({_addr(imm)}, 16))")
+        elif kind == "store.i":
             emit("_v = S.pop()")
-            if name == "f32.store":
-                emit(f"M.store_f32({addr}, _v)")
-            elif name == "f64.store":
-                emit(f"M.store_f64({addr}, _v)")
-            elif name == "v128.store":
-                emit(f"M.write({addr}, bytes(_v))")
-            else:
-                emit(f"M.store_int({addr}, _v, {abs(_STORES[name])})")
-        elif name == "memory.size":
+            emit(f"M.store_int({_addr(imm[0])}, _v, {imm[1]})")
+        elif kind == "store.f32":
+            emit("_v = S.pop()")
+            emit(f"M.store_f32({_addr(imm)}, _v)")
+        elif kind == "store.f64":
+            emit("_v = S.pop()")
+            emit(f"M.store_f64({_addr(imm)}, _v)")
+        elif kind == "store.v128":
+            emit("_v = S.pop()")
+            emit(f"M.write({_addr(imm)}, bytes(_v))")
+        elif kind == "memory.size":
             emit("S.append(M.pages)")
-        elif name == "memory.grow":
+        elif kind == "memory.grow":
             emit("S.append(M.grow(S.pop()) & 0xFFFFFFFF)")
 
         # ----- numeric --------------------------------------------------------
-        elif name in _INLINE_I32:
+        elif kind == "bin":
             emit("_b = S.pop(); _a = S.pop()")
-            emit(_INLINE_I32[name])
-        elif name in _I32_BIN or name in _I64_BIN or name in _F_BIN:
+            emit(f"S.append({_binexpr(imm, '_a', '_b')})")
+        elif kind == "un":
+            emit(f"S.append(_UN[{imm!r}](S.pop()))")
+
+        # ----- superinstructions ---------------------------------------------
+        elif kind == "fused.get_get_bin":
+            a, b, name = imm
+            emit(f"S.append({_binexpr(name, f'L[{a}]', f'L[{b}]')})")
+        elif kind == "fused.get_const_bin":
+            a, const, name = imm
+            emit(f"S.append({_binexpr(name, f'L[{a}]', repr(const))})")
+        elif kind == "fused.get_const_store":
+            a, value, offset, nbytes = imm
+            base = f"L[{a}] + {offset}" if offset else f"L[{a}]"
+            emit(f"M.store_int({base}, {value!r}, {nbytes})")
+        elif kind == "fused.cmp_br_if":
+            name, depth = imm
             emit("_b = S.pop(); _a = S.pop()")
-            emit(f"S.append(_BIN[{name!r}](_a, _b))")
-        elif name in _UNARY_INT or name in _CONVERSIONS:
-            emit(f"S.append(_UN[{name!r}](S.pop()))")
-        elif name.startswith(("f32.", "f64.")) and name.split(".")[1] in (
-            "abs", "neg", "sqrt", "ceil", "floor", "trunc", "nearest",
-        ):
-            emit(f"S.append(_FUNARY({name!r}, S.pop()))")
+            emit(f"if {_binexpr(name, '_a', '_b')}:")
+            self._branch_stmts(depth)
+        elif kind == "fused.eqz_br_if":
+            emit("if not S.pop():")
+            self._branch_stmts(imm)
+        elif kind == "fused.get_get_cmp_br_if":
+            a, b, name, depth = imm
+            emit(f"if {_binexpr(name, f'L[{a}]', f'L[{b}]')}:")
+            self._branch_stmts(depth)
 
         # ----- SIMD -----------------------------------------------------------
-        elif name.endswith(".splat"):
-            fmt, count, size = _simd_lanes(name)
+        elif kind == "splat":
+            fmt, count, size = imm
             if fmt in ("f", "d"):
                 emit(f"S.append(struct.pack('<{fmt}', S.pop()) * {count})")
             else:
                 emit(
-                    f"S.append((S.pop() & {(1 << (8 * size)) - 1}).to_bytes({size}, 'little') * {count})"
+                    f"S.append((S.pop() & {(1 << (8 * size)) - 1}).to_bytes({size}, 'little')"
+                    f" * {count})"
                 )
-        elif ".extract_lane" in name:
-            fmt, count, size = _simd_lanes(name)
-            lane = instr.operands[0]
+        elif kind == "extract_lane":
+            fmt, size, lane = imm
             lo, hi = lane * size, (lane + 1) * size
             if fmt in ("f", "d"):
                 emit(f"S.append(struct.unpack('<{fmt}', S.pop()[{lo}:{hi}])[0])")
             else:
                 emit(f"S.append(int.from_bytes(S.pop()[{lo}:{hi}], 'little'))")
-        elif ".replace_lane" in name:
-            fmt, count, size = _simd_lanes(name)
-            lane = instr.operands[0]
+        elif kind == "replace_lane":
+            fmt, size, lane = imm
             lo, hi = lane * size, (lane + 1) * size
             emit("_v = S.pop(); _vec = bytearray(S.pop())")
             if fmt in ("f", "d"):
@@ -359,18 +378,36 @@ class _FunctionCodeGen:
             else:
                 emit(f"_vec[{lo}:{hi}] = (_v & {(1 << (8 * size)) - 1}).to_bytes({size}, 'little')")
             emit("S.append(bytes(_vec))")
-        elif instr.info.is_simd:
+        elif kind == "v128.not":
+            emit(
+                "S.append((~int.from_bytes(S.pop(), 'little') & ((1 << 128) - 1))"
+                ".to_bytes(16, 'little'))"
+            )
+        elif kind == "f64x2.sqrt":
+            emit("_a, _b = struct.unpack('<2d', S.pop())")
+            emit(
+                "S.append(struct.pack('<2d', "
+                "math.sqrt(_a) if _a >= 0 else math.nan, "
+                "math.sqrt(_b) if _b >= 0 else math.nan))"
+            )
+        elif kind == "simd.bin":
             emit("_b = S.pop(); _a = S.pop()")
-            emit(f"S.append(_SIMD_BIN({name!r}, _a, _b))")
+            emit(f"S.append(_SIMD_BIN({imm!r}, _a, _b))")
         else:
-            raise Trap(f"LLVM backend cannot lower instruction {name!r}")
+            raise Trap(f"LLVM backend cannot translate lowered op {kind!r}")
 
 
 class PythonCodeGenerator:
-    """Generates one Python module of source text for a whole Wasm module."""
+    """Generates one Python module of source text for a whole Wasm module.
 
-    def __init__(self, module: Module):
+    Consumes the lowered IR (lowering the module itself when none is
+    supplied), so code generation starts from pre-resolved jump targets,
+    pre-validated constants and fused superinstructions.
+    """
+
+    def __init__(self, module: Module, lowered: Optional[Sequence[LoweredFunction]] = None):
         self.module = module
+        self.lowered = list(lowered) if lowered is not None else lower_module(module)
 
     @staticmethod
     def function_symbol(local_index: int) -> str:
@@ -380,33 +417,28 @@ class PythonCodeGenerator:
     def generate(self) -> str:
         """Generate the full source ("shared object") for the module."""
         header = [
-            "# Generated by the repro LLVM backend -- Wasm lowered to Python.",
+            "# Generated by the repro LLVM backend -- lowered Wasm IR to Python.",
             "# This text is the cacheable compilation artifact (cf. MPIWasm §3.3).",
         ]
         chunks: List[str] = ["\n".join(header)]
-        for i, func in enumerate(self.module.functions):
-            gen = _FunctionCodeGen(self.module, func, self.function_symbol(i))
-            # Each function is generated at module level (indent starts at 0).
-            gen.indent = 0
+        for i, lowered in enumerate(self.lowered):
+            gen = _FunctionCodeGen(lowered, self.function_symbol(i))
             chunks.append(gen.generate())
         return "\n\n\n".join(chunks) + "\n"
 
 
 def _exec_namespace() -> Dict[str, object]:
     """Globals injected into the generated code's namespace."""
-    merged_bin = {}
-    merged_bin.update(_I32_BIN)
-    merged_bin.update(_I64_BIN)
-    merged_bin.update(_F_BIN)
-    merged_un = {}
-    merged_un.update(_UNARY_INT)
-    merged_un.update(_CONVERSIONS)
     return {
         "struct": struct,
+        "math": math,
+        # repr() of non-finite floats emits the bare names inf/-inf/nan in
+        # generated constants; bind them so those literals evaluate.
+        "inf": math.inf,
+        "nan": math.nan,
         "V": V,
-        "_BIN": merged_bin,
-        "_UN": merged_un,
-        "_FUNARY": _f_unary,
+        "_BIN": _BINOPS,
+        "_UN": _UNOPS,
         "_SIMD_BIN": _simd_binary,
         "_S32": V.signed32,
         "_S64": V.signed64,
@@ -437,6 +469,11 @@ class LLVMExecutor(Executor):
     def prepare(self, module: Module) -> None:
         """No per-instance work: compilation already happened."""
 
+    def configure(self, max_call_depth: Optional[int] = None) -> None:
+        """Apply embedder-level execution limits (see :class:`Executor`)."""
+        if max_call_depth is not None:
+            self.max_call_depth = max_call_depth
+
     def call(self, instance: Instance, func_index: int, args: Sequence) -> List:
         target = instance.functions[func_index]
         if isinstance(target, HostFunction):
@@ -460,15 +497,25 @@ class LLVMBackend(CompilerBackend):
 
     name = "llvm"
 
-    def _compile(self, module: Module) -> str:
-        source = PythonCodeGenerator(module).generate()
+    def _compile(self, module: Module) -> dict:
+        lowered = lower_module(module)
+        source = PythonCodeGenerator(module, lowered).generate()
         # Force the bytecode compilation now so the cost is attributed to
         # compile time, as with LLVM's optimisation pipeline.
         compile(source, "<wasm-llvm-artifact>", "exec")
-        return source
+        return {"kind": "python-source", "ir_version": IR_VERSION, "source": source}
 
     def executor_for(self, compiled: CompiledModule) -> Executor:
-        functions = load_artifact(str(compiled.artifact), len(compiled.module.functions))
+        # Cache loads hand every rank a *fresh* CompiledModule, but all of
+        # them share the Module object -- stash the exec()'d callables there
+        # so loading the artifact is a once-per-process cost.
+        module = compiled.module
+        functions = getattr(module, "_llvm_runtime", None)
+        if functions is None:
+            artifact = compiled.artifact
+            source = artifact["source"] if isinstance(artifact, dict) else str(artifact)
+            functions = load_artifact(source, len(module.functions))
+            module._llvm_runtime = functions
         return LLVMExecutor(functions)
 
 

@@ -28,6 +28,11 @@ from repro.wasm.module import (
 from repro.wasm.opcodes import Imm
 from repro.wasm.types import FuncType, GlobalType, Limits, MemoryType, TableType, ValType
 
+# Pre-compiled float-immediate codecs (same spirit as wasm.values: parse the
+# format string once, not per decoded constant).
+_F32 = struct.Struct("<f")
+_F64 = struct.Struct("<d")
+
 
 class DecodeError(ValueError):
     """Raised when the byte stream is not a valid module for this decoder."""
@@ -89,10 +94,10 @@ class _Reader:
         return self.sleb(64)
 
     def f32(self) -> float:
-        return struct.unpack("<f", self.bytes(4))[0]
+        return _F32.unpack(self.bytes(4))[0]
 
     def f64(self) -> float:
-        return struct.unpack("<d", self.bytes(8))[0]
+        return _F64.unpack(self.bytes(8))[0]
 
     def name(self) -> str:
         return self.bytes(self.u32()).decode("utf-8")

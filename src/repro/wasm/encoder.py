@@ -27,6 +27,11 @@ from repro.wasm.module import (
 from repro.wasm.opcodes import Imm
 from repro.wasm.types import FuncType, GlobalType, Limits, MemoryType, TableType, ValType
 
+# Pre-compiled float-immediate codecs (same spirit as wasm.values: parse the
+# format string once, not per encoded constant).
+_F32 = struct.Struct("<f")
+_F64 = struct.Struct("<d")
+
 MAGIC = b"\x00asm"
 VERSION = b"\x01\x00\x00\x00"
 
@@ -100,12 +105,12 @@ def _encode_sleb(value: int, bits: int) -> bytes:
 
 def encode_f32(value: float) -> bytes:
     """IEEE-754 single precision, little endian."""
-    return struct.pack("<f", value)
+    return _F32.pack(value)
 
 
 def encode_f64(value: float) -> bytes:
     """IEEE-754 double precision, little endian."""
-    return struct.pack("<d", value)
+    return _F64.pack(value)
 
 
 def encode_name(name: str) -> bytes:

@@ -1,401 +1,87 @@
-"""Structured-control-flow interpreter for Wasm function bodies.
+"""Threaded-dispatch interpreter over the pre-resolved lowered IR.
 
 This is the execution core shared by the Singlepass and Cranelift back-ends
-(:mod:`repro.wasm.compilers`): a value stack, a control-frame stack, and a
-dispatch loop over the decoded instruction objects.  The difference between
-the two back-ends is only how much work is done ahead of time -- Singlepass
-resolves block/else/end matching lazily by scanning forward at run time,
-Cranelift precomputes a control map per function at compile time.
+(:mod:`repro.wasm.compilers`).  Function bodies are lowered once by
+:mod:`repro.wasm.lowering` into a flat array of ``(handler, immediate)``
+pairs -- handlers resolved to direct function references, branch targets
+pre-computed into jump offsets, adjacent instruction pairs fused into
+superinstructions -- and the dispatch loop below simply indexes the array and
+calls, with no per-step string comparisons or forward scans.
 
-Numeric semantics are delegated to :mod:`repro.wasm.values`, which the
-code-generating LLVM back-end reuses, so all three back-ends agree bit-for-bit.
+The difference between the two interpreting back-ends is only *when* the
+lowering work happens: Singlepass executors lower lazily on a function's
+first call (near-zero compile time), Cranelift executors receive the
+eagerly-lowered module from compile time.  Numeric semantics are delegated to
+:mod:`repro.wasm.values` through the tables in :mod:`repro.wasm.lowering`,
+which the code-generating LLVM back-end reuses, so all three back-ends agree
+bit-for-bit.
 """
 
 from __future__ import annotations
 
-import struct
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+import sys
+from typing import Dict, List, Optional, Sequence
 
-from repro.wasm import values as V
-from repro.wasm.errors import (
-    IndirectCallTrap,
-    StackExhaustionTrap,
-    Trap,
-    UnreachableTrap,
+from repro.wasm.errors import StackExhaustionTrap
+from repro.wasm.lowering import (
+    LoweredFunction,
+    _State,
+    build_control_map,
+    link,
+    lower_function,
+    lower_module,
 )
-from repro.wasm.instructions import BlockType, Instruction, MemArg
-from repro.wasm.module import Function, Module
+from repro.wasm.module import Module
 from repro.wasm.runtime import Executor, HostFunction, Instance, WasmFunction
-from repro.wasm.types import ValType
+
+__all__ = ["Interpreter", "MAX_CALL_DEPTH", "build_control_map"]
 
 MAX_CALL_DEPTH = 256
 
 
-# ------------------------------------------------------------------ control map
-
-
-def find_matching(body: Sequence[Instruction], start: int) -> Tuple[Optional[int], int]:
-    """Find the ``else``/``end`` indices matching the construct at ``start``.
-
-    ``start`` must index a ``block``, ``loop`` or ``if`` instruction.  Returns
-    ``(else_index_or_None, end_index)``.
-    """
-    depth = 0
-    else_index: Optional[int] = None
-    i = start + 1
-    while i < len(body):
-        name = body[i].name
-        if name in ("block", "loop", "if"):
-            depth += 1
-        elif name == "else" and depth == 0:
-            else_index = i
-        elif name == "end":
-            if depth == 0:
-                return else_index, i
-            depth -= 1
-        i += 1
-    raise Trap(f"unterminated control construct at instruction {start}")
-
-
-def build_control_map(body: Sequence[Instruction]) -> Dict[int, Tuple[Optional[int], int]]:
-    """Precompute else/end matches for every construct in a function body."""
-    result: Dict[int, Tuple[Optional[int], int]] = {}
-    stack: List[Tuple[int, Optional[int]]] = []
-    for i, instr in enumerate(body):
-        name = instr.name
-        if name in ("block", "loop", "if"):
-            stack.append((i, None))
-        elif name == "else":
-            if not stack:
-                raise Trap(f"else without matching if at instruction {i}")
-            start, _ = stack[-1]
-            stack[-1] = (start, i)
-        elif name == "end":
-            if not stack:
-                raise Trap(f"unmatched end at instruction {i}")
-            start, else_index = stack.pop()
-            result[start] = (else_index, i)
-    if stack:
-        raise Trap(f"unterminated control construct at instruction {stack[-1][0]}")
-    return result
-
-
-# ----------------------------------------------------------------- control frame
-
-
-@dataclass
-class _Frame:
-    """One entry of the control stack."""
-
-    kind: str            # "func", "block", "loop", "if"
-    arity: int           # values the construct leaves behind when branched to/out of
-    height: int          # value-stack height at entry
-    start: int           # pc of the first body instruction (for loops: branch target)
-    end: int             # pc of the matching end (function: len(body))
-
-
-# -------------------------------------------------------------------- operations
-
-_I32_BIN = {
-    "i32.add": lambda a, b: V.wrap32(a + b),
-    "i32.sub": lambda a, b: V.wrap32(a - b),
-    "i32.mul": lambda a, b: V.wrap32(a * b),
-    "i32.div_s": lambda a, b: V.div_s(a, b, 32),
-    "i32.div_u": lambda a, b: V.div_u(a, b, 32),
-    "i32.rem_s": lambda a, b: V.rem_s(a, b, 32),
-    "i32.rem_u": lambda a, b: V.rem_u(a, b, 32),
-    "i32.and": lambda a, b: a & b,
-    "i32.or": lambda a, b: a | b,
-    "i32.xor": lambda a, b: a ^ b,
-    "i32.shl": lambda a, b: V.shl(a, b, 32),
-    "i32.shr_s": lambda a, b: V.shr_s(a, b, 32),
-    "i32.shr_u": lambda a, b: V.shr_u(a, b, 32),
-    "i32.rotl": lambda a, b: V.rotl(a, b, 32),
-    "i32.rotr": lambda a, b: V.rotr(a, b, 32),
-    "i32.eq": lambda a, b: int(a == b),
-    "i32.ne": lambda a, b: int(a != b),
-    "i32.lt_s": lambda a, b: int(V.signed32(a) < V.signed32(b)),
-    "i32.lt_u": lambda a, b: int(a < b),
-    "i32.gt_s": lambda a, b: int(V.signed32(a) > V.signed32(b)),
-    "i32.gt_u": lambda a, b: int(a > b),
-    "i32.le_s": lambda a, b: int(V.signed32(a) <= V.signed32(b)),
-    "i32.le_u": lambda a, b: int(a <= b),
-    "i32.ge_s": lambda a, b: int(V.signed32(a) >= V.signed32(b)),
-    "i32.ge_u": lambda a, b: int(a >= b),
-}
-
-_I64_BIN = {
-    "i64.add": lambda a, b: V.wrap64(a + b),
-    "i64.sub": lambda a, b: V.wrap64(a - b),
-    "i64.mul": lambda a, b: V.wrap64(a * b),
-    "i64.div_s": lambda a, b: V.div_s(a, b, 64),
-    "i64.div_u": lambda a, b: V.div_u(a, b, 64),
-    "i64.rem_s": lambda a, b: V.rem_s(a, b, 64),
-    "i64.rem_u": lambda a, b: V.rem_u(a, b, 64),
-    "i64.and": lambda a, b: a & b,
-    "i64.or": lambda a, b: a | b,
-    "i64.xor": lambda a, b: a ^ b,
-    "i64.shl": lambda a, b: V.shl(a, b, 64),
-    "i64.shr_s": lambda a, b: V.shr_s(a, b, 64),
-    "i64.shr_u": lambda a, b: V.shr_u(a, b, 64),
-    "i64.rotl": lambda a, b: V.rotl(a, b, 64),
-    "i64.rotr": lambda a, b: V.rotr(a, b, 64),
-    "i64.eq": lambda a, b: int(a == b),
-    "i64.ne": lambda a, b: int(a != b),
-    "i64.lt_s": lambda a, b: int(V.signed64(a) < V.signed64(b)),
-    "i64.lt_u": lambda a, b: int(a < b),
-    "i64.gt_s": lambda a, b: int(V.signed64(a) > V.signed64(b)),
-    "i64.gt_u": lambda a, b: int(a > b),
-    "i64.le_s": lambda a, b: int(V.signed64(a) <= V.signed64(b)),
-    "i64.le_u": lambda a, b: int(a <= b),
-    "i64.ge_s": lambda a, b: int(V.signed64(a) >= V.signed64(b)),
-    "i64.ge_u": lambda a, b: int(a >= b),
-}
-
-_F_BIN = {
-    "f32.add": lambda a, b: V.round_f32(a + b),
-    "f32.sub": lambda a, b: V.round_f32(a - b),
-    "f32.mul": lambda a, b: V.round_f32(a * b),
-    "f32.div": lambda a, b: V.round_f32(_fdiv(a, b)),
-    "f32.min": lambda a, b: V.round_f32(V.float_min(a, b)),
-    "f32.max": lambda a, b: V.round_f32(V.float_max(a, b)),
-    "f32.copysign": lambda a, b: V.round_f32(_copysign(a, b)),
-    "f64.add": lambda a, b: a + b,
-    "f64.sub": lambda a, b: a - b,
-    "f64.mul": lambda a, b: a * b,
-    "f64.div": lambda a, b: _fdiv(a, b),
-    "f64.min": V.float_min,
-    "f64.max": V.float_max,
-    "f64.copysign": lambda a, b: _copysign(a, b),
-    "f32.eq": lambda a, b: int(a == b),
-    "f32.ne": lambda a, b: int(a != b),
-    "f32.lt": lambda a, b: int(a < b),
-    "f32.gt": lambda a, b: int(a > b),
-    "f32.le": lambda a, b: int(a <= b),
-    "f32.ge": lambda a, b: int(a >= b),
-    "f64.eq": lambda a, b: int(a == b),
-    "f64.ne": lambda a, b: int(a != b),
-    "f64.lt": lambda a, b: int(a < b),
-    "f64.gt": lambda a, b: int(a > b),
-    "f64.le": lambda a, b: int(a <= b),
-    "f64.ge": lambda a, b: int(a >= b),
-}
-
-
-def _fdiv(a: float, b: float) -> float:
-    import math
-
-    if b == 0.0:
-        if a == 0.0 or math.isnan(a):
-            return math.nan
-        sign = math.copysign(1.0, a) * math.copysign(1.0, b)
-        return math.inf if sign > 0 else -math.inf
-    return a / b
-
-
-def _copysign(a: float, b: float) -> float:
-    import math
-
-    return math.copysign(a, b)
-
-
-def _f_unary(name: str, a: float) -> float:
-    import math
-
-    base = name.split(".")[1]
-    if base == "abs":
-        r = abs(a)
-    elif base == "neg":
-        r = -a
-    elif base == "sqrt":
-        r = math.sqrt(a) if a >= 0 else math.nan
-    elif base == "ceil":
-        r = float(math.ceil(a)) if not (math.isnan(a) or math.isinf(a)) else a
-    elif base == "floor":
-        r = float(math.floor(a)) if not (math.isnan(a) or math.isinf(a)) else a
-    elif base == "trunc":
-        r = float(math.trunc(a)) if not (math.isnan(a) or math.isinf(a)) else a
-    elif base == "nearest":
-        r = V.nearest(a)
-    else:  # pragma: no cover - table integrity guard
-        raise Trap(f"unknown float unary {name}")
-    return V.round_f32(r) if name.startswith("f32.") else r
-
-
-_UNARY_INT = {
-    "i32.clz": lambda a: V.clz(a, 32),
-    "i32.ctz": lambda a: V.ctz(a, 32),
-    "i32.popcnt": lambda a: V.popcnt(a, 32),
-    "i64.clz": lambda a: V.clz(a, 64),
-    "i64.ctz": lambda a: V.ctz(a, 64),
-    "i64.popcnt": lambda a: V.popcnt(a, 64),
-    "i32.eqz": lambda a: int(a == 0),
-    "i64.eqz": lambda a: int(a == 0),
-    "i32.extend8_s": lambda a: V.extend_s(a, 8, 32),
-    "i32.extend16_s": lambda a: V.extend_s(a, 16, 32),
-    "i64.extend8_s": lambda a: V.extend_s(a, 8, 64),
-    "i64.extend16_s": lambda a: V.extend_s(a, 16, 64),
-    "i64.extend32_s": lambda a: V.extend_s(a, 32, 64),
-}
-
-_CONVERSIONS = {
-    "i32.wrap_i64": lambda a: V.wrap32(a),
-    "i64.extend_i32_s": lambda a: V.signed32(a) & V.MASK64,
-    "i64.extend_i32_u": lambda a: a & V.MASK32,
-    "i32.trunc_f32_s": lambda a: V.trunc_to_int(a, 32, True),
-    "i32.trunc_f32_u": lambda a: V.trunc_to_int(a, 32, False),
-    "i32.trunc_f64_s": lambda a: V.trunc_to_int(a, 32, True),
-    "i32.trunc_f64_u": lambda a: V.trunc_to_int(a, 32, False),
-    "i64.trunc_f32_s": lambda a: V.trunc_to_int(a, 64, True),
-    "i64.trunc_f32_u": lambda a: V.trunc_to_int(a, 64, False),
-    "i64.trunc_f64_s": lambda a: V.trunc_to_int(a, 64, True),
-    "i64.trunc_f64_u": lambda a: V.trunc_to_int(a, 64, False),
-    "f32.convert_i32_s": lambda a: V.round_f32(float(V.signed32(a))),
-    "f32.convert_i32_u": lambda a: V.round_f32(float(a & V.MASK32)),
-    "f32.convert_i64_s": lambda a: V.round_f32(float(V.signed64(a))),
-    "f32.convert_i64_u": lambda a: V.round_f32(float(a & V.MASK64)),
-    "f64.convert_i32_s": lambda a: float(V.signed32(a)),
-    "f64.convert_i32_u": lambda a: float(a & V.MASK32),
-    "f64.convert_i64_s": lambda a: float(V.signed64(a)),
-    "f64.convert_i64_u": lambda a: float(a & V.MASK64),
-    "f32.demote_f64": lambda a: V.round_f32(a),
-    "f64.promote_f32": lambda a: float(a),
-    "i32.reinterpret_f32": V.reinterpret_f32_to_i32,
-    "i64.reinterpret_f64": V.reinterpret_f64_to_i64,
-    "f32.reinterpret_i32": V.reinterpret_i32_to_f32,
-    "f64.reinterpret_i64": V.reinterpret_i64_to_f64,
-}
-
-# Memory access descriptors: name -> (nbytes, kind) where kind selects the
-# store/load conversion ("iN_s", "iN_u", "i", "f32", "f64", "v128").
-_LOADS = {
-    "i32.load": (4, "u"),
-    "i64.load": (8, "u"),
-    "f32.load": (4, "f32"),
-    "f64.load": (8, "f64"),
-    "i32.load8_s": (1, "s32"),
-    "i32.load8_u": (1, "u"),
-    "i32.load16_s": (2, "s32"),
-    "i32.load16_u": (2, "u"),
-    "i64.load8_s": (1, "s64"),
-    "i64.load8_u": (1, "u"),
-    "i64.load16_s": (2, "s64"),
-    "i64.load16_u": (2, "u"),
-    "i64.load32_s": (4, "s64"),
-    "i64.load32_u": (4, "u"),
-    "v128.load": (16, "v128"),
-}
-
-_STORES = {
-    "i32.store": 4,
-    "i64.store": 8,
-    "f32.store": -4,
-    "f64.store": -8,
-    "i32.store8": 1,
-    "i32.store16": 2,
-    "i64.store8": 1,
-    "i64.store16": 2,
-    "i64.store32": 4,
-    "v128.store": 16,
-}
-
-
-def _simd_lanes(name: str) -> Tuple[str, int, int]:
-    """Lane format of a SIMD op name: (struct char, lane count, lane bytes)."""
-    shape = name.split(".")[0]
-    return {
-        "i8x16": ("b", 16, 1),
-        "i32x4": ("i", 4, 4),
-        "i64x2": ("q", 2, 8),
-        "f32x4": ("f", 4, 4),
-        "f64x2": ("d", 2, 8),
-    }[shape]
-
-
-def _simd_binary(name: str, a: bytes, b: bytes) -> bytes:
-    if name.startswith("v128."):
-        ia = int.from_bytes(a, "little")
-        ib = int.from_bytes(b, "little")
-        if name == "v128.and":
-            r = ia & ib
-        elif name == "v128.or":
-            r = ia | ib
-        elif name == "v128.xor":
-            r = ia ^ ib
-        else:  # pragma: no cover
-            raise Trap(f"unknown v128 op {name}")
-        return r.to_bytes(16, "little")
-    fmt, count, _size = _simd_lanes(name)
-    la = struct.unpack(f"<{count}{fmt}", a)
-    lb = struct.unpack(f"<{count}{fmt}", b)
-    op = name.split(".")[1]
-    int_lane = fmt in ("b", "i", "q")
-    out = []
-    for x, y in zip(la, lb):
-        if op == "add":
-            v = x + y
-        elif op == "sub":
-            v = x - y
-        elif op == "mul":
-            v = x * y
-        elif op == "div":
-            v = _fdiv(x, y)
-        elif op == "min":
-            v = V.float_min(x, y)
-        elif op == "max":
-            v = V.float_max(x, y)
-        else:  # pragma: no cover
-            raise Trap(f"unknown SIMD lane op {name}")
-        if int_lane:
-            bits = 8 * _size
-            v = V.extend_s(v & ((1 << bits) - 1), bits, bits) if False else v
-            # wrap to signed lane range for struct packing
-            lane_bits = {"b": 8, "i": 32, "q": 64}[fmt]
-            v &= (1 << lane_bits) - 1
-            if v >= 1 << (lane_bits - 1):
-                v -= 1 << lane_bits
-        elif fmt == "f":
-            v = V.round_f32(v)
-        out.append(v)
-    return struct.pack(f"<{count}{fmt}", *out)
-
-
-# ------------------------------------------------------------------ interpreter
-
-
 class Interpreter(Executor):
-    """The shared dispatch-loop executor.
+    """The shared threaded-dispatch executor over lowered function bodies.
 
-    ``precompute`` selects Cranelift-style behaviour (control maps computed in
-    :meth:`prepare`) versus Singlepass-style behaviour (forward scans at run
-    time).
+    ``lowered`` seeds the executor with pre-lowered functions (Cranelift-style
+    eager compilation).  ``lazy`` selects Singlepass-style behaviour: nothing
+    is lowered until a function's first call.  The default (neither) lowers
+    the whole module in :meth:`prepare`.
     """
 
     name = "interpreter"
 
-    def __init__(self, precompute: bool = True, max_call_depth: int = MAX_CALL_DEPTH):
-        self.precompute = precompute
+    def __init__(
+        self,
+        lowered: Optional[Sequence[LoweredFunction]] = None,
+        lazy: bool = False,
+        max_call_depth: int = MAX_CALL_DEPTH,
+    ):
+        self._functions: Dict[int, LoweredFunction] = (
+            dict(enumerate(lowered)) if lowered is not None else {}
+        )
+        self.lazy = lazy
         self.max_call_depth = max_call_depth
-        self._control_maps: Dict[int, Dict[int, Tuple[Optional[int], int]]] = {}
 
     # ------------------------------------------------------------------ prepare
 
     def prepare(self, module: Module) -> None:
-        """Precompute control maps for every function (Cranelift mode only)."""
-        if not self.precompute:
+        """Lower every function ahead of time (eager mode only)."""
+        if self.lazy or self._functions:
             return
-        for i, func in enumerate(module.functions):
-            self._control_maps[i] = build_control_map(func.body)
+        self._functions = dict(enumerate(lower_module(module)))
 
-    def _matching(self, module: Module, local_index: int, body, pc: int) -> Tuple[Optional[int], int]:
-        if self.precompute:
-            cmap = self._control_maps.get(local_index)
-            if cmap is None:
-                cmap = build_control_map(body)
-                self._control_maps[local_index] = cmap
-            return cmap[pc]
-        return find_matching(body, pc)
+    def configure(self, max_call_depth: Optional[int] = None) -> None:
+        """Apply embedder-level execution limits (see :class:`Executor`)."""
+        if max_call_depth is not None:
+            self.max_call_depth = max_call_depth
+
+    def _lowered(self, module: Module, local_index: int) -> LoweredFunction:
+        lowered = self._functions.get(local_index)
+        if lowered is None:
+            func = module.functions[local_index]
+            lowered = lower_function(module, func, module.types[func.type_index])
+            self._functions[local_index] = lowered
+        return lowered
 
     # --------------------------------------------------------------------- call
 
@@ -409,6 +95,16 @@ class Interpreter(Executor):
         depth = instance.host_state.get("_call_depth", 0)
         if depth >= self.max_call_depth:
             raise StackExhaustionTrap(depth)
+        if depth == 0:
+            # Each Wasm call level costs a handful of Python frames (call ->
+            # _exec -> call handler -> call_function); make sure the guest
+            # hits the Wasm call-depth guard before CPython's own limit.
+            # Capped so an extreme max_call_depth cannot push the process
+            # limit past C-stack safety (beyond the cap, deep guests get a
+            # RecursionError rather than a weakened host-wide guard).
+            needed = min(self.max_call_depth, 2048) * 6 + 1000
+            if sys.getrecursionlimit() < needed:
+                sys.setrecursionlimit(needed)
         instance.host_state["_call_depth"] = depth + 1
         try:
             return self._exec(instance, target, list(args))
@@ -419,281 +115,28 @@ class Interpreter(Executor):
 
     def _exec(self, instance: Instance, target: WasmFunction, args: List) -> List:
         module = instance.module
-        func = target.definition
-        func_type = target.func_type
         local_index = target.func_index - module.num_imported_functions()
+        lowered = self._lowered(module, local_index)
+        code = lowered.code
+        if code is None:
+            code = link(lowered)
 
-        locals_: List = list(args)
-        for vt in func.locals:
-            locals_.append(V.default_value(vt.short_name))
-
-        body = func.body
+        st = _State()
+        st.instance = instance
+        st.memory = instance.memory
+        args.extend(lowered.local_defaults)
+        st.locals = args
         stack: List = []
-        frames: List[_Frame] = [
-            _Frame(kind="func", arity=len(func_type.results), height=0, start=0, end=len(body))
-        ]
-        memory = instance.memory
+        st.stack = stack
+        n = len(code)
+        # Implicit function frame: branching to it jumps past the end.
+        st.frames = [(False, lowered.nresults, 0, n)]
+
         pc = 0
+        while pc < n:
+            op = code[pc]
+            pc = op[0](st, pc, op[1])
 
-        def do_branch(depth: int) -> int:
-            """Execute a branch to label ``depth``; returns the pc to continue at."""
-            frame = frames[-1 - depth]
-            if frame.kind == "loop":
-                # Branching to a loop label repeats the loop: keep the loop
-                # frame, drop everything nested inside it.
-                if depth:
-                    del frames[len(frames) - depth :]
-                del stack[frame.height :]
-                return frame.start
-            # block / if / func: the branch carries the label's result values.
-            results = stack[len(stack) - frame.arity :] if frame.arity else []
-            del frames[len(frames) - 1 - depth :]
-            del stack[frame.height :]
-            stack.extend(results)
-            if frame.kind == "func":
-                return len(body)
-            return frame.end + 1  # continue after the matching 'end'
-
-        while pc < len(body):
-            instr = body[pc]
-            name = instr.name
-
-            # ----- control ----------------------------------------------------
-            if name == "nop":
-                pc += 1
-            elif name == "unreachable":
-                raise UnreachableTrap()
-            elif name in ("block", "loop"):
-                else_idx, end_idx = self._matching(module, local_index, body, pc)
-                bt: BlockType = instr.operands[0]
-                frames.append(
-                    _Frame(
-                        kind=name,
-                        arity=bt.arity() if name == "block" else 0,
-                        height=len(stack),
-                        start=pc + 1,
-                        end=end_idx,
-                    )
-                )
-                pc += 1
-            elif name == "if":
-                else_idx, end_idx = self._matching(module, local_index, body, pc)
-                bt = instr.operands[0]
-                cond = stack.pop()
-                frames.append(
-                    _Frame(kind="if", arity=bt.arity(), height=len(stack), start=pc + 1, end=end_idx)
-                )
-                if cond:
-                    pc += 1
-                else:
-                    pc = (else_idx + 1) if else_idx is not None else end_idx
-            elif name == "else":
-                # Reached only by falling out of the then-arm: skip to the end.
-                pc = frames[-1].end
-            elif name == "end":
-                frames.pop()
-                pc += 1
-            elif name == "br":
-                pc = do_branch(instr.operands[0])
-            elif name == "br_if":
-                if stack.pop():
-                    pc = do_branch(instr.operands[0])
-                else:
-                    pc += 1
-            elif name == "br_table":
-                targets, default = instr.operands
-                idx = stack.pop()
-                depth = targets[idx] if idx < len(targets) else default
-                pc = do_branch(depth)
-            elif name == "return":
-                results = stack[len(stack) - len(func_type.results) :] if func_type.results else []
-                return list(results)
-            elif name == "call":
-                callee_index = instr.operands[0]
-                callee_type = instance.function_type(callee_index)
-                nargs = len(callee_type.params)
-                call_args = stack[len(stack) - nargs :] if nargs else []
-                del stack[len(stack) - nargs :]
-                results = instance.call_function(callee_index, call_args)
-                stack.extend(results)
-                pc += 1
-            elif name == "call_indirect":
-                type_index, table_index = instr.operands
-                expected = module.types[type_index]
-                elem_index = stack.pop()
-                if table_index >= len(instance.tables):
-                    raise IndirectCallTrap(f"no table at index {table_index}")
-                callee_index = instance.tables[table_index].get(elem_index)
-                if callee_index is None:
-                    raise IndirectCallTrap(f"null funcref at table slot {elem_index}")
-                if instance.function_type(callee_index) != expected:
-                    raise IndirectCallTrap("indirect call signature mismatch")
-                nargs = len(expected.params)
-                call_args = stack[len(stack) - nargs :] if nargs else []
-                del stack[len(stack) - nargs :]
-                stack.extend(instance.call_function(callee_index, call_args))
-                pc += 1
-
-            # ----- parametric / variable --------------------------------------
-            elif name == "drop":
-                stack.pop()
-                pc += 1
-            elif name == "select":
-                cond = stack.pop()
-                b = stack.pop()
-                a = stack.pop()
-                stack.append(a if cond else b)
-                pc += 1
-            elif name == "local.get":
-                stack.append(locals_[instr.operands[0]])
-                pc += 1
-            elif name == "local.set":
-                locals_[instr.operands[0]] = stack.pop()
-                pc += 1
-            elif name == "local.tee":
-                locals_[instr.operands[0]] = stack[-1]
-                pc += 1
-            elif name == "global.get":
-                stack.append(instance.globals[instr.operands[0]].value)
-                pc += 1
-            elif name == "global.set":
-                instance.globals[instr.operands[0]].set(stack.pop())
-                pc += 1
-
-            # ----- constants ---------------------------------------------------
-            elif name == "i32.const":
-                stack.append(V.wrap32(instr.operands[0]))
-                pc += 1
-            elif name == "i64.const":
-                stack.append(V.wrap64(instr.operands[0]))
-                pc += 1
-            elif name in ("f32.const", "f64.const"):
-                stack.append(float(instr.operands[0]))
-                pc += 1
-            elif name == "v128.const":
-                stack.append(bytes(instr.operands[0]))
-                pc += 1
-
-            # ----- memory ------------------------------------------------------
-            elif name in _LOADS:
-                memarg: MemArg = instr.operands[0]
-                addr = stack.pop() + memarg.offset
-                nbytes, kind = _LOADS[name]
-                if kind == "f32":
-                    stack.append(memory.load_f32(addr))
-                elif kind == "f64":
-                    stack.append(memory.load_f64(addr))
-                elif kind == "v128":
-                    stack.append(memory.read(addr, 16))
-                elif kind == "s32":
-                    stack.append(memory.load_int(addr, nbytes, signed=True) & V.MASK32)
-                elif kind == "s64":
-                    stack.append(memory.load_int(addr, nbytes, signed=True) & V.MASK64)
-                else:
-                    stack.append(memory.load_int(addr, nbytes, signed=False))
-                pc += 1
-            elif name in _STORES:
-                memarg = instr.operands[0]
-                value = stack.pop()
-                addr = stack.pop() + memarg.offset
-                spec = _STORES[name]
-                if name == "f32.store":
-                    memory.store_f32(addr, value)
-                elif name == "f64.store":
-                    memory.store_f64(addr, value)
-                elif name == "v128.store":
-                    memory.write(addr, bytes(value))
-                else:
-                    memory.store_int(addr, value, abs(spec))
-                pc += 1
-            elif name == "memory.size":
-                stack.append(memory.pages)
-                pc += 1
-            elif name == "memory.grow":
-                delta = stack.pop()
-                stack.append(memory.grow(delta) & V.MASK32)
-                pc += 1
-
-            # ----- numeric -----------------------------------------------------
-            elif name in _I32_BIN:
-                b = stack.pop()
-                a = stack.pop()
-                stack.append(_I32_BIN[name](a, b))
-                pc += 1
-            elif name in _I64_BIN:
-                b = stack.pop()
-                a = stack.pop()
-                stack.append(_I64_BIN[name](a, b))
-                pc += 1
-            elif name in _F_BIN:
-                b = stack.pop()
-                a = stack.pop()
-                stack.append(_F_BIN[name](a, b))
-                pc += 1
-            elif name in _UNARY_INT:
-                stack.append(_UNARY_INT[name](stack.pop()))
-                pc += 1
-            elif name in _CONVERSIONS:
-                stack.append(_CONVERSIONS[name](stack.pop()))
-                pc += 1
-            elif name.startswith(("f32.", "f64.")) and name.split(".")[1] in (
-                "abs", "neg", "sqrt", "ceil", "floor", "trunc", "nearest",
-            ):
-                stack.append(_f_unary(name, stack.pop()))
-                pc += 1
-
-            # ----- SIMD --------------------------------------------------------
-            elif name.endswith(".splat"):
-                fmt, count, size = _simd_lanes(name)
-                value = stack.pop()
-                if fmt in ("f", "d"):
-                    lane = struct.pack(f"<{fmt}", value)
-                else:
-                    lane = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
-                stack.append(lane * count)
-                pc += 1
-            elif ".extract_lane" in name:
-                fmt, count, size = _simd_lanes(name)
-                vec = stack.pop()
-                lane_idx = instr.operands[0]
-                lane = vec[lane_idx * size : (lane_idx + 1) * size]
-                if fmt in ("f", "d"):
-                    stack.append(struct.unpack(f"<{fmt}", lane)[0])
-                else:
-                    stack.append(int.from_bytes(lane, "little"))
-                pc += 1
-            elif ".replace_lane" in name:
-                fmt, count, size = _simd_lanes(name)
-                value = stack.pop()
-                vec = bytearray(stack.pop())
-                lane_idx = instr.operands[0]
-                if fmt in ("f", "d"):
-                    vec[lane_idx * size : (lane_idx + 1) * size] = struct.pack(f"<{fmt}", value)
-                else:
-                    vec[lane_idx * size : (lane_idx + 1) * size] = (
-                        value & ((1 << (8 * size)) - 1)
-                    ).to_bytes(size, "little")
-                stack.append(bytes(vec))
-                pc += 1
-            elif name == "v128.not":
-                stack.append((~int.from_bytes(stack.pop(), "little") & (2**128 - 1)).to_bytes(16, "little"))
-                pc += 1
-            elif name == "f64x2.sqrt":
-                import math
-
-                a, b = struct.unpack("<2d", stack.pop())
-                stack.append(struct.pack("<2d", math.sqrt(a) if a >= 0 else math.nan,
-                                         math.sqrt(b) if b >= 0 else math.nan))
-                pc += 1
-            elif instr.info.is_simd:
-                b = stack.pop()
-                a = stack.pop()
-                stack.append(_simd_binary(name, a, b))
-                pc += 1
-            else:
-                raise Trap(f"instruction {name!r} not implemented by the interpreter")
-
-        # Fell off the end of the body: return the declared results.
-        if func_type.results:
-            return list(stack[len(stack) - len(func_type.results) :])
+        if lowered.nresults:
+            return stack[len(stack) - lowered.nresults:]
         return []

@@ -24,6 +24,11 @@ from repro.wasm.types import Limits, MemoryType
 
 PAGE_SIZE = MemoryType.PAGE_SIZE
 
+# Pre-compiled scalar codecs: parsing "<f"/"<d" format strings on every load
+# and store is measurable on the interpreter's hot path.
+_F32 = struct.Struct("<f")
+_F64 = struct.Struct("<d")
+
 
 class LinearMemory:
     """A bounds-checked, growable linear memory."""
@@ -115,19 +120,23 @@ class LinearMemory:
 
     def load_f32(self, address: int) -> float:
         """Load an IEEE-754 single."""
-        return struct.unpack("<f", self.read(address, 4))[0]
+        self._check(address, 4)
+        return _F32.unpack_from(self._buffer, address)[0]
 
     def store_f32(self, address: int, value: float) -> None:
         """Store an IEEE-754 single."""
-        self.write(address, struct.pack("<f", value))
+        self._check(address, 4)
+        _F32.pack_into(self._buffer, address, value)
 
     def load_f64(self, address: int) -> float:
         """Load an IEEE-754 double."""
-        return struct.unpack("<d", self.read(address, 8))[0]
+        self._check(address, 8)
+        return _F64.unpack_from(self._buffer, address)[0]
 
     def store_f64(self, address: int, value: float) -> None:
         """Store an IEEE-754 double."""
-        self.write(address, struct.pack("<d", value))
+        self._check(address, 8)
+        _F64.pack_into(self._buffer, address, value)
 
     # ---------------------------------------------------------- string helpers
 

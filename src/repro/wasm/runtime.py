@@ -127,6 +127,14 @@ class Executor:
     def prepare(self, module: Module) -> None:
         """Hook for ahead-of-time work (compilation); called once per module."""
 
+    def configure(self, max_call_depth: Optional[int] = None) -> None:
+        """Apply embedder-level execution limits.
+
+        The embedder calls this after :meth:`prepare` with the knobs from its
+        :class:`repro.core.config.EmbedderConfig`; back-ends ignore what they
+        do not support.
+        """
+
     def call(self, instance: "Instance", func_index: int, args: Sequence) -> List:
         """Execute a module-defined function."""
         raise NotImplementedError

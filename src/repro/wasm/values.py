@@ -19,6 +19,13 @@ from repro.wasm.errors import IntegerDivideByZeroTrap, IntegerOverflowTrap
 MASK32 = 0xFFFFFFFF
 MASK64 = 0xFFFFFFFFFFFFFFFF
 
+# Pre-compiled bit-cast codecs: f32 rounding sits on the hot path of every
+# single-precision operation, so the format strings are parsed exactly once.
+_F32 = struct.Struct("<f")
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
 
 # ----------------------------------------------------------------- int helpers
 
@@ -174,7 +181,7 @@ def extend_s(a: int, from_bits: int, to_bits: int) -> int:
 
 def round_f32(value: float) -> float:
     """Round a Python float through a 32-bit container (f32 semantics)."""
-    return struct.unpack("<f", struct.pack("<f", value))[0]
+    return _F32.unpack(_F32.pack(value))[0]
 
 
 def nearest(value: float) -> float:
@@ -211,22 +218,22 @@ def trunc_to_int(value: float, bits: int, signed: bool) -> int:
 
 def reinterpret_f32_to_i32(value: float) -> int:
     """Bit-cast f32 -> i32."""
-    return struct.unpack("<I", struct.pack("<f", value))[0]
+    return _U32.unpack(_F32.pack(value))[0]
 
 
 def reinterpret_i32_to_f32(value: int) -> float:
     """Bit-cast i32 -> f32."""
-    return struct.unpack("<f", struct.pack("<I", value & MASK32))[0]
+    return _F32.unpack(_U32.pack(value & MASK32))[0]
 
 
 def reinterpret_f64_to_i64(value: float) -> int:
     """Bit-cast f64 -> i64."""
-    return struct.unpack("<Q", struct.pack("<d", value))[0]
+    return _U64.unpack(_F64.pack(value))[0]
 
 
 def reinterpret_i64_to_f64(value: int) -> float:
     """Bit-cast i64 -> f64."""
-    return struct.unpack("<d", struct.pack("<Q", value & MASK64))[0]
+    return _F64.unpack(_U64.pack(value & MASK64))[0]
 
 
 def float_min(a: float, b: float) -> float:

@@ -213,6 +213,44 @@ def test_guest_isend_wait_and_alloc_mem():
     assert all(_two_rank_guest(body).return_values())
 
 
+def test_guest_mpi_test_poll_until_complete():
+    def body(api, rank, size):
+        data_ptr, data = api.alloc_array(4, abi.MPI_INT)
+        if rank == 0:
+            # Block on a go-signal first, so rank 1 is guaranteed to observe
+            # at least one incomplete MPI_Test before the payload is sent.
+            go_ptr, _ = api.alloc_array(1, abi.MPI_INT)
+            api.recv(go_ptr, 1, abi.MPI_INT, 1, 1)
+            data[:] = [5, 6, 7, 8]
+            api.send(data_ptr, 4, abi.MPI_INT, 1, 2)
+            return None
+        req = api.irecv(data_ptr, 4, abi.MPI_INT, 0, 2)
+        first_flag, first_status = api.test(req)
+        go_ptr, _ = api.alloc_array(1, abi.MPI_INT, fill=1)
+        api.send(go_ptr, 1, abi.MPI_INT, 0, 1)
+        polls = 0
+        while True:
+            polls += 1
+            flag, status = api.test(req)
+            if flag:
+                break
+            api.env.runtime.ctx.yield_turn()  # let rank 0 make progress
+        # The completed handle was released host side: a further MPI_Test
+        # behaves like MPI_REQUEST_NULL (immediately complete, empty status).
+        stale_flag, _ = api.test(req)
+        return (data.tolist(), status["source"], status["tag"],
+                first_flag, first_status, polls, stale_flag)
+
+    job = _two_rank_guest(body)
+    data, source, tag, first_flag, first_status, polls, stale_flag = job.return_values()[1]
+    assert data == [5, 6, 7, 8]
+    assert (source, tag) == (0, 2)
+    assert first_flag is False and first_status is None
+    assert polls >= 1
+    assert stale_flag is True
+    assert job.rank_results[1].call_counts["MPI_Test"] == polls + 2
+
+
 def test_guest_comm_split_and_dup():
     def body(api, rank, size):
         new_comm = api.comm_split(abi.MPI_COMM_WORLD, color=0, key=size - rank)

@@ -1,0 +1,179 @@
+"""Tests for the lowering pass, the lowered-IR artifacts and the AoT cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EmbedderConfig, MPIWasm, run_wasm
+from repro.harness.report import format_cache_report
+from repro.toolchain.guest import GuestProgram
+from repro.toolchain.wasicc import compile_guest
+from repro.wasm import ImportObject, Instance, ModuleBuilder, validate_module
+from repro.wasm.compilers import FileSystemCache, get_backend
+from repro.wasm.compilers.cache import module_hash
+from repro.wasm.interpreter import Interpreter
+from repro.wasm.lowering import (
+    IR_VERSION,
+    LoweredFunction,
+    deserialize_lowered,
+    lower_module,
+    serialize_lowered,
+)
+
+
+def _sum_module():
+    mb = ModuleBuilder(name="lowering-tests")
+    mb.add_memory(1)
+    f = mb.function("sum_to", params=[("n", "i32")], results=["i32"], export=True)
+    f.add_local("i", "i32")
+    f.add_local("acc", "i32")
+    with f.for_range("i", end_local="n"):
+        f.get("acc").get("i").emit("i32.add").set("acc")
+    f.get("acc")
+    module = mb.build()
+    validate_module(module)
+    return module
+
+
+# ----------------------------------------------------------------- lowered IR
+
+
+def test_lowering_pre_resolves_branches_and_constants():
+    module = _sum_module()
+    [lowered] = lower_module(module)
+    kinds = [kind for kind, _ in lowered.ops]
+    # No string-dispatch leftovers: every op is a resolved kind, and the
+    # for_range exit check collapsed into one compare-branch superinstruction.
+    assert "fused.get_get_cmp_br_if" in kinds
+    assert "fused.get_get_bin" in kinds      # acc + i
+    assert "fused.get_const_bin" in kinds    # i + 1
+    # Branch targets are absolute offsets, not run-time scans.
+    block_imms = [imm for kind, imm in lowered.ops if kind == "block"]
+    assert block_imms and all(isinstance(imm[1], int) for imm in block_imms)
+
+
+def test_serial_roundtrip_executes_identically():
+    module = _sum_module()
+    lowered = lower_module(module)
+    payload = serialize_lowered(lowered)
+    assert payload["ir_version"] == IR_VERSION
+    rebuilt = deserialize_lowered(payload)
+    assert rebuilt is not None
+    direct = Instance(module, ImportObject(), executor=Interpreter(lowered=lowered))
+    roundtrip = Instance(module, ImportObject(), executor=Interpreter(lowered=rebuilt))
+    for n in (0, 1, 7, 100):
+        assert direct.invoke("sum_to", n) == roundtrip.invoke("sum_to", n) == [n * (n - 1) // 2]
+
+
+def test_stale_ir_version_is_rejected():
+    payload = serialize_lowered(lower_module(_sum_module()))
+    payload["ir_version"] = IR_VERSION + 1
+    assert deserialize_lowered(payload) is None
+    assert deserialize_lowered({"kind": "something-else"}) is None
+    assert deserialize_lowered(None) is None
+
+
+def test_lazy_interpreter_lowers_on_first_call_only():
+    module = _sum_module()
+    executor = Interpreter(lazy=True)
+    instance = Instance(module, ImportObject(), executor=executor)
+    assert executor._functions == {}            # prepare() did no work
+    assert instance.invoke("sum_to", 10) == [45]
+    assert set(executor._functions) == {0}      # lowered exactly on first call
+
+
+# -------------------------------------------------------------------- caching
+
+
+def test_module_hash_keyed_on_bytes_backend_and_ir_version():
+    a = module_hash(b"module-bytes", "llvm")
+    assert a == module_hash(b"module-bytes", "llvm")
+    assert a != module_hash(b"module-bytes!", "llvm")
+    assert a != module_hash(b"module-bytes", "cranelift")
+    assert a != module_hash(b"module-bytes", "llvm", ir_version=IR_VERSION + 1)
+
+
+@pytest.mark.parametrize("backend_name", ["singlepass", "cranelift", "llvm"])
+def test_every_backend_artifact_is_serializable(backend_name, tmp_path):
+    app = compile_guest(GuestProgram(name="artifact-test", main=lambda api, args: 0))
+    compiled = get_backend(backend_name).compile(app.module)
+    assert isinstance(compiled.artifact, dict)
+    assert compiled.artifact["ir_version"] == IR_VERSION
+    cache = FileSystemCache(tmp_path)
+    key = module_hash(app.wasm_bytes, backend_name)
+    cache.store(key, compiled)
+    loaded = cache.load(key, app.module)
+    assert loaded is not None and loaded.artifact == compiled.artifact
+    assert loaded.compile_seconds == 0.0
+    # The reloaded artifact must yield a working executor without recompiling.
+    assert loaded.make_executor() is not None
+
+
+def test_filesystem_cache_rejects_stale_ir_artifacts(tmp_path):
+    app = compile_guest(GuestProgram(name="stale-test", main=lambda api, args: 0))
+    compiled = get_backend("cranelift").compile(app.module)
+    compiled.ir_version = IR_VERSION + 1  # simulate an artifact from an older IR
+    cache = FileSystemCache(tmp_path)
+    key = module_hash(app.wasm_bytes, "cranelift")
+    cache.store(key, compiled)
+    assert cache.load(key, app.module) is None
+    assert cache.stats() == {"hits": 0, "misses": 1}
+
+
+def test_second_identical_compile_does_zero_work(tmp_path):
+    """Acceptance: a cache hit skips lowering/codegen entirely."""
+    app = compile_guest(GuestProgram(name="zero-work", main=lambda api, args: 0))
+    config = EmbedderConfig(compiler_backend="llvm", cache_dir=str(tmp_path))
+    embedder = MPIWasm(config)
+    first = embedder.compile_module(app.wasm_bytes, app.module)
+    assert not embedder.last_cache_hit and first.compile_seconds > 0
+    second = embedder.compile_module(app.wasm_bytes, app.module)
+    assert embedder.last_cache_hit
+    assert second.compile_seconds == 0.0
+    assert embedder.cache.stats() == {"hits": 1, "misses": 1}
+
+
+def test_cache_dir_env_knob(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "aot"))
+    config = EmbedderConfig()
+    assert config.cache_dir == str(tmp_path / "aot")
+    embedder = MPIWasm(config)
+    assert isinstance(embedder.cache, FileSystemCache)
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert EmbedderConfig().cache_dir is None
+
+
+def test_cache_counters_surface_in_metrics_and_report(tmp_path):
+    program = GuestProgram(name="metrics-cache", main=None)
+
+    def main(api, args):
+        api.mpi_init()
+        api.mpi_finalize()
+        return 0
+
+    program.main = main
+    # A fresh on-disk cache keeps this independent of the process-wide
+    # in-memory cache other tests may already have warmed.
+    job = run_wasm(program, 2, machine="graviton2",
+                   config=EmbedderConfig(compiler_backend="cranelift",
+                                         cache_dir=str(tmp_path)))
+    summary = job.metrics.cache_summary()
+    # Rank 0 compiles (miss), rank 1 hits the shared in-process cache.
+    assert summary["misses"] >= 1 and summary["hits"] >= 1
+    assert summary["hits"] + summary["misses"] == 2
+    rendered = format_cache_report(job.metrics)
+    assert "hit rate" in rendered and "AoT compilation cache" in rendered
+    assert job.rank_results[1].cache_hit
+
+
+# -------------------------------------------------- executor interface wiring
+
+
+def test_embedder_configures_executor_call_depth():
+    app = compile_guest(GuestProgram(name="depth-test", main=lambda api, args: 0))
+    config = EmbedderConfig(compiler_backend="cranelift", max_call_depth=64)
+    embedder = MPIWasm(config)
+    compiled = embedder.compile_module(app.wasm_bytes, app.module)
+    executor = compiled.make_executor()
+    executor.configure(max_call_depth=config.max_call_depth)
+    assert executor.max_call_depth == 64
