@@ -1,0 +1,63 @@
+"""Campaign-runner scaling smoke: serial vs worker-pool wall clock.
+
+Runs a figure-5-class sweep (HPCG at several rank counts, repeated) once
+serially and once on a 4-worker pool and reports both wall-clock times plus
+the shared-cache counters.  The acceptance gates:
+
+* the parallel run produces *identical* per-job results (fingerprints), and
+* each distinct guest module compiles exactly once across the pool.
+
+The wall-clock speedup itself is only asserted on multi-core hosts -- on a
+single core a process pool cannot beat the serial path, it can only match
+it plus scheduling overhead.
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import report
+from repro.harness.campaign import CampaignSpec, run_campaign
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+SPEC = {
+    "name": "figure5-class-sweep",
+    "seed": 5,
+    "benchmarks": [
+        {"benchmark": "hpcg", "mode": "wasm", "backend": "cranelift",
+         "nranks": [2, 3] if SMOKE else [2, 3, 4], "machine": "graviton2",
+         "repeats": 1 if SMOKE else 2},
+    ],
+}
+
+
+def test_parallel_campaign_scales_and_compiles_once():
+    spec = CampaignSpec.from_mapping(SPEC)
+    serial = run_campaign(spec, workers=1)
+    parallel = run_campaign(spec, workers=4)
+
+    assert serial.ok and parallel.ok
+    assert parallel.fingerprints() == serial.fingerprints(), (
+        "parallel campaign diverged from the serial path"
+    )
+    assert parallel.cache_stats["compiles"] == 1, parallel.cache_stats
+    assert len(set(parallel.compiled_modules)) == 1
+
+    speedup = serial.wall_seconds / parallel.wall_seconds if parallel.wall_seconds else 0.0
+    cores = os.cpu_count() or 1
+    report(
+        "campaign scaling smoke",
+        [
+            f"jobs: {len(serial.outcomes)}, host cores: {cores}",
+            f"serial wall: {serial.wall_seconds:.3f}s, 4-worker wall: "
+            f"{parallel.wall_seconds:.3f}s ({speedup:.2f}x)",
+            f"shared cache: {parallel.cache_stats} "
+            f"({len(set(parallel.compiled_modules))} distinct modules)",
+        ],
+    )
+    if cores >= 4 and not SMOKE:
+        assert parallel.wall_seconds < serial.wall_seconds, (
+            f"4 workers on {cores} cores took {parallel.wall_seconds:.3f}s vs "
+            f"{serial.wall_seconds:.3f}s serial"
+        )

@@ -85,15 +85,15 @@ class MPIWasm:
         # IR format change transparently invalidates stale artifacts.
         key = module_hash(wasm_bytes, backend.name)
         if self.config.enable_cache:
-            cached = self.cache.load(key, module)
-            if cached is not None:
-                self.last_cache_hit = True
-                return cached
-        compiled = backend.compile(module)
-        if self.config.enable_cache:
-            self.cache.store(key, compiled)
+            # load_or_compute serialises concurrent compilers of the same key
+            # (per-key lock file for the on-disk cache), so a worker pool
+            # sharing one cache directory compiles each module exactly once.
+            compiled, self.last_cache_hit = self.cache.load_or_compute(
+                key, module, lambda: backend.compile(module)
+            )
+            return compiled
         self.last_cache_hit = False
-        return compiled
+        return backend.compile(module)
 
     def compile_application(self, app: Union[GuestProgram, CompiledApplication]) -> CompiledModule:
         """Compile a guest program (running wasicc first if needed)."""

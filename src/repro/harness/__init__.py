@@ -1,13 +1,31 @@
-"""Experiment harness: regenerates every table and figure of the paper."""
+"""Experiment harness: regenerates every table and figure of the paper.
 
-from repro.harness import experiments, report
+``repro.harness.campaign`` is the execution substrate: it expands
+declarative scenario matrices into job lists and runs them serially or on a
+multi-process worker pool with a shared AoT compilation cache; the figure
+drivers in ``repro.harness.experiments`` are the job bodies.
+"""
+
+from repro.harness import campaign, experiments, report
+from repro.harness.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    JobOutcome,
+    JobSpec,
+    run_campaign,
+    run_job,
+    spec_for_experiments,
+)
 from repro.harness.experiments import (
+    EXPERIMENT_DRIVERS,
     figure3_imb_supermuc,
     figure4_graviton2,
     figure5_npb_ior_hpcg,
     figure6_translation_overhead,
     figure7_faasm_comparison,
+    figure_campaign_spec,
     functional_crosscheck,
+    functional_crosscheck_campaign,
     hpcg_scaling_model,
     imb_model_series,
     table1_compiler_backends,
@@ -15,8 +33,18 @@ from repro.harness.experiments import (
 )
 
 __all__ = [
+    "campaign",
     "experiments",
     "report",
+    "CampaignResult",
+    "CampaignSpec",
+    "JobOutcome",
+    "JobSpec",
+    "run_campaign",
+    "run_job",
+    "spec_for_experiments",
+    "EXPERIMENT_DRIVERS",
+    "figure_campaign_spec",
     "table1_compiler_backends",
     "table2_binary_sizes",
     "figure3_imb_supermuc",
@@ -25,6 +53,7 @@ __all__ = [
     "figure6_translation_overhead",
     "figure7_faasm_comparison",
     "functional_crosscheck",
+    "functional_crosscheck_campaign",
     "hpcg_scaling_model",
     "imb_model_series",
 ]

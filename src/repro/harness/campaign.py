@@ -1,0 +1,604 @@
+"""Parallel experiment campaign runner.
+
+The paper's evaluation is a large matrix of (benchmark x backend x rank-count
+x machine) jobs, every one of them independent.  This module turns a
+declarative *scenario matrix* into a job list and executes it either serially
+in-process (the default, fully deterministic path) or on a
+:mod:`multiprocessing` worker pool with per-job process isolation:
+
+* every job gets a deterministic seed derived from the campaign seed and the
+  job id, so the serial and parallel paths produce identical results,
+* a failed job yields a structured error record (type, message, traceback)
+  instead of killing the campaign,
+* all workers share one on-disk AoT compilation cache
+  (:class:`repro.wasm.compilers.cache.FileSystemCache`), whose per-key locks
+  and atomic publishes guarantee each distinct guest module is compiled
+  exactly once across the pool,
+* per-job metrics ship back as plain snapshots and are folded into one
+  aggregate :class:`~repro.sim.metrics.MetricsRegistry`, and the whole
+  campaign serialises to a machine-readable ``campaign.json``.
+
+Spec format (a mapping; JSON and -- when PyYAML is installed -- YAML files
+are accepted by :meth:`CampaignSpec.from_file`)::
+
+    {
+      "name": "fig5-class-sweep",
+      "seed": 7,
+      "benchmarks": [                       # matrix entries; scalars or lists
+        {"benchmark": ["allreduce", "alltoall"],
+         "mode": ["wasm", "native"],
+         "backend": "cranelift",
+         "nranks": [2, 4],
+         "machine": "graviton2",
+         "algorithms": {"allreduce": "ring"},
+         "repeats": 2}
+      ],
+      "experiments": [                      # figure/table drivers
+        {"experiment": "figure5"},
+        {"experiment": "figure6", "params": {"functional": false}}
+      ]
+    }
+
+Every list-valued field of a ``benchmarks`` entry is swept as one matrix
+axis; ``repeats`` replicates each expanded point with distinct seeds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import random
+import shutil
+import tempfile
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.sim.metrics import MetricsRegistry
+
+#: Execution modes a benchmark job may request.
+MODES = ("wasm", "native")
+#: Compiler back-ends a wasm-mode job may request.
+BACKENDS = ("singlepass", "cranelift", "llvm")
+
+#: Keys understood in a ``benchmarks`` matrix entry.
+_BENCHMARK_KEYS = {"benchmark", "mode", "backend", "nranks", "machine", "algorithms", "repeats"}
+#: Keys understood in an ``experiments`` entry.
+_EXPERIMENT_KEYS = {"experiment", "params", "repeats"}
+
+#: Metric prefixes excluded from the determinism fingerprint: which worker
+#: wins the compile race (and therefore records the miss) is scheduling-
+#: dependent, while every other metric is fixed by the simulation.
+_FINGERPRINT_EXCLUDE = (MetricsRegistry.CACHE_PREFIX, "wasm.compile_seconds")
+
+#: Result keys carrying host wall-clock measurements (table1's compile times
+#: and kernel throughput); stripped from fingerprints for the same reason.
+_WALL_CLOCK_KEYS = frozenset({"compile_ms", "kernel_mflops", "compile_seconds"})
+
+
+def _strip_wall_clock(obj: object) -> object:
+    """Recursively drop wall-clock-measured fields from a driver result."""
+    if isinstance(obj, Mapping):
+        return {k: _strip_wall_clock(v) for k, v in obj.items() if k not in _WALL_CLOCK_KEYS}
+    if isinstance(obj, (list, tuple)):
+        return [_strip_wall_clock(v) for v in obj]
+    return obj
+
+
+# ------------------------------------------------------------------ job specs
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One fully-expanded campaign job (immutable, picklable)."""
+
+    kind: str                                 # "benchmark" or "experiment"
+    name: str                                 # benchmark or experiment name
+    mode: str = "wasm"                        # benchmark jobs: wasm | native
+    backend: str = "cranelift"                # benchmark jobs, wasm mode
+    nranks: int = 2
+    machine: str = "graviton2"
+    algorithms: Tuple[Tuple[str, str], ...] = ()   # forced collective algos
+    params: Tuple[Tuple[str, object], ...] = ()    # experiment driver kwargs
+    repeat: int = 0
+
+    @property
+    def job_id(self) -> str:
+        """Stable human-readable identifier (also the seed-derivation input)."""
+        if self.kind == "experiment":
+            parts = [self.name]
+            if self.params:
+                parts.append(",".join(f"{k}={v}" for k, v in self.params))
+        else:
+            parts = [self.name, self.mode]
+            if self.mode == "wasm":
+                parts.append(self.backend)
+            parts.append(f"np{self.nranks}")
+            parts.append(self.machine)
+            if self.algorithms:
+                parts.append(",".join(f"{c}:{a}" for c, a in self.algorithms))
+        return "/".join(parts) + f"#r{self.repeat}"
+
+    def seed(self, campaign_seed: int) -> int:
+        """Deterministic per-job seed: identical in serial and parallel runs."""
+        h = hashlib.blake2b(digest_size=8)
+        h.update(str(campaign_seed).encode("ascii"))
+        h.update(b"\x00")
+        h.update(self.job_id.encode("utf-8"))
+        return int.from_bytes(h.digest(), "big")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form used in ``campaign.json``."""
+        out: Dict[str, object] = {"kind": self.kind, "name": self.name, "repeat": self.repeat}
+        if self.kind == "benchmark":
+            out.update(mode=self.mode, nranks=self.nranks, machine=self.machine)
+            if self.mode == "wasm":
+                out["backend"] = self.backend
+            if self.algorithms:
+                out["algorithms"] = dict(self.algorithms)
+        elif self.params:
+            out["params"] = dict(self.params)
+        return out
+
+
+@dataclass
+class JobOutcome:
+    """Result (or structured failure record) of one campaign job."""
+
+    job_id: str
+    spec: JobSpec
+    seed: int
+    status: str = "ok"                        # "ok" or "error"
+    wall_seconds: float = 0.0
+    makespan: Optional[float] = None          # benchmark jobs: virtual seconds
+    exit_codes: List[int] = field(default_factory=list)
+    return_values: List[object] = field(default_factory=list)
+    result: object = None                     # experiment jobs: driver output
+    metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    error: Optional[Dict[str, str]] = None    # {"type", "message", "traceback"}
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def cache_events(self) -> Dict[str, int]:
+        """This job's AoT-cache lookups, read back from its metrics snapshot."""
+        counters = self.metrics.get("counters", {})
+        prefix = MetricsRegistry.CACHE_PREFIX
+        return {
+            "hits": int(counters.get(f"{prefix}hit", 0)),
+            "misses": int(counters.get(f"{prefix}miss", 0)),
+        }
+
+    def fingerprint(self) -> str:
+        """Digest of everything deterministic about this job's outcome.
+
+        Serial and parallel executions of the same campaign must agree on
+        every fingerprint; cache hit/miss counters and host wall-clock
+        measurements (compile times, table1's kernel throughput) are
+        excluded because they depend on scheduling and host load, not on
+        the simulation.
+        """
+        counters = {
+            k: v for k, v in self.metrics.get("counters", {}).items()
+            if not k.startswith(_FINGERPRINT_EXCLUDE)
+        }
+        series = {
+            k: v for k, v in self.metrics.get("series", {}).items()
+            if not k.startswith(_FINGERPRINT_EXCLUDE)
+        }
+        payload = json.dumps(
+            {
+                "job_id": self.job_id,
+                "status": self.status,
+                "makespan": self.makespan,
+                "exit_codes": self.exit_codes,
+                "return_values": self.return_values,
+                "result": _strip_wall_clock(self.result),
+                "counters": counters,
+                "series": series,
+                "error_type": (self.error or {}).get("type"),
+            },
+            sort_keys=True,
+            default=repr,
+        )
+        return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form used in ``campaign.json``."""
+        return {
+            "job_id": self.job_id,
+            "spec": self.spec.to_dict(),
+            "seed": self.seed,
+            "status": self.status,
+            "wall_seconds": self.wall_seconds,
+            "makespan": self.makespan,
+            "exit_codes": self.exit_codes,
+            "return_values": self.return_values,
+            "result": self.result,
+            "cache": self.cache_events(),
+            "metrics_counters": self.metrics.get("counters", {}),
+            "error": self.error,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+# ------------------------------------------------------------------ the spec
+
+
+def _as_tuple(value: object) -> Tuple[object, ...]:
+    if isinstance(value, (list, tuple)):
+        return tuple(value)
+    return (value,)
+
+
+def _algorithm_variants(value: object) -> Tuple[Tuple[Tuple[str, str], ...], ...]:
+    """Normalise the ``algorithms`` field into sweepable variants.
+
+    A mapping is one variant; a list of mappings is one variant per entry
+    (so overrides can be swept as a matrix axis, like the algosweep driver).
+    """
+    if value is None:
+        return ((),)
+    if isinstance(value, Mapping):
+        return (tuple(sorted(value.items())),)
+    if isinstance(value, (list, tuple)):
+        variants = []
+        for entry in value:
+            if not isinstance(entry, Mapping):
+                raise ValueError(f"algorithms list entries must be mappings, got {entry!r}")
+            variants.append(tuple(sorted(entry.items())))
+        return tuple(variants) or ((),)
+    raise ValueError(f"algorithms must be a mapping or list of mappings, got {value!r}")
+
+
+@dataclass
+class CampaignSpec:
+    """Declarative scenario matrix; :meth:`expand` yields the job list."""
+
+    name: str = "campaign"
+    seed: int = 0
+    cache_dir: Optional[str] = None
+    benchmarks: List[Mapping[str, object]] = field(default_factory=list)
+    experiments: List[Mapping[str, object]] = field(default_factory=list)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, object]) -> "CampaignSpec":
+        known = {"name", "seed", "cache_dir", "benchmarks", "experiments"}
+        unknown = set(mapping) - known
+        if unknown:
+            raise ValueError(f"unknown campaign spec keys {sorted(unknown)}; known: {sorted(known)}")
+        return cls(
+            name=str(mapping.get("name", "campaign")),
+            seed=int(mapping.get("seed", 0)),
+            cache_dir=mapping.get("cache_dir"),
+            benchmarks=list(mapping.get("benchmarks", [])),
+            experiments=list(mapping.get("experiments", [])),
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "CampaignSpec":
+        """Load a spec from a JSON file (or YAML, when PyYAML is available)."""
+        path = Path(path)
+        text = path.read_text(encoding="utf-8")
+        if path.suffix in (".yaml", ".yml"):
+            try:
+                import yaml  # type: ignore[import-untyped]
+            except ImportError as exc:  # pragma: no cover - environment-dependent
+                raise RuntimeError(
+                    f"{path} is YAML but PyYAML is not installed; use a JSON spec instead"
+                ) from exc
+            return cls.from_mapping(yaml.safe_load(text))
+        return cls.from_mapping(json.loads(text))
+
+    def expand(self) -> List[JobSpec]:
+        """Expand the matrix into the concrete, validated job list."""
+        from repro.benchmarks_suite import registry
+        from repro.harness.experiments import EXPERIMENT_DRIVERS
+
+        jobs: List[JobSpec] = []
+        for entry in self.benchmarks:
+            unknown = set(entry) - _BENCHMARK_KEYS
+            if unknown:
+                raise ValueError(
+                    f"unknown benchmark matrix keys {sorted(unknown)}; known: {sorted(_BENCHMARK_KEYS)}"
+                )
+            if "benchmark" not in entry:
+                raise ValueError(f"benchmark matrix entry missing 'benchmark': {entry!r}")
+            repeats = int(entry.get("repeats", 1))
+            if repeats < 1:
+                raise ValueError(f"repeats must be >= 1, got {repeats}")
+            axes = itertools.product(
+                _as_tuple(entry["benchmark"]),
+                _as_tuple(entry.get("mode", "wasm")),
+                _as_tuple(entry.get("backend", "cranelift")),
+                _as_tuple(entry.get("nranks", 2)),
+                _as_tuple(entry.get("machine", "graviton2")),
+                _algorithm_variants(entry.get("algorithms")),
+                range(repeats),
+            )
+            seen_ids = {job.job_id for job in jobs}
+            for benchmark, mode, backend, nranks, machine, algorithms, repeat in axes:
+                if benchmark not in registry.names():
+                    raise ValueError(f"unknown benchmark {benchmark!r}; known: {registry.names()}")
+                if mode not in MODES:
+                    raise ValueError(f"unknown mode {mode!r}; known: {MODES}")
+                if backend not in BACKENDS:
+                    raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
+                job = JobSpec(
+                    kind="benchmark",
+                    name=str(benchmark),
+                    mode=str(mode),
+                    backend=str(backend),
+                    nranks=int(nranks),
+                    machine=str(machine),
+                    algorithms=algorithms,
+                    repeat=repeat,
+                )
+                # Axes irrelevant to a job collapse out of its id (native
+                # jobs ignore the backend axis, for instance); keep exactly
+                # one job per distinct id so nothing runs twice.
+                if job.job_id in seen_ids:
+                    continue
+                seen_ids.add(job.job_id)
+                jobs.append(job)
+        for entry in self.experiments:
+            unknown = set(entry) - _EXPERIMENT_KEYS
+            if unknown:
+                raise ValueError(
+                    f"unknown experiment keys {sorted(unknown)}; known: {sorted(_EXPERIMENT_KEYS)}"
+                )
+            if "experiment" not in entry:
+                raise ValueError(f"experiment entry missing 'experiment': {entry!r}")
+            name = str(entry["experiment"])
+            if name not in EXPERIMENT_DRIVERS:
+                raise ValueError(
+                    f"unknown experiment {name!r}; known: {sorted(EXPERIMENT_DRIVERS)}"
+                )
+            params = entry.get("params", {})
+            if not isinstance(params, Mapping):
+                raise ValueError(f"experiment params must be a mapping, got {params!r}")
+            for repeat in range(int(entry.get("repeats", 1))):
+                jobs.append(
+                    JobSpec(
+                        kind="experiment",
+                        name=name,
+                        params=tuple(sorted(params.items())),
+                        repeat=repeat,
+                    )
+                )
+        if not jobs:
+            raise ValueError("campaign spec expands to zero jobs")
+        return jobs
+
+
+def spec_for_experiments(names: Sequence[str], seed: int = 0) -> CampaignSpec:
+    """Spec wrapping a plain list of figure/table drivers (the CLI 'run' path)."""
+    return CampaignSpec(
+        name="experiments",
+        seed=seed,
+        experiments=[{"experiment": name} for name in names],
+    )
+
+
+# ------------------------------------------------------------- job execution
+
+
+def run_job(spec: JobSpec, campaign_seed: int = 0, cache_dir: Optional[str] = None) -> JobOutcome:
+    """Execute one campaign job; never raises for job-level failures.
+
+    This is the worker-pool entry point (top-level and picklable).  The seed
+    is applied before the job body so repeated executions -- serial or on any
+    worker -- are bit-identical; ``cache_dir`` is exported as
+    ``REPRO_CACHE_DIR`` for the job's duration so every compile inside the
+    job (including ones buried in experiment drivers) goes through the
+    shared on-disk cache.
+    """
+    import numpy as np
+
+    seed = spec.seed(campaign_seed)
+    outcome = JobOutcome(job_id=spec.job_id, spec=spec, seed=seed)
+    random.seed(seed)
+    np.random.seed(seed & 0xFFFFFFFF)
+    previous_cache = os.environ.get("REPRO_CACHE_DIR")
+    if cache_dir is not None:
+        os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    start = time.perf_counter()
+    try:
+        if spec.kind == "benchmark":
+            _run_benchmark_job(spec, cache_dir, outcome)
+        elif spec.kind == "experiment":
+            _run_experiment_job(spec, outcome)
+        else:
+            raise ValueError(f"unknown job kind {spec.kind!r}")
+    except BaseException as exc:  # noqa: BLE001 - failures become records
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        outcome.status = "error"
+        outcome.error = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+        }
+    finally:
+        if cache_dir is not None:
+            if previous_cache is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = previous_cache
+        outcome.wall_seconds = time.perf_counter() - start
+    return outcome
+
+
+def _run_benchmark_job(spec: JobSpec, cache_dir: Optional[str], outcome: JobOutcome) -> None:
+    from repro.benchmarks_suite import registry
+    from repro.core.config import EmbedderConfig
+    from repro.core.launcher import run_native, run_wasm
+
+    program = registry.get_program(spec.name)
+    algorithms = dict(spec.algorithms)
+    if spec.mode == "wasm":
+        config = EmbedderConfig(
+            compiler_backend=spec.backend,
+            cache_dir=str(cache_dir) if cache_dir else None,
+            collective_algorithms=algorithms,
+        )
+        job = run_wasm(program, spec.nranks, machine=spec.machine, config=config)
+    else:
+        job = run_native(
+            program, spec.nranks, machine=spec.machine, collective_algorithms=algorithms
+        )
+    outcome.makespan = job.makespan
+    outcome.exit_codes = job.exit_codes()
+    outcome.return_values = job.return_values()
+    outcome.metrics = job.metrics.snapshot()
+
+
+def _run_experiment_job(spec: JobSpec, outcome: JobOutcome) -> None:
+    from repro.harness.experiments import EXPERIMENT_DRIVERS
+
+    driver = EXPERIMENT_DRIVERS[spec.name]
+    outcome.result = driver(**dict(spec.params))
+    outcome.exit_codes = [0]
+
+
+# ---------------------------------------------------------------- the runner
+
+
+@dataclass
+class CampaignResult:
+    """All outcomes of one campaign plus the aggregate views."""
+
+    name: str
+    workers: int
+    outcomes: List[JobOutcome]
+    wall_seconds: float
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+    compiled_modules: List[str] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def errors(self) -> List[JobOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def outcome(self, job_id: str) -> JobOutcome:
+        for o in self.outcomes:
+            if o.job_id == job_id:
+                return o
+        raise KeyError(f"no job {job_id!r} in campaign {self.name!r}")
+
+    def fingerprints(self) -> Dict[str, str]:
+        """Per-job determinism digests (identical for serial and parallel runs)."""
+        return {o.job_id: o.fingerprint() for o in self.outcomes}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "jobs_total": len(self.outcomes),
+            "jobs_failed": len(self.errors),
+            "cache": self.cache_stats,
+            "compiled_modules": self.compiled_modules,
+            "jobs": [o.to_dict() for o in self.outcomes],
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the machine-readable ``campaign.json``."""
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=False, default=repr) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+
+def _pool_context():
+    import multiprocessing
+
+    # fork is markedly cheaper and fully supported here (worker state is
+    # rebuilt per job); fall back to the platform default elsewhere.
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_campaign(
+    spec: Union[CampaignSpec, Mapping[str, object]],
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[Callable[[JobOutcome], None]] = None,
+) -> CampaignResult:
+    """Expand ``spec`` and execute every job, serially or on a worker pool.
+
+    ``workers <= 1`` runs jobs in-process in expansion order (the
+    determinism-sensitive default); ``workers > 1`` fans out over a
+    process pool with per-job isolation.  Either way, all jobs share one
+    on-disk compilation cache -- ``cache_dir``, the spec's ``cache_dir``, or
+    a private temporary directory cleaned up after the run.
+    """
+    if not isinstance(spec, CampaignSpec):
+        spec = CampaignSpec.from_mapping(spec)
+    jobs = spec.expand()
+    workers = max(1, int(workers))
+
+    # Explicit argument beats the spec beats the user's persistent
+    # REPRO_CACHE_DIR; only a fully-unconfigured run gets a throwaway cache.
+    shared_cache = cache_dir or spec.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
+    temporary_cache = shared_cache is None
+    if temporary_cache:
+        shared_cache = tempfile.mkdtemp(prefix="repro-campaign-cache-")
+
+    from repro.wasm.compilers.cache import FileSystemCache
+
+    stats_cache = FileSystemCache(shared_cache)
+    # Persistent directories carry history from earlier runs; snapshot the
+    # event count so the reported stats cover this campaign only.
+    baseline_events = stats_cache.event_count()
+
+    start = time.perf_counter()
+    outcomes: List[JobOutcome] = []
+    try:
+        if workers == 1:
+            for job in jobs:
+                outcome = run_job(job, spec.seed, shared_cache)
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(outcome)
+        else:
+            from functools import partial
+
+            ctx = _pool_context()
+            with ctx.Pool(processes=min(workers, len(jobs))) as pool:
+                for outcome in pool.imap(
+                    partial(run_job, campaign_seed=spec.seed, cache_dir=shared_cache), jobs
+                ):
+                    outcomes.append(outcome)
+                    if progress is not None:
+                        progress(outcome)
+        cache_stats = stats_cache.global_stats(since=baseline_events)
+        compiled = stats_cache.compiled_keys(since=baseline_events)
+    finally:
+        if temporary_cache:
+            shutil.rmtree(shared_cache, ignore_errors=True)
+
+    result = CampaignResult(
+        name=spec.name,
+        workers=workers,
+        outcomes=outcomes,
+        wall_seconds=time.perf_counter() - start,
+        cache_stats=cache_stats,
+        compiled_modules=compiled,
+    )
+    for outcome in outcomes:
+        if outcome.metrics:
+            result.metrics.merge_snapshot(outcome.metrics)
+    return result

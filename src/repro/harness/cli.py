@@ -1,30 +1,38 @@
-"""``repro-experiments`` command line interface.
+"""``repro-harness`` / ``repro-experiments`` command line interface.
 
-Runs any subset of the paper's experiments and prints text tables (optionally
-CSV) -- the "regenerate every table and figure" entry point referenced by
-EXPERIMENTS.md and the README.
+Two subcommands, both built on the campaign runner
+(:mod:`repro.harness.campaign`):
+
+* ``run [names...]`` -- regenerate any subset of the paper's tables and
+  figures (the historical ``repro-experiments`` behaviour; bare experiment
+  names without a subcommand still work).
+* ``campaign <spec> [--workers N]`` -- expand a declarative scenario-matrix
+  spec (JSON, or YAML when PyYAML is installed) into a job list and execute
+  it, optionally on a multi-process worker pool sharing one AoT compilation
+  cache.  Writes a machine-readable ``campaign.json`` and exits non-zero if
+  any job produced an error record.
+
+``--workers 1`` (the default) keeps the serial in-process path, which
+determinism-sensitive tests rely on; higher worker counts produce identical
+per-job results (same metrics values) in less wall-clock time.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-from typing import Callable, Dict, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.harness import experiments
-from repro.harness.report import format_table
+from repro.harness.campaign import (
+    CampaignSpec,
+    run_campaign,
+    spec_for_experiments,
+)
+from repro.harness.experiments import EXPERIMENT_DRIVERS
+from repro.harness.report import format_campaign_report, format_table
 
-EXPERIMENTS: Dict[str, Callable[[], object]] = {
-    "table1": experiments.table1_compiler_backends,
-    "table2": experiments.table2_binary_sizes,
-    "figure3": experiments.figure3_imb_supermuc,
-    "figure4": experiments.figure4_graviton2,
-    "figure5": experiments.figure5_npb_ior_hpcg,
-    "figure6": experiments.figure6_translation_overhead,
-    "figure7": experiments.figure7_faasm_comparison,
-    "crosscheck": experiments.functional_crosscheck,
-    "algosweep": experiments.imb_algorithm_sweep,
-}
+#: Back-compat alias: the driver table used to live here.
+EXPERIMENTS = EXPERIMENT_DRIVERS
 
 
 def _print_summary(name: str, result) -> None:
@@ -67,27 +75,93 @@ def _print_summary(name: str, result) -> None:
         print(json.dumps(result, indent=2, default=str)[:2000])
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point of ``repro-experiments``."""
+def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    selected = args.experiments or sorted(EXPERIMENT_DRIVERS)
+    for name in selected:
+        if name not in EXPERIMENT_DRIVERS:
+            parser.error(f"unknown experiment {name!r}; known: {sorted(EXPERIMENT_DRIVERS)}")
+    result = run_campaign(spec_for_experiments(selected), workers=args.workers)
+    for outcome in result.outcomes:
+        if not outcome.ok:
+            print(f"\n=== {outcome.spec.name} ===")
+            print(f"FAILED: {outcome.error['type']}: {outcome.error['message']}")
+            continue
+        if args.json:
+            print(json.dumps({outcome.spec.name: outcome.result}, indent=2, default=str))
+        else:
+            _print_summary(outcome.spec.name, outcome.result)
+    return 0 if result.ok else 1
+
+
+def _cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    try:
+        spec = CampaignSpec.from_file(args.spec)
+    except (OSError, ValueError, RuntimeError) as exc:
+        parser.error(f"cannot load campaign spec {args.spec!r}: {exc}")
+
+    def progress(outcome):
+        marker = "ok" if outcome.ok else f"ERROR ({outcome.error['type']})"
+        print(f"[{outcome.job_id}] {marker} wall={outcome.wall_seconds:.3f}s")
+
+    result = run_campaign(
+        spec, workers=args.workers, cache_dir=args.cache_dir, progress=progress
+    )
+    out_path = result.write(args.out)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, default=repr))
+    else:
+        print()
+        print(format_campaign_report(result))
+    print(f"\nwrote {out_path}")
+    if not result.ok:
+        print(f"{len(result.errors)} of {len(result.outcomes)} jobs failed")
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro-experiments",
+        prog="repro-harness",
         description="Regenerate the tables and figures of 'Exploring the Use of WebAssembly in HPC'.",
     )
-    parser.add_argument("experiments", nargs="*", default=[],
-                        help=f"which experiments to run (default: all of {sorted(EXPERIMENTS)})")
-    parser.add_argument("--json", action="store_true", help="dump raw JSON instead of tables")
-    args = parser.parse_args(argv)
+    sub = parser.add_subparsers(dest="command")
 
-    selected = args.experiments or sorted(EXPERIMENTS)
-    for name in selected:
-        if name not in EXPERIMENTS:
-            parser.error(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}")
-        result = EXPERIMENTS[name]()
-        if args.json:
-            print(json.dumps({name: result}, indent=2, default=str))
-        else:
-            _print_summary(name, result)
-    return 0
+    run_parser = sub.add_parser("run", help="run table/figure drivers by name")
+    run_parser.add_argument("experiments", nargs="*", default=[],
+                            help=f"which experiments to run (default: all of {sorted(EXPERIMENT_DRIVERS)})")
+    run_parser.add_argument("--json", action="store_true", help="dump raw JSON instead of tables")
+    run_parser.add_argument("--workers", type=int, default=1,
+                            help="worker processes (1 = serial in-process, the default)")
+
+    campaign_parser = sub.add_parser("campaign", help="run a scenario-matrix campaign spec")
+    campaign_parser.add_argument("spec", help="campaign spec file (JSON; YAML with PyYAML)")
+    campaign_parser.add_argument("--workers", type=int, default=1,
+                                 help="worker processes (1 = serial in-process, the default)")
+    campaign_parser.add_argument("--out", default="campaign.json",
+                                 help="where to write the machine-readable results")
+    campaign_parser.add_argument("--cache-dir", default=None,
+                                 help="shared AoT compilation cache directory (default: the "
+                                      "spec's cache_dir, else $REPRO_CACHE_DIR, else a private "
+                                      "temp dir)")
+    campaign_parser.add_argument("--json", action="store_true",
+                                 help="dump raw JSON instead of the summary table")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro-harness`` (and the ``repro-experiments`` alias)."""
+    import sys
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Back-compat: `repro-experiments table1 figure3` (no subcommand) still
+    # works -- anything that is not a subcommand is treated as `run ...`.
+    if not argv or argv[0] not in ("campaign", "run", "-h", "--help"):
+        argv = ["run", *argv]
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "campaign":
+        return _cmd_campaign(args, parser)
+    return _cmd_run(args, parser)
 
 
 if __name__ == "__main__":  # pragma: no cover

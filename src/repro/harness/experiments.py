@@ -492,6 +492,51 @@ def imb_algorithm_sweep(
 # ------------------------------------------------------------- functional runs
 
 
+def functional_crosscheck_campaign(
+    nranks: int = 4, machine: str = "graviton2", workers: int = 1
+) -> Dict[str, object]:
+    """The :func:`functional_crosscheck` matrix expressed as a campaign.
+
+    Same (routine x mode) points, but expanded from a declarative scenario
+    matrix and executed by :func:`repro.harness.campaign.run_campaign` --
+    the shape every figure sweep now shares.  With ``workers > 1`` the jobs
+    run on the process pool; results are identical either way.
+    """
+    from repro.harness.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        name="crosscheck",
+        benchmarks=[
+            {"benchmark": "pingpong", "mode": ["wasm", "native"], "nranks": 2,
+             "machine": machine},
+            {"benchmark": ["allreduce", "alltoall"], "mode": ["wasm", "native"],
+             "nranks": nranks, "machine": machine},
+        ],
+    )
+    result = run_campaign(spec, workers=workers)
+    out: Dict[str, object] = {}
+    for routine in ("pingpong", "allreduce", "alltoall"):
+        ranks = 2 if routine == "pingpong" else nranks
+        wasm = result.outcome(f"{routine}/wasm/cranelift/np{ranks}/{machine}#r0")
+        native = result.outcome(f"{routine}/native/np{ranks}/{machine}#r0")
+        if not (wasm.ok and native.ok):
+            out[routine] = {"error": (wasm.error or native.error)}
+            continue
+        wasm_rows = wasm.return_values[0]["rows"]
+        native_rows = native.return_values[0]["rows"]
+        slowdowns = [
+            wasm_rows[s]["t_avg_us"] / native_rows[s]["t_avg_us"]
+            for s in wasm_rows
+            if native_rows[s]["t_avg_us"] > 0
+        ]
+        out[routine] = {
+            "gm_slowdown": _geometric_mean(slowdowns) - 1.0,
+            "wasm_makespan_us": wasm.makespan * 1e6,
+            "native_makespan_us": native.makespan * 1e6,
+        }
+    return out
+
+
 def functional_crosscheck(nranks: int = 4, machine: str = "graviton2") -> Dict[str, object]:
     """Small-scale functional native-vs-Wasm runs used to sanity check the models."""
     sizes = (1, 256, 4096, 65536)
@@ -514,3 +559,49 @@ def functional_crosscheck(nranks: int = 4, machine: str = "graviton2") -> Dict[s
             "native_makespan_us": native_job.makespan * 1e6,
         }
     return results
+
+
+# ------------------------------------------------------------ campaign plumbing
+
+#: Every table/figure driver, keyed by the name the CLI and the campaign
+#: runner's ``experiments`` entries use.  This is the single source of truth
+#: (``repro.harness.cli`` re-exports it as ``EXPERIMENTS``).
+EXPERIMENT_DRIVERS = {
+    "table1": table1_compiler_backends,
+    "table2": table2_binary_sizes,
+    "figure3": figure3_imb_supermuc,
+    "figure4": figure4_graviton2,
+    "figure5": figure5_npb_ior_hpcg,
+    "figure6": figure6_translation_overhead,
+    "figure7": figure7_faasm_comparison,
+    "crosscheck": functional_crosscheck,
+    "crosscheck-campaign": functional_crosscheck_campaign,
+    "algosweep": imb_algorithm_sweep,
+}
+
+
+def figure_campaign_spec(
+    figures: Sequence[str] = ("figure3", "figure4", "figure5", "figure6", "figure7"),
+    functional_benchmarks: bool = True,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Scenario matrix covering a full figure regeneration sweep.
+
+    One ``experiment`` job per figure driver plus (optionally) the
+    functional native-vs-Wasm benchmark points the models are sanity-checked
+    against -- the job list the acceptance criterion's figure-5-class
+    ``repro-harness campaign --workers 4`` run expands to.
+    """
+    spec: Dict[str, object] = {
+        "name": "figures",
+        "seed": seed,
+        "experiments": [{"experiment": name} for name in figures],
+    }
+    if functional_benchmarks:
+        spec["benchmarks"] = [
+            {"benchmark": "pingpong", "mode": ["wasm", "native"], "nranks": 2,
+             "machine": "graviton2"},
+            {"benchmark": ["allreduce", "alltoall"], "mode": ["wasm", "native"],
+             "nranks": 4, "machine": "graviton2"},
+        ]
+    return spec

@@ -90,6 +90,41 @@ def format_cache_report(metrics, title: str = "AoT compilation cache") -> str:
     return format_table(["hits", "misses", "hit rate"], rows, title=title)
 
 
+def format_campaign_report(result, title: str = "") -> str:
+    """Render a :class:`repro.harness.campaign.CampaignResult` as text.
+
+    One row per job (status, wall time, virtual makespan, per-job AoT-cache
+    lookups) followed by the campaign totals: job/failure counts, wall-clock,
+    and the *cross-process* cache counters -- the line that shows each
+    distinct guest module was compiled exactly once across the worker pool.
+    """
+    rows = []
+    for outcome in result.outcomes:
+        cache = outcome.cache_events()
+        rows.append([
+            outcome.job_id,
+            outcome.status,
+            f"{outcome.wall_seconds:.3f}",
+            f"{outcome.makespan * 1e6:.1f}" if outcome.makespan is not None else "-",
+            f"{cache['hits']}/{cache['misses']}" if (cache["hits"] or cache["misses"]) else "-",
+        ])
+    table = format_table(
+        ["job", "status", "wall (s)", "makespan (us)", "cache h/m"],
+        rows,
+        title=title or f"campaign {result.name!r} ({result.workers} worker(s))",
+    )
+    stats = result.cache_stats
+    lines = [
+        table,
+        f"jobs: {len(result.outcomes)} total, {len(result.errors)} failed; "
+        f"wall-clock {result.wall_seconds:.3f}s",
+        f"shared AoT cache: {stats.get('hits', 0)} hits, {stats.get('misses', 0)} misses, "
+        f"{stats.get('compiles', 0)} compiles "
+        f"({len(set(result.compiled_modules))} distinct modules)",
+    ]
+    return "\n".join(lines)
+
+
 def rows_to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
     """Render header + rows as CSV text."""
     out = io.StringIO()

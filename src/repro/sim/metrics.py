@@ -182,6 +182,34 @@ class MetricsRegistry:
         for name, series in other._series.items():
             self._series[name].values.extend(series.values)
 
+    # -------------------------------------------------------------- snapshots
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-data snapshot that survives pickling across process boundaries.
+
+        The campaign runner ships each job's metrics back from its worker
+        process as this structure and folds them into the aggregate registry
+        with :meth:`merge_snapshot`.
+        """
+        return {
+            "counters": dict(self._counters),
+            "series": {name: list(s.values) for name, s in self._series.items()},
+        }
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold a :meth:`snapshot` produced (possibly elsewhere) into this one."""
+        for name, value in snapshot.get("counters", {}).items():
+            self._counters[name] += int(value)
+        for name, values in snapshot.get("series", {}).items():
+            self._series[name].values.extend(float(v) for v in values)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, Dict[str, object]]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot`."""
+        registry = cls()
+        registry.merge_snapshot(snapshot)
+        return registry
+
     def reset(self) -> None:
         """Drop all counters and series."""
         self._counters.clear()

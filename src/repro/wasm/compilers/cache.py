@@ -18,9 +18,12 @@ them into a newer runtime.
 from __future__ import annotations
 
 import hashlib
+import itertools
+import os
 import pickle
+import time
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.wasm.compilers.base import CompiledModule
 from repro.wasm.lowering import IR_VERSION
@@ -50,29 +53,116 @@ class _CacheStatsMixin:
 
 
 class FileSystemCache(_CacheStatsMixin):
-    """Filesystem-backed cache of compilation artifacts.
+    """Filesystem-backed cache of compilation artifacts, safe under
+    concurrent writers.
 
     Any change to the module bytes (or the back-end, or the IR version)
     changes the hash, which transparently triggers recompilation; repeated
     executions of the same application hit the cache and skip the compile
     step entirely.
+
+    Concurrency contract (the campaign runner shares one directory between
+    N worker processes):
+
+    * **Publishes are atomic.**  Artifacts are written to a private temporary
+      file and published with :func:`os.replace`, so a reader either sees no
+      artifact or a complete one -- never a torn read.
+    * **Each module compiles once.**  :meth:`load_or_compute` guards the
+      compile step with a per-key lock file (``O_CREAT | O_EXCL``); losers
+      wait for the winner's publish instead of recompiling.  A crashed
+      winner's stale lock is broken after :data:`LOCK_TIMEOUT` seconds.
+    * **Counters aggregate across processes.**  Every hit / miss / compile
+      appends one line to ``_stats/events.log`` (``O_APPEND`` writes below
+      the pipe-buffer size are atomic on POSIX), so :meth:`global_stats`
+      reflects the whole worker pool, not just this process.
     """
+
+    #: Seconds after which another process's compile lock is considered stale.
+    LOCK_TIMEOUT = 60.0
+    #: Polling interval while waiting for a concurrent compiler's publish.
+    LOCK_POLL = 0.005
 
     def __init__(self, directory: Union[Path, str]):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._stats_dir = self.directory / "_stats"
+        self._stats_dir.mkdir(exist_ok=True)
+        self._tmp_counter = itertools.count()
         self.hits = 0
         self.misses = 0
+        self.compiles = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.mpiwasm"
+
+    def _lock_path(self, key: str) -> Path:
+        return self.directory / f"{key}.lock"
+
+    @property
+    def _events_path(self) -> Path:
+        return self._stats_dir / "events.log"
+
+    # --------------------------------------------------- cross-process stats
+
+    def _log_event(self, kind: str, key: str) -> None:
+        line = f"{kind} {key}\n".encode("ascii")
+        fd = os.open(self._events_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+
+    def _events(self) -> List[Tuple[str, str]]:
+        try:
+            text = self._events_path.read_text(encoding="ascii")
+        except FileNotFoundError:
+            return []
+        events = []
+        for raw in text.splitlines():
+            kind, _, key = raw.partition(" ")
+            if kind:
+                events.append((kind, key))
+        return events
+
+    def event_count(self) -> int:
+        """Number of events logged so far; a baseline for ``since`` arguments.
+
+        The log grows by one short line per lookup and is only reset by
+        :meth:`clear` -- acceptable for per-campaign cache directories; a
+        long-lived shared directory should be cleared periodically.
+        """
+        return len(self._events())
+
+    def global_stats(self, since: int = 0) -> Dict[str, int]:
+        """Hit/miss/compile totals across *every* process using this directory.
+
+        ``since`` skips that many leading events, so a caller can scope the
+        totals to its own run of a persistent directory by snapshotting
+        :meth:`event_count` first.
+        """
+        totals = {"hits": 0, "misses": 0, "compiles": 0}
+        for kind, _key in self._events()[since:]:
+            if kind == "hit":
+                totals["hits"] += 1
+            elif kind == "miss":
+                totals["misses"] += 1
+            elif kind == "compile":
+                totals["compiles"] += 1
+        return totals
+
+    def compiled_keys(self, since: int = 0) -> List[str]:
+        """Keys actually compiled (not cache-served), in publish order,
+        aggregated across every process using this directory."""
+        return [key for kind, key in self._events()[since:] if kind == "compile"]
+
+    # ------------------------------------------------------------ store/load
 
     def contains(self, key: str) -> bool:
         """Whether an artifact for ``key`` is cached."""
         return self._path(key).exists()
 
     def store(self, key: str, compiled: CompiledModule) -> Path:
-        """Persist a compilation artifact under ``key``."""
+        """Persist a compilation artifact under ``key`` (atomic publish)."""
         payload = {
             "backend": compiled.backend_name,
             "ir_version": compiled.ir_version,
@@ -81,23 +171,31 @@ class FileSystemCache(_CacheStatsMixin):
             "artifact": compiled.artifact,
         }
         path = self._path(key)
-        with open(path, "wb") as fh:
+        # Private temporary name (pid + per-instance counter), then an atomic
+        # rename: concurrent readers never observe a partially written file.
+        tmp = self.directory / f"{key}.{os.getpid()}.{next(self._tmp_counter)}.tmp"
+        with open(tmp, "wb") as fh:
             pickle.dump(payload, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
         return path
 
-    def load(self, key: str, module: Module) -> Optional[CompiledModule]:
-        """Load a cached artifact for ``key`` (``None`` on miss)."""
+    def _read(self, key: str, module: Module) -> Optional[CompiledModule]:
+        """Load an artifact without touching the hit/miss counters."""
         path = self._path(key)
-        if not path.exists():
-            self.misses += 1
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError:
             return None
-        with open(path, "rb") as fh:
-            payload = pickle.load(fh)
+        except (EOFError, pickle.UnpicklingError, OSError):
+            # Corrupt or unreadable artifact (should not happen with atomic
+            # publishes, but never poison the caller): treat as a miss.
+            return None
         if payload.get("ir_version", IR_VERSION) != IR_VERSION:
             # Stale artifact from an older IR: treat as a miss and recompile.
-            self.misses += 1
             return None
-        self.hits += 1
         return CompiledModule(
             backend_name=payload["backend"],
             module=module,
@@ -107,16 +205,124 @@ class FileSystemCache(_CacheStatsMixin):
             ir_version=payload.get("ir_version", IR_VERSION),
         )
 
+    def load(self, key: str, module: Module) -> Optional[CompiledModule]:
+        """Load a cached artifact for ``key`` (``None`` on miss)."""
+        compiled = self._read(key, module)
+        if compiled is None:
+            self.misses += 1
+            self._log_event("miss", key)
+            return None
+        self.hits += 1
+        self._log_event("hit", key)
+        return compiled
+
+    # ----------------------------------------------------- compile-once path
+
+    def _try_acquire(self, lock: Path) -> bool:
+        for _attempt in range(2):
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                try:
+                    # Re-stat immediately before breaking so a lock another
+                    # process just (re)acquired is not mistaken for the stale
+                    # one observed earlier.
+                    if time.time() - lock.stat().st_mtime <= self.LOCK_TIMEOUT:
+                        return False
+                    lock.unlink()  # holder died mid-compile; break the lock
+                except FileNotFoundError:
+                    pass  # released meanwhile -- retry the acquire
+                continue
+            os.close(fd)
+            return True
+        return False
+
+    def _release(self, lock: Path) -> None:
+        try:
+            lock.unlink()
+        except FileNotFoundError:
+            pass
+
+    def load_or_compute(
+        self, key: str, module: Module, compute: Callable[[], CompiledModule]
+    ) -> Tuple[CompiledModule, bool]:
+        """Return ``(artifact, was_hit)``; compile via ``compute`` at most once
+        across every process sharing this directory.
+
+        Exactly one hit-or-miss event is recorded per call: a call that got
+        the artifact without compiling -- even by waiting out a concurrent
+        compiler -- is a hit; a call that ran ``compute`` is a miss.
+        """
+        compiled = self._read(key, module)
+        if compiled is not None:
+            self.hits += 1
+            self._log_event("hit", key)
+            return compiled, True
+        lock = self._lock_path(key)
+        deadline = time.time() + 2 * self.LOCK_TIMEOUT
+        acquired = False
+        try:
+            while True:
+                acquired = self._try_acquire(lock)
+                if acquired:
+                    break
+                # Somebody else holds the lock: wait for their publish (hit)
+                # or their release (retry the acquire) instead of compiling.
+                while lock.exists() and time.time() < deadline:
+                    compiled = self._read(key, module)
+                    if compiled is not None:
+                        self.hits += 1
+                        self._log_event("hit", key)
+                        return compiled, True
+                    time.sleep(self.LOCK_POLL)
+                if time.time() >= deadline:
+                    # Liveness backstop: the holder is wedged well past the
+                    # stale threshold -- compile without the lock.
+                    break
+            # Re-check under the lock: the previous holder may have published
+            # between our read and the acquire.
+            compiled = self._read(key, module)
+            if compiled is not None:
+                self.hits += 1
+                self._log_event("hit", key)
+                return compiled, True
+            compiled = compute()
+            self.store(key, compiled)
+            self.compiles += 1
+            self.misses += 1
+            self._log_event("miss", key)
+            self._log_event("compile", key)
+            return compiled, False
+        finally:
+            if acquired:
+                self._release(lock)
+
+    # ------------------------------------------------------------ maintenance
+
     def entries(self) -> Dict[str, int]:
         """Cache entries and their sizes in bytes."""
         return {p.stem: p.stat().st_size for p in self.directory.glob("*.mpiwasm")}
 
     def clear(self) -> int:
-        """Delete all cached artifacts; returns the number removed."""
+        """Delete all cached artifacts (and locks, and the event log);
+        returns the number of artifacts removed.  Tolerates concurrent
+        removals -- another process releasing its lock mid-clear is fine."""
         removed = 0
         for p in self.directory.glob("*.mpiwasm"):
-            p.unlink()
-            removed += 1
+            try:
+                p.unlink()
+                removed += 1
+            except FileNotFoundError:
+                pass
+        for p in self.directory.glob("*.lock"):
+            try:
+                p.unlink()
+            except FileNotFoundError:
+                pass
+        try:
+            self._events_path.unlink()
+        except FileNotFoundError:
+            pass
         return removed
 
 
@@ -127,6 +333,7 @@ class InMemoryCache(_CacheStatsMixin):
         self._store: Dict[str, CompiledModule] = {}
         self.hits = 0
         self.misses = 0
+        self.compiles = 0
 
     def contains(self, key: str) -> bool:
         """Whether an artifact for ``key`` is cached."""
@@ -151,6 +358,22 @@ class InMemoryCache(_CacheStatsMixin):
             function_count=cached.function_count,
             ir_version=cached.ir_version,
         )
+
+    def load_or_compute(
+        self, key: str, module: Module, compute: Callable[[], CompiledModule]
+    ) -> Tuple[CompiledModule, bool]:
+        """Return ``(artifact, was_hit)``, compiling on a miss.
+
+        Same contract as :meth:`FileSystemCache.load_or_compute`, minus the
+        cross-process coordination (this cache never crosses a process).
+        """
+        cached = self.load(key, module)
+        if cached is not None:
+            return cached, True
+        compiled = compute()
+        self.store(key, compiled)
+        self.compiles += 1
+        return compiled, False
 
     def clear(self) -> int:
         """Drop everything; returns the number of entries removed."""
