@@ -213,6 +213,14 @@ class NativeAPI:
         return {"source": status.source, "tag": status.tag, "error": status.error,
                 "count_bytes": status.count_bytes}
 
+    def test(self, request) -> Tuple[bool, Optional[Dict[str, int]]]:
+        """``MPI_Test`` over a host request object (never blocks)."""
+        flag, status = self.runtime.test(request)
+        if not flag:
+            return False, None
+        return True, {"source": status.source, "tag": status.tag, "error": status.error,
+                      "count_bytes": status.count_bytes}
+
     def waitany(self, requests) -> Tuple[int, Dict[str, int]]:
         """``MPI_Waitany`` over host request objects."""
         index, status = self.runtime.waitany(list(requests))
@@ -233,6 +241,50 @@ class NativeAPI:
     def collective_algorithm(self, collective: str) -> Optional[str]:
         """The algorithm currently forced for ``collective`` (None = table)."""
         return self.runtime.world.collectives.forced().get(collective)
+
+    def ibarrier(self, comm: int = abi.MPI_COMM_WORLD):
+        """``MPI_Ibarrier``; returns the host request object."""
+        return self.runtime.ibarrier(self._comm(comm))
+
+    def ibcast(self, buf, count, datatype, root, comm=abi.MPI_COMM_WORLD):
+        """``MPI_Ibcast``; returns the host request object."""
+        dt = _host_datatype(datatype)
+        return self.runtime.ibcast(self._buffer(buf, count * dt.size), count, dt, root,
+                                   self._comm(comm))
+
+    def iallreduce(self, sendbuf, recvbuf, count, datatype, op, comm=abi.MPI_COMM_WORLD):
+        """``MPI_Iallreduce``; returns the host request object."""
+        dt = _host_datatype(datatype)
+        return self.runtime.iallreduce(
+            self._buffer(sendbuf, count * dt.size), self._buffer(recvbuf, count * dt.size),
+            count, dt, _host_op(op), self._comm(comm),
+        )
+
+    def iallgather(self, sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype,
+                   comm=abi.MPI_COMM_WORLD):
+        """``MPI_Iallgather``; returns the host request object."""
+        st = _host_datatype(sendtype)
+        rt = _host_datatype(recvtype)
+        comm_obj = self._comm(comm)
+        return self.runtime.iallgather(
+            self._buffer(sendbuf, sendcount * st.size), sendcount, st,
+            self._buffer(recvbuf, recvcount * rt.size * comm_obj.size), recvcount, rt, comm_obj,
+        )
+
+    def ialltoall(self, sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype,
+                  comm=abi.MPI_COMM_WORLD):
+        """``MPI_Ialltoall``; returns the host request object."""
+        st = _host_datatype(sendtype)
+        rt = _host_datatype(recvtype)
+        comm_obj = self._comm(comm)
+        return self.runtime.ialltoall(
+            self._buffer(sendbuf, sendcount * st.size * comm_obj.size), sendcount, st,
+            self._buffer(recvbuf, recvcount * rt.size * comm_obj.size), recvcount, rt, comm_obj,
+        )
+
+    def record_nbc_overlap(self, collective: str, overlap: float) -> None:
+        """Record one communication/computation overlap sample (0..1)."""
+        self.runtime.world.metrics.record_nbc_overlap(collective, overlap)
 
     def barrier(self, comm: int = abi.MPI_COMM_WORLD) -> int:
         self.runtime.barrier(self._comm(comm))

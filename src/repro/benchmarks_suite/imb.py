@@ -42,6 +42,9 @@ ROUTINES = (
 #: collective the algorithm subsystem dispatches); used by the sweep mode.
 COLLECTIVE_ROUTINES = tuple(r for r in ROUTINES if r not in ("pingpong", "sendrecv"))
 
+#: Non-blocking collective routines of the IMB-NBC style overlap benchmark.
+NBC_ROUTINES = ("ibarrier", "ibcast", "iallreduce", "iallgather", "ialltoall")
+
 
 def _stats(samples: List[float]) -> Dict[str, float]:
     return {
@@ -191,6 +194,114 @@ def make_imb_algorithm_sweep_program(
         memory_pages=max(64, (max(message_sizes) * 8 // 65536) + 16),
         profile=PAPER_APPLICATIONS["IMB"],
         description=f"Intel MPI Benchmarks {routine} per-algorithm sweep",
+    )
+
+
+def _start_nbc(api, routine: str, nbytes: int, send_ptr: int, recv_ptr: int, comm: int):
+    """Post one non-blocking collective; returns its request handle/object."""
+    if routine == "ibarrier":
+        return api.ibarrier(comm)
+    if routine == "ibcast":
+        return api.ibcast(send_ptr, nbytes, abi.MPI_BYTE, 0, comm)
+    if routine == "iallreduce":
+        count = max(1, nbytes // 8)
+        return api.iallreduce(send_ptr, recv_ptr, count, abi.MPI_DOUBLE, abi.MPI_SUM, comm)
+    if routine == "iallgather":
+        return api.iallgather(send_ptr, nbytes, abi.MPI_BYTE, recv_ptr, nbytes, abi.MPI_BYTE, comm)
+    if routine == "ialltoall":
+        return api.ialltoall(send_ptr, nbytes, abi.MPI_BYTE, recv_ptr, nbytes, abi.MPI_BYTE, comm)
+    raise KeyError(f"unknown NBC routine {routine!r}; known: {NBC_ROUTINES}")
+
+
+def _run_nbc_routine(api, routine: str, message_sizes: Sequence[int], iterations: int) -> Dict[int, Dict[str, float]]:
+    """One IMB-NBC style overlap measurement: per size, the pure collective
+    time, a same-length compute phase overlapped with the collective, and the
+    achieved overlap percentage (the benchmark's headline column)."""
+    size = api.size()
+    comm = api.comm_dup(abi.MPI_COMM_WORLD)
+    collective = routine[1:]  # "iallreduce" -> "allreduce"
+    # iallreduce posts at least one MPI_DOUBLE element, so buffers must hold
+    # 8 bytes even when the sweep's largest message size is smaller.
+    max_bytes = max(8, max(message_sizes))
+    send_bytes_needed = max(1, max_bytes * (size if routine == "ialltoall" else 1))
+    recv_bytes_needed = max(1, max_bytes * (size if routine in ("iallgather", "ialltoall") else 1))
+    send_ptr, send_arr = api.alloc_array(send_bytes_needed, abi.MPI_BYTE, fill=0)
+    recv_ptr, _recv_arr = api.alloc_array(recv_bytes_needed, abi.MPI_BYTE, fill=0)
+    send_arr[:] = (api.rank() + 1) & 0xFF
+
+    results: Dict[int, Dict[str, float]] = {}
+    for nbytes in message_sizes:
+        pure: List[float] = []
+        ovrl: List[float] = []
+        overlaps: List[float] = []
+        for _ in range(iterations):
+            # Pure (non-overlapped) time: post and immediately wait.
+            api.barrier(comm)
+            t0 = api.wtime()
+            api.wait(_start_nbc(api, routine, nbytes, send_ptr, recv_ptr, comm))
+            t_pure = api.wtime() - t0
+            # Overlapped: post, compute for the pure time, then wait.  The
+            # overlap fraction is how much of the collective hid behind the
+            # compute phase (IMB-NBC's definition, with t_CPU = t_pure).
+            api.barrier(comm)
+            t_cpu = t_pure
+            t0 = api.wtime()
+            request = _start_nbc(api, routine, nbytes, send_ptr, recv_ptr, comm)
+            api.compute(t_cpu)
+            api.wait(request)
+            t_ovrl = api.wtime() - t0
+            if min(t_pure, t_cpu) > 0:
+                overlap = (t_pure + t_cpu - t_ovrl) / min(t_pure, t_cpu)
+            else:
+                overlap = 1.0
+            overlap = max(0.0, min(1.0, overlap))
+            pure.append(t_pure)
+            ovrl.append(t_ovrl)
+            overlaps.append(overlap)
+            api.record_nbc_overlap(collective, overlap)
+        results[nbytes] = {
+            "t_pure_us": 1e6 * sum(pure) / len(pure),
+            "t_ovrl_us": 1e6 * sum(ovrl) / len(ovrl),
+            "t_cpu_us": 1e6 * sum(pure) / len(pure),
+            "overlap_pct": 100.0 * sum(overlaps) / len(overlaps),
+            "iterations": len(overlaps),
+        }
+        api.barrier(comm)
+    return results
+
+
+def make_imb_nbc_program(
+    routine: str,
+    message_sizes: Sequence[int] = SMALL_MESSAGE_SIZES,
+    iterations: int = 4,
+) -> GuestProgram:
+    """Build the IMB-NBC style overlap benchmark for one non-blocking collective.
+
+    Mirrors the IMB-NBC measurement: each iteration times the collective run
+    back-to-back (``t_pure``), then re-runs it overlapped with a compute
+    phase of the same length and reports how much of the communication was
+    hidden.  Per-iteration overlap samples are also recorded into the job's
+    metrics registry (``mpi.nbc.<collective>.overlap``).
+    """
+    if routine not in NBC_ROUTINES:
+        raise KeyError(f"unknown NBC routine {routine!r}; known: {NBC_ROUTINES}")
+    sizes = (0,) if routine == "ibarrier" else tuple(message_sizes)
+
+    def main(api, args):
+        api.mpi_init()
+        rows = _run_nbc_routine(api, routine, list(sizes), iterations)
+        if api.rank() == 0:
+            api.print(f"# IMB-NBC {routine}: {len(rows)} message sizes, {iterations} iterations")
+        api.barrier()
+        api.mpi_finalize()
+        return {"routine": routine, "collective": routine[1:], "rows": rows}
+
+    return GuestProgram(
+        name=f"imb-nbc-{routine}",
+        main=main,
+        memory_pages=max(64, (max(sizes) * 8 // 65536) + 16),
+        profile=PAPER_APPLICATIONS["IMB"],
+        description=f"Intel MPI Benchmarks NBC {routine} overlap sweep",
     )
 
 

@@ -12,8 +12,10 @@ from repro.benchmarks_suite.custom_pingpong import make_translation_pingpong_pro
 from repro.benchmarks_suite.hpcg import make_hpcg_program
 from repro.benchmarks_suite.imb import (
     COLLECTIVE_ROUTINES,
+    NBC_ROUTINES,
     ROUTINES,
     make_imb_algorithm_sweep_program,
+    make_imb_nbc_program,
     make_imb_program,
     make_imb_suite_program,
 )
@@ -32,6 +34,8 @@ for _routine in ROUTINES:
     _register(_routine, lambda r=_routine: make_imb_program(r))
 for _routine in sorted(COLLECTIVE_ROUTINES):
     _register(f"algosweep-{_routine}", lambda r=_routine: make_imb_algorithm_sweep_program(r))
+for _routine in NBC_ROUTINES:
+    _register(_routine, lambda r=_routine: make_imb_nbc_program(r))
 _register("imb-suite", make_imb_suite_program)
 _register("hpcg", make_hpcg_program)
 _register("ior", make_ior_program)

@@ -243,6 +243,37 @@ class GuestAPI:
         self.free(arr_ptr)
         return flag, statuses
 
+    def _nbc_call(self, name: str, *args) -> int:
+        """Issue a non-blocking collective import; returns the request handle."""
+        self._call(name, *args, self._scratch_i32)
+        return int(self.instance.exported_memory().load_int(self._scratch_i32, 4))
+
+    def ibarrier(self, comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Ibarrier``; returns the guest request handle."""
+        return self._nbc_call("MPI_Ibarrier", comm)
+
+    def ibcast(self, buf: int, count: int, datatype: int, root: int,
+               comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Ibcast``; returns the guest request handle."""
+        return self._nbc_call("MPI_Ibcast", buf, count, datatype, root, comm)
+
+    def iallreduce(self, sendbuf: int, recvbuf: int, count: int, datatype: int, op: int,
+                   comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Iallreduce``; returns the guest request handle."""
+        return self._nbc_call("MPI_Iallreduce", sendbuf, recvbuf, count, datatype, op, comm)
+
+    def iallgather(self, sendbuf: int, sendcount: int, sendtype: int, recvbuf: int,
+                   recvcount: int, recvtype: int, comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Iallgather``; returns the guest request handle."""
+        return self._nbc_call("MPI_Iallgather", sendbuf, sendcount, sendtype,
+                              recvbuf, recvcount, recvtype, comm)
+
+    def ialltoall(self, sendbuf: int, sendcount: int, sendtype: int, recvbuf: int,
+                  recvcount: int, recvtype: int, comm: int = abi.MPI_COMM_WORLD) -> int:
+        """``MPI_Ialltoall``; returns the guest request handle."""
+        return self._nbc_call("MPI_Ialltoall", sendbuf, sendcount, sendtype,
+                              recvbuf, recvcount, recvtype, comm)
+
     def barrier(self, comm: int = abi.MPI_COMM_WORLD) -> int:
         """``MPI_Barrier``."""
         return self._call("MPI_Barrier", comm)
@@ -348,3 +379,11 @@ class GuestAPI:
         """
         if seconds > 0:
             self.env.runtime.ctx.advance(seconds)
+
+    def record_nbc_overlap(self, collective: str, overlap: float) -> None:
+        """Record one communication/computation overlap sample (0..1).
+
+        The IMB-NBC style benchmark calls this per iteration; samples land in
+        this instance's metrics and are merged into the job's registry.
+        """
+        self.env.metrics.record_nbc_overlap(collective, overlap)

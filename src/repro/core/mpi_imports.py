@@ -210,6 +210,11 @@ def build_mpi_imports() -> Dict[str, Callable]:
 
     # ------------------------------------------------------------ point-to-point
 
+    def _register_request(instance, env, request, request_ptr) -> int:
+        handle = env.requests.register(request)
+        instance.exported_memory().store_int(request_ptr, handle, 4)
+        return abi.MPI_SUCCESS
+
     @define("MPI_Send")
     def mpi_send(instance, buf, count, datatype_handle, dest, tag, comm_handle):
         env = _env_of(instance)
@@ -277,9 +282,7 @@ def build_mpi_imports() -> Dict[str, Callable]:
         comm = env.resolve_comm(_signed(comm_handle))
         view = _translator(instance).to_host(buf, nbytes)
         request = env.runtime.isend(view, count, datatype, _guest_source(_signed(dest)), _signed(tag), comm)
-        handle = env.requests.register(request)
-        instance.exported_memory().store_int(request_ptr, handle, 4)
-        return abi.MPI_SUCCESS
+        return _register_request(instance, env, request, request_ptr)
 
     @define("MPI_Irecv")
     def mpi_irecv(instance, buf, count, datatype_handle, source, tag, comm_handle, request_ptr):
@@ -290,13 +293,15 @@ def build_mpi_imports() -> Dict[str, Callable]:
         nbytes = count * datatype.size
         env.charge_overhead("MPI_Irecv", datatype.name, nbytes)
         comm = env.resolve_comm(_signed(comm_handle))
-        view = _translator(instance).to_host(buf, nbytes)
+        translator = _translator(instance)
+        # Lazy view: translated when the message is actually consumed, so no
+        # live view pins linear memory (memory.grow must keep working while
+        # the request is outstanding).
         request = env.runtime.irecv(
-            view, count, datatype, _guest_source(_signed(source)), _guest_tag(_signed(tag)), comm
+            lambda: translator.to_host(buf, nbytes),
+            count, datatype, _guest_source(_signed(source)), _guest_tag(_signed(tag)), comm,
         )
-        handle = env.requests.register(request)
-        instance.exported_memory().store_int(request_ptr, handle, 4)
-        return abi.MPI_SUCCESS
+        return _register_request(instance, env, request, request_ptr)
 
     @define("MPI_Test")
     def mpi_test(instance, request_ptr, flag_ptr, status_ptr):
@@ -413,6 +418,94 @@ def build_mpi_imports() -> Dict[str, Callable]:
         if found:
             _write_status(instance, status_ptr, status)
         return abi.MPI_SUCCESS
+
+    # ----------------------------------------------------- non-blocking collectives
+
+    @define("MPI_Ibarrier")
+    def mpi_ibarrier(instance, comm_handle, request_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Ibarrier")
+        env.charge_overhead("MPI_Ibarrier", "MPI_BYTE", 0, n_datatype_args=0)
+        comm = env.resolve_comm(_signed(comm_handle))
+        return _register_request(instance, env, env.runtime.ibarrier(comm), request_ptr)
+
+    @define("MPI_Ibcast")
+    def mpi_ibcast(instance, buf, count, datatype_handle, root, comm_handle, request_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Ibcast")
+        count = _signed(count)
+        datatype = env.resolve_datatype(_signed(datatype_handle))
+        nbytes = count * datatype.size
+        env.charge_overhead("MPI_Ibcast", datatype.name, nbytes)
+        comm = env.resolve_comm(_signed(comm_handle))
+        translator = _translator(instance)
+        # Lazy view: translated at post (copy-out) and completion (copy-in),
+        # never held across the overlap window -- memory.grow must keep
+        # working while the request is outstanding.
+        request = env.runtime.ibcast(
+            lambda: translator.to_host(buf, nbytes), count, datatype, _signed(root), comm
+        )
+        return _register_request(instance, env, request, request_ptr)
+
+    @define("MPI_Iallreduce")
+    def mpi_iallreduce(instance, sendbuf, recvbuf, count, datatype_handle, op_handle,
+                       comm_handle, request_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Iallreduce")
+        count = _signed(count)
+        datatype = env.resolve_datatype(_signed(datatype_handle))
+        op = env.resolve_op(_signed(op_handle))
+        nbytes = count * datatype.size
+        env.charge_overhead("MPI_Iallreduce", datatype.name, nbytes)
+        comm = env.resolve_comm(_signed(comm_handle))
+        translator = _translator(instance)
+        request = env.runtime.iallreduce(
+            lambda: translator.to_host(sendbuf, nbytes),
+            lambda: translator.to_host(recvbuf, nbytes),
+            count, datatype, op, comm,
+        )
+        return _register_request(instance, env, request, request_ptr)
+
+    @define("MPI_Iallgather")
+    def mpi_iallgather(instance, sendbuf, sendcount, sendtype_handle, recvbuf, recvcount,
+                       recvtype_handle, comm_handle, request_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Iallgather")
+        sendcount = _signed(sendcount)
+        recvcount = _signed(recvcount)
+        sendtype = env.resolve_datatype(_signed(sendtype_handle))
+        recvtype = env.resolve_datatype(_signed(recvtype_handle))
+        nbytes = sendcount * sendtype.size
+        env.charge_overhead("MPI_Iallgather", sendtype.name, nbytes, n_datatype_args=2)
+        comm = env.resolve_comm(_signed(comm_handle))
+        translator = _translator(instance)
+        recv_bytes = recvcount * recvtype.size * comm.size
+        request = env.runtime.iallgather(
+            lambda: translator.to_host(sendbuf, nbytes), sendcount, sendtype,
+            lambda: translator.to_host(recvbuf, recv_bytes), recvcount, recvtype, comm,
+        )
+        return _register_request(instance, env, request, request_ptr)
+
+    @define("MPI_Ialltoall")
+    def mpi_ialltoall(instance, sendbuf, sendcount, sendtype_handle, recvbuf, recvcount,
+                      recvtype_handle, comm_handle, request_ptr):
+        env = _env_of(instance)
+        env.note_call("MPI_Ialltoall")
+        sendcount = _signed(sendcount)
+        recvcount = _signed(recvcount)
+        sendtype = env.resolve_datatype(_signed(sendtype_handle))
+        recvtype = env.resolve_datatype(_signed(recvtype_handle))
+        nbytes = sendcount * sendtype.size
+        env.charge_overhead("MPI_Ialltoall", sendtype.name, nbytes, n_datatype_args=2)
+        comm = env.resolve_comm(_signed(comm_handle))
+        translator = _translator(instance)
+        send_bytes = nbytes * comm.size
+        recv_bytes = recvcount * recvtype.size * comm.size
+        request = env.runtime.ialltoall(
+            lambda: translator.to_host(sendbuf, send_bytes), sendcount, sendtype,
+            lambda: translator.to_host(recvbuf, recv_bytes), recvcount, recvtype, comm,
+        )
+        return _register_request(instance, env, request, request_ptr)
 
     # --------------------------------------------------------------- collectives
 

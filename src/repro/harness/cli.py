@@ -60,6 +60,16 @@ def _print_summary(name: str, result) -> None:
         print(format_table(["datatype", "avg translation (ns)"], rows))
     elif name == "figure7":
         print(f"MPIWasm vs Faasm PingPong GM speedup: {result['gm_speedup']:.2f}x")
+    elif name == "nbc":
+        rows = [
+            [routine, f"{stats.get('mean', 0.0):.1%}", f"{stats.get('min', 0.0):.1%}",
+             f"{stats.get('max', 0.0):.1%}", stats.get("count", 0)]
+            for routine, stats in result["overlap"].items()
+        ]
+        print(format_table(
+            ["routine", "mean overlap", "min", "max", "samples"], rows,
+            title=f"NBC overlap x {result['nranks']} ranks on {result['machine']}",
+        ))
     elif name == "algosweep":
         algorithms = sorted(result["series"])
         rows = []

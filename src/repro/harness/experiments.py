@@ -489,6 +489,65 @@ def imb_algorithm_sweep(
     }
 
 
+def nbc_overlap(
+    routines: Sequence[str] = ("ibarrier", "ibcast", "iallreduce", "iallgather", "ialltoall"),
+    nranks: int = 4,
+    machine: str = "graviton2",
+    message_sizes: Sequence[int] = (256, 4096, 65536),
+    iterations: int = 2,
+) -> Dict[str, object]:
+    """IMB-NBC style overlap sweep over every non-blocking collective.
+
+    Functional runs (real schedules advanced by the progress engine through
+    the full Wasm import path): for each routine, the per-size pure/overlapped
+    timings plus the achieved communication/computation overlap, and the
+    per-collective overlap statistics accumulated in the metrics registry.
+    """
+    from repro.benchmarks_suite.imb import make_imb_nbc_program
+
+    out: Dict[str, object] = {"machine": machine, "nranks": nranks, "mode": "functional",
+                              "series": {}, "overlap": {}}
+    for routine in routines:
+        program = make_imb_nbc_program(routine, message_sizes=message_sizes, iterations=iterations)
+        job = run_wasm(program, nranks, machine=machine)
+        result = job.return_values()[0]
+        out["series"][routine] = result["rows"]
+        summary = job.metrics.nbc_overlap_summary().get(result["collective"], {})
+        out["overlap"][routine] = summary
+    out["gm_overlap"] = _geometric_mean(
+        [row.get("mean", 0.0) for row in out["overlap"].values()]
+    )
+    return out
+
+
+def nbc_campaign_spec(
+    nranks: Sequence[int] = (2, 4),
+    backends: Sequence[str] = ("singlepass", "cranelift"),
+    machine: str = "graviton2",
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Scenario matrix sweeping the non-blocking collectives.
+
+    Expands to (5 NBC routines) x (wasm across ``backends`` + native) x
+    ``nranks`` on one machine -- the campaign shape the PR 3 harness runs
+    with ``repro-harness campaign --workers N`` (see
+    ``examples/campaign_nbc.json`` for the file form).
+    """
+    return {
+        "name": "nbc-overlap",
+        "seed": seed,
+        "benchmarks": [
+            {
+                "benchmark": ["ibarrier", "ibcast", "iallreduce", "iallgather", "ialltoall"],
+                "mode": ["wasm", "native"],
+                "backend": list(backends),
+                "nranks": list(nranks),
+                "machine": machine,
+            }
+        ],
+    }
+
+
 # ------------------------------------------------------------- functional runs
 
 
@@ -577,6 +636,7 @@ EXPERIMENT_DRIVERS = {
     "crosscheck": functional_crosscheck,
     "crosscheck-campaign": functional_crosscheck_campaign,
     "algosweep": imb_algorithm_sweep,
+    "nbc": nbc_overlap,
 }
 
 

@@ -1,14 +1,87 @@
 """Allgather algorithms: ring and Bruck.
 
-Signature shared by every allgather algorithm::
-
-    fn(cc, sendbuf, recvbuf, nbytes_per_rank, seq) -> None
+Both are expressed as schedules over two named buffers: ``"send"`` (this
+rank's block) and ``"recv"`` (``p`` blocks, the result).  The registered
+blocking functions execute the same schedules ``MPI_Iallgather`` advances
+incrementally.
 """
 
 from __future__ import annotations
 
 from repro.mpi.algorithms.base import KIND_ALLGATHER, CollectiveContext, coll_tag
 from repro.mpi.algorithms.registry import register
+from repro.mpi.algorithms.schedule import (
+    CopyStep,
+    RecvStep,
+    Schedule,
+    SendStep,
+    execute,
+    register_builder,
+)
+
+#: Buffer names every allgather schedule uses.
+SEND = "send"
+RECV = "recv"
+
+
+@register_builder("allgather", "ring")
+def build_allgather_ring(rank: int, size: int, nbytes_per_rank: int, seq: int) -> Schedule:
+    """Ring allgather: ``p - 1`` rounds, each forwarding the next rank's block."""
+    sched = Schedule()
+    p = size
+    b = nbytes_per_rank
+    tag = coll_tag(KIND_ALLGATHER, seq)
+    sched.round([CopyStep(SEND, 0, RECV, rank * b, b)])
+    if p <= 1:
+        return sched
+    left = (rank - 1) % p
+    right = (rank + 1) % p
+    # At step s each rank forwards the block that originated at (rank - s) % p.
+    for step in range(p - 1):
+        send_origin = (rank - step) % p
+        recv_origin = (rank - step - 1) % p
+        sched.round([
+            SendStep(right, tag + step, RECV, send_origin * b, b),
+            RecvStep(left, tag + step, RECV, recv_origin * b, b),
+        ])
+    return sched
+
+
+@register_builder("allgather", "bruck")
+def build_allgather_bruck(rank: int, size: int, nbytes_per_rank: int, seq: int) -> Schedule:
+    """Bruck allgather: ``ceil(log2 p)`` rounds of doubling block exchanges.
+
+    After the round at distance ``d``, position ``j`` of the rotated working
+    buffer holds the block that originated at rank ``(rank + j) % p`` for all
+    ``j < min(2d, p)``; a final rotation restores rank order.  Works for any
+    ``p`` and needs far fewer rounds than the ring for small blocks.
+    """
+    sched = Schedule()
+    p = size
+    b = nbytes_per_rank
+    sched.round([CopyStep(SEND, 0, RECV, rank * b, b)])
+    if p <= 1:
+        return sched
+    tag = coll_tag(KIND_ALLGATHER, seq)
+    tmp = sched.temp("tmp", p * b)
+    sched.add(CopyStep(SEND, 0, tmp, 0, b))
+    dist = 1
+    round_no = 0
+    while dist < p:
+        nblocks = min(dist, p - dist)
+        dst = (rank - dist) % p
+        src = (rank + dist) % p
+        sched.round([
+            SendStep(dst, tag + round_no, tmp, 0, nblocks * b),
+            RecvStep(src, tag + round_no, tmp, dist * b, nblocks * b),
+        ])
+        dist <<= 1
+        round_no += 1
+    # Final rotation back into rank order.
+    sched.round([
+        CopyStep(tmp, j * b, RECV, ((rank + j) % p) * b, b) for j in range(p)
+    ])
+    return sched
 
 
 @register("allgather", "ring")
@@ -19,28 +92,9 @@ def allgather_ring(
     nbytes_per_rank: int,
     seq: int,
 ) -> None:
-    """Ring allgather: ``p - 1`` steps, each forwarding the next rank's block."""
-    p = cc.size
-    tag = coll_tag(KIND_ALLGATHER, seq)
-    recvbuf[cc.rank * nbytes_per_rank : (cc.rank + 1) * nbytes_per_rank] = sendbuf[
-        :nbytes_per_rank
-    ]
-    if p <= 1:
-        return
-    left = (cc.rank - 1) % p
-    right = (cc.rank + 1) % p
-    # At step s each rank forwards the block that originated at (rank - s) % p.
-    for step in range(p - 1):
-        send_origin = (cc.rank - step) % p
-        recv_origin = (cc.rank - step - 1) % p
-        block = bytes(
-            recvbuf[send_origin * nbytes_per_rank : (send_origin + 1) * nbytes_per_rank]
-        )
-        cc.send(right, tag + step, block)
-        incoming = cc.recv(left, tag + step, nbytes_per_rank)
-        recvbuf[
-            recv_origin * nbytes_per_rank : (recv_origin + 1) * nbytes_per_rank
-        ] = incoming
+    """Blocking ring allgather (executes the schedule in place)."""
+    sched = build_allgather_ring(cc.rank, cc.size, nbytes_per_rank, seq)
+    execute(cc, sched, {SEND: bytearray(sendbuf[:nbytes_per_rank]), RECV: recvbuf})
 
 
 @register("allgather", "bruck")
@@ -51,33 +105,6 @@ def allgather_bruck(
     nbytes_per_rank: int,
     seq: int,
 ) -> None:
-    """Bruck allgather: ``ceil(log2 p)`` rounds of doubling block exchanges.
-
-    After the round at distance ``d``, position ``j`` of the rotated working
-    buffer holds the block that originated at rank ``(rank + j) % p`` for all
-    ``j < min(2d, p)``; a final rotation restores rank order.  Works for any
-    ``p`` and needs far fewer rounds than the ring for small blocks.
-    """
-    p = cc.size
-    b = nbytes_per_rank
-    rank = cc.rank
-    recvbuf[rank * b : (rank + 1) * b] = sendbuf[:b]
-    if p <= 1:
-        return
-    tag = coll_tag(KIND_ALLGATHER, seq)
-    tmp = bytearray(p * b)
-    tmp[0:b] = sendbuf[:b]
-    dist = 1
-    round_no = 0
-    while dist < p:
-        nblocks = min(dist, p - dist)
-        dst = (rank - dist) % p
-        src = (rank + dist) % p
-        cc.send(dst, tag + round_no, bytes(tmp[0 : nblocks * b]))
-        incoming = cc.recv(src, tag + round_no, nblocks * b)
-        tmp[dist * b : (dist + nblocks) * b] = incoming
-        dist <<= 1
-        round_no += 1
-    for j in range(p):
-        origin = (rank + j) % p
-        recvbuf[origin * b : (origin + 1) * b] = tmp[j * b : (j + 1) * b]
+    """Blocking Bruck allgather (executes the schedule in place)."""
+    sched = build_allgather_bruck(cc.rank, cc.size, nbytes_per_rank, seq)
+    execute(cc, sched, {SEND: bytearray(sendbuf[:nbytes_per_rank]), RECV: recvbuf})

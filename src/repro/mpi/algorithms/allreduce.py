@@ -1,8 +1,11 @@
 """Allreduce algorithms: recursive doubling, ring, and reduce+bcast.
 
-Signature shared by every allreduce algorithm::
-
-    fn(cc, sendbuf, recvbuf, count, datatype, op, seq) -> None
+Recursive doubling and the ring are expressed as schedules over the
+accumulator buffer ``"acc"`` (initialised with this rank's contribution and
+holding the result at completion); the registered blocking functions execute
+the same schedules ``MPI_Iallreduce`` advances incrementally.  The composed
+``reduce_bcast`` algorithm stays a composition of the (schedule-based)
+binomial reduce and bcast.
 """
 
 from __future__ import annotations
@@ -13,18 +16,153 @@ from repro.mpi.algorithms.base import (
     chunk_counts,
     chunk_offsets,
     coll_tag,
-    combine,
-    combine_segment,
+    fold_absolute_rank,
     largest_power_of_two_leq,
 )
 from repro.mpi.algorithms.registry import register
-from repro.mpi.algorithms.reduce import _absolute_rank, _fold_to_power_of_two
+from repro.mpi.algorithms.schedule import (
+    RecvStep,
+    ReduceStep,
+    Schedule,
+    SendStep,
+    execute,
+    register_builder,
+)
 from repro.mpi.datatypes import Datatype
 from repro.mpi.ops import Op
 
 # Tag offset for the post-phase that hands results back to folded-out ranks
 # (doubling rounds use offsets 1..log2(p), far below 63).
 _UNFOLD_TAG_OFFSET = 63
+
+#: Accumulator buffer name every allreduce schedule reads and writes.
+ACC = "acc"
+
+
+def _fold_rounds(sched: Schedule, rank: int, count: int, esize: int, tag: int,
+                 rem: int, tmp: str) -> int:
+    """Emit the fold pre-phase for non-power-of-two sizes.
+
+    The first ``2 * rem`` ranks pair up: each even rank sends its vector to
+    its odd neighbour (which combines it) and drops out of the core phase.
+    Returns the rank's virtual id within the power-of-two group, or ``-1``
+    for folded-out ranks.
+    """
+    nbytes = count * esize
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            sched.round([SendStep(rank + 1, tag, ACC, 0, nbytes)])
+            return -1
+        sched.round([
+            RecvStep(rank - 1, tag, tmp, 0, nbytes),
+            ReduceStep(tmp, 0, ACC, 0, count),
+        ])
+        return rank // 2
+    return rank - rem
+
+
+def _unfold_round(sched: Schedule, rank: int, nbytes: int, tag: int, rem: int) -> None:
+    """Post-phase: odd members of the folded pairs return the result."""
+    if rank < 2 * rem:
+        if rank % 2 == 1:
+            sched.round([SendStep(rank - 1, tag + _UNFOLD_TAG_OFFSET, ACC, 0, nbytes)])
+        else:
+            sched.round([RecvStep(rank + 1, tag + _UNFOLD_TAG_OFFSET, ACC, 0, nbytes)])
+
+
+@register_builder("allreduce", "recursive_doubling")
+def build_allreduce_recursive_doubling(
+    rank: int, size: int, count: int, esize: int, seq: int
+) -> Schedule:
+    """Recursive-doubling allreduce: ``log2(p)`` full-vector exchanges.
+
+    Latency-optimal for short vectors.  Non-power-of-two sizes fold the extra
+    ranks into neighbours first and hand the result back afterwards.
+    """
+    sched = Schedule()
+    p = size
+    nbytes = count * esize
+    if p <= 1:
+        return sched
+
+    tag = coll_tag(KIND_ALLREDUCE, seq)
+    pof2 = largest_power_of_two_leq(p)
+    rem = p - pof2
+    tmp = sched.temp("tmp", nbytes)
+    vrank = _fold_rounds(sched, rank, count, esize, tag, rem, tmp)
+
+    if vrank != -1:
+        mask = 1
+        round_no = 1
+        while mask < pof2:
+            partner = fold_absolute_rank(vrank ^ mask, rem)
+            sched.round([
+                SendStep(partner, tag + round_no, ACC, 0, nbytes),
+                RecvStep(partner, tag + round_no, tmp, 0, nbytes),
+                ReduceStep(tmp, 0, ACC, 0, count),
+            ])
+            mask <<= 1
+            round_no += 1
+
+    _unfold_round(sched, rank, nbytes, tag, rem)
+    return sched
+
+
+@register_builder("allreduce", "ring")
+def build_allreduce_ring(rank: int, size: int, count: int, esize: int, seq: int) -> Schedule:
+    """Ring allreduce: ring reduce-scatter followed by ring allgather.
+
+    Bandwidth-optimal (~``2 * nbytes`` moved per rank independent of ``p``),
+    the algorithm behind large-message allreduce in Open MPI's tuned module
+    and in collective communication libraries for ML.  Works for any ``p``;
+    chunk boundaries follow the MPICH near-equal split.
+    """
+    sched = Schedule()
+    p = size
+    if p <= 1:
+        return sched
+
+    tag = coll_tag(KIND_ALLREDUCE, seq)
+    right = (rank + 1) % p
+    left = (rank - 1) % p
+    cnts = chunk_counts(count, p)
+    offs = chunk_offsets(cnts)
+    tmp = sched.temp("tmp", max(cnts) * esize if cnts else 0)
+
+    # Reduce-scatter: after step s this rank has combined s+1 contributions
+    # into chunk (rank - s - 1); after p-1 steps chunk (rank + 1) is complete.
+    for step in range(p - 1):
+        send_idx = (rank - step) % p
+        recv_idx = (rank - step - 1) % p
+        sched.round([
+            SendStep(right, tag + step, ACC, offs[send_idx] * esize, cnts[send_idx] * esize),
+            RecvStep(left, tag + step, tmp, 0, cnts[recv_idx] * esize),
+            ReduceStep(tmp, 0, ACC, offs[recv_idx], cnts[recv_idx]),
+        ])
+
+    # Allgather: circulate the completed chunks around the ring.
+    for step in range(p - 1):
+        send_idx = (rank + 1 - step) % p
+        recv_idx = (rank - step) % p
+        sched.round([
+            SendStep(right, tag + (p - 1) + step, ACC, offs[send_idx] * esize, cnts[send_idx] * esize),
+            RecvStep(left, tag + (p - 1) + step, ACC, offs[recv_idx] * esize, cnts[recv_idx] * esize),
+        ])
+    return sched
+
+
+def _run_allreduce_schedule(
+    cc: CollectiveContext,
+    sched: Schedule,
+    sendbuf: bytes,
+    recvbuf: bytearray,
+    count: int,
+    datatype: Datatype,
+    op: Op,
+) -> None:
+    nbytes = count * datatype.size
+    buffers = execute(cc, sched, {ACC: bytearray(sendbuf[:nbytes])}, datatype, op)
+    recvbuf[:nbytes] = buffers[ACC][:nbytes]
 
 
 @register("allreduce", "recursive_doubling")
@@ -37,42 +175,9 @@ def allreduce_recursive_doubling(
     op: Op,
     seq: int,
 ) -> None:
-    """Recursive-doubling allreduce: ``log2(p)`` full-vector exchanges.
-
-    Latency-optimal for short vectors.  Non-power-of-two sizes fold the extra
-    ranks into neighbours first and hand the result back afterwards.
-    """
-    p = cc.size
-    nbytes = count * datatype.size
-    acc = bytearray(sendbuf[:nbytes])
-    if p <= 1:
-        recvbuf[:nbytes] = acc
-        return
-
-    tag = coll_tag(KIND_ALLREDUCE, seq)
-    pof2 = largest_power_of_two_leq(p)
-    rem = p - pof2
-    vrank = _fold_to_power_of_two(cc, acc, count, datatype, op, tag, rem)
-
-    if vrank != -1:
-        mask = 1
-        round_no = 1
-        while mask < pof2:
-            partner = _absolute_rank(vrank ^ mask, rem)
-            cc.send(partner, tag + round_no, bytes(acc))
-            contribution = cc.recv(partner, tag + round_no, nbytes)
-            combine(cc, op, acc, contribution, datatype, count)
-            mask <<= 1
-            round_no += 1
-
-    # Post-phase: odd members of the folded pairs return the result.
-    rank = cc.rank
-    if rank < 2 * rem:
-        if rank % 2 == 1:
-            cc.send(rank - 1, tag + _UNFOLD_TAG_OFFSET, bytes(acc))
-        else:
-            acc = bytearray(cc.recv(rank + 1, tag + _UNFOLD_TAG_OFFSET, nbytes))
-    recvbuf[:nbytes] = acc
+    """Blocking recursive-doubling allreduce (executes the schedule)."""
+    sched = build_allreduce_recursive_doubling(cc.rank, cc.size, count, datatype.size, seq)
+    _run_allreduce_schedule(cc, sched, sendbuf, recvbuf, count, datatype, op)
 
 
 @register("allreduce", "ring")
@@ -85,51 +190,9 @@ def allreduce_ring(
     op: Op,
     seq: int,
 ) -> None:
-    """Ring allreduce: ring reduce-scatter followed by ring allgather.
-
-    Bandwidth-optimal (~``2 * nbytes`` moved per rank independent of ``p``),
-    the algorithm behind large-message allreduce in Open MPI's tuned module
-    and in collective communication libraries for ML.  Works for any ``p``;
-    chunk boundaries follow the MPICH near-equal split.
-    """
-    p = cc.size
-    esize = datatype.size
-    nbytes = count * esize
-    acc = bytearray(sendbuf[:nbytes])
-    if p <= 1:
-        recvbuf[:nbytes] = acc
-        return
-
-    tag = coll_tag(KIND_ALLREDUCE, seq)
-    rank = cc.rank
-    right = (rank + 1) % p
-    left = (rank - 1) % p
-    cnts = chunk_counts(count, p)
-    offs = chunk_offsets(cnts)
-
-    def chunk(index: int) -> bytes:
-        lo = offs[index] * esize
-        return bytes(acc[lo : lo + cnts[index] * esize])
-
-    # Reduce-scatter: after step s this rank has combined s+1 contributions
-    # into chunk (rank - s - 1); after p-1 steps chunk (rank + 1) is complete.
-    for step in range(p - 1):
-        send_idx = (rank - step) % p
-        recv_idx = (rank - step - 1) % p
-        cc.send(right, tag + step, chunk(send_idx))
-        incoming = cc.recv(left, tag + step, cnts[recv_idx] * esize)
-        combine_segment(cc, op, acc, incoming, datatype, offs[recv_idx], cnts[recv_idx])
-
-    # Allgather: circulate the completed chunks around the ring.
-    for step in range(p - 1):
-        send_idx = (rank + 1 - step) % p
-        recv_idx = (rank - step) % p
-        cc.send(right, tag + (p - 1) + step, chunk(send_idx))
-        incoming = cc.recv(left, tag + (p - 1) + step, cnts[recv_idx] * esize)
-        lo = offs[recv_idx] * esize
-        acc[lo : lo + cnts[recv_idx] * esize] = incoming
-
-    recvbuf[:nbytes] = acc
+    """Blocking ring allreduce (executes the schedule)."""
+    sched = build_allreduce_ring(cc.rank, cc.size, count, datatype.size, seq)
+    _run_allreduce_schedule(cc, sched, sendbuf, recvbuf, count, datatype, op)
 
 
 @register("allreduce", "reduce_bcast")

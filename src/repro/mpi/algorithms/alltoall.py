@@ -1,14 +1,79 @@
 """Alltoall algorithms: pairwise exchange and basic linear.
 
-Signature shared by every alltoall algorithm::
-
-    fn(cc, sendbuf, recvbuf, nbytes_per_rank, seq) -> None
+Both are expressed as schedules over two named buffers: ``"send"`` (``p``
+outgoing blocks) and ``"recv"`` (``p`` incoming blocks).  The registered
+blocking functions execute the same schedules ``MPI_Ialltoall`` advances
+incrementally.
 """
 
 from __future__ import annotations
 
 from repro.mpi.algorithms.base import KIND_ALLTOALL, CollectiveContext, coll_tag
 from repro.mpi.algorithms.registry import register
+from repro.mpi.algorithms.schedule import (
+    CopyStep,
+    RecvStep,
+    Schedule,
+    SendStep,
+    execute,
+    register_builder,
+)
+
+#: Buffer names every alltoall schedule uses.
+SEND = "send"
+RECV = "recv"
+
+
+@register_builder("alltoall", "pairwise")
+def build_alltoall_pairwise(rank: int, size: int, nbytes_per_rank: int, seq: int) -> Schedule:
+    """Pairwise-exchange alltoall: ``p - 1`` shifted exchange rounds.
+
+    At round ``s`` every rank sends to ``rank + s`` and receives from
+    ``rank - s``, so at most one message per rank is in flight per round --
+    the bandwidth-friendly schedule for large blocks.
+    """
+    sched = Schedule()
+    p = size
+    b = nbytes_per_rank
+    tag = coll_tag(KIND_ALLTOALL, seq)
+    # Local block copies directly.
+    sched.round([CopyStep(SEND, rank * b, RECV, rank * b, b)])
+    for step in range(1, p):
+        dst = (rank + step) % p
+        src = (rank - step) % p
+        sched.round([
+            SendStep(dst, tag + step, SEND, dst * b, b),
+            RecvStep(src, tag + step, RECV, src * b, b),
+        ])
+    return sched
+
+
+@register_builder("alltoall", "linear")
+def build_alltoall_linear(rank: int, size: int, nbytes_per_rank: int, seq: int) -> Schedule:
+    """Basic linear alltoall: post every send up front, then drain receives.
+
+    Relies on the context's non-blocking sends (the matching engine buffers),
+    so all ``p - 1`` outgoing blocks are in flight at once -- the
+    latency-friendly schedule for small blocks.  Messages are distinguished
+    by source, so a single tag suffices.
+    """
+    sched = Schedule()
+    p = size
+    b = nbytes_per_rank
+    tag = coll_tag(KIND_ALLTOALL, seq)
+    sched.round([CopyStep(SEND, rank * b, RECV, rank * b, b)])
+    sched.round([
+        SendStep(peer, tag, SEND, peer * b, b) for peer in range(p) if peer != rank
+    ])
+    sched.round([
+        RecvStep(peer, tag, RECV, peer * b, b) for peer in range(p) if peer != rank
+    ])
+    return sched
+
+
+def _run_alltoall(cc: CollectiveContext, sched: Schedule, sendbuf: bytes,
+                  recvbuf: bytearray, nbytes_per_rank: int) -> None:
+    execute(cc, sched, {SEND: bytearray(sendbuf[: cc.size * nbytes_per_rank]), RECV: recvbuf})
 
 
 @register("alltoall", "pairwise")
@@ -19,25 +84,9 @@ def alltoall_pairwise(
     nbytes_per_rank: int,
     seq: int,
 ) -> None:
-    """Pairwise-exchange alltoall: ``p - 1`` shifted exchange steps.
-
-    At step ``s`` every rank sends to ``rank + s`` and receives from
-    ``rank - s``, so at most one message per rank is in flight per step --
-    the bandwidth-friendly schedule for large blocks.
-    """
-    p = cc.size
-    tag = coll_tag(KIND_ALLTOALL, seq)
-    # Local block copies directly.
-    recvbuf[cc.rank * nbytes_per_rank : (cc.rank + 1) * nbytes_per_rank] = sendbuf[
-        cc.rank * nbytes_per_rank : (cc.rank + 1) * nbytes_per_rank
-    ]
-    for step in range(1, p):
-        dst = (cc.rank + step) % p
-        src = (cc.rank - step) % p
-        block = bytes(sendbuf[dst * nbytes_per_rank : (dst + 1) * nbytes_per_rank])
-        cc.send(dst, tag + step, block)
-        incoming = cc.recv(src, tag + step, nbytes_per_rank)
-        recvbuf[src * nbytes_per_rank : (src + 1) * nbytes_per_rank] = incoming
+    """Blocking pairwise-exchange alltoall (executes the schedule in place)."""
+    sched = build_alltoall_pairwise(cc.rank, cc.size, nbytes_per_rank, seq)
+    _run_alltoall(cc, sched, sendbuf, recvbuf, nbytes_per_rank)
 
 
 @register("alltoall", "linear")
@@ -48,23 +97,6 @@ def alltoall_linear(
     nbytes_per_rank: int,
     seq: int,
 ) -> None:
-    """Basic linear alltoall: post every send up front, then drain receives.
-
-    Relies on the context's non-blocking sends (the matching engine buffers),
-    so all ``p - 1`` outgoing blocks are in flight at once -- the
-    latency-friendly schedule for small blocks.  Messages are distinguished
-    by source, so a single tag suffices.
-    """
-    p = cc.size
-    b = nbytes_per_rank
-    rank = cc.rank
-    tag = coll_tag(KIND_ALLTOALL, seq)
-    recvbuf[rank * b : (rank + 1) * b] = sendbuf[rank * b : (rank + 1) * b]
-    for peer in range(p):
-        if peer == rank:
-            continue
-        cc.send(peer, tag, bytes(sendbuf[peer * b : (peer + 1) * b]))
-    for peer in range(p):
-        if peer == rank:
-            continue
-        recvbuf[peer * b : (peer + 1) * b] = cc.recv(peer, tag, b)
+    """Blocking linear alltoall (executes the schedule in place)."""
+    sched = build_alltoall_linear(cc.rank, cc.size, nbytes_per_rank, seq)
+    _run_alltoall(cc, sched, sendbuf, recvbuf, nbytes_per_rank)

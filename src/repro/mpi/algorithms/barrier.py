@@ -1,46 +1,76 @@
-"""Barrier algorithms: dissemination and linear (central coordinator)."""
+"""Barrier algorithms: dissemination and linear (central coordinator).
+
+Both algorithms are expressed as *schedules* (ordered rounds of zero-byte
+token exchanges, see :mod:`repro.mpi.algorithms.schedule`); the registered
+blocking functions execute the same schedules the non-blocking
+``MPI_Ibarrier`` path advances incrementally, so each algorithm has exactly
+one implementation.
+"""
 
 from __future__ import annotations
 
 from repro.mpi.algorithms.base import KIND_BARRIER, CollectiveContext, coll_tag
 from repro.mpi.algorithms.registry import register
+from repro.mpi.algorithms.schedule import (
+    RecvStep,
+    Schedule,
+    SendStep,
+    execute,
+    register_builder,
+)
 
 
-@register("barrier", "dissemination")
-def barrier_dissemination(cc: CollectiveContext, seq: int) -> None:
+@register_builder("barrier", "dissemination")
+def build_barrier_dissemination(rank: int, size: int, seq: int) -> Schedule:
     """Dissemination barrier: ``ceil(log2 p)`` rounds of token exchange."""
-    p = cc.size
+    sched = Schedule()
+    p = size
     if p <= 1:
-        return
+        return sched
     tag = coll_tag(KIND_BARRIER, seq)
     step = 1
     round_no = 0
     while step < p:
-        dst = (cc.rank + step) % p
-        src = (cc.rank - step) % p
-        cc.send(dst, tag + round_no, b"")
-        cc.recv(src, tag + round_no, 0)
+        dst = (rank + step) % p
+        src = (rank - step) % p
+        sched.round([
+            SendStep(dst, tag + round_no),
+            RecvStep(src, tag + round_no),
+        ])
         step <<= 1
         round_no += 1
+    return sched
+
+
+@register_builder("barrier", "linear")
+def build_barrier_linear(rank: int, size: int, seq: int) -> Schedule:
+    """Linear barrier: rank 0 collects a token from everyone, then releases.
+
+    Two sequential fan-in/fan-out rounds -- latency grows linearly with the
+    communicator size, but only ``2(p-1)`` messages total, which wins on very
+    small communicators.
+    """
+    sched = Schedule()
+    p = size
+    if p <= 1:
+        return sched
+    tag = coll_tag(KIND_BARRIER, seq)
+    if rank == 0:
+        sched.round([RecvStep(src, tag) for src in range(1, p)])
+        sched.round([SendStep(dst, tag + 1) for dst in range(1, p)])
+    else:
+        sched.round([SendStep(0, tag)])
+        sched.round([RecvStep(0, tag + 1)])
+    return sched
+
+
+@register("barrier", "dissemination")
+def barrier_dissemination(cc: CollectiveContext, seq: int) -> None:
+    """Blocking dissemination barrier (executes the schedule to completion)."""
+    execute(cc, build_barrier_dissemination(cc.rank, cc.size, seq))
 
 
 @register("barrier", "linear")
 def barrier_linear(cc: CollectiveContext, seq: int) -> None:
-    """Linear barrier: rank 0 collects a token from everyone, then releases.
-
-    Two sequential fan-in/fan-out phases -- latency grows linearly with the
-    communicator size, but only ``2(p-1)`` messages total, which wins on very
-    small communicators.
-    """
-    p = cc.size
-    if p <= 1:
-        return
-    tag = coll_tag(KIND_BARRIER, seq)
-    if cc.rank == 0:
-        for src in range(1, p):
-            cc.recv(src, tag, 0)
-        for dst in range(1, p):
-            cc.send(dst, tag + 1, b"")
-    else:
-        cc.send(0, tag, b"")
-        cc.recv(0, tag + 1, 0)
+    """Blocking linear barrier (executes the schedule to completion)."""
+    execute(cc, build_barrier_linear(cc.rank, cc.size, seq))

@@ -14,7 +14,7 @@ numbers (and hence the tags) agree across ranks without negotiation.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.mpi.datatypes import Datatype
 from repro.mpi.ops import Op
@@ -48,6 +48,21 @@ class CollectiveContext:
     blocking (the matching engine buffers), which lets algorithms post a fan
     of sends before draining receives.  ``compute(seconds)`` charges local
     computation time (used for the combine step of reductions).
+
+    The remaining callables are optional and only supplied by the per-rank
+    runtime (the incremental schedule executor behind the non-blocking
+    collectives needs them; blocking execution works without them):
+
+    * ``probe(src_local, tag) -> bool`` -- whether a matching message is
+      already buffered, without consuming it;
+    * ``recv_nb(src_local, tag, nbytes) -> Optional[(bytes, arrival)]`` --
+      consume a buffered match charging only CPU overhead, reporting the
+      virtual time the payload actually finishes arriving (``None`` when
+      nothing is buffered).  Separating consumption from the arrival time is
+      what lets transfers overlap caller compute;
+    * ``now() -> float`` / ``advance_to(t)`` -- the rank's virtual clock,
+      used to enforce data dependencies (a step that reads received data
+      cannot execute before that data has arrived).
     """
 
     def __init__(
@@ -58,6 +73,10 @@ class CollectiveContext:
         recv: Callable[[int, int, int], bytes],
         compute: Callable[[float], None],
         reduce_compute_per_byte: float = 0.04e-9,
+        probe: Optional[Callable[[int, int], bool]] = None,
+        recv_nb: Optional[Callable[[int, int, int], Optional[tuple]]] = None,
+        now: Optional[Callable[[], float]] = None,
+        advance_to: Optional[Callable[[float], None]] = None,
     ):
         self.rank = rank
         self.size = size
@@ -65,6 +84,10 @@ class CollectiveContext:
         self.recv = recv
         self.compute = compute
         self.reduce_compute_per_byte = reduce_compute_per_byte
+        self.probe = probe
+        self.recv_nb = recv_nb
+        self.now = now
+        self.advance_to = advance_to
 
 
 def combine(cc: CollectiveContext, op: Op, acc: bytearray, contribution: bytes,
@@ -110,3 +133,11 @@ def largest_power_of_two_leq(p: int) -> int:
     while pof2 * 2 <= p:
         pof2 *= 2
     return pof2
+
+
+def fold_absolute_rank(vrank: int, rem: int) -> int:
+    """Inverse of the non-power-of-two fold mapping: virtual id -> absolute
+    communicator rank (shared by the halving/doubling reduce and allreduce
+    algorithms, whose pre-phases fold the ``rem`` extra ranks into odd
+    neighbours)."""
+    return 2 * vrank + 1 if vrank < rem else vrank + rem

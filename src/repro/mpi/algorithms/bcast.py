@@ -1,50 +1,59 @@
 """Broadcast algorithms: binomial tree and scatter-allgather (Van de Geijn).
 
-Signature shared by every bcast algorithm::
-
-    fn(cc, buffer, nbytes, root, seq) -> None
-
-``buffer`` is a ``bytearray`` holding the payload on the root and receiving
-it everywhere else.
+Both are expressed as schedules over one named buffer, ``"data"`` -- the
+payload on the root, the receive target everywhere else.  The registered
+blocking functions execute the same schedules ``MPI_Ibcast`` advances
+incrementally, so each algorithm has exactly one implementation.
 """
 
 from __future__ import annotations
 
 from repro.mpi.algorithms.base import KIND_BCAST, CollectiveContext, coll_tag
 from repro.mpi.algorithms.registry import register
+from repro.mpi.algorithms.schedule import (
+    RecvStep,
+    Schedule,
+    SendStep,
+    execute,
+    register_builder,
+)
+
+#: Buffer name every bcast schedule reads and writes.
+DATA = "data"
 
 
-@register("bcast", "binomial")
-def bcast_binomial(cc: CollectiveContext, buffer: bytearray, nbytes: int, root: int, seq: int) -> None:
-    """Binomial-tree broadcast of ``nbytes`` from ``root`` into ``buffer``."""
-    p = cc.size
+@register_builder("bcast", "binomial")
+def build_bcast_binomial(rank: int, size: int, nbytes: int, root: int, seq: int) -> Schedule:
+    """Binomial-tree broadcast of ``nbytes`` from ``root``."""
+    sched = Schedule()
+    p = size
     if p <= 1 or nbytes < 0:
-        return
+        return sched
     tag = coll_tag(KIND_BCAST, seq)
-    vrank = (cc.rank - root) % p
+    vrank = (rank - root) % p
 
-    # Phase 1: every rank except the root receives from its binomial parent.
+    # Round 1: every rank except the root receives from its binomial parent.
     # ``mask`` ends up at the bit position where this rank hangs off the tree
     # (or at the first power of two >= p for the root).
     mask = 1
     while mask < p:
         if vrank & mask:
             parent = ((vrank - mask) + root) % p
-            data = cc.recv(parent, tag, nbytes)
-            buffer[:nbytes] = data
+            sched.round([RecvStep(parent, tag, DATA, 0, nbytes)])
             break
         mask <<= 1
-    # Phase 2: forward to children at all lower bit positions.
+    # Following rounds: forward to children at all lower bit positions.
     mask >>= 1
     while mask > 0:
         if vrank + mask < p:
             child = ((vrank + mask) + root) % p
-            cc.send(child, tag, bytes(buffer[:nbytes]))
+            sched.round([SendStep(child, tag, DATA, 0, nbytes)])
         mask >>= 1
+    return sched
 
 
-@register("bcast", "scatter_allgather")
-def bcast_scatter_allgather(cc: CollectiveContext, buffer: bytearray, nbytes: int, root: int, seq: int) -> None:
+@register_builder("bcast", "scatter_allgather")
+def build_bcast_scatter_allgather(rank: int, size: int, nbytes: int, root: int, seq: int) -> Schedule:
     """Scatter-allgather broadcast (Van de Geijn): the root scatters the
     payload into ``p`` blocks, then a ring allgather reassembles it everywhere.
 
@@ -53,38 +62,53 @@ def bcast_scatter_allgather(cc: CollectiveContext, buffer: bytearray, nbytes: in
     Blocks are addressed in root-relative (virtual) rank order so any root
     works; trailing blocks may be empty when ``nbytes < p``.
     """
-    p = cc.size
+    sched = Schedule()
+    p = size
     if p <= 1 or nbytes <= 0:
-        return
+        return sched
     tag = coll_tag(KIND_BCAST, seq)
-    vrank = (cc.rank - root) % p
+    vrank = (rank - root) % p
     blk = (nbytes + p - 1) // p
 
     def span(v: int):
         lo = min(v * blk, nbytes)
         return lo, min(lo + blk, nbytes)
 
-    # Phase 1: linear scatter from the root -- virtual rank v gets block v.
+    # Round 1: linear scatter from the root -- virtual rank v gets block v.
     if vrank == 0:
-        for v in range(1, p):
-            lo, hi = span(v)
-            cc.send((v + root) % p, tag, bytes(buffer[lo:hi]))
+        sched.round([
+            SendStep((v + root) % p, tag, DATA, span(v)[0], span(v)[1] - span(v)[0])
+            for v in range(1, p)
+        ])
     else:
         lo, hi = span(vrank)
-        data = cc.recv(root, tag, hi - lo)
-        buffer[lo:hi] = data
+        sched.round([RecvStep(root, tag, DATA, lo, hi - lo)])
 
-    # Phase 2: ring allgather of the blocks.  At step s each rank forwards the
-    # block that originated at virtual rank (vrank - s) and receives the one
-    # from (vrank - s - 1); neighbours in virtual-rank space map to the
-    # (rank +/- 1) ring in absolute ranks.
-    right = (cc.rank + 1) % p
-    left = (cc.rank - 1) % p
+    # Following rounds: ring allgather of the blocks.  At step s each rank
+    # forwards the block that originated at virtual rank (vrank - s) and
+    # receives the one from (vrank - s - 1); neighbours in virtual-rank space
+    # map to the (rank +/- 1) ring in absolute ranks.
+    right = (rank + 1) % p
+    left = (rank - 1) % p
     for step in range(p - 1):
         send_v = (vrank - step) % p
         recv_v = (vrank - step - 1) % p
         slo, shi = span(send_v)
         rlo, rhi = span(recv_v)
-        cc.send(right, tag + 1 + step, bytes(buffer[slo:shi]))
-        incoming = cc.recv(left, tag + 1 + step, rhi - rlo)
-        buffer[rlo:rhi] = incoming
+        sched.round([
+            SendStep(right, tag + 1 + step, DATA, slo, shi - slo),
+            RecvStep(left, tag + 1 + step, DATA, rlo, rhi - rlo),
+        ])
+    return sched
+
+
+@register("bcast", "binomial")
+def bcast_binomial(cc: CollectiveContext, buffer: bytearray, nbytes: int, root: int, seq: int) -> None:
+    """Blocking binomial-tree broadcast (executes the schedule in place)."""
+    execute(cc, build_bcast_binomial(cc.rank, cc.size, nbytes, root, seq), {DATA: buffer})
+
+
+@register("bcast", "scatter_allgather")
+def bcast_scatter_allgather(cc: CollectiveContext, buffer: bytearray, nbytes: int, root: int, seq: int) -> None:
+    """Blocking scatter-allgather broadcast (executes the schedule in place)."""
+    execute(cc, build_bcast_scatter_allgather(cc.rank, cc.size, nbytes, root, seq), {DATA: buffer})

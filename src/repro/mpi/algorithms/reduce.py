@@ -4,7 +4,10 @@ Signature shared by every reduce algorithm::
 
     fn(cc, sendbuf, recvbuf, count, datatype, op, root, seq) -> None
 
-``recvbuf`` is a ``bytearray`` on the root and ``None`` elsewhere.
+``recvbuf`` is a ``bytearray`` on the root and ``None`` elsewhere.  The
+binomial tree is expressed as a schedule over the accumulator buffer
+``"acc"`` (see :mod:`repro.mpi.algorithms.schedule`), shared with the
+non-blocking path; Rabenseifner stays a direct implementation.
 """
 
 from __future__ import annotations
@@ -19,15 +22,62 @@ from repro.mpi.algorithms.base import (
     coll_tag,
     combine,
     combine_segment,
+    fold_absolute_rank,
     largest_power_of_two_leq,
 )
 from repro.mpi.algorithms.registry import register
+from repro.mpi.algorithms.schedule import (
+    CopyStep,
+    RecvStep,
+    ReduceStep,
+    Schedule,
+    SendStep,
+    execute,
+    register_builder,
+)
 from repro.mpi.datatypes import Datatype
 from repro.mpi.ops import Op
 
 # Tag offset separating the gather phase from the reduce-scatter rounds
 # (rounds use offsets 1..log2(p), far below 64).
 _GATHER_TAG_OFFSET = 64
+
+#: Buffer names the reduce schedules use.
+ACC = "acc"
+RECV = "recv"
+
+
+@register_builder("reduce", "binomial")
+def build_reduce_binomial(rank: int, size: int, count: int, esize: int,
+                          root: int, seq: int) -> Schedule:
+    """Binomial-tree reduction of ``count`` elements to ``root``.
+
+    The root's schedule ends with a copy of the accumulator into ``"recv"``.
+    """
+    sched = Schedule()
+    p = size
+    nbytes = count * esize
+    if p > 1:
+        tag = coll_tag(KIND_REDUCE, seq)
+        vrank = (rank - root) % p
+        tmp = sched.temp("tmp", nbytes)
+        mask = 1
+        while mask < p:
+            if vrank & mask:
+                parent = ((vrank & ~mask) + root) % p
+                sched.round([SendStep(parent, tag, ACC, 0, nbytes)])
+                break
+            vchild = vrank | mask
+            if vchild < p:
+                child = (vchild + root) % p
+                sched.round([
+                    RecvStep(child, tag, tmp, 0, nbytes),
+                    ReduceStep(tmp, 0, ACC, 0, count),
+                ])
+            mask <<= 1
+    if rank == root:
+        sched.round([CopyStep(ACC, 0, RECV, 0, nbytes)])
+    return sched
 
 
 @register("reduce", "binomial")
@@ -41,28 +91,14 @@ def reduce_binomial(
     root: int,
     seq: int,
 ) -> None:
-    """Binomial-tree reduction of ``count`` elements to ``root``."""
-    p = cc.size
+    """Blocking binomial-tree reduction (executes the schedule in place)."""
     nbytes = count * datatype.size
-    acc = bytearray(sendbuf[:nbytes])
-    if p > 1:
-        tag = coll_tag(KIND_REDUCE, seq)
-        vrank = (cc.rank - root) % p
-        mask = 1
-        while mask < p:
-            if vrank & mask:
-                parent = ((vrank & ~mask) + root) % p
-                cc.send(parent, tag, bytes(acc))
-                break
-            else:
-                vchild = vrank | mask
-                if vchild < p:
-                    child = (vchild + root) % p
-                    contribution = cc.recv(child, tag, nbytes)
-                    combine(cc, op, acc, contribution, datatype, count)
-            mask <<= 1
-    if cc.rank == root and recvbuf is not None:
-        recvbuf[:nbytes] = acc
+    sched = build_reduce_binomial(cc.rank, cc.size, count, datatype.size, root, seq)
+    buffers = {ACC: bytearray(sendbuf[:nbytes])}
+    if cc.rank == root:
+        # Only the root's schedule references RECV (the final copy step).
+        buffers[RECV] = recvbuf if recvbuf is not None else bytearray(nbytes)
+    execute(cc, sched, buffers, datatype, op)
 
 
 def _fold_to_power_of_two(
@@ -93,11 +129,6 @@ def _fold_to_power_of_two(
     return rank - rem
 
 
-def _absolute_rank(vrank: int, rem: int) -> int:
-    """Inverse of the fold mapping: virtual id -> absolute communicator rank."""
-    return 2 * vrank + 1 if vrank < rem else vrank + rem
-
-
 def _reduce_scatter_halving(
     cc: CollectiveContext,
     acc: bytearray,
@@ -120,7 +151,7 @@ def _reduce_scatter_halving(
     mask = pof2 // 2
     round_no = 1
     while mask > 0:
-        partner = _absolute_rank(vrank ^ mask, rem)
+        partner = fold_absolute_rank(vrank ^ mask, rem)
         mid = lo + (hi - lo) // 2
         if vrank < mid:
             keep_lo, keep_hi, send_lo, send_hi = lo, mid, mid, hi
@@ -185,7 +216,7 @@ def reduce_rabenseifner(
                 continue
             seg_lo = offs[v] * esize
             seg_hi = seg_lo + cnts[v] * esize
-            owner = _absolute_rank(v, rem)
+            owner = fold_absolute_rank(v, rem)
             if owner == root:
                 segment = bytes(acc[seg_lo:seg_hi])
             else:

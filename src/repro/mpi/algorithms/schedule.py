@@ -1,0 +1,440 @@
+"""Schedule representation of collective algorithms (the NBC substrate).
+
+A :class:`Schedule` is one rank's part of a collective, expressed as ordered
+*rounds* of primitive steps -- the representation libNBC introduced and Open
+MPI's ``coll/libnbc`` component still uses.  Building a schedule is a pure
+function of the call shape ``(rank, size, payload, root, seq)``; *executing*
+it is a separate concern handled by :class:`ScheduleExecutor`, which can run
+
+* to completion with blocking receives (the classic blocking collectives), or
+* incrementally, stopping at the first receive with no buffered match (the
+  progress engine behind ``MPI_Iallreduce`` and friends drives this from
+  ``MPI_Test``/``MPI_Wait``).
+
+Because both entry points execute the *same* schedule, each ported algorithm
+has exactly one implementation.
+
+Steps operate on named byte buffers supplied by the caller (the user-visible
+payload plus schedule-declared temporaries), so a schedule itself carries no
+payload data and can be built before any communication happens:
+
+* :class:`SendStep` / :class:`RecvStep` -- communicator-local peer exchanges;
+  payload bytes are read/written at *execution* time, which is what lets a
+  later round depend on data received in an earlier one.
+* :class:`CopyStep` -- local byte move between buffers.
+* :class:`ReduceStep` -- combine a contribution into an accumulator segment
+  via the executing call's reduction op (charged as compute time).
+
+Builders register per ``(collective, algorithm)`` with
+:func:`register_builder`; the blocking algorithm functions in the sibling
+modules and the runtime's non-blocking entry points both look them up here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.mpi.algorithms.base import CollectiveContext, combine_segment
+from repro.mpi.datatypes import Datatype
+from repro.mpi.ops import Op
+
+
+@dataclass(frozen=True)
+class SendStep:
+    """Send ``nbytes`` of buffer ``buf`` at byte offset ``lo`` to ``peer``.
+
+    ``buf`` may be ``None`` for zero-byte token messages (barriers).
+    """
+
+    peer: int
+    tag: int
+    buf: Optional[str] = None
+    lo: int = 0
+    nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class RecvStep:
+    """Receive ``nbytes`` from ``peer`` into buffer ``buf`` at offset ``lo``.
+
+    ``buf`` may be ``None`` for zero-byte token messages; the receive still
+    consumes a message (and its timing) from the matching engine.
+    """
+
+    peer: int
+    tag: int
+    buf: Optional[str] = None
+    lo: int = 0
+    nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class CopyStep:
+    """Copy ``nbytes`` from ``src``@``slo`` to ``dst``@``dlo`` (local, free)."""
+
+    src: str
+    slo: int
+    dst: str
+    dlo: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class ReduceStep:
+    """Combine ``count`` elements from ``src``@``slo`` (bytes) into the
+    accumulator ``dst`` starting at element ``elem_offset``.
+
+    The op and datatype are execution-time parameters (they are per call, not
+    per schedule), so reduction schedules are reusable across ops.
+    """
+
+    src: str
+    slo: int
+    dst: str
+    elem_offset: int
+    count: int
+
+
+Step = Union[SendStep, RecvStep, CopyStep, ReduceStep]
+
+
+class Schedule:
+    """Ordered rounds of steps for one rank's part of one collective call.
+
+    Rounds group the steps the way the algorithm papers present them; the
+    executor runs the flattened step list strictly in order, which reproduces
+    the exact send/recv order of the original blocking implementations (and
+    therefore inherits their deadlock-freedom).
+    """
+
+    def __init__(self) -> None:
+        self.rounds: List[List[Step]] = []
+        #: Temporary buffers the executor must allocate: name -> size in bytes.
+        self.temps: Dict[str, int] = {}
+
+    def round(self, steps: Optional[List[Step]] = None) -> List[Step]:
+        """Open a new round (optionally pre-populated) and return it."""
+        rnd: List[Step] = list(steps or [])
+        self.rounds.append(rnd)
+        return rnd
+
+    def add(self, step: Step) -> None:
+        """Append ``step`` to the current (last) round, opening one if needed."""
+        if not self.rounds:
+            self.rounds.append([])
+        self.rounds[-1].append(step)
+
+    def temp(self, name: str, nbytes: int) -> str:
+        """Declare a temporary buffer and return its name."""
+        self.temps[name] = max(self.temps.get(name, 0), int(nbytes))
+        return name
+
+    def flat(self) -> List[Step]:
+        """The steps of every round, concatenated in execution order."""
+        return [step for rnd in self.rounds for step in rnd]
+
+    @property
+    def n_steps(self) -> int:
+        return sum(len(rnd) for rnd in self.rounds)
+
+
+class ScheduleExecutor:
+    """Drives one rank's :class:`Schedule` against a :class:`CollectiveContext`.
+
+    The executor is the per-request state machine of the progress engine: it
+    remembers how far execution got (``_pc``), owns the working buffers, and
+    exposes both a non-blocking :meth:`try_progress` (stops at the first
+    receive with nothing buffered) and a blocking :meth:`run_to_completion`.
+    ``on_complete`` fires exactly once, with the buffer dict, when the last
+    step has executed -- the runtime uses it to copy results into the caller's
+    (possibly guest-memory) buffers.
+
+    Incremental execution separates *consumption* from *arrival*: receives
+    taken through the context's ``recv_nb`` charge only CPU overhead, and the
+    payload's arrival time accumulates into :attr:`data_time` instead of
+    stalling the rank.  Steps that read received data (sends, reductions)
+    still advance the clock to :attr:`data_time` first -- an interior tree
+    node cannot forward bytes it has not received -- but a leaf receive costs
+    the rank nothing until its request is *completed*, which is what lets the
+    transfer hide behind caller compute.  The operation counts as complete
+    only once the rank's clock has reached :attr:`data_time`.
+    """
+
+    def __init__(
+        self,
+        cc: CollectiveContext,
+        schedule: Schedule,
+        buffers: Optional[Dict[str, bytearray]] = None,
+        datatype: Optional[Datatype] = None,
+        op: Optional[Op] = None,
+        on_complete: Optional[Callable[[Dict[str, bytearray]], None]] = None,
+    ) -> None:
+        self._cc = cc
+        self._steps = schedule.flat()
+        #: Round index of each step: rounds are control-dependency barriers
+        #: (a round may only start once every payload consumed in earlier
+        #: rounds has arrived -- zero-byte barrier tokens included).
+        self._round_of = [
+            round_no for round_no, rnd in enumerate(schedule.rounds) for _step in rnd
+        ]
+        self._pc = 0
+        self.buffers: Dict[str, bytearray] = dict(buffers or {})
+        for name, size in schedule.temps.items():
+            self.buffers.setdefault(name, bytearray(size))
+        self._datatype = datatype
+        self._op = op
+        self._on_complete = on_complete
+        self._finished = False
+        #: Virtual time at which every received payload has actually arrived;
+        #: the operation's completion time is at least this.
+        self.data_time = 0.0
+        #: Per-buffer arrival times: a step only stalls on the buffers it
+        #: actually reads, so e.g. an alltoall send of caller-supplied data
+        #: is never held back by an unrelated receive still in flight.
+        self._buffer_ready: Dict[str, float] = {}
+
+    # ----------------------------------------------------------------- status
+
+    @property
+    def done(self) -> bool:
+        return self._pc >= len(self._steps)
+
+    def pending_recv(self) -> Optional[RecvStep]:
+        """The receive the executor is currently stalled on, if any."""
+        if not self.done:
+            step = self._steps[self._pc]
+            if isinstance(step, RecvStep):
+                return step
+        return None
+
+    # -------------------------------------------------------------- execution
+
+    def try_progress(self) -> bool:
+        """Execute steps in order without ever blocking.
+
+        Stops (returning ``False``) at the first :class:`RecvStep` whose
+        message is not already buffered; returns ``True`` once every step has
+        executed.  Receives go through the context's ``recv_nb`` when
+        available, so the rank is charged CPU overhead only and the payload's
+        arrival accumulates into :attr:`data_time` instead of stalling the
+        clock (falls back to probe-then-blocking-recv without it).
+        """
+        while not self.done:
+            step = self._steps[self._pc]
+            if isinstance(step, RecvStep):
+                if self._cc.recv_nb is not None:
+                    result = self._cc.recv_nb(step.peer, step.tag, step.nbytes)
+                    if result is None:
+                        return False
+                    data, arrival = result
+                    self.data_time = max(self.data_time, arrival)
+                    if step.buf is not None:
+                        self._buffer_ready[step.buf] = max(
+                            self._buffer_ready.get(step.buf, 0.0), arrival
+                        )
+                        if step.nbytes > 0:
+                            self.buffers[step.buf][step.lo : step.lo + step.nbytes] = data
+                    self._pc += 1
+                    continue
+                if self._cc.probe is None or not self._cc.probe(step.peer, step.tag):
+                    return False
+            elif self._stalled_on_data(self._pc):
+                # The step reads payload (or opens a round) that has not
+                # arrived yet in this rank's virtual time: stall instead of
+                # advancing the clock, so the gap stays available for caller
+                # compute.
+                return False
+            self._execute(step)
+            self._pc += 1
+        self._finish()
+        return True
+
+    def _step_data_time(self, step: Step) -> float:
+        """Arrival time of the received data ``step`` reads (0 when it only
+        touches caller-supplied payload)."""
+        if isinstance(step, SendStep):
+            return self._buffer_ready.get(step.buf, 0.0) if step.buf else 0.0
+        if isinstance(step, ReduceStep):
+            return max(
+                self._buffer_ready.get(step.src, 0.0),
+                self._buffer_ready.get(step.dst, 0.0),
+            )
+        return 0.0
+
+    def _step_ready_time(self, pc: int) -> float:
+        """Earliest virtual time step ``pc`` may execute.
+
+        Combines the round barrier (a new round needs every earlier round's
+        payload to have arrived -- a *control* dependency, so it also covers
+        zero-byte barrier tokens) with the step's own data dependency.
+        """
+        step = self._steps[pc]
+        needed = self._step_data_time(step)
+        if pc > 0 and self._round_of[pc] != self._round_of[pc - 1]:
+            needed = max(needed, self.data_time)
+        return needed
+
+    def _stalled_on_data(self, pc: int) -> bool:
+        needed = self._step_ready_time(pc)
+        if needed <= 0:
+            return False
+        return self._cc.now is not None and self._cc.now() < needed
+
+    def next_ready_time(self) -> Optional[float]:
+        """Earliest virtual time at which time alone unblocks this executor.
+
+        ``data_time`` when the schedule is finished (payload still in flight),
+        the stalled step's ready time when a data- or round-dependent step is
+        waiting; ``None`` while progress depends on a peer's message instead.
+        """
+        if self.done:
+            return self.data_time
+        if self._stalled_on_data(self._pc):
+            return self._step_ready_time(self._pc)
+        return None
+
+    def run_to_completion(self) -> None:
+        """Execute every remaining step, blocking inside unmatched receives."""
+        while not self.done:
+            self._execute(self._steps[self._pc])
+            self._pc += 1
+        self._finish()
+
+    def _finish(self) -> None:
+        if not self._finished:
+            self._finished = True
+            if self._on_complete is not None:
+                self._on_complete(self.buffers)
+
+    def _execute(self, step: Step) -> None:
+        # Data/round dependency: a send or reduction may read payload consumed
+        # by an earlier non-blocking receive, and a new round may only start
+        # once earlier rounds' payload has arrived -- neither can run before
+        # that arrival.  (No-op for blocking execution: ready times stay 0
+        # because blocking receives advance the clock themselves.)
+        needed = self._step_ready_time(self._pc)
+        if needed > 0 and self._cc.advance_to is not None:
+            self._cc.advance_to(needed)
+        if isinstance(step, SendStep):
+            if step.buf is None or step.nbytes == 0:
+                data = b""
+            else:
+                data = bytes(self.buffers[step.buf][step.lo : step.lo + step.nbytes])
+            self._cc.send(step.peer, step.tag, data)
+        elif isinstance(step, RecvStep):
+            data = self._cc.recv(step.peer, step.tag, step.nbytes)
+            if step.buf is not None and step.nbytes > 0:
+                self.buffers[step.buf][step.lo : step.lo + step.nbytes] = data
+        elif isinstance(step, CopyStep):
+            if step.nbytes > 0:
+                self.buffers[step.dst][step.dlo : step.dlo + step.nbytes] = self.buffers[
+                    step.src
+                ][step.slo : step.slo + step.nbytes]
+                # The copy itself is free, but the destination now carries the
+                # source's (possibly still in-flight) data.
+                src_ready = self._buffer_ready.get(step.src, 0.0)
+                if src_ready > 0:
+                    self._buffer_ready[step.dst] = max(
+                        self._buffer_ready.get(step.dst, 0.0), src_ready
+                    )
+        elif isinstance(step, ReduceStep):
+            if step.count > 0:
+                if self._op is None or self._datatype is None:
+                    raise ValueError("schedule has reduce steps but no op/datatype bound")
+                esize = self._datatype.size
+                contribution = bytes(
+                    self.buffers[step.src][step.slo : step.slo + step.count * esize]
+                )
+                combine_segment(
+                    self._cc, self._op, self.buffers[step.dst], contribution,
+                    self._datatype, step.elem_offset, step.count,
+                )
+        else:  # pragma: no cover - registry integrity guard
+            raise TypeError(f"unknown schedule step {step!r}")
+
+
+def execute(
+    cc: CollectiveContext,
+    schedule: Schedule,
+    buffers: Optional[Dict[str, bytearray]] = None,
+    datatype: Optional[Datatype] = None,
+    op: Optional[Op] = None,
+) -> Dict[str, bytearray]:
+    """Run ``schedule`` to completion (the blocking entry points use this)."""
+    executor = ScheduleExecutor(cc, schedule, buffers, datatype, op)
+    executor.run_to_completion()
+    return executor.buffers
+
+
+# ------------------------------------------------------------ builder registry
+
+#: Schedule builders keyed by ``(collective, algorithm)``.  Signatures are
+#: fixed per collective (mirroring the registered blocking signatures):
+#:
+#:   barrier:   build(rank, size, seq) -> Schedule
+#:   bcast:     build(rank, size, nbytes, root, seq) -> Schedule
+#:   reduce:    build(rank, size, count, esize, root, seq) -> Schedule
+#:   allreduce: build(rank, size, count, esize, seq) -> Schedule
+#:   allgather: build(rank, size, nbytes_per_rank, seq) -> Schedule
+#:   alltoall:  build(rank, size, nbytes_per_rank, seq) -> Schedule
+_BUILDERS: Dict[Tuple[str, str], Callable[..., Schedule]] = {}
+
+#: The schedule-capable algorithm each collective falls back to when the
+#: decision layer picks one that has no schedule builder (possible only via
+#: forced overrides naming a non-ported algorithm).
+SCHEDULE_FALLBACKS: Dict[str, str] = {
+    "barrier": "dissemination",
+    "bcast": "binomial",
+    "reduce": "binomial",
+    "allreduce": "recursive_doubling",
+    "allgather": "ring",
+    "alltoall": "pairwise",
+}
+
+
+def register_builder(collective: str, name: str) -> Callable[[Callable], Callable]:
+    """Decorator registering a schedule builder for ``(collective, name)``."""
+
+    def decorator(fn: Callable[..., Schedule]) -> Callable[..., Schedule]:
+        key = (collective, name)
+        if key in _BUILDERS:
+            raise ValueError(f"schedule builder {name!r} already registered for {collective!r}")
+        _BUILDERS[key] = fn
+        return fn
+
+    return decorator
+
+
+def get_builder(collective: str, name: str) -> Callable[..., Schedule]:
+    """Builder for ``(collective, name)``; KeyError if not schedule-capable."""
+    try:
+        return _BUILDERS[(collective, name)]
+    except KeyError:
+        raise KeyError(
+            f"no schedule builder for {collective!r} algorithm {name!r}; "
+            f"schedule-capable: {builders_for(collective)}"
+        ) from None
+
+
+def has_builder(collective: str, name: str) -> bool:
+    """Whether ``(collective, name)`` can be expressed as a schedule."""
+    return (collective, name) in _BUILDERS
+
+
+def builders_for(collective: str) -> List[str]:
+    """Names of every schedule-capable algorithm of ``collective``."""
+    return sorted(n for (c, n) in _BUILDERS if c == collective)
+
+
+def schedulable(collective: str, algorithm: str) -> str:
+    """``algorithm`` if it has a builder, else the collective's fallback.
+
+    The non-blocking entry points route through the decision table like the
+    blocking ones; if an override forces an algorithm that has not been
+    ported to schedules, they degrade to the nearest ported one rather than
+    failing the call.
+    """
+    if has_builder(collective, algorithm):
+        return algorithm
+    return SCHEDULE_FALLBACKS[collective]

@@ -34,6 +34,8 @@ from repro.mpi.algorithms.base import (
     CollectiveContext,
     coll_tag as _coll_tag,
 )
+from repro.mpi.algorithms import schedule as schedules
+from repro.mpi.algorithms.schedule import Schedule
 from repro.mpi.datatypes import Datatype
 from repro.mpi.ops import Op
 
@@ -47,6 +49,12 @@ __all__ = [
     "scatter",
     "allgather",
     "alltoall",
+    "barrier_schedule",
+    "bcast_schedule",
+    "allreduce_schedule",
+    "allgather_schedule",
+    "alltoall_schedule",
+    "schedulable_algorithm",
 ]
 
 
@@ -144,3 +152,44 @@ def alltoall(
 ) -> None:
     """Alltoall of one block per peer."""
     registry.get("alltoall", algorithm)(cc, sendbuf, recvbuf, nbytes_per_rank, seq)
+
+
+# ------------------------------------------------------------------ schedules
+#
+# Schedule builders for the non-blocking collectives (``MPI_Ibarrier`` and
+# friends).  Each returns the *same* schedule the blocking entry point above
+# executes for that algorithm -- the runtime's progress engine just advances
+# it incrementally instead of running it to completion in one call.
+
+
+def schedulable_algorithm(collective: str, algorithm: str) -> str:
+    """``algorithm`` if it has a schedule builder, else the ported fallback."""
+    return schedules.schedulable(collective, algorithm)
+
+
+def barrier_schedule(algorithm: str, rank: int, size: int, seq: int) -> Schedule:
+    """Schedule of one rank's part of a barrier."""
+    return schedules.get_builder("barrier", algorithm)(rank, size, seq)
+
+
+def bcast_schedule(algorithm: str, rank: int, size: int, nbytes: int, root: int, seq: int) -> Schedule:
+    """Schedule of one rank's part of a broadcast (buffer name ``"data"``)."""
+    return schedules.get_builder("bcast", algorithm)(rank, size, nbytes, root, seq)
+
+
+def allreduce_schedule(algorithm: str, rank: int, size: int, count: int, esize: int,
+                       seq: int) -> Schedule:
+    """Schedule of one rank's part of an allreduce (buffer name ``"acc"``)."""
+    return schedules.get_builder("allreduce", algorithm)(rank, size, count, esize, seq)
+
+
+def allgather_schedule(algorithm: str, rank: int, size: int, nbytes_per_rank: int,
+                       seq: int) -> Schedule:
+    """Schedule of one rank's part of an allgather (``"send"`` -> ``"recv"``)."""
+    return schedules.get_builder("allgather", algorithm)(rank, size, nbytes_per_rank, seq)
+
+
+def alltoall_schedule(algorithm: str, rank: int, size: int, nbytes_per_rank: int,
+                      seq: int) -> Schedule:
+    """Schedule of one rank's part of an alltoall (``"send"`` -> ``"recv"``)."""
+    return schedules.get_builder("alltoall", algorithm)(rank, size, nbytes_per_rank, seq)

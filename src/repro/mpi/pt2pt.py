@@ -78,7 +78,11 @@ class MatchingEngine:
     def __init__(self, cluster: Cluster):
         self.cluster = cluster
         self._queues: Dict[Tuple[int, int], List[Message]] = {}
-        self._waiting: Dict[int, _WaitingReceiver] = {}
+        # Per-rank list of patterns the rank is currently blocked on.  A plain
+        # receive registers one; ``block_for_any`` (the progress engine's
+        # wait-for-anything primitive behind Waitany and non-blocking
+        # collectives) registers one per outstanding request.
+        self._waiting: Dict[int, List[_WaitingReceiver]] = {}
         self._msg_counter = itertools.count(1)
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -148,13 +152,12 @@ class MatchingEngine:
         self._queue(dst_world, context_id).append(msg)
         self.messages_sent += 1
         self.bytes_sent += nbytes
-        # Wake the receiver if it is blocked on a matching pattern.
-        waiter = self._waiting.get(dst_world)
-        if waiter is not None and waiter.context_id == context_id and self._matches(
-            msg, waiter.src, waiter.tag
-        ):
-            arrival = msg.send_time + transport.transfer_time(nbytes)
-            ctx.wake(dst_world, not_before=arrival)
+        # Wake the receiver if it is blocked on any matching pattern.
+        for waiter in self._waiting.get(dst_world, ()):
+            if waiter.context_id == context_id and self._matches(msg, waiter.src, waiter.tag):
+                arrival = msg.send_time + transport.transfer_time(nbytes)
+                ctx.wake(dst_world, not_before=arrival)
+                break
         if blocking and msg.rendezvous:
             self.wait_send(ctx, msg)
         return msg
@@ -168,6 +171,43 @@ class MatchingEngine:
             # the message record itself (the receiver always knows the sender).
             ctx.block(reason=f"rendezvous send to {msg.dst_world} tag={msg.tag}")
         ctx.advance_to(msg.consumed_time)
+
+    # ---------------------------------------------------------- any-of waiting
+
+    def block_for_any(
+        self,
+        ctx: RankContext,
+        dst_world: int,
+        patterns: List[Tuple[int, int, int]],
+        reason: str = "",
+    ) -> None:
+        """Block until a message matching *any* ``(context_id, src, tag)``
+        pattern is buffered for ``dst_world`` -- or until any wake arrives
+        (e.g. a rendezvous send draining).
+
+        Returns immediately when a match is already buffered.  This is a
+        condition-variable style wait: callers re-check their own completion
+        condition after it returns.  The progress engine uses it so a rank
+        stuck in ``MPI_Waitany``/``MPI_Wait`` resumes as soon as *any* of its
+        outstanding requests can make progress, rather than pinning itself to
+        one arbitrarily chosen request.
+        """
+        for context_id, src, tag in patterns:
+            if self._find_match(dst_world, context_id, src, tag) is not None:
+                return
+        waiters = [
+            _WaitingReceiver(dst_world, context_id, src, tag)
+            for context_id, src, tag in patterns
+        ]
+        registered = self._waiting.setdefault(dst_world, [])
+        registered.extend(waiters)
+        try:
+            ctx.block(reason=reason or f"wait-any on {len(patterns)} request(s)")
+        finally:
+            for waiter in waiters:
+                registered.remove(waiter)
+            if not registered:
+                self._waiting.pop(dst_world, None)
 
     # -------------------------------------------------------------------- recv
 
@@ -187,12 +227,17 @@ class MatchingEngine:
         Raises :class:`TruncationError` if the matched message is larger than
         ``max_bytes`` -- the same condition ``MPI_ERR_TRUNCATE`` reports.
         """
-        transport_hint = None
         msg = self._find_match(dst_world, context_id, src, tag)
         while msg is None:
-            self._waiting[dst_world] = _WaitingReceiver(dst_world, context_id, src, tag)
-            ctx.block(reason=f"recv src={src} tag={tag} ctx={context_id}")
-            self._waiting.pop(dst_world, None)
+            waiter = _WaitingReceiver(dst_world, context_id, src, tag)
+            registered = self._waiting.setdefault(dst_world, [])
+            registered.append(waiter)
+            try:
+                ctx.block(reason=f"recv src={src} tag={tag} ctx={context_id}")
+            finally:
+                registered.remove(waiter)
+                if not registered:
+                    self._waiting.pop(dst_world, None)
             msg = self._find_match(dst_world, context_id, src, tag)
         self._queue(dst_world, context_id).remove(msg)
 
@@ -201,21 +246,63 @@ class MatchingEngine:
             raise TruncationError(
                 f"message of {nbytes} bytes truncated by receive buffer of {max_bytes} bytes"
             )
-        transport = transport_hint or self.cluster.transport(msg.src_world, dst_world)
+        ctx.advance_to(self._consume(ctx, msg, buffer, extra_overhead=extra_overhead))
+        return Status(source=msg.src_world, tag=msg.tag, count_bytes=nbytes)
+
+    def consume_nowait(
+        self,
+        ctx: RankContext,
+        dst_world: int,
+        context_id: int,
+        src: int,
+        tag: int,
+        buffer: Optional[memoryview],
+        max_bytes: int,
+    ) -> Optional[Tuple[Status, float]]:
+        """Consume a matching buffered message without waiting for its arrival.
+
+        The progress engine's receive: charges only the receiver's CPU
+        overhead and returns ``(status, arrival_time)`` instead of advancing
+        the clock to the arrival -- the caller decides when the *data*
+        dependency bites (that separation is what lets a non-blocking
+        collective overlap its transfer time with caller compute).  Returns
+        ``None`` when nothing matches.
+        """
+        msg = self._find_match(dst_world, context_id, src, tag)
+        if msg is None:
+            return None
+        self._queue(dst_world, context_id).remove(msg)
+        nbytes = len(msg.data)
+        if nbytes > max_bytes:
+            raise TruncationError(
+                f"message of {nbytes} bytes truncated by receive buffer of {max_bytes} bytes"
+            )
+        arrival = self._consume(ctx, msg, buffer)
+        return Status(source=msg.src_world, tag=msg.tag, count_bytes=nbytes), arrival
+
+    def _consume(
+        self,
+        ctx: RankContext,
+        msg: Message,
+        buffer: Optional[memoryview],
+        extra_overhead: float = 0.0,
+    ) -> float:
+        """Shared consumption core: copy out, charge the receiver's CPU
+        overhead, complete a rendezvous.  Returns the arrival time (when the
+        last byte is on the receiver); the caller chooses whether to advance
+        the clock to it."""
+        nbytes = len(msg.data)
+        transport = self.cluster.transport(msg.src_world, msg.dst_world)
         ctx.advance(transport.recv_overhead(nbytes) + extra_overhead)
         arrival = msg.send_time + transport.transfer_time(nbytes)
-        ctx.advance_to(arrival)
         if buffer is not None and nbytes > 0:
             buffer[:nbytes] = msg.data
+        msg.consumed = True
+        msg.consumed_time = max(ctx.now, arrival)
         if msg.rendezvous:
-            msg.consumed = True
-            msg.consumed_time = ctx.now
             # Wake the sender if it blocked waiting for the rendezvous.
-            ctx.wake(msg.src_world, not_before=ctx.now)
-        else:
-            msg.consumed = True
-            msg.consumed_time = ctx.now
-        return Status(source=msg.src_world, tag=msg.tag, count_bytes=nbytes)
+            ctx.wake(msg.src_world, not_before=msg.consumed_time)
+        return arrival
 
     # ------------------------------------------------------------- diagnostics
 

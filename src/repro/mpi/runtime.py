@@ -11,12 +11,21 @@ Buffers are anything that supports the Python buffer protocol -- NumPy arrays,
 ``bytes``/``bytearray``/``memoryview`` -- including memoryviews straight into a
 Wasm module's linear memory, which is how the embedder achieves its zero-copy
 path (§3.5 of the paper).
+
+Non-blocking operations (``isend``/``irecv`` and the ``I<collective>``
+family) return :class:`~repro.mpi.status.Request` handles whose pending
+operations the per-rank *progress engine* advances: every
+``test``/``wait``-family call first runs a non-blocking pass over all
+outstanding requests (draining rendezvous sends, consuming matched receives,
+stepping collective schedules), then blocks -- if it must -- on progress of
+*any* of them.  MPI's weak-progress model applies: outstanding operations are
+only guaranteed to advance inside MPI calls.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -24,6 +33,7 @@ from repro.mpi import collectives as coll
 from repro.mpi import datatypes as dts
 from repro.mpi import ops as mpi_ops
 from repro.mpi.algorithms.decision import CollectiveSelector
+from repro.mpi.algorithms.schedule import ScheduleExecutor
 from repro.mpi.communicator import (
     Communicator,
     Group,
@@ -48,6 +58,147 @@ from repro.sim.engine import RankContext, SimEngine
 from repro.sim.metrics import MetricsRegistry
 
 BufferLike = Union[bytes, bytearray, memoryview, np.ndarray]
+
+#: Buffers of *deferred* operations (irecv and the non-blocking collectives)
+#: may also be supplied as a zero-argument callable returning the buffer.
+#: The embedder uses this to defer guest address translation to the moment
+#: bytes actually move: holding a live memoryview into Wasm linear memory for
+#: the whole post-to-wait window would pin the underlying buffer and make
+#: ``memory.grow`` fail for any guest that allocates during the overlap.
+LazyBuffer = Union[BufferLike, "Callable[[], BufferLike]"]
+
+
+def _supplied(buf):
+    """Resolve a :data:`LazyBuffer` to the concrete buffer."""
+    return buf() if callable(buf) else buf
+
+
+# --------------------------------------------------------- pending operations
+#
+# Each active Request carries exactly one of these pending-operation records
+# (the request's state-machine payload).  The runtime's progress engine calls
+# ``try_progress`` -- which must never block and returns the completion
+# Status once the operation finished -- on every outstanding request whenever
+# a test/wait-family call runs.  ``wait_patterns`` reports the
+# ``(context_id, src_world, tag)`` message patterns the operation is
+# currently stalled on, so a blocked rank can be woken by *any* of them.
+
+
+class _PendingSend:
+    """An ``MPI_Isend`` awaiting completion (rendezvous drain).
+
+    Eager sends are buffered by the matching engine at post time and complete
+    at the first progress pass; a rendezvous send completes once the receiver
+    has consumed it, synchronising the sender's virtual clock with the
+    consumption time exactly like ``sendrecv`` does.
+    """
+
+    __slots__ = ("msg", "status")
+
+    def __init__(self, msg: Optional[Message], status: Status):
+        self.msg = msg
+        self.status = status
+
+    def try_progress(self, rt: "MPIRuntime") -> Optional[Status]:
+        if self.msg is None or not self.msg.rendezvous:
+            return self.status
+        if self.msg.consumed:
+            rt.ctx.advance_to(self.msg.consumed_time)
+            return self.status
+        return None
+
+    def wait_patterns(self, rt: "MPIRuntime") -> List[Tuple[int, int, int]]:
+        # Nothing to match: the drain wake arrives directly from the receiver
+        # when it consumes the rendezvous message.
+        return []
+
+
+class _PendingRecv:
+    """An ``MPI_Irecv`` whose matching receive is performed on completion."""
+
+    __slots__ = ("buf", "count", "datatype", "source", "tag", "comm")
+
+    def __init__(self, buf, count, datatype, source, tag, comm):
+        self.buf = buf
+        self.count = count
+        self.datatype = datatype
+        self.source = source
+        self.tag = tag
+        self.comm = comm
+
+    def _src_world(self, rt: "MPIRuntime") -> Tuple["Communicator", int]:
+        comm = self.comm or rt.comm_world
+        src = ANY_SOURCE if self.source == ANY_SOURCE else comm.world_rank(self.source)
+        return comm, src
+
+    def try_progress(self, rt: "MPIRuntime") -> Optional[Status]:
+        # A PROC_NULL receive completes immediately with an empty status.
+        if self.source == PROC_NULL:
+            return Status(source=PROC_NULL, tag=ANY_TAG, count_bytes=0)
+        comm, src = self._src_world(rt)
+        if not rt.world.matching.has_match(rt.rank_world, comm.context_id, src, self.tag):
+            return None
+        # Consume straight through the matching engine (the match is buffered,
+        # so this never blocks) rather than re-entering the public recv path:
+        # its progress loop must not run nested inside a progress pass.  The
+        # buffer may be a lazy supplier (guest memory translated on demand).
+        nbytes = self.count * self.datatype.size
+        target = _supplied(self.buf)
+        view = (
+            _writable(target, nbytes, "recv")
+            if target is not None and nbytes > 0
+            else None
+        )
+        status = rt.world.matching.recv(
+            rt.ctx, rt.rank_world, comm.context_id, src, self.tag, view, nbytes
+        )
+        local_src = comm.rank_of_world(status.source)
+        if local_src is not None:
+            status.source = local_src
+        return status
+
+    def wait_patterns(self, rt: "MPIRuntime") -> List[Tuple[int, int, int]]:
+        if self.source == PROC_NULL:
+            return []
+        comm, src = self._src_world(rt)
+        return [(comm.context_id, src, self.tag)]
+
+
+class _PendingCollective:
+    """A non-blocking collective: a schedule executor advanced incrementally.
+
+    The operation has two tails: executing the schedule's steps, and the
+    arrival of payload consumed along the way (``executor.data_time``).  It
+    counts as complete only once both are behind the rank's clock --
+    ``MPI_Test`` before the arrival reports False, and a blocking wait simply
+    sleeps the clock forward to it (:meth:`completion_time`); that gap is
+    exactly the transfer time a caller can hide behind compute.
+    """
+
+    __slots__ = ("executor", "comm")
+
+    def __init__(self, executor: ScheduleExecutor, comm: "Communicator"):
+        self.executor = executor
+        self.comm = comm
+
+    def try_progress(self, rt: "MPIRuntime") -> Optional[Status]:
+        if not self.executor.try_progress():
+            return None
+        if rt.ctx.now < self.executor.data_time:
+            return None  # steps done, but payload still in flight
+        return Status()
+
+    def completion_time(self, rt: "MPIRuntime") -> Optional[float]:
+        """Earliest time at which time alone makes more progress: completion
+        when the schedule is done, or the arrival a data-dependent step is
+        stalled on."""
+        return self.executor.next_ready_time()
+
+    def wait_patterns(self, rt: "MPIRuntime") -> List[Tuple[int, int, int]]:
+        step = self.executor.pending_recv()
+        if step is None:
+            return []
+        return [(self.comm.context_id, self.comm.world_rank(step.peer), step.tag)]
 
 
 def _readable(buf: BufferLike, nbytes: int, what: str) -> bytes:
@@ -127,7 +278,9 @@ class MPIRuntime:
         # Per-communicator collective sequence numbers (MPI mandates identical
         # collective call order on all ranks, so these stay in agreement).
         self._coll_seq: Dict[int, int] = {}
+        # Outstanding (incomplete) requests the progress engine sweeps.
         self._active_requests: List[Request] = []
+        self._progressing = False
 
     # re-export the wildcard constants for caller convenience
     ANY_SOURCE = ANY_SOURCE
@@ -248,21 +401,44 @@ class MPIRuntime:
         nbytes = count * datatype.size
         view = _writable(buf, nbytes, "recv") if buf is not None and nbytes > 0 else None
         src_world = ANY_SOURCE if source == ANY_SOURCE else comm.world_rank(source)
-        status = self.world.matching.recv(
-            self.ctx,
-            self.rank_world,
-            comm.context_id,
-            src_world,
-            tag,
-            view,
-            nbytes,
-            extra_overhead=extra_overhead,
+        status = self._recv_with_progress(
+            comm.context_id, src_world, tag, view, nbytes, extra_overhead=extra_overhead
         )
         # Convert the world-rank source back to a communicator-local rank.
         local_src = comm.rank_of_world(status.source)
         if local_src is not None:
             status.source = local_src
         return status
+
+    def _recv_with_progress(
+        self,
+        context_id: int,
+        src_world: int,
+        tag: int,
+        view: Optional[memoryview],
+        nbytes: int,
+        extra_overhead: float = 0.0,
+    ) -> Status:
+        """Blocking receive with weak progress.
+
+        While the matching message has not arrived, keep advancing every
+        outstanding non-blocking request -- a peer may be unable to send our
+        message until a schedule of ours posts *its* sends -- and wake on our
+        own pattern or on anything an outstanding request is stalled on.
+        With no outstanding requests this is exactly a plain blocking receive.
+        """
+        matching = self.world.matching
+        self.progress()
+        while not matching.has_match(self.rank_world, context_id, src_world, tag):
+            self._await_progress(
+                self._active_requests,
+                extra_patterns=[(context_id, src_world, tag)],
+                reason=f"recv src={src_world} tag={tag} ctx={context_id}",
+            )
+        return matching.recv(
+            self.ctx, self.rank_world, context_id, src_world, tag, view, nbytes,
+            extra_overhead=extra_overhead,
+        )
 
     def sendrecv(
         self,
@@ -310,7 +486,13 @@ class MPIRuntime:
         tag: int,
         comm: Optional[Communicator] = None,
     ) -> Request:
-        """``MPI_Isend`` (buffered at post time; completes at wait)."""
+        """``MPI_Isend`` (buffered at post time; completes at wait/test).
+
+        An eager send completes at the first progress pass; a rendezvous send
+        stays active until the receiver drains it, at which point the waiting
+        rank's virtual clock advances to the consumption time (the same
+        synchronisation ``sendrecv`` performs).
+        """
         self._require_init()
         comm = comm or self.comm_world
         self._validate_pt2pt(comm, dest, tag, count)
@@ -329,70 +511,204 @@ class MPIRuntime:
             data,
             blocking=False,
         )
-        req._pending_message = msg  # type: ignore[attr-defined]
-        req.mark_complete(Status(source=dest, tag=tag, count_bytes=nbytes))
+        self._activate(req, _PendingSend(msg, Status(source=dest, tag=tag, count_bytes=nbytes)))
         return req
 
     def irecv(
         self,
-        buf: BufferLike,
+        buf: LazyBuffer,
         count: int,
         datatype: Datatype,
         source: int,
         tag: int,
         comm: Optional[Communicator] = None,
     ) -> Request:
-        """``MPI_Irecv``: the matching receive is performed by ``wait``."""
+        """``MPI_Irecv``: the matching receive is performed on completion."""
         self._require_init()
         comm = comm or self.comm_world
         self._validate_pt2pt(comm, source, tag, count)
         req = Request(kind="irecv")
-        req._recv_args = (buf, count, datatype, source, tag, comm)  # type: ignore[attr-defined]
-        self._active_requests.append(req)
+        self._activate(req, _PendingRecv(buf, count, datatype, source, tag, comm))
         return req
 
-    def wait(self, request: Request) -> Status:
-        """``MPI_Wait``."""
-        self._require_init()
-        if request.kind == "irecv" and not request.complete:
-            buf, count, datatype, source, tag, comm = request._recv_args  # type: ignore[attr-defined]
-            status = self.recv(buf, count, datatype, source, tag, comm)
+    # ---------------------------------------------------------- progress engine
+
+    def _activate(self, request: Request, op) -> None:
+        """Attach a pending operation; complete immediately if it already can."""
+        request._op = op
+        status = op.try_progress(self)
+        if status is not None:
             request.mark_complete(status)
-        elif not request.complete:
-            request.mark_complete()
+        else:
+            self._active_requests.append(request)
+
+    def _retire(self, request: Request) -> None:
         if request in self._active_requests:
             self._active_requests.remove(request)
+
+    def progress(self) -> None:
+        """One non-blocking pass of the progress engine.
+
+        Advances every outstanding request -- deferred receives, rendezvous
+        sends, and non-blocking collective schedules -- as far as buffered
+        messages allow.  Every ``test``/``wait``-family call runs this first,
+        so any outstanding schedule keeps moving no matter which request the
+        caller is actually waiting on.
+        """
+        if self._progressing:
+            return
+        self._progressing = True
+        try:
+            swept = True
+            while swept:
+                swept = False
+                for req in list(self._active_requests):
+                    if req.complete or req._op is None:
+                        self._retire(req)
+                        continue
+                    status = req._op.try_progress(self)
+                    if status is not None:
+                        req.mark_complete(status)
+                        self._retire(req)
+                        # A completed request may have posted sends that
+                        # unblock a sibling: sweep again until a fixpoint.
+                        swept = True
+        finally:
+            self._progressing = False
+
+    def _wait_patterns(self, requests: List[Request]) -> List[Tuple[int, int, int]]:
+        """Message patterns any of ``requests`` is currently stalled on."""
+        patterns: List[Tuple[int, int, int]] = []
+        for req in requests:
+            if not req.complete and req._op is not None:
+                patterns.extend(req._op.wait_patterns(self))
+        return patterns
+
+    def _await_progress(
+        self,
+        requests: List[Request],
+        extra_patterns: Optional[List[Tuple[int, int, int]]] = None,
+        reason: str = "",
+    ) -> None:
+        """One blocking step of the shared wake protocol.
+
+        First yield the execution token (one tick) so every lower-clock peer
+        gets to post its sends -- a message that *can* arrive must complete us
+        at its true time, not at a later sleep target.  Only if that produced
+        nothing: if any watched request completes by time alone (a schedule
+        whose steps are done or stalled only on an in-flight arrival), sleep
+        the clock to the earliest such point; otherwise block until a message
+        matching any watched request's pattern -- or one of the caller's
+        ``extra_patterns`` -- can be consumed.  Either way, finish with a
+        progress pass.  Callers loop around this re-checking their own
+        condition; every blocking primitive (wait, waitany, blocking receive)
+        shares this single implementation of the protocol.
+
+        Known approximation: the sleep targets the earliest *watched*
+        completion, so a receive whose sender is itself transitively blocked
+        (and therefore cannot post during the yield) may be stamped at a
+        sibling schedule's arrival time rather than its own, slightly
+        inflating that wait.  Removing it would need timer wakes in the
+        engine; the sleep is what keeps stalled schedules live.
+        """
+        patterns = [*(extra_patterns or []), *self._wait_patterns(requests)]
+        self.ctx.advance(self.wtick())
+        self.ctx.yield_turn()
+        self.progress()
+        if any(req.complete for req in requests) or any(
+            self.world.matching.has_match(self.rank_world, c, s, t) for (c, s, t) in patterns
+        ):
+            return
+        if not self._sleep_until_completion(requests):
+            self.world.matching.block_for_any(
+                self.ctx,
+                self.rank_world,
+                # Recollect: the progress pass may have moved a schedule to a
+                # different pending receive.
+                [*(extra_patterns or []), *self._wait_patterns(requests)],
+                reason=reason,
+            )
+        self.progress()
+
+    def wait(self, request: Request) -> Status:
+        """``MPI_Wait``: block until ``request`` completes.
+
+        While blocked, the rank wakes on *any* message one of its outstanding
+        requests is waiting for (or on a rendezvous drain), runs a progress
+        pass, and re-checks -- so outstanding schedules keep advancing even
+        while the caller waits on a different request.
+        """
+        self._require_init()
+        self.progress()
+        while not request.complete:
+            if request._op is None:
+                request.mark_complete()
+                break
+            # Watch every outstanding request, not just the waited one: a
+            # sibling collective stalled on a data-dependent step advances by
+            # time alone, and peers may need the sends it will post.
+            self._await_progress(
+                [request, *self._active_requests], reason=f"wait {request.kind}"
+            )
+        self._retire(request)
         return request.status
+
+    def _sleep_until_completion(self, requests: List[Request]) -> bool:
+        """If any of ``requests`` completes by time alone (its steps are done
+        and only payload arrival is outstanding), advance the clock to the
+        earliest such completion and return True."""
+        times = []
+        for req in requests:
+            op = req._op
+            if req.complete or op is None:
+                continue
+            when = getattr(op, "completion_time", None)
+            if when is not None:
+                when = when(self)
+                if when is not None:
+                    times.append(when)
+        if not times:
+            return False
+        self.ctx.advance_to(min(times))
+        return True
 
     def waitall(self, requests: List[Request]) -> List[Status]:
         """``MPI_Waitall``."""
         return [self.wait(r) for r in requests]
 
+    def _try_complete(self, request: Request) -> bool:
+        """Non-yielding completion attempt (run a progress pass first)."""
+        if not request.complete:
+            if request._op is None:
+                # Inactive kinds (user-constructed requests) complete trivially.
+                request.mark_complete()
+            else:
+                status = request._op.try_progress(self)
+                if status is not None:
+                    request.mark_complete(status)
+        if request.complete:
+            self._retire(request)
+            return True
+        return False
+
     def test(self, request: Request) -> Tuple[bool, Status]:
         """``MPI_Test``: non-blocking completion check.
 
-        Completes the request (performing the deferred receive) if a matching
-        message is already buffered; never blocks.
+        Runs a progress pass (completing the request if it can complete now)
+        but never blocks.  When the request cannot complete yet, the rank
+        nudges its clock one tick and yields the execution token once (the
+        same courtesy ``iprobe`` performs) so peers get to post their sends
+        -- without it a guest polling ``MPI_Test`` in a loop would starve the
+        cooperative scheduler -- and re-checks after the yield.
         """
         self._require_init()
-        if request.complete:
-            if request in self._active_requests:
-                self._active_requests.remove(request)
-            return True, request.status
-        if request.kind == "irecv":
-            buf, count, datatype, source, tag, comm = request._recv_args  # type: ignore[attr-defined]
-            comm = comm or self.comm_world
-            # A PROC_NULL receive completes immediately (recv handles it below).
-            if source != PROC_NULL:
-                src_world = ANY_SOURCE if source == ANY_SOURCE else comm.world_rank(source)
-                if not self.world.matching.has_match(self.rank_world, comm.context_id, src_world, tag):
-                    return False, Status()
-            status = self.recv(buf, count, datatype, source, tag, comm)
-            request.mark_complete(status)
-            if request in self._active_requests:
-                self._active_requests.remove(request)
-            return True, status
-        request.mark_complete()
+        self.progress()
+        if not self._try_complete(request):
+            self.ctx.advance(self.wtick())
+            self.ctx.yield_turn()
+            self.progress()
+            if not self._try_complete(request):
+                return False, Status()
         return True, request.status
 
     #: Bounded busy-wait budget of ``waitany`` before it falls back to a
@@ -406,22 +722,38 @@ class MPIRuntime:
         ``(-1, empty status)`` when no request is active (``MPI_UNDEFINED``).
         While no request is ready the rank nudges its virtual clock forward
         one tick and yields, letting other ranks post their sends; after
-        :data:`WAITANY_SPIN_LIMIT` fruitless rounds it blocks on the first
-        active request so a genuine deadlock is still detected.
+        :data:`WAITANY_SPIN_LIMIT` fruitless rounds it blocks until *any*
+        active request can make progress (so a late-posted sender to any of
+        the requests resumes it), which keeps genuine deadlocks detectable.
         """
         self._require_init()
         active = [i for i, r in enumerate(requests) if r.kind != "null"]
         if not active:
             return -1, Status()
-        for _ in range(self.WAITANY_SPIN_LIMIT):
+
+        def poll() -> Optional[Tuple[int, Status]]:
+            # One progress pass, then non-yielding checks, so a spin round
+            # costs exactly one tick and one yield regardless of list length.
+            self.progress()
             for i in active:
-                flag, status = self.test(requests[i])
-                if flag:
-                    return i, status
+                if self._try_complete(requests[i]):
+                    return i, requests[i].status
+            return None
+
+        for _ in range(self.WAITANY_SPIN_LIMIT):
+            done = poll()
+            if done is not None:
+                return done
             self.ctx.advance(self.wtick())
             self.ctx.yield_turn()
-        first = active[0]
-        return first, self.wait(requests[first])
+        while True:
+            done = poll()
+            if done is not None:
+                return done
+            self._await_progress(
+                [*(requests[i] for i in active), *self._active_requests],
+                reason=f"waitany over {len(active)} request(s)",
+            )
 
     def testall(self, requests: List[Request]) -> Tuple[bool, List[Status]]:
         """``MPI_Testall``: complete every request if all can complete now.
@@ -434,9 +766,10 @@ class MPIRuntime:
         self._require_init()
 
         def attempt() -> bool:
+            self.progress()
             done = True
             for r in requests:
-                if not self.test(r)[0]:
+                if not self._try_complete(r):
                     done = False
             return done
 
@@ -474,7 +807,7 @@ class MPIRuntime:
 
     def _select_algorithm(
         self, collective: str, comm: Communicator, nbytes: int,
-        bytes_moved: Optional[int] = None,
+        bytes_moved: Optional[int] = None, schedule_only: bool = False,
     ) -> str:
         """Pick the algorithm for one collective call and record the counters.
 
@@ -484,12 +817,45 @@ class MPIRuntime:
         negotiation.  ``bytes_moved`` is the payload passing through *this
         rank's* buffers (defaults to ``nbytes``); e.g. a gather root counts
         ``p`` blocks while a leaf counts one.
+
+        ``schedule_only`` is set by the non-blocking entry points: if the
+        decision (or a forced override) names an algorithm that has not been
+        ported to schedules, the nearest schedule-capable one is used -- and
+        recorded, so counters always reflect what actually ran.
         """
         algorithm = self.world.collectives.decide(collective, nbytes, comm.size)
+        if schedule_only:
+            algorithm = coll.schedulable_algorithm(collective, algorithm)
         self.world.metrics.record_collective(
             collective, algorithm, nbytes if bytes_moved is None else bytes_moved
         )
         return algorithm
+
+    def _start_collective(
+        self,
+        kind: str,
+        comm: Communicator,
+        schedule,
+        buffers,
+        datatype: Optional[Datatype] = None,
+        op: Optional[Op] = None,
+        finalize=None,
+    ) -> Request:
+        """Create the request for one non-blocking collective and kick it off.
+
+        The first progress pass posts the schedule's initial sends right away
+        (so peers still running their blocking counterparts can proceed) and
+        may complete trivial schedules (single rank, zero payload) on the
+        spot.  ``finalize`` runs exactly once, at completion, to copy results
+        from the schedule's working buffers into the caller's memory.
+        """
+        executor = ScheduleExecutor(
+            self._collective_context(comm), schedule, buffers, datatype, op,
+            on_complete=finalize,
+        )
+        request = Request(kind=kind)
+        self._activate(request, _PendingCollective(executor, comm))
+        return request
 
     def _collective_context(self, comm: Communicator) -> coll.CollectiveContext:
         local_rank = self.comm_rank(comm)
@@ -508,19 +874,33 @@ class MPIRuntime:
         def recv(src_local: int, tag: int, nbytes: int) -> bytes:
             buf = bytearray(nbytes)
             view = memoryview(buf) if nbytes > 0 else None
-            self.world.matching.recv(
-                self.ctx,
-                self.rank_world,
-                comm.context_id,
-                comm.world_rank(src_local),
-                tag,
-                view,
-                nbytes,
+            # Weak progress while blocked inside a blocking collective, too:
+            # an outstanding non-blocking schedule may owe a peer the very
+            # send that lets it reach its part of this collective.
+            self._recv_with_progress(
+                comm.context_id, comm.world_rank(src_local), tag, view, nbytes
             )
             return bytes(buf)
 
         def compute(seconds: float) -> None:
             self.ctx.advance(seconds)
+
+        def probe(src_local: int, tag: int) -> bool:
+            return self.world.matching.has_match(
+                self.rank_world, comm.context_id, comm.world_rank(src_local), tag
+            )
+
+        def recv_nb(src_local: int, tag: int, nbytes: int):
+            buf = bytearray(nbytes)
+            view = memoryview(buf) if nbytes > 0 else None
+            out = self.world.matching.consume_nowait(
+                self.ctx, self.rank_world, comm.context_id,
+                comm.world_rank(src_local), tag, view, nbytes,
+            )
+            if out is None:
+                return None
+            _status, arrival = out
+            return bytes(buf), arrival
 
         return coll.CollectiveContext(
             rank=local_rank,
@@ -529,6 +909,10 @@ class MPIRuntime:
             recv=recv,
             compute=compute,
             reduce_compute_per_byte=self.world.reduce_compute_per_byte,
+            probe=probe,
+            recv_nb=recv_nb,
+            now=lambda: self.ctx.now,
+            advance_to=self.ctx.advance_to,
         )
 
     def barrier(self, comm: Optional[Communicator] = None) -> None:
@@ -720,6 +1104,162 @@ class MPIRuntime:
     def _check_root(self, comm: Communicator, root: int) -> None:
         if not 0 <= root < comm.size:
             raise InvalidRootError(f"root {root} out of range for {comm.name} of size {comm.size}")
+
+    # ------------------------------------------------- non-blocking collectives
+    #
+    # Every ``I<collective>`` selects its algorithm through the same decision
+    # table as the blocking counterpart, builds the same schedule the blocking
+    # path executes, and returns a Request the progress engine advances from
+    # ``test``/``wait``-family calls.  Results land in the caller's buffers at
+    # completion time, so communication overlaps any compute between the post
+    # and the wait.
+
+    def ibarrier(self, comm: Optional[Communicator] = None) -> Request:
+        """``MPI_Ibarrier``."""
+        self._require_init()
+        comm = comm or self.comm_world
+        algorithm = self._select_algorithm("barrier", comm, 0, schedule_only=True)
+        schedule = coll.barrier_schedule(
+            algorithm, self.comm_rank(comm), comm.size, self._next_seq(comm)
+        )
+        return self._start_collective("ibarrier", comm, schedule, {})
+
+    def ibcast(
+        self,
+        buf: LazyBuffer,
+        count: int,
+        datatype: Datatype,
+        root: int,
+        comm: Optional[Communicator] = None,
+    ) -> Request:
+        """``MPI_Ibcast``."""
+        self._require_init()
+        comm = comm or self.comm_world
+        self._check_root(comm, root)
+        nbytes = count * datatype.size
+        # Buffers are materialised transiently (and again at completion), so
+        # no view into guest memory outlives this call -- see LazyBuffer.
+        data = (
+            bytearray(_writable(_supplied(buf), nbytes, "bcast").tobytes())
+            if nbytes > 0
+            else bytearray(0)
+        )
+        algorithm = self._select_algorithm("bcast", comm, nbytes, schedule_only=True)
+        schedule = coll.bcast_schedule(
+            algorithm, self.comm_rank(comm), comm.size, nbytes, root, self._next_seq(comm)
+        )
+
+        def finalize(buffers) -> None:
+            if nbytes > 0:
+                _writable(_supplied(buf), nbytes, "bcast")[:nbytes] = buffers["data"][:nbytes]
+
+        return self._start_collective("ibcast", comm, schedule, {"data": data}, finalize=finalize)
+
+    def iallreduce(
+        self,
+        sendbuf: LazyBuffer,
+        recvbuf: LazyBuffer,
+        count: int,
+        datatype: Datatype,
+        op: Op,
+        comm: Optional[Communicator] = None,
+    ) -> Request:
+        """``MPI_Iallreduce``."""
+        self._require_init()
+        comm = comm or self.comm_world
+        nbytes = count * datatype.size
+        send_bytes = _readable(_supplied(sendbuf), nbytes, "allreduce send")
+        if nbytes > 0:
+            _writable(_supplied(recvbuf), nbytes, "allreduce recv")  # validate early
+        algorithm = self._select_algorithm("allreduce", comm, nbytes, schedule_only=True)
+        schedule = coll.allreduce_schedule(
+            algorithm, self.comm_rank(comm), comm.size, count, datatype.size, self._next_seq(comm)
+        )
+
+        def finalize(buffers) -> None:
+            if nbytes > 0:
+                _writable(_supplied(recvbuf), nbytes, "allreduce recv")[:nbytes] = (
+                    buffers["acc"][:nbytes]
+                )
+
+        return self._start_collective(
+            "iallreduce", comm, schedule, {"acc": bytearray(send_bytes)},
+            datatype=datatype, op=op, finalize=finalize,
+        )
+
+    def iallgather(
+        self,
+        sendbuf: LazyBuffer,
+        sendcount: int,
+        sendtype: Datatype,
+        recvbuf: LazyBuffer,
+        recvcount: int,
+        recvtype: Datatype,
+        comm: Optional[Communicator] = None,
+    ) -> Request:
+        """``MPI_Iallgather``."""
+        self._require_init()
+        comm = comm or self.comm_world
+        nbytes = sendcount * sendtype.size
+        total = nbytes * comm.size
+        send_bytes = _readable(_supplied(sendbuf), nbytes, "allgather send")
+        if total > 0:
+            _writable(_supplied(recvbuf), total, "allgather recv")  # validate early
+        algorithm = self._select_algorithm(
+            "allgather", comm, nbytes, bytes_moved=total, schedule_only=True
+        )
+        schedule = coll.allgather_schedule(
+            algorithm, self.comm_rank(comm), comm.size, nbytes, self._next_seq(comm)
+        )
+
+        def finalize(buffers) -> None:
+            if total > 0:
+                _writable(_supplied(recvbuf), total, "allgather recv")[:total] = (
+                    buffers["recv"][:total]
+                )
+
+        return self._start_collective(
+            "iallgather", comm, schedule,
+            {"send": bytearray(send_bytes), "recv": bytearray(total)},
+            finalize=finalize,
+        )
+
+    def ialltoall(
+        self,
+        sendbuf: LazyBuffer,
+        sendcount: int,
+        sendtype: Datatype,
+        recvbuf: LazyBuffer,
+        recvcount: int,
+        recvtype: Datatype,
+        comm: Optional[Communicator] = None,
+    ) -> Request:
+        """``MPI_Ialltoall``."""
+        self._require_init()
+        comm = comm or self.comm_world
+        nbytes = sendcount * sendtype.size
+        total = nbytes * comm.size
+        send_bytes = _readable(_supplied(sendbuf), total, "alltoall send")
+        if total > 0:
+            _writable(_supplied(recvbuf), total, "alltoall recv")  # validate early
+        algorithm = self._select_algorithm(
+            "alltoall", comm, nbytes, bytes_moved=total, schedule_only=True
+        )
+        schedule = coll.alltoall_schedule(
+            algorithm, self.comm_rank(comm), comm.size, nbytes, self._next_seq(comm)
+        )
+
+        def finalize(buffers) -> None:
+            if total > 0:
+                _writable(_supplied(recvbuf), total, "alltoall recv")[:total] = (
+                    buffers["recv"][:total]
+                )
+
+        return self._start_collective(
+            "ialltoall", comm, schedule,
+            {"send": bytearray(send_bytes), "recv": bytearray(total)},
+            finalize=finalize,
+        )
 
     # ------------------------------------------------------------ communicators
 

@@ -33,25 +33,36 @@ class Status:
         return self.count_bytes // datatype.size
 
 
-@dataclass
+@dataclass(eq=False)
 class Request:
     """A nonblocking-operation handle (``MPI_Request``).
 
-    Requests are created by ``Isend``/``Irecv`` and completed by ``Wait`` /
-    ``Waitall`` / ``Test``.  The completion callback is installed by the
-    point-to-point engine; user code only observes :attr:`complete` and the
-    resulting :attr:`status`.
+    Requests are created by ``Isend``/``Irecv``/``I<collective>`` and
+    completed by ``Wait`` / ``Waitall`` / ``Test`` and friends.  Each live
+    request is a two-state machine, *active* -> *complete*:
+
+    * while active, :attr:`_op` holds the pending operation (a send awaiting
+      its rendezvous drain, a deferred receive, or a collective schedule
+      executor) that the runtime's progress engine advances on every
+      ``test``/``wait``-family call;
+    * :meth:`mark_complete` transitions to complete, detaching the operation
+      and freezing the :attr:`status` user code observes.
+
+    Identity semantics (``eq=False``): two distinct requests are never equal,
+    which is what the runtime's active-request bookkeeping relies on.
     """
 
     kind: str = "null"
     complete: bool = False
     status: Status = field(default_factory=Status)
-    # Internal: identifier of the pending operation inside the matching engine.
-    _op_id: Optional[int] = None
+    # Internal: the pending operation driven by the runtime's progress engine
+    # (None once complete -- or for null requests, which were never active).
+    _op: Optional[object] = None
 
     def mark_complete(self, status: Optional[Status] = None) -> None:
-        """Mark the request as complete, optionally recording a status."""
+        """Transition to the complete state, optionally recording a status."""
         self.complete = True
+        self._op = None
         if status is not None:
             self.status = status
 

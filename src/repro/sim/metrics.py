@@ -138,6 +138,31 @@ class MetricsRegistry:
                 entry["algorithms"][metric[len("algo."):]] = value  # type: ignore[index]
         return {name: out[name] for name in sorted(out)}
 
+    # ------------------------------------------- non-blocking collective overlap
+
+    NBC_PREFIX = "mpi.nbc."
+
+    def record_nbc_overlap(self, collective: str, overlap: float) -> None:
+        """Record one communication/computation overlap sample for one
+        non-blocking collective (IMB-NBC's headline metric).
+
+        ``overlap`` is the fraction (0..1) of the collective's pure
+        communication time hidden behind the compute phase between the
+        ``I<collective>`` post and its wait.
+        """
+        self.record(f"{self.NBC_PREFIX}{collective}.overlap", min(max(overlap, 0.0), 1.0))
+
+    def nbc_overlap_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-collective overlap statistics, keyed by collective name."""
+        suffix = ".overlap"
+        out: Dict[str, Dict[str, float]] = {}
+        for name in self.series_names(self.NBC_PREFIX):
+            if not name.endswith(suffix):
+                continue
+            collective = name[len(self.NBC_PREFIX):-len(suffix)]
+            out[collective] = self._series[name].summary()
+        return out
+
     # ------------------------------------------------------ compilation cache
 
     CACHE_PREFIX = "wasm.cache."

@@ -162,6 +162,11 @@ MPI_SIGNATURES: Dict[str, Tuple[List[str], List[str]]] = {
     "MPI_Waitany": (["i32", "i32", "i32", "i32"], ["i32"]),
     "MPI_Testall": (["i32", "i32", "i32", "i32"], ["i32"]),
     "MPI_Iprobe": (["i32", "i32", "i32", "i32", "i32"], ["i32"]),
+    "MPI_Ibarrier": (["i32", "i32"], ["i32"]),
+    "MPI_Ibcast": (["i32", "i32", "i32", "i32", "i32", "i32"], ["i32"]),
+    "MPI_Iallreduce": (["i32", "i32", "i32", "i32", "i32", "i32", "i32"], ["i32"]),
+    "MPI_Iallgather": (["i32", "i32", "i32", "i32", "i32", "i32", "i32", "i32"], ["i32"]),
+    "MPI_Ialltoall": (["i32", "i32", "i32", "i32", "i32", "i32", "i32", "i32"], ["i32"]),
     "MPI_Barrier": (["i32"], ["i32"]),
     "MPI_Bcast": (["i32", "i32", "i32", "i32", "i32"], ["i32"]),
     "MPI_Reduce": (["i32", "i32", "i32", "i32", "i32", "i32", "i32"], ["i32"]),

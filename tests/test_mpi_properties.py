@@ -15,6 +15,11 @@ runs are reproducible):
   from one rank and a random sequence of receive patterns (specific tag or
   ``ANY_TAG``) on the other, every receive must deliver the *earliest-sent*
   buffered message matching its pattern (MPI-3.1 §3.5 ordering).
+* **Non-blocking/blocking agreement** -- for random (algorithm x nranks x
+  dtype x count) draws (including ``count == 0``) and either completion order
+  (immediate ``test`` polling or ``wait``), every non-blocking collective
+  must agree *bit-for-bit* with the same NumPy oracle as its blocking
+  counterpart.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from hypothesis import given, settings, strategies as st  # noqa: E402
 
 from repro.mpi import datatypes, ops  # noqa: E402
 from repro.mpi.algorithms import registry  # noqa: E402
+from repro.mpi.algorithms import schedule as schedules  # noqa: E402
 from repro.mpi.runtime import MPIRuntime, MPIWorld  # noqa: E402
 from repro.sim.cluster import Cluster  # noqa: E402
 from repro.sim.engine import SimEngine  # noqa: E402
@@ -200,6 +206,113 @@ def test_collectives_agree_with_numpy_oracle(params):
         def program(rt, ctx):
             recv = np.zeros(count * nranks, dtype=npdtype)
             rt.alltoall(matrix[ctx.rank].copy(), count, dtype, recv, count, dtype)
+            return recv.tobytes()
+
+        results = _run_ranks(program, nranks, forced)
+        for rank, received in enumerate(results):
+            expected = b"".join(
+                matrix[src][rank * count : (rank + 1) * count].tobytes() for src in range(nranks)
+            )
+            assert received == expected
+
+    else:  # pragma: no cover - keeps the draw space and dispatch in sync
+        pytest.fail(f"collective {collective!r} not covered by the oracle")
+
+
+# --------------------------------------- non-blocking collectives vs the oracle
+
+#: The collectives exposed through the non-blocking API.
+NBC_COLLECTIVES = ("barrier", "bcast", "allreduce", "allgather", "alltoall")
+
+
+def _complete(rt, ctx, request, mode: str):
+    """Drive a request to completion the drawn way: blocking wait or an
+    immediate-``test`` polling loop (both must yield identical payloads)."""
+    if mode == "wait":
+        return rt.wait(request)
+    flag, status = rt.test(request)
+    while not flag:
+        flag, status = rt.test(request)
+    return status
+
+
+@st.composite
+def nbc_draws(draw):
+    collective = draw(st.sampled_from(NBC_COLLECTIVES))
+    algorithm = draw(st.sampled_from(schedules.builders_for(collective)))
+    nranks = draw(st.integers(min_value=2, max_value=6))
+    dtype, npdtype = draw(st.sampled_from(DTYPES))
+    if collective == "allreduce":
+        count = draw(st.integers(min_value=0, max_value=48))
+        op_pool = FLOAT_OPS if np.issubdtype(npdtype, np.floating) else INT_OPS
+        op = draw(st.sampled_from(op_pool))
+    else:
+        count = draw(st.integers(min_value=0 if collective == "bcast" else 1, max_value=48))
+        op = None
+    root = draw(st.integers(min_value=0, max_value=nranks - 1))
+    mode = draw(st.sampled_from(("wait", "test")))
+    data_seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return collective, algorithm, nranks, dtype, npdtype, count, op, root, mode, data_seed
+
+
+@PROPERTY_SETTINGS
+@given(nbc_draws())
+def test_nonblocking_collectives_agree_with_blocking_oracle(params):
+    collective, algorithm, nranks, dtype, npdtype, count, op, root, mode, data_seed = params
+    rng = np.random.default_rng(data_seed)
+    forced = {collective: algorithm}
+
+    if collective == "barrier":
+        def program(rt, ctx):
+            ctx.advance(0.001 * (ctx.rank + 1))
+            _complete(rt, ctx, rt.ibarrier(), mode)
+            return rt.wtime()
+
+        times = _run_ranks(program, nranks, forced)
+        # Oracle: nobody leaves the barrier before the slowest entrant joined.
+        assert min(times) >= 0.001 * nranks
+        return
+
+    inputs = _rand_inputs(rng, nranks, count, npdtype)
+
+    if collective == "bcast":
+        expected = inputs[root].tobytes()
+
+        def program(rt, ctx):
+            buf = inputs[ctx.rank].copy() if ctx.rank == root else np.zeros(count, dtype=npdtype)
+            _complete(rt, ctx, rt.ibcast(buf, count, dtype, root=root), mode)
+            return buf.tobytes()
+
+        assert all(r == expected for r in _run_ranks(program, nranks, forced))
+
+    elif collective == "allreduce":
+        expected = _oracle_reduce(inputs, op, npdtype).tobytes()
+
+        def program(rt, ctx):
+            recv = np.zeros(count, dtype=npdtype)
+            _complete(rt, ctx, rt.iallreduce(inputs[ctx.rank].copy(), recv, count, dtype, op), mode)
+            return recv.tobytes()
+
+        assert all(r == expected for r in _run_ranks(program, nranks, forced))
+
+    elif collective == "allgather":
+        expected = b"".join(block.tobytes() for block in inputs)
+
+        def program(rt, ctx):
+            recv = np.zeros(count * nranks, dtype=npdtype)
+            request = rt.iallgather(inputs[ctx.rank].copy(), count, dtype, recv, count, dtype)
+            _complete(rt, ctx, request, mode)
+            return recv.tobytes()
+
+        assert all(r == expected for r in _run_ranks(program, nranks, forced))
+
+    elif collective == "alltoall":
+        matrix = _rand_inputs(rng, nranks, count * nranks, npdtype)
+
+        def program(rt, ctx):
+            recv = np.zeros(count * nranks, dtype=npdtype)
+            request = rt.ialltoall(matrix[ctx.rank].copy(), count, dtype, recv, count, dtype)
+            _complete(rt, ctx, request, mode)
             return recv.tobytes()
 
         results = _run_ranks(program, nranks, forced)

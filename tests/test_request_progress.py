@@ -1,0 +1,232 @@
+"""Regression tests for the request state machine and progress engine.
+
+Covers the two request-layer bugs this layer was rebuilt around:
+
+* ``wait``/``test`` on an ``MPI_Isend`` never drained the posted message, so
+  a rendezvous send was never synchronised with the receiver's virtual clock
+  (the way ``sendrecv`` synchronises);
+* ``waitany``'s post-spin fallback blocked on ``active[0]`` unconditionally,
+  deadlocking (or returning the wrong index) when a *different* request was
+  the one that could complete.
+
+Plus the progress-engine property those fixes rest on: any outstanding
+request advances whenever the rank sits in a ``test``/``wait``-family call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import datatypes, ops
+from repro.mpi.runtime import MPIRuntime
+from repro.mpi.status import Request
+from repro.sim.engine import DeadlockError
+from tests.conftest import run_mpi_program
+
+#: Any payload larger than the shared-memory transport's eager threshold
+#: (64 KiB on the graviton2 preset) takes the rendezvous protocol.
+RENDEZVOUS_BYTES = 128 * 1024
+
+
+# ------------------------------------------------------------- isend draining
+
+
+def test_wait_on_rendezvous_isend_synchronises_with_receiver_clock():
+    """A rendezvous isend's wait must block until the receiver drains the
+    message and advance the sender's clock to the consumption time -- the
+    same synchronisation ``sendrecv`` performs (previously wait returned
+    immediately and the send was never drained)."""
+    delay = 0.01
+
+    def program(rt, ctx):
+        if ctx.rank == 0:
+            data = np.arange(RENDEZVOUS_BYTES, dtype=np.uint8)
+            req = rt.isend(data, RENDEZVOUS_BYTES, datatypes.BYTE, 1, 7)
+            status = rt.wait(req)
+            return (rt.wtime(), status.count_bytes)
+        ctx.advance(delay)  # the receiver shows up late
+        buf = np.zeros(RENDEZVOUS_BYTES, dtype=np.uint8)
+        rt.recv(buf, RENDEZVOUS_BYTES, datatypes.BYTE, 0, 7)
+        return buf[:4].tolist()
+
+    results = run_mpi_program(program, 2)
+    sender_time, count_bytes = results[0]
+    assert count_bytes == RENDEZVOUS_BYTES
+    # The sender cannot have left the wait before the late receiver consumed.
+    assert sender_time >= delay
+    assert results[1] == [0, 1, 2, 3]
+
+
+def test_test_on_rendezvous_isend_false_until_drained():
+    """``MPI_Test`` on a rendezvous isend reports False until the receiver
+    consumes the message, then completes with the send status."""
+
+    def program(rt, ctx):
+        if ctx.rank == 0:
+            data = np.full(RENDEZVOUS_BYTES, 5, dtype=np.uint8)
+            req = rt.isend(data, RENDEZVOUS_BYTES, datatypes.BYTE, 1, 3)
+            # Rank 1 cannot have consumed yet: its recv is gated on our token.
+            flag_before, _ = rt.test(req)
+            rt.send(np.ones(1, dtype=np.uint8), 1, datatypes.BYTE, 1, 98)
+            ack = np.zeros(1, dtype=np.uint8)
+            rt.recv(ack, 1, datatypes.BYTE, 1, 99)
+            flag_after, status = rt.test(req)
+            return (flag_before, flag_after, status.count_bytes)
+        token = np.zeros(1, dtype=np.uint8)
+        rt.recv(token, 1, datatypes.BYTE, 0, 98)
+        buf = np.zeros(RENDEZVOUS_BYTES, dtype=np.uint8)
+        rt.recv(buf, RENDEZVOUS_BYTES, datatypes.BYTE, 0, 3)
+        rt.send(np.ones(1, dtype=np.uint8), 1, datatypes.BYTE, 0, 99)
+        return None
+
+    flag_before, flag_after, count_bytes = run_mpi_program(program, 2)[0]
+    assert flag_before is False
+    assert flag_after is True
+    assert count_bytes == RENDEZVOUS_BYTES
+
+
+def test_wait_on_eager_isend_does_not_block():
+    """An eager (below-threshold) isend is buffered at post time: its wait
+    completes immediately, well before the receiver even posts the recv."""
+    delay = 0.05
+
+    def program(rt, ctx):
+        if ctx.rank == 0:
+            req = rt.isend(np.arange(4, dtype=np.int32), 4, datatypes.INT, 1, 5)
+            status = rt.wait(req)
+            return (rt.wtime(), status.count_bytes)
+        ctx.advance(delay)
+        buf = np.zeros(4, dtype=np.int32)
+        rt.recv(buf, 4, datatypes.INT, 0, 5)
+        return buf.tolist()
+
+    results = run_mpi_program(program, 2)
+    sender_time, count_bytes = results[0]
+    assert count_bytes == 16
+    assert sender_time < delay / 2  # nowhere near the receiver's late recv
+    assert results[1] == [0, 1, 2, 3]
+
+
+# -------------------------------------------------------------- waitany fallback
+
+
+def test_waitany_fallback_unblocks_on_any_request(monkeypatch):
+    """After the spin budget, waitany must block on progress of *any* active
+    request: request 0's sender is gated on waitany returning first, so only
+    request 1 (whose sender shows up late) can complete.  The old fallback
+    blocked on request 0 unconditionally -- a deadlock."""
+    monkeypatch.setattr(MPIRuntime, "WAITANY_SPIN_LIMIT", 8)
+    late = 0.01  # far beyond 8 spin ticks of 1 ns
+
+    def program(rt, ctx):
+        if ctx.rank == 0:
+            buf1 = np.zeros(4, dtype=np.int32)
+            buf2 = np.zeros(4, dtype=np.int32)
+            requests = [
+                rt.irecv(buf1, 4, datatypes.INT, 1, 11),
+                rt.irecv(buf2, 4, datatypes.INT, 2, 22),
+            ]
+            first, status = rt.waitany(requests)
+            requests[first] = Request.null()
+            # Only now release rank 1, whose send satisfies request 0.
+            rt.send(np.zeros(1, dtype=np.int32), 1, datatypes.INT, 1, 99)
+            second, _ = rt.waitany(requests)
+            return (first, second, status.source, buf1.tolist(), buf2.tolist())
+        if ctx.rank == 1:
+            token = np.zeros(1, dtype=np.int32)
+            rt.recv(token, 1, datatypes.INT, 0, 99)
+            rt.send(np.full(4, 10, dtype=np.int32), 4, datatypes.INT, 0, 11)
+        else:
+            ctx.advance(late)  # the only completable sender arrives late
+            rt.send(np.full(4, 20, dtype=np.int32), 4, datatypes.INT, 0, 22)
+        return None
+
+    first, second, source_first, buf1, buf2 = run_mpi_program(program, 3)[0]
+    assert first == 1, "waitany returned a request that could not have completed"
+    assert source_first == 2
+    assert second == 0
+    assert buf1 == [10] * 4
+    assert buf2 == [20] * 4
+
+
+def test_waitany_genuine_deadlock_still_detected(monkeypatch):
+    """When *no* request can ever complete, the fallback must still block (so
+    the engine's deadlock detection fires) instead of spinning forever."""
+    monkeypatch.setattr(MPIRuntime, "WAITANY_SPIN_LIMIT", 8)
+
+    def program(rt, ctx):
+        if ctx.rank == 0:
+            buf = np.zeros(1, dtype=np.int32)
+            req = rt.irecv(buf, 1, datatypes.INT, 1, 5)
+            rt.waitany([req])  # rank 1 never sends
+        else:
+            buf = np.zeros(1, dtype=np.int32)
+            rt.recv(buf, 1, datatypes.INT, 0, 6)  # rank 0 never sends
+        return None
+
+    with pytest.raises(DeadlockError):
+        run_mpi_program(program, 2)
+
+
+# -------------------------------------------------------------- progress engine
+
+
+def test_wait_on_unrelated_request_advances_stalled_sibling_collective():
+    """Weak progress across requests: while rank 0 waits on an irecv, its
+    outstanding iallreduce -- stalled on a data-dependent step that only time
+    can unblock -- must still advance and post its later-round sends, or the
+    peers (and hence the irecv's sender) never finish their own collectives."""
+    count = 2048  # 16 KiB of doubles: eager messages, no rendezvous wakes
+
+    def program(rt, ctx):
+        if ctx.rank == 0:
+            # Post late: the round-1 partner message is then already buffered
+            # with an arrival still in the future, so consuming it at post
+            # time leaves the schedule stalled on its data-dependent step.
+            ctx.advance(2e-7)
+            ctx.yield_turn()
+        send = np.full(count, float(ctx.rank + 1), dtype=np.float64)
+        recv = np.zeros(count, dtype=np.float64)
+        coll_req = rt.iallreduce(send, recv, count, datatypes.DOUBLE, ops.SUM)
+        if ctx.rank == 0:
+            token = np.zeros(1, dtype=np.uint8)
+            token_req = rt.irecv(token, 1, datatypes.BYTE, 2, 77)
+            rt.wait(token_req)  # rank 2 sends only after its collective
+            rt.wait(coll_req)
+        else:
+            rt.wait(coll_req)
+            if ctx.rank == 2:
+                rt.send(np.ones(1, dtype=np.uint8), 1, datatypes.BYTE, 0, 77)
+        return recv.tolist()
+
+    results = run_mpi_program(program, 4)
+    expected = [float(sum(range(1, 5)))] * count
+    assert all(r == expected for r in results)
+
+
+def test_wait_on_one_request_progresses_other_outstanding_requests():
+    """While blocked in wait(B), the progress engine must keep consuming
+    messages for the sibling request A as they arrive."""
+
+    def program(rt, ctx):
+        if ctx.rank == 0:
+            buf_a = np.zeros(4, dtype=np.int32)
+            buf_b = np.zeros(4, dtype=np.int32)
+            req_a = rt.irecv(buf_a, 4, datatypes.INT, 1, 1)
+            req_b = rt.irecv(buf_b, 4, datatypes.INT, 2, 2)
+            rt.wait(req_b)  # A's message arrives while we wait on B
+            flag, status = rt.test(req_a)
+            return (flag, status.count_bytes, buf_a.tolist(), buf_b.tolist())
+        if ctx.rank == 1:
+            rt.send(np.full(4, 10, dtype=np.int32), 4, datatypes.INT, 0, 1)
+        else:
+            ctx.advance(0.01)  # B's sender is the late one
+            rt.send(np.full(4, 20, dtype=np.int32), 4, datatypes.INT, 0, 2)
+        return None
+
+    flag, count_bytes, buf_a, buf_b = run_mpi_program(program, 3)[0]
+    assert flag is True
+    assert count_bytes == 16
+    assert buf_a == [10] * 4
+    assert buf_b == [20] * 4
