@@ -6,8 +6,8 @@ This mirrors the paper's workflow (Figure 1 and Listing 4):
 1. write an MPI application (here: a ring exchange plus an allreduce),
 2. compile it once with the ``wasicc`` toolchain -- producing a genuine
    ``.wasm`` binary whose MPI functions are unresolved ``env`` imports,
-3. execute it on a simulated HPC machine with ``mpirun -np N mpiwasm app.wasm``
-   (the :func:`repro.core.run_wasm` launcher),
+3. execute it on a simulated HPC machine through the public session API
+   (:class:`repro.api.Session` -- the embedder front door HPC launchers use),
 4. compare against the native execution of the same program.
 
 Run:  python examples/quickstart.py
@@ -15,7 +15,7 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro.core import EmbedderConfig, run_native, run_wasm
+from repro.api import Session
 from repro.toolchain import mpi_header as abi
 from repro.toolchain.guest import GuestProgram
 from repro.toolchain.wasicc import compile_guest
@@ -55,16 +55,21 @@ def main() -> int:
     print("first lines of the module in WAT form:")
     print("\n".join(module_to_wat(app.module).splitlines()[:12]))
 
-    # Step 2: run under MPIWasm on two different simulated machines.
-    for machine in ("supermuc-ng", "graviton2"):
-        job = run_wasm(app, nranks=8, machine=machine,
-                       config=EmbedderConfig(compiler_backend="llvm"))
-        native = run_native(app, nranks=8, machine=machine)
-        result = job.return_values()[0]
-        print(f"[{machine}] wasm makespan = {job.makespan * 1e6:8.2f} us | "
-              f"native makespan = {native.makespan * 1e6:8.2f} us | "
-              f"sum of ranks = {result['rank_sum']:.0f}")
-        assert result["rank_sum"] == sum(range(8))
+    # Step 2: run under MPIWasm on two different simulated machines.  One warm
+    # session serves every job: the module compiles once and every later run
+    # (any machine, any rank count) reuses the artifact.
+    with Session(backend="llvm") as session:
+        for machine in ("supermuc-ng", "graviton2"):
+            job = session.run(app, 8, machine=machine)
+            native = session.run(app, 8, mode="native", machine=machine)
+            result = job.return_values()[0]
+            print(f"[{machine}] wasm makespan = {job.makespan * 1e6:8.2f} us | "
+                  f"native makespan = {native.makespan * 1e6:8.2f} us | "
+                  f"sum of ranks = {result['rank_sum']:.0f}")
+            assert result["rank_sum"] == sum(range(8))
+        summary = session.metrics.cache_summary()
+        print(f"AoT cache across both machines: {summary['misses']:.0f} compile(s), "
+              f"{summary['hits']:.0f} warm hit(s)")
     print("stdout captured from rank 0:")
     print(job.stdout, end="")
     return 0

@@ -1,0 +1,119 @@
+"""``repro.api`` -- the stable, versioned public surface of the reproduction.
+
+This package is the programmatic front door HPC launchers (and the bundled
+CLIs) use::
+
+    from repro.api import Session
+
+    with Session(machine="graviton2", backend="cranelift") as session:
+        job = session.run("pingpong", np=2)       # compiles once, warm after
+        result = session.campaign(spec, workers=4)
+
+Three subsystems make up the surface:
+
+* :mod:`repro.api.session` -- warm :class:`Session` objects with cross-job
+  artifact reuse and context-manager lifecycle,
+* :mod:`repro.api.registry` -- one decorator-based registration mechanism for
+  every extension point (back-ends, machines, benchmarks, collective
+  algorithms, experiment drivers, execution modes),
+* :mod:`repro.api.config` -- layered :class:`ResolvedConfig` (defaults <
+  config file < ``REPRO_*`` environment < kwargs) with recorded provenance.
+
+``__all__`` is the compatibility contract: it is asserted against
+``docs/api_manifest.json`` by the CI ``api-stability`` job, and
+``docs/API.md`` (regenerate with ``python -m repro.api.docgen``) documents
+every name.  :data:`DEPRECATIONS` maps superseded entry points to their
+replacements; the old paths keep working behind ``DeprecationWarning`` shims.
+
+Attribute access is lazy (PEP 562) so that low-level modules may import
+``repro.api.registry`` without dragging the whole execution stack in.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+#: Version of the public API contract (bumped on breaking surface changes).
+API_VERSION = "1.0"
+
+#: Deprecated entry point -> its replacement on the public surface.
+DEPRECATIONS = {
+    "repro.core.launcher.run_wasm": "repro.api.Session.run(app, nranks, mode='wasm')",
+    "repro.core.launcher.run_native": "repro.api.Session.run(app, nranks, mode='native')",
+    "repro.core.embedder.MPIWasm(...)": "repro.api.Session (owns embedders and the artifact store)",
+    "repro.core.cache": "repro.wasm.compilers.cache (or Session's artifact store)",
+}
+
+#: name -> submodule that defines it (resolved lazily on first access).
+_EXPORT_SOURCES = {
+    "Session": "session",
+    "JobResult": "session",
+    "run": "session",
+    "current_session": "session",
+    "default_session": "session",
+    "use_session": "session",
+    "resolve_machine": "session",
+    "ResolvedConfig": "config",
+    "Registry": "registry",
+    "UnknownEntryError": "registry",
+    "DuplicateEntryError": "registry",
+    "BACKENDS": "registry",
+    "MACHINES": "registry",
+    "BENCHMARKS": "registry",
+    "ALGORITHMS": "registry",
+    "EXPERIMENTS": "registry",
+    "MODES": "registry",
+    "register_backend": "registry",
+    "register_machine": "registry",
+    "register_benchmark": "registry",
+    "register_algorithm": "registry",
+    "register_experiment": "registry",
+    "register_mode": "registry",
+}
+
+__all__ = sorted(["API_VERSION", "DEPRECATIONS", *_EXPORT_SOURCES])
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.api.config import ResolvedConfig  # noqa: F401
+    from repro.api.registry import (  # noqa: F401
+        ALGORITHMS,
+        BACKENDS,
+        BENCHMARKS,
+        EXPERIMENTS,
+        MACHINES,
+        MODES,
+        DuplicateEntryError,
+        Registry,
+        UnknownEntryError,
+        register_algorithm,
+        register_backend,
+        register_benchmark,
+        register_experiment,
+        register_machine,
+        register_mode,
+    )
+    from repro.api.session import (  # noqa: F401
+        JobResult,
+        Session,
+        current_session,
+        default_session,
+        resolve_machine,
+        run,
+        use_session,
+    )
+
+
+def __getattr__(name: str):
+    source = _EXPORT_SOURCES.get(name)
+    if source is None:
+        raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f"repro.api.{source}")
+    value = getattr(module, name)
+    globals()[name] = value          # cache for subsequent accesses
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

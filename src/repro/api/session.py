@@ -1,0 +1,504 @@
+"""The stable public session API: warm :class:`Session` objects.
+
+The paper's embedder is a long-lived library that launchers link against;
+this module is the reproduction's equivalent front door.  A ``Session`` owns
+
+* a **resolved configuration** (:class:`repro.api.config.ResolvedConfig`,
+  layered defaults < config file < ``REPRO_*`` env < kwargs),
+* a **compiled-artifact store**: an in-memory tier that lives as long as the
+  session, optionally fronting the shared on-disk
+  :class:`~repro.wasm.compilers.cache.FileSystemCache` -- so repeated jobs in
+  one process reuse lowered IR and compiled artifacts without round-tripping
+  the disk cache (and without re-running ``wasicc``),
+* a **metrics registry** aggregating every job it runs.
+
+Execution modes ("wasm", "native", ...) are registry-driven
+(:data:`repro.api.registry.MODES`): ``Session.run`` resolves the mode's
+runner, so new execution baselines plug in without editing this module.
+
+The legacy entry points (``repro.core.launcher.run_wasm``/``run_native``,
+direct ``MPIWasm`` construction) are deprecation shims over the *ambient*
+session (:func:`current_session`), which campaign workers rebind to their own
+warm per-process session via :func:`use_session`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.config import ResolvedConfig, _UNSET
+from repro.api.registry import BENCHMARKS, MACHINES, MODES, register_mode
+from repro.core import envvars
+from repro.core.config import EmbedderConfig
+from repro.core.embedder import GuestResult, MPIWasm
+from repro.mpi.runtime import MPIRuntime, MPIWorld
+from repro.sim.cluster import Cluster
+from repro.sim.engine import SimEngine
+from repro.sim.machines import MachinePreset
+from repro.sim.metrics import MetricsRegistry
+from repro.toolchain.guest import GuestProgram
+from repro.toolchain.wasicc import CompiledApplication, compile_guest
+from repro.wasm.compilers.base import CompiledModule
+from repro.wasm.compilers.cache import (
+    GLOBAL_CACHE,
+    FileSystemCache,
+    InMemoryCache,
+    TieredCache,
+)
+from repro.wasm.decoder import decode_module
+
+#: Application argument accepted by :meth:`Session.run` / :meth:`Session.compile`.
+AppLike = Union[GuestProgram, CompiledApplication, str]
+
+
+@dataclass
+class JobResult:
+    """Outcome of one ``mpirun``-style job (wasm or native)."""
+
+    nranks: int
+    machine: str
+    mode: str                               # "wasm" or "native"
+    rank_results: List[object]
+    makespan: float                         # max virtual time across ranks, seconds
+    metrics: MetricsRegistry
+    stdout: str                             # rank 0's stdout
+
+    def exit_codes(self) -> List[int]:
+        """Per-rank exit codes (0 for native runs that returned non-ints)."""
+        codes = []
+        for r in self.rank_results:
+            if isinstance(r, GuestResult):
+                codes.append(r.exit_code)
+            elif isinstance(r, int):
+                codes.append(r)
+            else:
+                codes.append(0)
+        return codes
+
+    def return_values(self) -> List[object]:
+        """Per-rank values returned by the guest's ``main``."""
+        out = []
+        for r in self.rank_results:
+            out.append(r.return_value if isinstance(r, GuestResult) else r)
+        return out
+
+
+def resolve_machine(machine: Union[str, MachinePreset]) -> MachinePreset:
+    """Machine preset for a name (via the registry) or a preset passthrough.
+
+    An unknown name raises :class:`repro.api.registry.UnknownEntryError`
+    listing every registered preset -- never a bare ``KeyError``.
+    """
+    if isinstance(machine, MachinePreset):
+        return machine
+    return MACHINES.get(machine)
+
+
+def execute_job(
+    preset: MachinePreset,
+    nranks: int,
+    ranks_per_node: Optional[int],
+    collective_algorithms: Optional[Mapping[str, str]],
+    program_factory: Callable[[MPIWorld, MetricsRegistry], Callable[[int], Callable]],
+) -> Tuple[List[object], float, MetricsRegistry]:
+    """Shared SPMD scaffolding used by every execution mode.
+
+    Builds the cluster, discrete-event engine and MPI world, applies forced
+    collective algorithms, spawns one rank program per rank (obtained from
+    ``program_factory(world, metrics)``) and runs the job to completion.
+    Returns ``(rank_results, makespan, metrics)``.
+    """
+    cluster = Cluster(preset, nranks, ranks_per_node)
+    engine = SimEngine(nranks)
+    metrics = MetricsRegistry()
+    world = MPIWorld.install(cluster, engine, metrics)
+    if collective_algorithms:
+        world.collectives.force_many(dict(collective_algorithms))
+    engine.spawn_all(program_factory(world, metrics))
+    rank_results = engine.run()
+    return rank_results, engine.max_clock, metrics
+
+
+class Session:
+    """One warm embedder session: configuration + artifact store + metrics.
+
+    ::
+
+        from repro.api import Session
+
+        with Session(machine="graviton2", backend="cranelift") as session:
+            job = session.run("pingpong", 2)          # compiles the module
+            job = session.run("pingpong", 4)          # reuses the artifact
+            print(session.metrics.cache_summary())    # {'misses': 1, ...}
+
+    ``config`` may be a :class:`ResolvedConfig`, a mapping, or ``None``;
+    keyword overrides always win (they are the top configuration layer).
+    """
+
+    def __init__(
+        self,
+        config: Union[ResolvedConfig, Mapping[str, Any], None] = None,
+        *,
+        config_file: Union[str, None, object] = _UNSET,
+        artifact_store: Optional[InMemoryCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        **overrides: Any,
+    ):
+        self.config = ResolvedConfig.resolve(config, config_file=config_file, **overrides)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._memory = artifact_store if artifact_store is not None else InMemoryCache()
+        self._disk: Dict[str, FileSystemCache] = {}
+        self._programs: Dict[str, GuestProgram] = {}
+        self._apps: Dict[int, Tuple[object, CompiledApplication]] = {}
+        self._jobs_run = 0
+        self._closed = False
+
+    # -------------------------------------------------------------- lifecycle
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    @property
+    def jobs_run(self) -> int:
+        """Number of jobs executed through this session."""
+        return self._jobs_run
+
+    def close(self) -> None:
+        """Release the session's in-memory artifact store (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._memory.clear()
+        self._apps.clear()
+        self._programs.clear()
+
+    def __enter__(self) -> "Session":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("this Session is closed; create a new one")
+
+    # ---------------------------------------------------------- config/cache
+
+    def _effective_cache_dir(self, override: Any) -> Optional[str]:
+        if override is not _UNSET:
+            return str(override) if override else None
+        # A cache_dir that came from the environment (or was never
+        # configured) stays *live*: the current REPRO_CACHE_DIR wins, so the
+        # campaign runner's per-job scoping -- exporting the shared directory,
+        # or an empty value when the on-disk cache is disabled -- takes
+        # effect even on sessions resolved earlier.  Only an explicitly
+        # configured value (kwarg or config file) is pinned.
+        source = self.config.provenance.get("cache_dir", "default")
+        if source == "default" or source.startswith("env:"):
+            return envvars.cache_dir()
+        return self.config.cache_dir
+
+    def _embedder_config(
+        self,
+        *,
+        backend: Optional[str] = None,
+        algorithms: Optional[Mapping[str, str]] = None,
+        cache_dir: Any = _UNSET,
+        guest_args: Sequence[str] = (),
+    ) -> EmbedderConfig:
+        merged_algorithms = dict(self.config.collective_algorithms)
+        if algorithms:
+            merged_algorithms.update(algorithms)
+        return self.config.embedder_config(
+            compiler_backend=backend or self.config.backend,
+            cache_dir=self._effective_cache_dir(cache_dir),
+            collective_algorithms=merged_algorithms,
+            guest_args=tuple(guest_args),
+        )
+
+    def artifact_cache(self, config: EmbedderConfig):
+        """Artifact store for one job: the session's in-memory tier, fronting
+        the shared on-disk cache when the configuration names a directory."""
+        if config.cache_dir:
+            directory = str(config.cache_dir)
+            disk = self._disk.get(directory)
+            if disk is None:
+                disk = self._disk[directory] = FileSystemCache(directory)
+            return TieredCache(self._memory, disk)
+        return self._memory
+
+    # ------------------------------------------------------------ application
+
+    def _guest_program(self, app: AppLike) -> GuestProgram:
+        if isinstance(app, CompiledApplication):
+            return app.program
+        if isinstance(app, str):
+            program = self._programs.get(app)
+            if program is None:
+                program = BENCHMARKS.get(app)()
+                self._programs[app] = program
+            return program
+        return app
+
+    #: Bound on the (program -> wasicc output) memo: warm reuse is meant for
+    #: a working set of applications, not for pinning every program a
+    #: long-lived process ever ran (the ambient default session lives for
+    #: the whole process).
+    MAX_WARM_APPLICATIONS = 128
+
+    def _compiled_application(self, app: AppLike) -> CompiledApplication:
+        if isinstance(app, CompiledApplication):
+            return app
+        program = self._guest_program(app)
+        entry = self._apps.get(id(program))
+        if entry is None or entry[0] is not program:
+            entry = (program, compile_guest(program))
+            self._apps[id(program)] = entry
+            while len(self._apps) > self.MAX_WARM_APPLICATIONS:
+                self._apps.pop(next(iter(self._apps)))      # evict oldest
+        return entry[1]
+
+    # ------------------------------------------------------------ compilation
+
+    def compile(self, app: Union[AppLike, bytes], *,
+                backend: Optional[str] = None,
+                module=None) -> CompiledModule:
+        """AoT-compile an application through the session's artifact store.
+
+        Accepts a guest program, a ``wasicc`` output, a registered benchmark
+        name, or raw ``.wasm`` bytes (with an optional already-decoded
+        ``module`` to skip re-decoding).  Repeated compiles of the same
+        module (any job, same session) are served from the warm store; the
+        lookup is recorded in the session's ``metrics.cache_summary()``.
+        """
+        self._check_open()
+        config = self._embedder_config(backend=backend)
+        embedder = MPIWasm(config, cache=self.artifact_cache(config), _session_owned=True)
+        if isinstance(app, bytes):
+            compiled = embedder.compile_module(app, module or decode_module(app))
+        else:
+            compiled_app = self._compiled_application(app)
+            compiled = embedder.compile_module(compiled_app.wasm_bytes, compiled_app.module)
+        self.metrics.record_cache_event(embedder.last_cache_hit)
+        return compiled
+
+    # -------------------------------------------------------------- execution
+
+    def run(
+        self,
+        app: AppLike,
+        nranks: Optional[int] = None,
+        *,
+        np: Optional[int] = None,
+        mode: str = "wasm",
+        machine: Union[str, MachinePreset, None] = None,
+        backend: Optional[str] = None,
+        ranks_per_node: Optional[int] = None,
+        guest_args: Sequence[str] = (),
+        algorithms: Optional[Mapping[str, str]] = None,
+        cache_dir: Any = _UNSET,
+        config: Optional[EmbedderConfig] = None,
+    ) -> JobResult:
+        """Run one job and fold its metrics into the session.
+
+        ``mode`` selects a registered execution mode (``"wasm"`` runs the
+        embedder, ``"native"`` the no-embedder baseline).  Per-run keyword
+        overrides beat the session configuration; an explicit
+        :class:`EmbedderConfig` (``config=``) bypasses the layering entirely
+        (the back-compat shims use this to preserve legacy semantics).
+        """
+        self._check_open()
+        runner = MODES.get(mode)
+        preset = resolve_machine(machine if machine is not None else self.config.machine)
+        if nranks is None:
+            nranks = np if np is not None else self.config.nranks
+        if ranks_per_node is None:
+            ranks_per_node = self.config.ranks_per_node
+        # An explicit EmbedderConfig (the legacy-shim path) keeps the exact
+        # pre-session cache behaviour: each embedder picks its own store from
+        # the config instead of the session's warm tier.
+        session_store = config is None
+        if config is None:
+            config = self._embedder_config(
+                backend=backend, algorithms=algorithms, cache_dir=cache_dir
+            )
+        elif algorithms:
+            merged = dict(config.collective_algorithms)
+            merged.update(algorithms)
+            config = replace(config, collective_algorithms=merged)
+        job = runner(
+            self,
+            app,
+            nranks=int(nranks),
+            preset=preset,
+            ranks_per_node=ranks_per_node,
+            config=config,
+            guest_args=tuple(guest_args),
+            session_store=session_store,
+        )
+        self._jobs_run += 1
+        self.metrics.merge(job.metrics)
+        return job
+
+    def campaign(self, spec, *, workers: Optional[int] = None,
+                 cache_dir: Any = None, progress: Optional[Callable] = None):
+        """Expand and execute a campaign spec through this session.
+
+        Serial campaigns (``workers <= 1``) run every job on *this* warm
+        session; parallel campaigns give each worker process its own warm
+        session sharing the on-disk cache.  ``cache_dir`` defaults to a
+        cache directory *explicitly* configured on the session (kwarg or
+        config file); an env-resolved or default one is left for
+        ``run_campaign`` to apply at its documented precedence (explicit
+        argument > spec > ``$REPRO_CACHE_DIR`` > temp dir), so a spec-level
+        ``"cache_dir"`` -- including ``false`` to disable the on-disk cache
+        -- still beats the environment.  Returns the
+        :class:`repro.harness.campaign.CampaignResult`.
+        """
+        self._check_open()
+        from repro.harness.campaign import run_campaign
+
+        workers = self.config.workers if workers is None else workers
+        if cache_dir is None:
+            source = self.config.provenance.get("cache_dir", "default")
+            if source == "kwarg" or source.startswith("file:"):
+                cache_dir = self.config.cache_dir
+        result = run_campaign(
+            spec, workers=workers, cache_dir=cache_dir, progress=progress, session=self
+        )
+        if workers > 1:
+            # Serial jobs already merged through Session.run; parallel jobs
+            # ran on worker sessions, so fold the shipped-back aggregate in.
+            self.metrics.merge(result.metrics)
+        return result
+
+    # -------------------------------------------------------------- reporting
+
+    def cache_summary(self) -> Dict[str, float]:
+        """Aggregate AoT-cache counters across every job this session ran."""
+        return self.metrics.cache_summary()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (f"Session({state}, backend={self.config.backend!r}, "
+                f"machine={self.config.machine!r}, jobs={self._jobs_run})")
+
+
+# ------------------------------------------------------------ execution modes
+
+
+@register_mode("wasm")
+def _run_wasm_mode(
+    session: Session,
+    app: AppLike,
+    *,
+    nranks: int,
+    preset: MachinePreset,
+    ranks_per_node: Optional[int],
+    config: EmbedderConfig,
+    guest_args: Tuple[str, ...],
+    session_store: bool = True,
+) -> JobResult:
+    """Run a guest under MPIWasm: one embedder per rank, shared warm store."""
+    compiled_app = session._compiled_application(app)
+    cache = session.artifact_cache(config) if session_store else None
+
+    def program_factory(world: MPIWorld, metrics: MetricsRegistry):
+        def make_rank_program(rank: int):
+            def rank_program(ctx):
+                runtime = MPIRuntime(world, ctx)
+                embedder = MPIWasm(config, cache=cache, _session_owned=True)
+                result = embedder.run_guest(compiled_app, runtime, guest_args)
+                metrics.merge(result.metrics)
+                return result
+
+            return rank_program
+
+        return make_rank_program
+
+    rank_results, makespan, metrics = execute_job(
+        preset, nranks, ranks_per_node, config.collective_algorithms, program_factory
+    )
+    stdout = (rank_results[0].stdout
+              if rank_results and isinstance(rank_results[0], GuestResult) else "")
+    return JobResult(
+        nranks=nranks,
+        machine=preset.name,
+        mode="wasm",
+        rank_results=rank_results,
+        makespan=makespan,
+        metrics=metrics,
+        stdout=stdout,
+    )
+
+
+# --------------------------------------------------------- the ambient session
+
+_DEFAULT_SESSION: Optional[Session] = None
+_DEFAULT_SESSION_ENV: Optional[Dict[str, str]] = None
+_ACTIVE_SESSIONS: List[Session] = []
+
+
+def default_session() -> Session:
+    """Process-wide fallback session used by the deprecation shims.
+
+    Its artifact store is the legacy process-global in-memory cache, so code
+    still calling ``run_wasm``/``run_native`` keeps the exact cross-call
+    compilation reuse it had before sessions existed.  The legacy entry
+    points also re-read the ``REPRO_*`` environment on every call, so the
+    session is re-resolved whenever the ``REPRO_*`` snapshot changes --
+    exporting or unsetting a knob between shim calls keeps taking effect
+    (the warm artifact store is the shared global cache either way).
+    """
+    global _DEFAULT_SESSION, _DEFAULT_SESSION_ENV
+    env = envvars.snapshot()
+    if (_DEFAULT_SESSION is None or _DEFAULT_SESSION.closed
+            or env != _DEFAULT_SESSION_ENV):
+        _DEFAULT_SESSION = Session(artifact_store=GLOBAL_CACHE)
+        _DEFAULT_SESSION_ENV = env
+    return _DEFAULT_SESSION
+
+
+def current_session() -> Session:
+    """The innermost :func:`use_session` session, else the default one."""
+    if _ACTIVE_SESSIONS:
+        return _ACTIVE_SESSIONS[-1]
+    return default_session()
+
+
+@contextmanager
+def use_session(session: Session) -> Iterator[Session]:
+    """Make ``session`` the ambient session for the duration of the block.
+
+    The campaign runner wraps each job in this so nested compiles -- including
+    ones buried inside experiment drivers and legacy shims -- all land on the
+    job's warm per-worker session.
+    """
+    _ACTIVE_SESSIONS.append(session)
+    try:
+        yield session
+    finally:
+        _ACTIVE_SESSIONS.pop()
+
+
+def run(app: AppLike, nranks: Optional[int] = None, **kwargs: Any) -> JobResult:
+    """One-shot convenience: ``repro.api.run(...)`` on the ambient session."""
+    return current_session().run(app, nranks, **kwargs)
+
+
+__all__ = [
+    "AppLike",
+    "JobResult",
+    "Session",
+    "current_session",
+    "default_session",
+    "execute_job",
+    "resolve_machine",
+    "run",
+    "use_session",
+]

@@ -380,3 +380,51 @@ class NativeAPI:
         """``MPI_Free_mem``."""
         self.free(ptr)
         return abi.MPI_SUCCESS
+
+
+# --------------------------------------------------------- the "native" mode
+
+from repro.api.registry import register_mode  # noqa: E402
+from repro.api.session import JobResult, execute_job  # noqa: E402
+from repro.toolchain.wasicc import CompiledApplication  # noqa: E402
+
+
+@register_mode("native")
+def run_native_mode(session, app, *, nranks, preset, ranks_per_node, config,
+                    guest_args, session_store=True) -> JobResult:
+    """``Session.run(mode="native")``: the no-embedder baseline.
+
+    The guest program's ``main`` executes directly against :class:`NativeAPI`
+    -- plain NumPy buffers, direct calls into the host MPI runtime -- so the
+    difference to a ``mode="wasm"`` job of the same application is exactly
+    the embedder layer the paper evaluates.  Registered through the unified
+    mode registry; ``Session`` discovers it like any third-party mode.
+    """
+    program = app.program if isinstance(app, CompiledApplication) else session._guest_program(app)
+
+    def program_factory(world, metrics):
+        def make_rank_program(rank: int):
+            def rank_program(ctx):
+                runtime = MPIRuntime(world, ctx)
+                api = NativeAPI(runtime)
+                start = ctx.now
+                value = program.main(api, list(guest_args))
+                api.elapsed_virtual = ctx.now - start
+                return value
+
+            return rank_program
+
+        return make_rank_program
+
+    rank_results, makespan, metrics = execute_job(
+        preset, nranks, ranks_per_node, config.collective_algorithms, program_factory
+    )
+    return JobResult(
+        nranks=nranks,
+        machine=preset.name,
+        mode="native",
+        rank_results=rank_results,
+        makespan=makespan,
+        metrics=metrics,
+        stdout="",
+    )

@@ -1,13 +1,17 @@
 """Registry of bundled guest benchmarks, keyed by short name.
 
-Used by the CLI (``mpiwasm run <name>``), the launcher and the examples so
-that every entry point shares one construction path per benchmark.
+Used by the CLI (``mpiwasm run <name>``), the session API and the examples so
+that every entry point shares one construction path per benchmark.  Backed by
+the unified registry (:data:`repro.api.registry.BENCHMARKS`); third-party
+benchmarks plug in with ``@repro.api.register_benchmark("name")`` and become
+runnable as ``session.run("name", ...)`` without editing this module.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from repro.api.registry import BENCHMARKS
 from repro.benchmarks_suite.custom_pingpong import make_translation_pingpong_program
 from repro.benchmarks_suite.hpcg import make_hpcg_program
 from repro.benchmarks_suite.imb import (
@@ -23,11 +27,12 @@ from repro.benchmarks_suite.ior import make_ior_program
 from repro.benchmarks_suite.npb import DT_TOPOLOGIES, make_dt_program, make_is_program
 from repro.toolchain.guest import GuestProgram
 
-_FACTORIES: Dict[str, Callable[[], GuestProgram]] = {}
+#: Live view of the unified benchmark registry (kept for back-compat).
+_FACTORIES: Dict[str, Callable[[], GuestProgram]] = BENCHMARKS.entries
 
 
 def _register(name: str, factory: Callable[[], GuestProgram]) -> None:
-    _FACTORIES[name] = factory
+    BENCHMARKS.register(name, obj=factory, override=True)
 
 
 for _routine in ROUTINES:
@@ -47,12 +52,13 @@ _register("translation-pingpong", make_translation_pingpong_program)
 
 def names() -> List[str]:
     """All registered benchmark names."""
-    return sorted(_FACTORIES)
+    return BENCHMARKS.names()
 
 
 def get_program(name: str) -> GuestProgram:
-    """Construct the guest program registered under ``name``."""
-    try:
-        return _FACTORIES[name]()
-    except KeyError as exc:
-        raise KeyError(f"unknown benchmark {name!r}; known: {names()}") from exc
+    """Construct the guest program registered under ``name``.
+
+    Unknown names raise :class:`repro.api.registry.UnknownEntryError` (a
+    ``KeyError`` subclass) listing every registered benchmark.
+    """
+    return BENCHMARKS.get(name)()

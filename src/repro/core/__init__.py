@@ -2,31 +2,68 @@
 
 ``repro.core`` contains the embedder: configuration, the per-instance ``Env``
 state, address and datatype translation, the ``env.MPI_*`` import
-implementations, the WASI wiring, the AoT compilation cache, the embedder
-façade, and the ``mpirun``-style launcher.
+implementations, the WASI wiring, the consolidated ``REPRO_*`` environment
+access (:mod:`repro.core.env` / :mod:`repro.core.envvars`), the deprecated
+cache façade, and the ``mpirun``-style launcher shims.
+
+The programmatic front door is :class:`repro.api.Session`;
+``run_wasm``/``run_native`` below keep working as deprecation shims.
+
+Attribute access is lazy (PEP 562): low-level modules (the collective
+decision table, the compiler back-ends) import ``repro.core.envvars`` /
+``repro.api.registry`` during *their* import, which executes this package
+``__init__`` -- it must therefore not eagerly re-import the execution stack
+on top of them.
 """
 
-from repro.core.config import EmbedderConfig, TranslationOverheadModel
-from repro.core.datatype_translation import DatatypeTranslationError, DatatypeTranslator
-from repro.core.embedder import GuestResult, MPIWasm
-from repro.core.env import Env, HandleTable
-from repro.core.guest_api import GuestAPI
-from repro.core.launcher import JobResult, run_native, run_wasm
-from repro.core.memory_translation import AddressTranslator, translator_for
+from __future__ import annotations
 
-__all__ = [
-    "EmbedderConfig",
-    "TranslationOverheadModel",
-    "MPIWasm",
-    "GuestResult",
-    "Env",
-    "HandleTable",
-    "GuestAPI",
-    "AddressTranslator",
-    "translator_for",
-    "DatatypeTranslator",
-    "DatatypeTranslationError",
-    "JobResult",
-    "run_wasm",
-    "run_native",
-]
+from typing import TYPE_CHECKING
+
+#: name -> submodule that defines it (resolved lazily on first access).
+_EXPORT_SOURCES = {
+    "EmbedderConfig": "config",
+    "TranslationOverheadModel": "config",
+    "MPIWasm": "embedder",
+    "GuestResult": "embedder",
+    "Env": "env",
+    "HandleTable": "env",
+    "GuestAPI": "guest_api",
+    "AddressTranslator": "memory_translation",
+    "translator_for": "memory_translation",
+    "DatatypeTranslator": "datatype_translation",
+    "DatatypeTranslationError": "datatype_translation",
+    "JobResult": "launcher",
+    "run_wasm": "launcher",
+    "run_native": "launcher",
+}
+
+__all__ = list(_EXPORT_SOURCES)
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.core.config import EmbedderConfig, TranslationOverheadModel  # noqa: F401
+    from repro.core.datatype_translation import (  # noqa: F401
+        DatatypeTranslationError,
+        DatatypeTranslator,
+    )
+    from repro.core.embedder import GuestResult, MPIWasm  # noqa: F401
+    from repro.core.env import Env, HandleTable  # noqa: F401
+    from repro.core.guest_api import GuestAPI  # noqa: F401
+    from repro.core.launcher import JobResult, run_native, run_wasm  # noqa: F401
+    from repro.core.memory_translation import AddressTranslator, translator_for  # noqa: F401
+
+
+def __getattr__(name: str):
+    source = _EXPORT_SOURCES.get(name)
+    if source is None:
+        raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f"repro.core.{source}")
+    value = getattr(module, name)
+    globals()[name] = value          # cache for subsequent accesses
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,17 +1,29 @@
 """Backwards-compatible façade for the AoT compilation cache (§3.3).
 
-The cache implementation moved next to the compiler back-ends it serves --
-see :mod:`repro.wasm.compilers.cache`, which keys artifacts on module bytes +
-back-end + IR version and is shared by all three back-ends since the lowering
-refactor.  This module re-exports the public names so existing imports keep
-working.
+.. deprecated::
+    The cache implementation moved next to the compiler back-ends it serves
+    -- see :mod:`repro.wasm.compilers.cache`, which keys artifacts on module
+    bytes + back-end + IR version and is shared by all three back-ends since
+    the lowering refactor.  For warm in-process reuse prefer
+    :class:`repro.api.Session`, which owns an artifact store tiered over the
+    on-disk cache.  This module re-exports the public names so existing
+    imports keep working, but emits a ``DeprecationWarning`` on import.
 """
+
+import warnings
 
 from repro.wasm.compilers.cache import (  # noqa: F401
     GLOBAL_CACHE,
     FileSystemCache,
     InMemoryCache,
     module_hash,
+)
+
+warnings.warn(
+    "repro.core.cache is deprecated; import from repro.wasm.compilers.cache "
+    "(or use repro.api.Session's artifact store) instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = ["FileSystemCache", "InMemoryCache", "GLOBAL_CACHE", "module_hash"]

@@ -11,8 +11,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.core.config import EmbedderConfig
-from repro.core.embedder import MPIWasm
+from repro.api.session import Session
 from repro.toolchain.wasicc import compile_guest
 from repro.wasm.decoder import decode_module
 from repro.wasm.wat import module_to_wat
@@ -66,8 +65,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "compile":
         module, data = load_module(args.target)
-        embedder = MPIWasm(EmbedderConfig(compiler_backend=args.backend, enable_cache=False))
-        compiled = embedder.compile_module(data, module)
+        with Session(backend=args.backend, enable_cache=False) as session:
+            compiled = session.compile(data, module=module)
         print(f"backend={args.backend} functions={compiled.function_count} "
               f"compile={compiled.compile_seconds * 1e3:.3f} ms")
         return 0

@@ -9,9 +9,10 @@ Figure 6 measures).
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core import envvars
 
 
 @dataclass(frozen=True)
@@ -75,9 +76,7 @@ class EmbedderConfig:
     #: falls back to the process-wide in-memory cache.  Clear a directory
     #: cache with ``FileSystemCache(path).clear()`` or by deleting the
     #: ``*.mpiwasm`` files.
-    cache_dir: Optional[str] = field(
-        default_factory=lambda: os.environ.get("REPRO_CACHE_DIR") or None
-    )
+    cache_dir: Optional[str] = field(default_factory=envvars.cache_dir)
     enable_cache: bool = True
     memory_pages: Optional[int] = None       # override the module's declared minimum
     max_call_depth: int = 256

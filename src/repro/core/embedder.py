@@ -15,6 +15,7 @@ shared object is shared between processes in the paper's implementation.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -59,10 +60,26 @@ class GuestResult:
 
 
 class MPIWasm:
-    """One embedder process: compiles, instantiates and runs Wasm MPI modules."""
+    """One embedder process: compiles, instantiates and runs Wasm MPI modules.
+
+    .. deprecated::
+        Constructing ``MPIWasm`` directly is superseded by
+        :class:`repro.api.Session`, which owns the embedders, shares one warm
+        artifact store across jobs, and aggregates metrics.  Direct
+        construction keeps working but emits a ``DeprecationWarning``.
+    """
 
     def __init__(self, config: Optional[EmbedderConfig] = None,
-                 cache: Optional[Union[FileSystemCache, InMemoryCache]] = None):
+                 cache: Optional[Union[FileSystemCache, InMemoryCache]] = None,
+                 *, _session_owned: bool = False):
+        if not _session_owned:
+            warnings.warn(
+                "constructing MPIWasm directly is deprecated; use "
+                "repro.api.Session, which owns embedders and shares compiled "
+                "artifacts across jobs",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.config = config or EmbedderConfig()
         if cache is not None:
             self.cache = cache

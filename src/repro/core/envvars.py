@@ -1,0 +1,133 @@
+"""Consolidated access to the ``REPRO_*`` environment variables.
+
+Every environment read in the code base goes through this module (it is
+re-exported by :mod:`repro.core.env`, the embedder's documented home for
+process-level state).  Centralising the reads buys three things:
+
+* one catalogue (:data:`KNOWN_ENV_VARS`) of every knob the system honours,
+  used by the docs generator and the layered-config provenance,
+* uniform parsing (:func:`env_flag`, :func:`env_int`) instead of ad-hoc
+  ``os.environ.get`` conventions at call sites,
+* a scoped-override helper (:func:`scoped`) so code that must export a
+  variable for a subprocess-visible duration (the campaign runner exporting
+  ``REPRO_CACHE_DIR`` per job) restores the previous state reliably.
+
+This module is intentionally a *leaf*: it imports nothing from ``repro`` so
+any module -- including low-level ones like the collective decision table --
+can use it without creating import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping, Optional
+
+#: Namespace prefix shared by every environment knob.
+ENV_PREFIX = "REPRO_"
+
+#: Catalogue of every honoured environment variable and what it controls.
+#: (Layered configuration reads these between the config file and explicit
+#: kwargs; see :class:`repro.api.config.ResolvedConfig`.)
+KNOWN_ENV_VARS: Dict[str, str] = {
+    "REPRO_BACKEND": "default compiler back-end (singlepass | cranelift | llvm)",
+    "REPRO_MACHINE": "default machine preset name (supermuc-ng, graviton2, ...)",
+    "REPRO_NRANKS": "default rank count for Session.run",
+    "REPRO_CACHE_DIR": "on-disk AoT compilation cache directory (unset: in-memory only)",
+    "REPRO_CACHE": "set to 0/false to disable the AoT compilation cache entirely",
+    "REPRO_VALIDATE": "set to 0/false to skip Wasm module validation before compiling",
+    "REPRO_MAX_CALL_DEPTH": "guest call-stack depth limit enforced by the executor",
+    "REPRO_MEMORY_PAGES": "override the module's declared minimum linear-memory pages",
+    "REPRO_COLL_ALGO": "force collective algorithms, e.g. 'allreduce:ring,bcast:binomial'",
+    "REPRO_WORKERS": "default worker-process count for campaigns",
+    "REPRO_CONFIG": "path to a JSON config file merged below env vars and kwargs",
+    "REPRO_BENCH_SMOKE": "set to 1 to run the benchmark suite in fast smoke mode",
+}
+
+_TRUE_VALUES = frozenset({"1", "true", "yes", "on"})
+_FALSE_VALUES = frozenset({"0", "false", "no", "off", ""})
+
+
+def read_env(name: str, default: Optional[str] = None,
+             environ: Optional[Mapping[str, str]] = None) -> Optional[str]:
+    """Raw string value of one environment variable (``default`` if unset)."""
+    environ = os.environ if environ is None else environ
+    return environ.get(name, default)
+
+
+def parse_bool(raw: str, name: str) -> bool:
+    """Parse a boolean knob value: 1/true/yes/on vs 0/false/no/off (or empty).
+
+    The single source of truth for boolean tokens -- used by both
+    :func:`env_flag` and the layered-config field parsers.
+    """
+    lowered = raw.strip().lower()
+    if lowered in _TRUE_VALUES:
+        return True
+    if lowered in _FALSE_VALUES:
+        return False
+    raise ValueError(f"{name} must be a boolean flag (got {raw!r})")
+
+
+def env_flag(name: str, default: bool = False,
+             environ: Optional[Mapping[str, str]] = None) -> bool:
+    """Boolean environment knob: 1/true/yes/on vs 0/false/no/off (or empty)."""
+    raw = read_env(name, None, environ)
+    if raw is None:
+        return default
+    return parse_bool(raw, name)
+
+
+def env_int(name: str, default: Optional[int] = None,
+            environ: Optional[Mapping[str, str]] = None) -> Optional[int]:
+    """Integer environment knob (``default`` if unset; ValueError if malformed)."""
+    raw = read_env(name, None, environ)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer (got {raw!r})") from None
+
+
+def snapshot(environ: Optional[Mapping[str, str]] = None) -> Dict[str, str]:
+    """All currently-set ``REPRO_*`` variables (known or not)."""
+    environ = os.environ if environ is None else environ
+    return {k: v for k, v in environ.items() if k.startswith(ENV_PREFIX)}
+
+
+def cache_dir(environ: Optional[Mapping[str, str]] = None) -> Optional[str]:
+    """``REPRO_CACHE_DIR`` (``None`` when unset or empty)."""
+    return read_env("REPRO_CACHE_DIR", None, environ) or None
+
+
+def coll_algo(environ: Optional[Mapping[str, str]] = None) -> str:
+    """Raw ``REPRO_COLL_ALGO`` value (empty string when unset)."""
+    return read_env("REPRO_COLL_ALGO", "", environ) or ""
+
+
+def config_file(environ: Optional[Mapping[str, str]] = None) -> Optional[str]:
+    """``REPRO_CONFIG`` (``None`` when unset or empty)."""
+    return read_env("REPRO_CONFIG", None, environ) or None
+
+
+@contextmanager
+def scoped(name: str, value: Optional[str]) -> Iterator[None]:
+    """Temporarily export ``name=value`` in ``os.environ``.
+
+    ``value=None`` is a no-op (the variable is left exactly as it was): this
+    matches the campaign runner's contract of only exporting the shared cache
+    directory when one is actually configured.
+    """
+    if value is None:
+        yield
+        return
+    previous = os.environ.get(name)
+    os.environ[name] = value
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = previous

@@ -4,69 +4,31 @@ Reproduces the execution flow of Listing 4 of the paper::
 
     mpirun -np <N> ./mpiWasm mpi-app.wasm <args>
 
-:func:`run_wasm` places ``N`` ranks on a machine preset, compiles the guest
-once (subsequent ranks hit the AoT cache), creates one embedder per rank and
-runs them to completion under the discrete-event engine, returning per-rank
-results, merged metrics and the job's virtual makespan.
+Since the session-API redesign the execution engine lives in
+:mod:`repro.api.session`: :class:`repro.api.Session` owns the embedders, the
+warm artifact store and the metrics, and the execution modes ("wasm",
+"native") are registry-driven.  This module keeps the historical surface:
 
-:func:`run_native` is the baseline path: the same guest program executed
-directly against the host MPI library with plain NumPy buffers -- no Wasm
-memory, no embedder translation layers -- which is exactly the "Native" series
-of the paper's figures.
+* :class:`JobResult` (re-exported from the session module),
+* :func:`run_wasm` / :func:`run_native` -- **deprecated** one-shot shims that
+  route through the ambient session (:func:`repro.api.session.current_session`)
+  so existing callers keep the exact cross-call compilation reuse they had,
+* ``mpiwasm-run`` (:func:`main`), rebased on :class:`repro.api.Session`.
 """
 
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+import warnings
+from typing import Dict, Optional, Sequence, Union
 
-from repro.baselines.native import NativeAPI
+from repro.api.session import JobResult, Session, current_session
 from repro.core.config import EmbedderConfig
-from repro.core.embedder import GuestResult, MPIWasm
-from repro.mpi.runtime import MPIRuntime, MPIWorld
-from repro.sim.cluster import Cluster
-from repro.sim.engine import SimEngine
-from repro.sim.machines import MachinePreset, get_preset
-from repro.sim.metrics import MetricsRegistry
+from repro.sim.machines import MachinePreset
 from repro.toolchain.guest import GuestProgram
-from repro.toolchain.wasicc import CompiledApplication, compile_guest
+from repro.toolchain.wasicc import CompiledApplication
 
-
-@dataclass
-class JobResult:
-    """Outcome of one ``mpirun``-style job."""
-
-    nranks: int
-    machine: str
-    mode: str                               # "wasm" or "native"
-    rank_results: List[object]
-    makespan: float                         # max virtual time across ranks, seconds
-    metrics: MetricsRegistry
-    stdout: str                             # rank 0's stdout
-
-    def exit_codes(self) -> List[int]:
-        """Per-rank exit codes (0 for native runs that returned non-ints)."""
-        codes = []
-        for r in self.rank_results:
-            if isinstance(r, GuestResult):
-                codes.append(r.exit_code)
-            elif isinstance(r, int):
-                codes.append(r)
-            else:
-                codes.append(0)
-        return codes
-
-    def return_values(self) -> List[object]:
-        """Per-rank values returned by the guest's ``main``."""
-        out = []
-        for r in self.rank_results:
-            out.append(r.return_value if isinstance(r, GuestResult) else r)
-        return out
-
-
-def _resolve_machine(machine: Union[str, MachinePreset]) -> MachinePreset:
-    return get_preset(machine) if isinstance(machine, str) else machine
+__all__ = ["JobResult", "run_wasm", "run_native", "main"]
 
 
 def run_wasm(
@@ -77,39 +39,27 @@ def run_wasm(
     config: Optional[EmbedderConfig] = None,
     guest_args: Sequence[str] = (),
 ) -> JobResult:
-    """Run a guest program under MPIWasm on ``nranks`` simulated ranks."""
-    preset = _resolve_machine(machine)
-    cluster = Cluster(preset, nranks, ranks_per_node)
-    engine = SimEngine(nranks)
-    metrics = MetricsRegistry()
-    world = MPIWorld.install(cluster, engine, metrics)
-    embedder_config = config or EmbedderConfig()
-    if embedder_config.collective_algorithms:
-        world.collectives.force_many(embedder_config.collective_algorithms)
+    """Run a guest program under MPIWasm on ``nranks`` simulated ranks.
 
-    compiled_app = app if isinstance(app, CompiledApplication) else compile_guest(app)
-
-    def make_rank_program(rank: int):
-        def rank_program(ctx):
-            runtime = MPIRuntime(world, ctx)
-            embedder = MPIWasm(embedder_config)
-            result = embedder.run_guest(compiled_app, runtime, guest_args)
-            metrics.merge(result.metrics)
-            return result
-
-        return rank_program
-
-    engine.spawn_all(make_rank_program)
-    rank_results = engine.run()
-    stdout = rank_results[0].stdout if rank_results and isinstance(rank_results[0], GuestResult) else ""
-    return JobResult(
-        nranks=nranks,
-        machine=preset.name,
+    .. deprecated::
+        Use ``repro.api.Session.run(app, nranks, mode="wasm")``; a warm
+        session reuses compiled artifacts across jobs explicitly instead of
+        through the process-global cache this shim falls back to.
+    """
+    warnings.warn(
+        "run_wasm() is deprecated; use repro.api.Session.run(app, nranks, "
+        "mode='wasm') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return current_session().run(
+        app,
+        nranks,
         mode="wasm",
-        rank_results=rank_results,
-        makespan=engine.max_clock,
-        metrics=metrics,
-        stdout=stdout,
+        machine=machine,
+        ranks_per_node=ranks_per_node,
+        guest_args=guest_args,
+        config=config if config is not None else EmbedderConfig(),
     )
 
 
@@ -121,42 +71,32 @@ def run_native(
     guest_args: Sequence[str] = (),
     collective_algorithms: Optional[Dict[str, str]] = None,
 ) -> JobResult:
-    """Run the same guest program natively (no Wasm, no embedder)."""
-    preset = _resolve_machine(machine)
-    cluster = Cluster(preset, nranks, ranks_per_node)
-    engine = SimEngine(nranks)
-    metrics = MetricsRegistry()
-    world = MPIWorld.install(cluster, engine, metrics)
-    if collective_algorithms:
-        world.collectives.force_many(collective_algorithms)
-    program = app.program if isinstance(app, CompiledApplication) else app
+    """Run the same guest program natively (no Wasm, no embedder).
 
-    def make_rank_program(rank: int):
-        def rank_program(ctx):
-            runtime = MPIRuntime(world, ctx)
-            api = NativeAPI(runtime)
-            start = ctx.now
-            value = program.main(api, list(guest_args))
-            api.elapsed_virtual = ctx.now - start
-            return value
-
-        return rank_program
-
-    engine.spawn_all(make_rank_program)
-    rank_results = engine.run()
-    return JobResult(
-        nranks=nranks,
-        machine=preset.name,
+    .. deprecated::
+        Use ``repro.api.Session.run(app, nranks, mode="native")``.
+    """
+    warnings.warn(
+        "run_native() is deprecated; use repro.api.Session.run(app, nranks, "
+        "mode='native') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return current_session().run(
+        app,
+        nranks,
         mode="native",
-        rank_results=rank_results,
-        makespan=engine.max_clock,
-        metrics=metrics,
-        stdout="",
+        machine=machine,
+        ranks_per_node=ranks_per_node,
+        guest_args=guest_args,
+        algorithms=collective_algorithms,
     )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """``mpiwasm-run``: tiny CLI wrapper used by the examples and docs."""
+    from repro.api.registry import BACKENDS
+
     parser = argparse.ArgumentParser(
         prog="mpiwasm-run",
         description="Run a bundled guest benchmark under MPIWasm on a simulated HPC machine.",
@@ -165,18 +105,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("-np", "--nranks", type=int, default=4)
     parser.add_argument("--machine", default="supermuc-ng")
     parser.add_argument("--native", action="store_true", help="run the native baseline instead of Wasm")
-    parser.add_argument("--backend", default="llvm", choices=["singlepass", "cranelift", "llvm"])
+    parser.add_argument("--backend", default="llvm", choices=BACKENDS.names())
     args = parser.parse_args(argv)
 
-    from repro.benchmarks_suite import registry
-
-    program = registry.get_program(args.benchmark)
-    if args.native:
-        job = run_native(program, args.nranks, args.machine)
-    else:
-        job = run_wasm(
-            program, args.nranks, args.machine, config=EmbedderConfig(compiler_backend=args.backend)
-        )
+    with Session(machine=args.machine, backend=args.backend) as session:
+        job = session.run(args.benchmark, args.nranks,
+                          mode="native" if args.native else "wasm")
     print(f"benchmark={args.benchmark} mode={job.mode} ranks={job.nranks} "
           f"machine={job.machine} makespan={job.makespan*1e6:.2f} us")
     if job.stdout:

@@ -10,7 +10,12 @@ in-process (the default, fully deterministic path) or on a
   job id, so the serial and parallel paths produce identical results,
 * a failed job yields a structured error record (type, message, traceback)
   instead of killing the campaign,
-* all workers share one on-disk AoT compilation cache
+* every worker process owns **one warm** :class:`repro.api.Session` for the
+  whole campaign, so an N-repeat sweep compiles each distinct module once per
+  worker even with the on-disk cache disabled (``"cache_dir": false`` in the
+  spec) -- and the session's in-memory tier skips the disk round-trip on
+  repeat jobs when the disk cache *is* enabled,
+* all workers additionally share one on-disk AoT compilation cache
   (:class:`repro.wasm.compilers.cache.FileSystemCache`), whose per-key locks
   and atomic publishes guarantee each distinct guest module is compiled
   exactly once across the pool,
@@ -48,7 +53,6 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
-import os
 import random
 import shutil
 import tempfile
@@ -58,6 +62,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.core import envvars
 from repro.sim.metrics import MetricsRegistry
 
 #: Execution modes a benchmark job may request.
@@ -258,11 +263,17 @@ def _algorithm_variants(value: object) -> Tuple[Tuple[Tuple[str, str], ...], ...
 
 @dataclass
 class CampaignSpec:
-    """Declarative scenario matrix; :meth:`expand` yields the job list."""
+    """Declarative scenario matrix; :meth:`expand` yields the job list.
+
+    ``cache_dir`` may be a directory path (shared on-disk AoT cache),
+    ``None`` (fall back to ``$REPRO_CACHE_DIR`` or a private temp dir), or
+    ``False`` (JSON ``false``: no on-disk cache at all -- jobs then rely on
+    each worker's warm in-memory session store).
+    """
 
     name: str = "campaign"
     seed: int = 0
-    cache_dir: Optional[str] = None
+    cache_dir: Union[str, bool, None] = None
     benchmarks: List[Mapping[str, object]] = field(default_factory=list)
     experiments: List[Mapping[str, object]] = field(default_factory=list)
 
@@ -387,34 +398,79 @@ def spec_for_experiments(names: Sequence[str], seed: int = 0) -> CampaignSpec:
 
 # ------------------------------------------------------------- job execution
 
+#: Warm per-process session used by pool workers (set by the pool
+#: initializer in each worker *after* the fork, so no compiled state leaks in
+#: from the parent and every campaign starts its workers cold).
+_WORKER_SESSION = None
 
-def run_job(spec: JobSpec, campaign_seed: int = 0, cache_dir: Optional[str] = None) -> JobOutcome:
+
+def _fresh_session(cache_dir: Union[str, bool, None]):
+    from repro.api.session import Session
+
+    return Session(cache_dir=str(cache_dir) if isinstance(cache_dir, str) else None)
+
+
+def _init_worker_session(cache_dir: Union[str, bool, None]) -> None:
+    """Pool initializer: give this worker process one warm session."""
+    global _WORKER_SESSION
+    _WORKER_SESSION = _fresh_session(cache_dir)
+
+
+def _job_session(cache_dir: Union[str, bool, None]):
+    global _WORKER_SESSION
+    if _WORKER_SESSION is None:
+        _WORKER_SESSION = _fresh_session(cache_dir)
+    return _WORKER_SESSION
+
+
+def run_job(
+    spec: JobSpec,
+    campaign_seed: int = 0,
+    cache_dir: Union[str, bool, None] = None,
+    session=None,
+) -> JobOutcome:
     """Execute one campaign job; never raises for job-level failures.
 
     This is the worker-pool entry point (top-level and picklable).  The seed
     is applied before the job body so repeated executions -- serial or on any
-    worker -- are bit-identical; ``cache_dir`` is exported as
-    ``REPRO_CACHE_DIR`` for the job's duration so every compile inside the
-    job (including ones buried in experiment drivers) goes through the
-    shared on-disk cache.
+    worker -- are bit-identical.  Jobs run on a warm
+    :class:`repro.api.Session` (``session`` if given, else this process's
+    worker session), which is also installed as the *ambient* session for the
+    job's duration; a string ``cache_dir`` is additionally exported as
+    ``REPRO_CACHE_DIR`` so every compile inside the job -- including ones
+    buried in experiment drivers and legacy shims -- goes through the shared
+    on-disk cache.  ``cache_dir=False`` disables the on-disk cache; jobs then
+    rely on the warm session store alone.
     """
     import numpy as np
+
+    from repro.api.session import use_session
 
     seed = spec.seed(campaign_seed)
     outcome = JobOutcome(job_id=spec.job_id, spec=spec, seed=seed)
     random.seed(seed)
     np.random.seed(seed & 0xFFFFFFFF)
-    previous_cache = os.environ.get("REPRO_CACHE_DIR")
-    if cache_dir is not None:
-        os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    if session is None:
+        session = _job_session(cache_dir)
+    if isinstance(cache_dir, str):
+        scoped_cache: Optional[str] = str(cache_dir)
+    elif cache_dir is False:
+        # Disabled on-disk cache: export an *empty* value so live env
+        # lookups inside the job (experiment drivers, legacy shims) see "no
+        # cache directory" even if the surrounding process has a persistent
+        # REPRO_CACHE_DIR exported.
+        scoped_cache = ""
+    else:
+        scoped_cache = None
     start = time.perf_counter()
     try:
-        if spec.kind == "benchmark":
-            _run_benchmark_job(spec, cache_dir, outcome)
-        elif spec.kind == "experiment":
-            _run_experiment_job(spec, outcome)
-        else:
-            raise ValueError(f"unknown job kind {spec.kind!r}")
+        with envvars.scoped("REPRO_CACHE_DIR", scoped_cache), use_session(session):
+            if spec.kind == "benchmark":
+                _run_benchmark_job(spec, cache_dir, outcome, session)
+            elif spec.kind == "experiment":
+                _run_experiment_job(spec, outcome)
+            else:
+                raise ValueError(f"unknown job kind {spec.kind!r}")
     except BaseException as exc:  # noqa: BLE001 - failures become records
         if isinstance(exc, (KeyboardInterrupt, SystemExit)):
             raise
@@ -425,32 +481,30 @@ def run_job(spec: JobSpec, campaign_seed: int = 0, cache_dir: Optional[str] = No
             "traceback": traceback.format_exc(),
         }
     finally:
-        if cache_dir is not None:
-            if previous_cache is None:
-                os.environ.pop("REPRO_CACHE_DIR", None)
-            else:
-                os.environ["REPRO_CACHE_DIR"] = previous_cache
         outcome.wall_seconds = time.perf_counter() - start
     return outcome
 
 
-def _run_benchmark_job(spec: JobSpec, cache_dir: Optional[str], outcome: JobOutcome) -> None:
-    from repro.benchmarks_suite import registry
-    from repro.core.config import EmbedderConfig
-    from repro.core.launcher import run_native, run_wasm
-
-    program = registry.get_program(spec.name)
+def _run_benchmark_job(spec: JobSpec, cache_dir: Union[str, bool, None],
+                       outcome: JobOutcome, session) -> None:
     algorithms = dict(spec.algorithms)
     if spec.mode == "wasm":
-        config = EmbedderConfig(
-            compiler_backend=spec.backend,
-            cache_dir=str(cache_dir) if cache_dir else None,
-            collective_algorithms=algorithms,
+        job = session.run(
+            spec.name,
+            spec.nranks,
+            mode="wasm",
+            machine=spec.machine,
+            backend=spec.backend,
+            algorithms=algorithms,
+            cache_dir=str(cache_dir) if isinstance(cache_dir, str) else None,
         )
-        job = run_wasm(program, spec.nranks, machine=spec.machine, config=config)
     else:
-        job = run_native(
-            program, spec.nranks, machine=spec.machine, collective_algorithms=algorithms
+        job = session.run(
+            spec.name,
+            spec.nranks,
+            mode="native",
+            machine=spec.machine,
+            algorithms=algorithms,
         )
     outcome.makespan = job.makespan
     outcome.exit_codes = job.exit_codes()
@@ -459,9 +513,9 @@ def _run_benchmark_job(spec: JobSpec, cache_dir: Optional[str], outcome: JobOutc
 
 
 def _run_experiment_job(spec: JobSpec, outcome: JobOutcome) -> None:
-    from repro.harness.experiments import EXPERIMENT_DRIVERS
+    from repro.api.registry import EXPERIMENTS
 
-    driver = EXPERIMENT_DRIVERS[spec.name]
+    driver = EXPERIMENTS.get(spec.name)
     outcome.result = driver(**dict(spec.params))
     outcome.exit_codes = [0]
 
@@ -534,16 +588,22 @@ def _pool_context():
 def run_campaign(
     spec: Union[CampaignSpec, Mapping[str, object]],
     workers: int = 1,
-    cache_dir: Optional[str] = None,
+    cache_dir: Union[str, bool, None] = None,
     progress: Optional[Callable[[JobOutcome], None]] = None,
+    session=None,
 ) -> CampaignResult:
     """Expand ``spec`` and execute every job, serially or on a worker pool.
 
     ``workers <= 1`` runs jobs in-process in expansion order (the
-    determinism-sensitive default); ``workers > 1`` fans out over a
-    process pool with per-job isolation.  Either way, all jobs share one
+    determinism-sensitive default) on one warm session -- ``session`` if
+    provided (the ``Session.campaign`` front door), else a fresh one scoped
+    to this campaign; ``workers > 1`` fans out over a process pool whose
+    initializer gives every worker its own warm session.  All jobs share one
     on-disk compilation cache -- ``cache_dir``, the spec's ``cache_dir``, or
-    a private temporary directory cleaned up after the run.
+    a private temporary directory cleaned up after the run -- unless the
+    cache is disabled (``cache_dir=False`` here or ``"cache_dir": false`` in
+    the spec), in which case compile-once behaviour rests on the warm
+    per-worker session stores alone.
     """
     if not isinstance(spec, CampaignSpec):
         spec = CampaignSpec.from_mapping(spec)
@@ -552,24 +612,32 @@ def run_campaign(
 
     # Explicit argument beats the spec beats the user's persistent
     # REPRO_CACHE_DIR; only a fully-unconfigured run gets a throwaway cache.
-    shared_cache = cache_dir or spec.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
-    temporary_cache = shared_cache is None
-    if temporary_cache:
-        shared_cache = tempfile.mkdtemp(prefix="repro-campaign-cache-")
+    disk_disabled = cache_dir is False or (cache_dir is None and spec.cache_dir is False)
+    temporary_cache = False
+    stats_cache = None
+    baseline_events = 0
+    if disk_disabled:
+        shared_cache: Union[str, bool] = False
+    else:
+        shared_cache = cache_dir or spec.cache_dir or envvars.cache_dir() or None
+        temporary_cache = shared_cache is None
+        if temporary_cache:
+            shared_cache = tempfile.mkdtemp(prefix="repro-campaign-cache-")
 
-    from repro.wasm.compilers.cache import FileSystemCache
+        from repro.wasm.compilers.cache import FileSystemCache
 
-    stats_cache = FileSystemCache(shared_cache)
-    # Persistent directories carry history from earlier runs; snapshot the
-    # event count so the reported stats cover this campaign only.
-    baseline_events = stats_cache.event_count()
+        stats_cache = FileSystemCache(shared_cache)
+        # Persistent directories carry history from earlier runs; snapshot the
+        # event count so the reported stats cover this campaign only.
+        baseline_events = stats_cache.event_count()
 
     start = time.perf_counter()
     outcomes: List[JobOutcome] = []
     try:
         if workers == 1:
+            job_session = session if session is not None else _fresh_session(shared_cache)
             for job in jobs:
-                outcome = run_job(job, spec.seed, shared_cache)
+                outcome = run_job(job, spec.seed, shared_cache, session=job_session)
                 outcomes.append(outcome)
                 if progress is not None:
                     progress(outcome)
@@ -577,15 +645,23 @@ def run_campaign(
             from functools import partial
 
             ctx = _pool_context()
-            with ctx.Pool(processes=min(workers, len(jobs))) as pool:
+            with ctx.Pool(
+                processes=min(workers, len(jobs)),
+                initializer=_init_worker_session,
+                initargs=(shared_cache,),
+            ) as pool:
                 for outcome in pool.imap(
                     partial(run_job, campaign_seed=spec.seed, cache_dir=shared_cache), jobs
                 ):
                     outcomes.append(outcome)
                     if progress is not None:
                         progress(outcome)
-        cache_stats = stats_cache.global_stats(since=baseline_events)
-        compiled = stats_cache.compiled_keys(since=baseline_events)
+        if stats_cache is not None:
+            cache_stats = stats_cache.global_stats(since=baseline_events)
+            compiled = stats_cache.compiled_keys(since=baseline_events)
+        else:
+            cache_stats = {}
+            compiled = []
     finally:
         if temporary_cache:
             shutil.rmtree(shared_cache, ignore_errors=True)
@@ -601,4 +677,14 @@ def run_campaign(
     for outcome in outcomes:
         if outcome.metrics:
             result.metrics.merge_snapshot(outcome.metrics)
+    if stats_cache is None:
+        # Disk cache disabled: derive the totals from the per-rank lookup
+        # counters instead of the (absent) cross-process event log.  Every
+        # miss compiled, so misses == compiles.
+        summary = result.metrics.cache_summary()
+        result.cache_stats = {
+            "hits": int(summary["hits"]),
+            "misses": int(summary["misses"]),
+            "compiles": int(summary["misses"]),
+        }
     return result

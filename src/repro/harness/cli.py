@@ -23,9 +23,9 @@ import argparse
 import json
 from typing import Optional, Sequence
 
+from repro.api.session import Session
 from repro.harness.campaign import (
     CampaignSpec,
-    run_campaign,
     spec_for_experiments,
 )
 from repro.harness.experiments import EXPERIMENT_DRIVERS
@@ -90,7 +90,8 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     for name in selected:
         if name not in EXPERIMENT_DRIVERS:
             parser.error(f"unknown experiment {name!r}; known: {sorted(EXPERIMENT_DRIVERS)}")
-    result = run_campaign(spec_for_experiments(selected), workers=args.workers)
+    with Session() as session:
+        result = session.campaign(spec_for_experiments(selected), workers=args.workers)
     for outcome in result.outcomes:
         if not outcome.ok:
             print(f"\n=== {outcome.spec.name} ===")
@@ -113,9 +114,11 @@ def _cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
         marker = "ok" if outcome.ok else f"ERROR ({outcome.error['type']})"
         print(f"[{outcome.job_id}] {marker} wall={outcome.wall_seconds:.3f}s")
 
-    result = run_campaign(
-        spec, workers=args.workers, cache_dir=args.cache_dir, progress=progress
-    )
+    cache_dir = False if args.no_fs_cache else args.cache_dir
+    with Session() as session:
+        result = session.campaign(
+            spec, workers=args.workers, cache_dir=cache_dir, progress=progress
+        )
     out_path = result.write(args.out)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, default=repr))
@@ -153,6 +156,9 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="shared AoT compilation cache directory (default: the "
                                       "spec's cache_dir, else $REPRO_CACHE_DIR, else a private "
                                       "temp dir)")
+    campaign_parser.add_argument("--no-fs-cache", action="store_true",
+                                 help="disable the on-disk AoT cache entirely; rely on each "
+                                      "worker's warm in-memory session store")
     campaign_parser.add_argument("--json", action="store_true",
                                  help="dump raw JSON instead of the summary table")
     return parser

@@ -21,9 +21,10 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.registry import EXPERIMENTS, register_experiment
+from repro.api.session import current_session
 from repro.baselines.faasm import FaasmPlatform
 from repro.core.config import EmbedderConfig, TranslationOverheadModel
-from repro.core.launcher import run_native, run_wasm
 from repro.benchmarks_suite.custom_pingpong import (
     FIGURE6_DATATYPES,
     FIGURE6_MESSAGE_SIZES,
@@ -109,6 +110,7 @@ def imb_model_series(
 # ------------------------------------------------------------------- Table 1
 
 
+@register_experiment("table1")
 def table1_compiler_backends(
     backends: Sequence[str] = ("singlepass", "cranelift", "llvm"),
     dims: Tuple[int, int, int] = (12, 6, 6),
@@ -167,6 +169,7 @@ def table1_compiler_backends(
 # ------------------------------------------------------------------- Table 2
 
 
+@register_experiment("table2")
 def table2_binary_sizes() -> Dict[str, object]:
     """Table 2: native dynamic / native static / Wasm binary sizes.
 
@@ -196,6 +199,7 @@ def table2_binary_sizes() -> Dict[str, object]:
 # ---------------------------------------------------------------- Figures 3/4
 
 
+@register_experiment("figure3")
 def figure3_imb_supermuc(
     routines: Sequence[str] = ("pingpong", "sendrecv", "bcast", "allreduce",
                                "allgather", "alltoall", "reduce", "gather", "scatter"),
@@ -229,6 +233,7 @@ def figure3_imb_supermuc(
     return out
 
 
+@register_experiment("figure4")
 def figure4_graviton2(
     routines: Sequence[str] = ("pingpong", "sendrecv", "allreduce", "allgather", "alltoall"),
     nranks: int = 32,
@@ -306,6 +311,7 @@ def hpcg_scaling_model(
 # ------------------------------------------------------------------- Figure 5
 
 
+@register_experiment("figure5")
 def figure5_npb_ior_hpcg(functional_ranks: int = 4) -> Dict[str, object]:
     """Figure 5: NPB IS/DT, IOR bandwidth and HPCG scaling."""
     machine = supermuc_ng()
@@ -378,6 +384,7 @@ def figure5_npb_ior_hpcg(functional_ranks: int = 4) -> Dict[str, object]:
 # ------------------------------------------------------------------- Figure 6
 
 
+@register_experiment("figure6")
 def figure6_translation_overhead(
     message_sizes: Sequence[int] = FIGURE6_MESSAGE_SIZES,
     functional: bool = True,
@@ -398,7 +405,7 @@ def figure6_translation_overhead(
         },
     }
     if functional:
-        job = run_wasm(
+        job = current_session().run(
             make_translation_pingpong_program(message_sizes=(8, 1024, 65536), iterations=1),
             2,
             machine="graviton2",
@@ -415,6 +422,7 @@ def figure6_translation_overhead(
 # ------------------------------------------------------------------- Figure 7
 
 
+@register_experiment("figure7")
 def figure7_faasm_comparison(
     message_sizes: Sequence[int] = FIGURE_MESSAGE_SIZES,
 ) -> Dict[str, object]:
@@ -441,6 +449,7 @@ def figure7_faasm_comparison(
 # ----------------------------------------------------- collective algorithms
 
 
+@register_experiment("algosweep")
 def imb_algorithm_sweep(
     routine: str = "allreduce",
     nranks: int = 5,
@@ -465,7 +474,7 @@ def imb_algorithm_sweep(
     program = make_imb_algorithm_sweep_program(
         routine, message_sizes=message_sizes, iterations=iterations, algorithms=algorithms
     )
-    job = run_wasm(program, nranks, machine=machine)
+    job = current_session().run(program, nranks, machine=machine)
     result = job.return_values()[0]
     collective = result["collective"]
     per_algorithm: Dict[str, Dict[int, Dict[str, float]]] = result["algorithms"]
@@ -489,6 +498,7 @@ def imb_algorithm_sweep(
     }
 
 
+@register_experiment("nbc")
 def nbc_overlap(
     routines: Sequence[str] = ("ibarrier", "ibcast", "iallreduce", "iallgather", "ialltoall"),
     nranks: int = 4,
@@ -509,7 +519,7 @@ def nbc_overlap(
                               "series": {}, "overlap": {}}
     for routine in routines:
         program = make_imb_nbc_program(routine, message_sizes=message_sizes, iterations=iterations)
-        job = run_wasm(program, nranks, machine=machine)
+        job = current_session().run(program, nranks, machine=machine)
         result = job.return_values()[0]
         out["series"][routine] = result["rows"]
         summary = job.metrics.nbc_overlap_summary().get(result["collective"], {})
@@ -551,6 +561,7 @@ def nbc_campaign_spec(
 # ------------------------------------------------------------- functional runs
 
 
+@register_experiment("crosscheck-campaign")
 def functional_crosscheck_campaign(
     nranks: int = 4, machine: str = "graviton2", workers: int = 1
 ) -> Dict[str, object]:
@@ -596,6 +607,7 @@ def functional_crosscheck_campaign(
     return out
 
 
+@register_experiment("crosscheck")
 def functional_crosscheck(nranks: int = 4, machine: str = "graviton2") -> Dict[str, object]:
     """Small-scale functional native-vs-Wasm runs used to sanity check the models."""
     sizes = (1, 256, 4096, 65536)
@@ -603,8 +615,9 @@ def functional_crosscheck(nranks: int = 4, machine: str = "graviton2") -> Dict[s
     for routine in ("pingpong", "allreduce", "alltoall"):
         ranks = 2 if routine == "pingpong" else nranks
         program = make_imb_program(routine, message_sizes=sizes, iterations=2)
-        wasm_job = run_wasm(program, ranks, machine=machine)
-        native_job = run_native(program, ranks, machine=machine)
+        session = current_session()
+        wasm_job = session.run(program, ranks, machine=machine)
+        native_job = session.run(program, ranks, mode="native", machine=machine)
         wasm_rows = wasm_job.return_values()[0]["rows"]
         native_rows = native_job.return_values()[0]["rows"]
         slowdowns = [
@@ -623,21 +636,12 @@ def functional_crosscheck(nranks: int = 4, machine: str = "graviton2") -> Dict[s
 # ------------------------------------------------------------ campaign plumbing
 
 #: Every table/figure driver, keyed by the name the CLI and the campaign
-#: runner's ``experiments`` entries use.  This is the single source of truth
-#: (``repro.harness.cli`` re-exports it as ``EXPERIMENTS``).
-EXPERIMENT_DRIVERS = {
-    "table1": table1_compiler_backends,
-    "table2": table2_binary_sizes,
-    "figure3": figure3_imb_supermuc,
-    "figure4": figure4_graviton2,
-    "figure5": figure5_npb_ior_hpcg,
-    "figure6": figure6_translation_overhead,
-    "figure7": figure7_faasm_comparison,
-    "crosscheck": functional_crosscheck,
-    "crosscheck-campaign": functional_crosscheck_campaign,
-    "algosweep": imb_algorithm_sweep,
-    "nbc": nbc_overlap,
-}
+#: runner's ``experiments`` entries use.  Since the session-API redesign this
+#: is a live view of the unified registry
+#: (:data:`repro.api.registry.EXPERIMENTS`): the drivers above register
+#: themselves with ``@register_experiment``, and third-party drivers added
+#: the same way appear here automatically.
+EXPERIMENT_DRIVERS = EXPERIMENTS.entries
 
 
 def figure_campaign_spec(

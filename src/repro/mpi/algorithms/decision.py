@@ -21,10 +21,10 @@ property that lets real MPI libraries pick algorithms without negotiation.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
+from repro.core import envvars
 from repro.mpi.algorithms import registry
 
 ENV_KNOB = "REPRO_COLL_ALGO"
@@ -189,8 +189,7 @@ class CollectiveSelector:
         the environment, mirroring how MCA command-line parameters beat
         environment variables in Open MPI.
         """
-        environ = os.environ if environ is None else environ
-        forced = parse_env_knob(environ.get(ENV_KNOB, ""))
+        forced = parse_env_knob(envvars.read_env(ENV_KNOB, "", environ) or "")
         if overrides:
             for collective, algorithm in overrides.items():
                 _validate_pair(collective, algorithm)

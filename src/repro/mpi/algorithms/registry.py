@@ -6,6 +6,13 @@ under short names (``"binomial"``, ``"ring"``, ...), and a decision layer
 (:mod:`repro.mpi.algorithms.decision`) picks one per call based on message
 size and communicator size -- unless an override forces a specific one.
 
+Since the session-API redesign the backing store is the unified registry
+(:data:`repro.api.registry.ALGORITHMS`, composite keys
+``"<collective>:<algorithm>"``); this module keeps the collective-specific
+API (tuple-keyed registration, per-collective catalogues) on top of it, and
+third-party algorithms may equivalently use
+``@repro.api.register_algorithm(collective, name)``.
+
 Algorithm functions share a fixed signature per collective (see the
 individual modules); all of them operate on a
 :class:`repro.mpi.algorithms.base.CollectiveContext`.
@@ -13,7 +20,9 @@ individual modules); all of them operate on a
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List
+
+from repro.api.registry import ALGORITHMS, DuplicateEntryError, UnknownEntryError
 
 #: The collectives the subsystem dispatches.
 COLLECTIVES = (
@@ -32,7 +41,8 @@ class UnknownAlgorithmError(KeyError):
     """Raised when a (collective, algorithm) pair is not registered."""
 
 
-_REGISTRY: Dict[Tuple[str, str], Callable] = {}
+def _key(collective: str, name: str) -> str:
+    return f"{collective}:{name}"
 
 
 def register(collective: str, name: str) -> Callable[[Callable], Callable]:
@@ -41,10 +51,12 @@ def register(collective: str, name: str) -> Callable[[Callable], Callable]:
         raise ValueError(f"unknown collective {collective!r}; known: {COLLECTIVES}")
 
     def decorator(fn: Callable) -> Callable:
-        key = (collective, name)
-        if key in _REGISTRY:
-            raise ValueError(f"algorithm {name!r} already registered for {collective!r}")
-        _REGISTRY[key] = fn
+        try:
+            ALGORITHMS.register(_key(collective, name), obj=fn)
+        except DuplicateEntryError:
+            raise ValueError(
+                f"algorithm {name!r} already registered for {collective!r}"
+            ) from None
         return fn
 
     return decorator
@@ -53,8 +65,8 @@ def register(collective: str, name: str) -> Callable[[Callable], Callable]:
 def get(collective: str, name: str) -> Callable:
     """Look up the implementation of algorithm ``name`` for ``collective``."""
     try:
-        return _REGISTRY[(collective, name)]
-    except KeyError:
+        return ALGORITHMS.get(_key(collective, name))
+    except UnknownEntryError:
         known = algorithms_for(collective)
         raise UnknownAlgorithmError(
             f"no algorithm {name!r} for collective {collective!r}; known: {known}"
@@ -63,12 +75,15 @@ def get(collective: str, name: str) -> Callable:
 
 def algorithms_for(collective: str) -> List[str]:
     """Names of every algorithm registered for ``collective``."""
-    return sorted(n for (c, n) in _REGISTRY if c == collective)
+    prefix = f"{collective}:"
+    return sorted(
+        key[len(prefix):] for key in ALGORITHMS.names() if key.startswith(prefix)
+    )
 
 
 def is_registered(collective: str, name: str) -> bool:
     """Whether ``(collective, name)`` is a registered algorithm."""
-    return (collective, name) in _REGISTRY
+    return ALGORITHMS.contains(_key(collective, name))
 
 
 def catalog() -> Dict[str, List[str]]:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
+from repro.api.registry import MACHINES, register_machine
 from repro.sim.filesystem import ParallelFileSystemModel
 from repro.sim.network import (
     GrpcMessagingModel,
@@ -181,21 +182,23 @@ def faasm_cloud() -> MachinePreset:
     )
 
 
-PRESETS: Dict[str, MachinePreset] = {}
+#: Live view of the unified machine registry (kept for back-compat; new
+#: presets should register through ``repro.api.register_machine``).
+PRESETS: Dict[str, MachinePreset] = MACHINES.entries
 
 
 def _register_defaults() -> None:
     for factory in (supermuc_ng, graviton2, faasm_cloud):
-        preset = factory()
-        PRESETS[preset.name] = preset
+        register_machine(factory(), override=True)
 
 
 _register_defaults()
 
 
 def get_preset(name: str) -> MachinePreset:
-    """Look up a machine preset by name (``supermuc-ng``, ``graviton2``, ...)."""
-    try:
-        return PRESETS[name]
-    except KeyError as exc:
-        raise KeyError(f"unknown machine preset {name!r}; known: {sorted(PRESETS)}") from exc
+    """Look up a machine preset by name (``supermuc-ng``, ``graviton2``, ...).
+
+    Unknown names raise :class:`repro.api.registry.UnknownEntryError` (a
+    ``KeyError`` subclass) listing every registered preset.
+    """
+    return MACHINES.get(name)

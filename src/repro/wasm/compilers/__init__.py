@@ -22,6 +22,7 @@ from repro.wasm.compilers.cache import (
     GLOBAL_CACHE,
     FileSystemCache,
     InMemoryCache,
+    TieredCache,
     module_hash,
 )
 from repro.wasm.compilers.cranelift import CraneliftBackend
@@ -47,6 +48,7 @@ __all__ = [
     "PythonCodeGenerator",
     "FileSystemCache",
     "InMemoryCache",
+    "TieredCache",
     "GLOBAL_CACHE",
     "module_hash",
     "IR_VERSION",

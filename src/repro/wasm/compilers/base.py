@@ -84,23 +84,31 @@ class CompilerBackend:
         raise NotImplementedError
 
 
-_REGISTRY: Dict[str, CompilerBackend] = {}
+from repro.api.registry import BACKENDS as _BACKENDS  # noqa: E402 - leaf module
+
+#: Live backing dict of the unified registry (kept for back-compat).
+_REGISTRY: Dict[str, CompilerBackend] = _BACKENDS.entries
 
 
 def register_backend(backend: CompilerBackend) -> CompilerBackend:
-    """Add a back-end instance to the global registry."""
-    _REGISTRY[backend.name] = backend
+    """Add a back-end instance to the unified registry (replacing any holder).
+
+    Third-party back-ends should prefer the decorator form
+    ``repro.api.register_backend``, which supports ``override`` semantics.
+    """
+    _BACKENDS.register(backend.name, obj=backend, override=True)
     return backend
 
 
 def get_backend(name: str) -> CompilerBackend:
-    """Look up a back-end by name (``singlepass``, ``cranelift``, ``llvm``)."""
-    try:
-        return _REGISTRY[name]
-    except KeyError as exc:
-        raise KeyError(f"unknown compiler backend {name!r}; known: {sorted(_REGISTRY)}") from exc
+    """Look up a back-end by name (``singlepass``, ``cranelift``, ``llvm``).
+
+    Unknown names raise :class:`repro.api.registry.UnknownEntryError` (a
+    ``KeyError``) listing every registered back-end.
+    """
+    return _BACKENDS.get(name)
 
 
 def backend_names() -> List[str]:
     """Names of all registered back-ends."""
-    return sorted(_REGISTRY)
+    return _BACKENDS.names()

@@ -297,6 +297,17 @@ class FileSystemCache(_CacheStatsMixin):
             if acquired:
                 self._release(lock)
 
+    def log_external_hit(self, key: str) -> None:
+        """Record a lookup served by a warm tier fronting this directory.
+
+        A :class:`TieredCache` whose in-memory tier satisfies a lookup calls
+        this so the cross-process event log keeps counting one event per
+        lookup -- campaign-level hit/miss/compile totals stay comparable
+        whether or not a warm session sat in front of the directory.
+        """
+        self.hits += 1
+        self._log_event("hit", key)
+
     # ------------------------------------------------------------ maintenance
 
     def entries(self) -> Dict[str, int]:
@@ -380,6 +391,87 @@ class InMemoryCache(_CacheStatsMixin):
         n = len(self._store)
         self._store.clear()
         return n
+
+
+class TieredCache(_CacheStatsMixin):
+    """A session-lifetime in-memory tier fronting the shared on-disk cache.
+
+    ``repro.api.Session`` hands one of these to its embedders: lookups are
+    served from ``memory`` first (no disk round-trip, no pickling), falling
+    back to ``disk``'s cross-process compile-once path on a memory miss; every
+    artifact obtained from the disk tier is promoted into memory so the next
+    job in the same session skips the filesystem entirely.
+
+    Stats contract: exactly one hit-or-miss is recorded per lookup, and a
+    memory-tier hit is reported to the disk tier's event log (see
+    :meth:`FileSystemCache.log_external_hit`), so campaign-wide counters are
+    identical with or without a warm session in front.
+    """
+
+    def __init__(self, memory: InMemoryCache, disk: Optional[FileSystemCache] = None):
+        self.memory = memory
+        self.disk = disk
+        self.hits = 0
+        self.misses = 0
+        self.compiles = 0
+
+    def contains(self, key: str) -> bool:
+        """Whether either tier holds an artifact for ``key``."""
+        return self.memory.contains(key) or (self.disk is not None and self.disk.contains(key))
+
+    def store(self, key: str, compiled: CompiledModule) -> None:
+        """Publish an artifact to both tiers."""
+        self.memory.store(key, compiled)
+        if self.disk is not None:
+            self.disk.store(key, compiled)
+
+    def load(self, key: str, module: Module) -> Optional[CompiledModule]:
+        """Load from memory, then disk (promoting on a disk hit)."""
+        cached = self.memory.load(key, module)
+        if cached is not None:
+            self.hits += 1
+            if self.disk is not None:
+                self.disk.log_external_hit(key)
+            return cached
+        if self.disk is None:
+            self.misses += 1
+            return None
+        cached = self.disk.load(key, module)
+        if cached is None:
+            self.misses += 1
+            return None
+        self.memory.store(key, cached)
+        self.hits += 1
+        return cached
+
+    def load_or_compute(
+        self, key: str, module: Module, compute: Callable[[], CompiledModule]
+    ) -> Tuple[CompiledModule, bool]:
+        """Same contract as :meth:`FileSystemCache.load_or_compute`."""
+        cached = self.memory.load(key, module)
+        if cached is not None:
+            self.hits += 1
+            if self.disk is not None:
+                self.disk.log_external_hit(key)
+            return cached, True
+        if self.disk is None:
+            compiled = compute()
+            self.memory.store(key, compiled)
+            self.misses += 1
+            self.compiles += 1
+            return compiled, False
+        compiled, was_hit = self.disk.load_or_compute(key, module, compute)
+        self.memory.store(key, compiled)
+        if was_hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+            self.compiles += 1
+        return compiled, was_hit
+
+    def clear(self) -> int:
+        """Clear the memory tier only (the disk tier is shared state)."""
+        return self.memory.clear()
 
 
 #: Process-wide shared cache used by default (one per Python process, like the
