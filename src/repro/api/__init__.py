@@ -19,6 +19,12 @@ Three subsystems make up the surface:
 * :mod:`repro.api.config` -- layered :class:`ResolvedConfig` (defaults <
   config file < ``REPRO_*`` environment < kwargs) with recorded provenance.
 
+The observability subsystem (:mod:`repro.obs`) is re-exported here as well:
+:func:`tracing` / :class:`TraceRecorder` record per-rank MPI event traces,
+:func:`to_chrome_trace` / :func:`merge_traces` / :func:`write_chrome_trace`
+export Perfetto-loadable timelines, and :func:`profiling` /
+:class:`InterpreterProfiler` drive the interpreter's sampled profiling hooks.
+
 ``__all__`` is the compatibility contract: it is asserted against
 ``docs/api_manifest.json`` by the CI ``api-stability`` job, and
 ``docs/API.md`` (regenerate with ``python -m repro.api.docgen``) documents
@@ -69,12 +75,37 @@ _EXPORT_SOURCES = {
     "register_algorithm": "registry",
     "register_experiment": "registry",
     "register_mode": "registry",
+    # Observability (repro.obs): absolute module paths, resolved the same way.
+    "TraceRecorder": "repro.obs",
+    "tracing": "repro.obs",
+    "enable_tracing": "repro.obs",
+    "disable_tracing": "repro.obs",
+    "to_chrome_trace": "repro.obs",
+    "merge_traces": "repro.obs",
+    "write_chrome_trace": "repro.obs",
+    "validate_chrome_trace": "repro.obs",
+    "InterpreterProfiler": "repro.obs",
+    "profiling": "repro.obs",
+    "format_profile_report": "repro.obs",
 }
 
 __all__ = sorted(["API_VERSION", "DEPRECATIONS", *_EXPORT_SOURCES])
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from repro.api.config import ResolvedConfig  # noqa: F401
+    from repro.obs import (  # noqa: F401
+        InterpreterProfiler,
+        TraceRecorder,
+        disable_tracing,
+        enable_tracing,
+        format_profile_report,
+        merge_traces,
+        profiling,
+        to_chrome_trace,
+        tracing,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
     from repro.api.registry import (  # noqa: F401
         ALGORITHMS,
         BACKENDS,
@@ -109,7 +140,9 @@ def __getattr__(name: str):
         raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
     import importlib
 
-    module = importlib.import_module(f"repro.api.{source}")
+    # Sources containing a dot are absolute module paths (e.g. "repro.obs");
+    # bare names are submodules of this package.
+    module = importlib.import_module(source if "." in source else f"repro.api.{source}")
     value = getattr(module, name)
     globals()[name] = value          # cache for subsequent accesses
     return value

@@ -63,6 +63,8 @@ FIELDS: Tuple[_Field, ...] = (
            parse=_parse_algorithms, coerce=_parse_algorithms),
     _Field("guest_args", (), None, coerce=lambda v: tuple(str(a) for a in v)),
     _Field("workers", 1, "REPRO_WORKERS", parse=int, coerce=int),
+    _Field("trace", False, "REPRO_TRACE",
+           parse=lambda raw: envvars.parse_bool(raw, "REPRO_TRACE"), coerce=bool),
 )
 
 _FIELD_BY_NAME: Dict[str, _Field] = {f.name: f for f in FIELDS}
@@ -84,6 +86,7 @@ class ResolvedConfig:
     collective_algorithms: Dict[str, str] = field(default_factory=dict)
     guest_args: Tuple[str, ...] = ()
     workers: int = 1
+    trace: bool = False
     #: Winning layer per field: "default", "file:<path>", "env:<VAR>", "kwarg".
     provenance: Dict[str, str] = field(default_factory=dict, compare=False)
 

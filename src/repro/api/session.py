@@ -34,6 +34,7 @@ from repro.core import envvars
 from repro.core.config import EmbedderConfig
 from repro.core.embedder import GuestResult, MPIWasm
 from repro.mpi.runtime import MPIRuntime, MPIWorld
+from repro.obs import trace as _trace
 from repro.sim.cluster import Cluster
 from repro.sim.engine import SimEngine
 from repro.sim.machines import MachinePreset
@@ -64,6 +65,9 @@ class JobResult:
     makespan: float                         # max virtual time across ranks, seconds
     metrics: MetricsRegistry
     stdout: str                             # rank 0's stdout
+    #: Recorder snapshot (``repro.obs.trace``) when the job ran with tracing
+    #: enabled; feed it to :func:`repro.obs.to_chrome_trace` for a timeline.
+    trace: Optional[dict] = None
 
     def exit_codes(self) -> List[int]:
         """Per-rank exit codes (0 for native runs that returned non-ints)."""
@@ -284,7 +288,10 @@ class Session:
         else:
             compiled_app = self._compiled_application(app)
             compiled = embedder.compile_module(compiled_app.wasm_bytes, compiled_app.module)
-        self.metrics.record_cache_event(embedder.last_cache_hit)
+        self.metrics.record_cache_event(
+            embedder.last_cache_hit,
+            tier=getattr(embedder, "last_cache_tier", None),
+        )
         return compiled
 
     # -------------------------------------------------------------- execution
@@ -331,22 +338,40 @@ class Session:
             merged = dict(config.collective_algorithms)
             merged.update(algorithms)
             config = replace(config, collective_algorithms=merged)
-        job = runner(
-            self,
-            app,
-            nranks=int(nranks),
-            preset=preset,
-            ranks_per_node=ranks_per_node,
-            config=config,
-            guest_args=tuple(guest_args),
-            session_store=session_store,
-        )
+        if self.config.trace and not _trace.ENABLED:
+            # Session-level tracing: record this job on a fresh recorder and
+            # attach the snapshot to the result.  When a recorder is already
+            # installed (the campaign runner owns one per job), defer to it.
+            with _trace.tracing() as recorder:
+                job = runner(
+                    self,
+                    app,
+                    nranks=int(nranks),
+                    preset=preset,
+                    ranks_per_node=ranks_per_node,
+                    config=config,
+                    guest_args=tuple(guest_args),
+                    session_store=session_store,
+                )
+            job.trace = recorder.snapshot()
+        else:
+            job = runner(
+                self,
+                app,
+                nranks=int(nranks),
+                preset=preset,
+                ranks_per_node=ranks_per_node,
+                config=config,
+                guest_args=tuple(guest_args),
+                session_store=session_store,
+            )
         self._jobs_run += 1
         self.metrics.merge(job.metrics)
         return job
 
     def campaign(self, spec, *, workers: Optional[int] = None,
-                 cache_dir: Any = None, progress: Optional[Callable] = None):
+                 cache_dir: Any = None, progress: Optional[Callable] = None,
+                 trace: Optional[bool] = None):
         """Expand and execute a campaign spec through this session.
 
         Serial campaigns (``workers <= 1``) run every job on *this* warm
@@ -357,19 +382,24 @@ class Session:
         ``run_campaign`` to apply at its documented precedence (explicit
         argument > spec > ``$REPRO_CACHE_DIR`` > temp dir), so a spec-level
         ``"cache_dir"`` -- including ``false`` to disable the on-disk cache
-        -- still beats the environment.  Returns the
-        :class:`repro.harness.campaign.CampaignResult`.
+        -- still beats the environment.  ``trace`` forces per-job event
+        tracing on (``True``) or off (``False``); ``None`` defers to the
+        spec's ``"trace"`` key, then the session's ``trace`` config.
+        Returns the :class:`repro.harness.campaign.CampaignResult`.
         """
         self._check_open()
         from repro.harness.campaign import run_campaign
 
         workers = self.config.workers if workers is None else workers
+        if trace is None and self.config.trace:
+            trace = True
         if cache_dir is None:
             source = self.config.provenance.get("cache_dir", "default")
             if source == "kwarg" or source.startswith("file:"):
                 cache_dir = self.config.cache_dir
         result = run_campaign(
-            spec, workers=workers, cache_dir=cache_dir, progress=progress, session=self
+            spec, workers=workers, cache_dir=cache_dir, progress=progress,
+            session=self, trace=trace,
         )
         if workers > 1:
             # Serial jobs already merged through Session.run; parallel jobs

@@ -88,6 +88,7 @@ class MPIWasm:
         else:
             self.cache = GLOBAL_CACHE
         self.last_cache_hit = False
+        self.last_cache_tier: Optional[str] = None
 
     # ------------------------------------------------------------- compilation
 
@@ -108,8 +109,10 @@ class MPIWasm:
             compiled, self.last_cache_hit = self.cache.load_or_compute(
                 key, module, lambda: backend.compile(module)
             )
+            self.last_cache_tier = getattr(self.cache, "last_hit_tier", None)
             return compiled
         self.last_cache_hit = False
+        self.last_cache_tier = None
         return backend.compile(module)
 
     def compile_application(self, app: Union[GuestProgram, CompiledApplication]) -> CompiledModule:
@@ -170,8 +173,9 @@ class MPIWasm:
         program = app.program if isinstance(app, CompiledApplication) else app
         compiled = self.compile_application(app)
         cache_hit = self.last_cache_hit
+        cache_tier = self.last_cache_tier
         instance, env, api = self.instantiate(compiled, runtime, guest_args)
-        env.metrics.record_cache_event(cache_hit)
+        env.metrics.record_cache_event(cache_hit, tier=cache_tier)
         env.metrics.record("wasm.compile_seconds", compiled.compile_seconds)
         start_virtual = runtime.ctx.now
         exit_code = 0

@@ -40,6 +40,7 @@ KNOWN_ENV_VARS: Dict[str, str] = {
     "REPRO_MEMORY_PAGES": "override the module's declared minimum linear-memory pages",
     "REPRO_COLL_ALGO": "force collective algorithms, e.g. 'allreduce:ring,bcast:binomial'",
     "REPRO_WORKERS": "default worker-process count for campaigns",
+    "REPRO_TRACE": "set to 1/true to record per-rank MPI event traces (repro.obs)",
     "REPRO_CONFIG": "path to a JSON config file merged below env vars and kwargs",
     "REPRO_BENCH_SMOKE": "set to 1 to run the benchmark suite in fast smoke mode",
 }

@@ -63,6 +63,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core import envvars
+from repro.obs import trace as _trace
 from repro.sim.metrics import MetricsRegistry
 
 #: Execution modes a benchmark job may request.
@@ -165,6 +166,11 @@ class JobOutcome:
     result: object = None                     # experiment jobs: driver output
     metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
     error: Optional[Dict[str, str]] = None    # {"type", "message", "traceback"}
+    #: Recorder snapshot when the job ran with tracing on.  Deliberately
+    #: excluded from :meth:`fingerprint` (spans carry wall-clock readings)
+    #: and from :meth:`to_dict` (the merged campaign timeline is exported
+    #: separately; per-job raw events would bloat ``campaign.json``).
+    trace: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -274,12 +280,13 @@ class CampaignSpec:
     name: str = "campaign"
     seed: int = 0
     cache_dir: Union[str, bool, None] = None
+    trace: bool = False
     benchmarks: List[Mapping[str, object]] = field(default_factory=list)
     experiments: List[Mapping[str, object]] = field(default_factory=list)
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[str, object]) -> "CampaignSpec":
-        known = {"name", "seed", "cache_dir", "benchmarks", "experiments"}
+        known = {"name", "seed", "cache_dir", "trace", "benchmarks", "experiments"}
         unknown = set(mapping) - known
         if unknown:
             raise ValueError(f"unknown campaign spec keys {sorted(unknown)}; known: {sorted(known)}")
@@ -287,6 +294,7 @@ class CampaignSpec:
             name=str(mapping.get("name", "campaign")),
             seed=int(mapping.get("seed", 0)),
             cache_dir=mapping.get("cache_dir"),
+            trace=bool(mapping.get("trace", False)),
             benchmarks=list(mapping.get("benchmarks", [])),
             experiments=list(mapping.get("experiments", [])),
         )
@@ -428,6 +436,7 @@ def run_job(
     campaign_seed: int = 0,
     cache_dir: Union[str, bool, None] = None,
     session=None,
+    trace: bool = False,
 ) -> JobOutcome:
     """Execute one campaign job; never raises for job-level failures.
 
@@ -440,7 +449,9 @@ def run_job(
     ``REPRO_CACHE_DIR`` so every compile inside the job -- including ones
     buried in experiment drivers and legacy shims -- goes through the shared
     on-disk cache.  ``cache_dir=False`` disables the on-disk cache; jobs then
-    rely on the warm session store alone.
+    rely on the warm session store alone.  ``trace=True`` records the job on
+    a fresh :mod:`repro.obs.trace` recorder and attaches the snapshot to the
+    outcome (the campaign runner merges the snapshots into one timeline).
     """
     import numpy as np
 
@@ -465,12 +476,12 @@ def run_job(
     start = time.perf_counter()
     try:
         with envvars.scoped("REPRO_CACHE_DIR", scoped_cache), use_session(session):
-            if spec.kind == "benchmark":
-                _run_benchmark_job(spec, cache_dir, outcome, session)
-            elif spec.kind == "experiment":
-                _run_experiment_job(spec, outcome)
+            if trace:
+                with _trace.tracing() as recorder:
+                    _dispatch_job(spec, cache_dir, outcome, session)
+                outcome.trace = recorder.snapshot()
             else:
-                raise ValueError(f"unknown job kind {spec.kind!r}")
+                _dispatch_job(spec, cache_dir, outcome, session)
     except BaseException as exc:  # noqa: BLE001 - failures become records
         if isinstance(exc, (KeyboardInterrupt, SystemExit)):
             raise
@@ -483,6 +494,16 @@ def run_job(
     finally:
         outcome.wall_seconds = time.perf_counter() - start
     return outcome
+
+
+def _dispatch_job(spec: JobSpec, cache_dir: Union[str, bool, None],
+                  outcome: JobOutcome, session) -> None:
+    if spec.kind == "benchmark":
+        _run_benchmark_job(spec, cache_dir, outcome, session)
+    elif spec.kind == "experiment":
+        _run_experiment_job(spec, outcome)
+    else:
+        raise ValueError(f"unknown job kind {spec.kind!r}")
 
 
 def _run_benchmark_job(spec: JobSpec, cache_dir: Union[str, bool, None],
@@ -553,6 +574,33 @@ class CampaignResult:
         """Per-job determinism digests (identical for serial and parallel runs)."""
         return {o.job_id: o.fingerprint() for o in self.outcomes}
 
+    def trace_timeline(self) -> Optional[dict]:
+        """One merged Chrome trace document for every traced job.
+
+        Each job becomes a Chrome "process" lane (named after its job id)
+        and each rank a "thread" within it, so the whole campaign loads as a
+        single timeline in ``chrome://tracing`` / Perfetto.  ``None`` when no
+        job recorded a trace.
+        """
+        labeled = [(o.job_id, o.trace) for o in self.outcomes if o.trace]
+        if not labeled:
+            return None
+        from repro.obs import merge_traces
+
+        return merge_traces(labeled)
+
+    def write_trace(self, path: Union[str, Path]) -> Path:
+        """Write the merged campaign timeline as Chrome trace-event JSON."""
+        doc = self.trace_timeline()
+        if doc is None:
+            raise ValueError(
+                "campaign recorded no traces; run it with trace=True "
+                "(or '\"trace\": true' in the spec)"
+            )
+        from repro.obs import write_chrome_trace
+
+        return write_chrome_trace(path, doc)
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "name": self.name,
@@ -591,6 +639,7 @@ def run_campaign(
     cache_dir: Union[str, bool, None] = None,
     progress: Optional[Callable[[JobOutcome], None]] = None,
     session=None,
+    trace: Optional[bool] = None,
 ) -> CampaignResult:
     """Expand ``spec`` and execute every job, serially or on a worker pool.
 
@@ -603,12 +652,15 @@ def run_campaign(
     a private temporary directory cleaned up after the run -- unless the
     cache is disabled (``cache_dir=False`` here or ``"cache_dir": false`` in
     the spec), in which case compile-once behaviour rests on the warm
-    per-worker session stores alone.
+    per-worker session stores alone.  ``trace`` overrides the spec's
+    ``trace`` flag; when on, every job records a per-rank event trace and
+    :meth:`CampaignResult.trace_timeline` merges them into one Chrome trace.
     """
     if not isinstance(spec, CampaignSpec):
         spec = CampaignSpec.from_mapping(spec)
     jobs = spec.expand()
     workers = max(1, int(workers))
+    do_trace = bool(spec.trace) if trace is None else bool(trace)
 
     # Explicit argument beats the spec beats the user's persistent
     # REPRO_CACHE_DIR; only a fully-unconfigured run gets a throwaway cache.
@@ -637,7 +689,8 @@ def run_campaign(
         if workers == 1:
             job_session = session if session is not None else _fresh_session(shared_cache)
             for job in jobs:
-                outcome = run_job(job, spec.seed, shared_cache, session=job_session)
+                outcome = run_job(job, spec.seed, shared_cache,
+                                  session=job_session, trace=do_trace)
                 outcomes.append(outcome)
                 if progress is not None:
                     progress(outcome)
@@ -651,7 +704,9 @@ def run_campaign(
                 initargs=(shared_cache,),
             ) as pool:
                 for outcome in pool.imap(
-                    partial(run_job, campaign_seed=spec.seed, cache_dir=shared_cache), jobs
+                    partial(run_job, campaign_seed=spec.seed,
+                            cache_dir=shared_cache, trace=do_trace),
+                    jobs,
                 ):
                     outcomes.append(outcome)
                     if progress is not None:

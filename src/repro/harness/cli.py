@@ -11,6 +11,12 @@ Two subcommands, both built on the campaign runner
   it, optionally on a multi-process worker pool sharing one AoT compilation
   cache.  Writes a machine-readable ``campaign.json`` and exits non-zero if
   any job produced an error record.
+* ``trace <spec> [--out trace.json]`` -- run a campaign with per-rank event
+  tracing forced on (:mod:`repro.obs`), validate the merged timeline, and
+  write it as Chrome trace-event JSON (loadable in Perfetto).
+* ``profile <benchmark>`` -- run one benchmark job with the interpreter's
+  sampled profiling hooks active and print the handler-hit histogram
+  (proving which fused superinstructions fire) and hot-function self-times.
 
 ``--workers 1`` (the default) keeps the serial in-process path, which
 determinism-sensitive tests rely on; higher worker counts produce identical
@@ -132,6 +138,58 @@ def _cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.obs import validate_chrome_trace, write_chrome_trace
+
+    try:
+        spec = CampaignSpec.from_file(args.spec)
+    except (OSError, ValueError, RuntimeError) as exc:
+        parser.error(f"cannot load campaign spec {args.spec!r}: {exc}")
+
+    def progress(outcome):
+        marker = "ok" if outcome.ok else f"ERROR ({outcome.error['type']})"
+        events = len((outcome.trace or {}).get("events", ()))
+        print(f"[{outcome.job_id}] {marker} events={events} wall={outcome.wall_seconds:.3f}s")
+
+    with Session() as session:
+        result = session.campaign(
+            spec, workers=args.workers, progress=progress, trace=True
+        )
+    doc = result.trace_timeline()
+    if doc is None:
+        print("campaign recorded no trace events")
+        return 1
+    problems = validate_chrome_trace(doc)
+    for problem in problems:
+        print(f"INVALID: {problem}")
+    out_path = write_chrome_trace(args.out, doc)
+    spans = sum(1 for e in doc["traceEvents"] if e.get("ph") == "X")
+    lanes = len({e.get("pid") for e in doc["traceEvents"]})
+    print(f"wrote {out_path} ({spans} spans across {lanes} job lane(s))")
+    if not result.ok:
+        print(f"{len(result.errors)} of {len(result.outcomes)} jobs failed")
+        return 1
+    return 1 if problems else 0
+
+
+def _cmd_profile(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.obs import format_profile_report, profiling
+
+    with Session(backend=args.backend) as session:
+        with profiling(sample_every=args.sample_every) as profiler:
+            job = session.run(args.benchmark, args.nranks, machine=args.machine)
+    if args.json:
+        report = profiler.report()
+        report["functions"] = report["functions"][:args.top]
+        report["handlers"] = dict(list(report["handlers"].items())[:args.top])
+        report["makespan"] = job.makespan
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_profile_report(profiler, top=args.top))
+        print(f"\nmakespan: {job.makespan:.6f} virtual seconds")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-harness",
@@ -161,6 +219,30 @@ def build_parser() -> argparse.ArgumentParser:
                                       "worker's warm in-memory session store")
     campaign_parser.add_argument("--json", action="store_true",
                                  help="dump raw JSON instead of the summary table")
+
+    trace_parser = sub.add_parser(
+        "trace", help="run a campaign with event tracing on; write a Chrome trace")
+    trace_parser.add_argument("spec", help="campaign spec file (JSON; YAML with PyYAML)")
+    trace_parser.add_argument("--workers", type=int, default=1,
+                              help="worker processes (1 = serial in-process, the default)")
+    trace_parser.add_argument("--out", default="trace.json",
+                              help="where to write the merged Chrome trace-event JSON")
+
+    profile_parser = sub.add_parser(
+        "profile", help="profile the interpreter's dispatch loop on one benchmark")
+    profile_parser.add_argument("benchmark", help="registered benchmark name (e.g. allreduce)")
+    profile_parser.add_argument("--nranks", type=int, default=2, help="rank count (default 2)")
+    profile_parser.add_argument("--backend", default="singlepass",
+                                help="compiler backend; the interpreter hooks fire for every "
+                                     "backend's execution tier (default singlepass)")
+    profile_parser.add_argument("--machine", default="graviton2",
+                                help="machine preset (default graviton2)")
+    profile_parser.add_argument("--top", type=int, default=15,
+                                help="rows per report section (default 15)")
+    profile_parser.add_argument("--sample-every", type=int, default=1,
+                                help="count one in N dispatched handlers (default 1 = exact)")
+    profile_parser.add_argument("--json", action="store_true",
+                                help="dump the raw profile report as JSON")
     return parser
 
 
@@ -171,12 +253,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Back-compat: `repro-experiments table1 figure3` (no subcommand) still
     # works -- anything that is not a subcommand is treated as `run ...`.
-    if not argv or argv[0] not in ("campaign", "run", "-h", "--help"):
+    if not argv or argv[0] not in ("campaign", "run", "trace", "profile", "-h", "--help"):
         argv = ["run", *argv]
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "campaign":
         return _cmd_campaign(args, parser)
+    if args.command == "trace":
+        return _cmd_trace(args, parser)
+    if args.command == "profile":
+        return _cmd_profile(args, parser)
     return _cmd_run(args, parser)
 
 

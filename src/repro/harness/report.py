@@ -79,15 +79,19 @@ def format_collective_report(metrics, title: str = "MPI collectives") -> str:
 def format_cache_report(metrics, title: str = "AoT compilation cache") -> str:
     """Render the embedder's compilation-cache counters.
 
-    One row summarising hits, misses and the hit rate across every rank's
-    compile step (ranks after the first hit the shared artifact, §3.3).
-    Returns an empty string when no cache lookups were recorded.
+    One row summarising hits (split by the tier that served them: the
+    session's in-memory tier vs the shared on-disk cache), misses and the
+    hit rate across every rank's compile step (ranks after the first hit
+    the shared artifact, §3.3).  Returns an empty string when no cache
+    lookups were recorded.
     """
     summary = metrics.cache_summary()
     if not summary["hits"] and not summary["misses"]:
         return ""
-    rows = [[summary["hits"], summary["misses"], f"{summary['hit_rate']:.1%}"]]
-    return format_table(["hits", "misses", "hit rate"], rows, title=title)
+    rows = [[summary["hits"], summary.get("hits_memory", 0),
+             summary.get("hits_fs", 0), summary["misses"],
+             f"{summary['hit_rate']:.1%}"]]
+    return format_table(["hits", "mem", "fs", "misses", "hit rate"], rows, title=title)
 
 
 def format_campaign_report(result, title: str = "") -> str:

@@ -77,6 +77,7 @@ class CollectiveContext:
         recv_nb: Optional[Callable[[int, int, int], Optional[tuple]]] = None,
         now: Optional[Callable[[], float]] = None,
         advance_to: Optional[Callable[[float], None]] = None,
+        world_rank: Optional[int] = None,
     ):
         self.rank = rank
         self.size = size
@@ -88,6 +89,9 @@ class CollectiveContext:
         self.recv_nb = recv_nb
         self.now = now
         self.advance_to = advance_to
+        # COMM_WORLD rank for trace attribution (per-rank timeline lanes);
+        # falls back to the communicator-local rank when not supplied.
+        self.world_rank = world_rank
 
 
 def combine(cc: CollectiveContext, op: Op, acc: bytearray, contribution: bytes,

@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 from repro.mpi.algorithms.base import CollectiveContext, combine_segment
 from repro.mpi.datatypes import Datatype
 from repro.mpi.ops import Op
+from repro.obs import trace as _trace
 
 
 @dataclass(frozen=True)
@@ -236,6 +237,8 @@ class ScheduleExecutor:
                         if step.nbytes > 0:
                             self.buffers[step.buf][step.lo : step.lo + step.nbytes] = data
                     self._pc += 1
+                    if _trace.ENABLED:
+                        self._trace_step("sched.nbc_step", step)
                     continue
                 if self._cc.probe is None or not self._cc.probe(step.peer, step.tag):
                     return False
@@ -247,7 +250,11 @@ class ScheduleExecutor:
                 return False
             self._execute(step)
             self._pc += 1
+            if _trace.ENABLED:
+                self._trace_step("sched.nbc_step", step)
         self._finish()
+        if _trace.ENABLED:
+            self._trace_step("sched.nbc_complete", None)
         return True
 
     def _step_data_time(self, step: Step) -> float:
@@ -294,11 +301,65 @@ class ScheduleExecutor:
             return self._step_ready_time(self._pc)
         return None
 
+    # ---------------------------------------------------------------- tracing
+
+    def _trace_tid(self) -> int:
+        """Per-rank trace stream: the COMM_WORLD rank when known."""
+        cc = self._cc
+        return cc.world_rank if cc.world_rank is not None else cc.rank
+
+    def _trace_now(self) -> float:
+        return self._cc.now() if self._cc.now is not None else 0.0
+
+    def _trace_step(self, name: str, step: Optional[Step]) -> None:
+        """Instant event for one executed step (callers guard on the flag)."""
+        args = None
+        if step is not None:
+            args = {"kind": type(step).__name__,
+                    "round": self._round_of[self._pc - 1] if self._pc else 0}
+            peer = getattr(step, "peer", None)
+            if peer is not None:
+                args["peer"] = peer
+                args["nbytes"] = step.nbytes
+        _trace.RECORDER.instant(name, self._trace_tid(), self._trace_now(), args)
+
     def run_to_completion(self) -> None:
         """Execute every remaining step, blocking inside unmatched receives."""
+        if _trace.ENABLED and not self.done:
+            self._run_to_completion_traced()
+            return
         while not self.done:
             self._execute(self._steps[self._pc])
             self._pc += 1
+        self._finish()
+
+    def _run_to_completion_traced(self) -> None:
+        """Blocking execution with one span per round and per step.
+
+        Only this path emits round/step *spans*: blocking execution runs the
+        schedule start-to-finish inside one MPI call, so the spans nest under
+        the call's span on the rank's stream.  Incremental execution
+        (:meth:`try_progress`) interleaves steps of several schedules across
+        many MPI calls and emits instant events instead -- begin/end pairs
+        there would partially overlap other spans and break nesting.
+        """
+        recorder = _trace.RECORDER
+        tid = self._trace_tid()
+        current_round = -1
+        while not self.done:
+            round_no = self._round_of[self._pc]
+            if round_no != current_round:
+                if current_round >= 0:
+                    recorder.end(tid, self._trace_now())
+                recorder.begin(f"sched.round[{round_no}]", tid, self._trace_now())
+                current_round = round_no
+            step = self._steps[self._pc]
+            recorder.begin(f"sched.{type(step).__name__}", tid, self._trace_now())
+            self._execute(step)
+            self._pc += 1
+            recorder.end(tid, self._trace_now())
+        if current_round >= 0:
+            recorder.end(tid, self._trace_now())
         self._finish()
 
     def _finish(self) -> None:

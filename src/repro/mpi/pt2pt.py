@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.mpi.errors import TruncationError
 from repro.mpi.status import Status
+from repro.obs import trace as _trace
 from repro.sim.cluster import Cluster
 from repro.sim.engine import RankContext
 
@@ -152,6 +153,12 @@ class MatchingEngine:
         self._queue(dst_world, context_id).append(msg)
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        if _trace.ENABLED:
+            _trace.RECORDER.instant(
+                "pt2pt.post", src_world, ctx.now,
+                args={"dst": dst_world, "tag": tag, "nbytes": nbytes,
+                      "rendezvous": msg.rendezvous},
+            )
         # Wake the receiver if it is blocked on any matching pattern.
         for waiter in self._waiting.get(dst_world, ()):
             if waiter.context_id == context_id and self._matches(msg, waiter.src, waiter.tag):
@@ -171,6 +178,11 @@ class MatchingEngine:
             # the message record itself (the receiver always knows the sender).
             ctx.block(reason=f"rendezvous send to {msg.dst_world} tag={msg.tag}")
         ctx.advance_to(msg.consumed_time)
+        if _trace.ENABLED:
+            _trace.RECORDER.instant(
+                "pt2pt.rendezvous_drain", msg.src_world, ctx.now,
+                args={"dst": msg.dst_world, "tag": msg.tag, "nbytes": len(msg.data)},
+            )
 
     # ---------------------------------------------------------- any-of waiting
 
@@ -271,6 +283,11 @@ class MatchingEngine:
         msg = self._find_match(dst_world, context_id, src, tag)
         if msg is None:
             return None
+        if _trace.ENABLED:
+            _trace.RECORDER.instant(
+                "pt2pt.match", dst_world, ctx.now,
+                args={"src": msg.src_world, "tag": msg.tag, "nbytes": len(msg.data)},
+            )
         self._queue(dst_world, context_id).remove(msg)
         nbytes = len(msg.data)
         if nbytes > max_bytes:
@@ -302,6 +319,12 @@ class MatchingEngine:
         if msg.rendezvous:
             # Wake the sender if it blocked waiting for the rendezvous.
             ctx.wake(msg.src_world, not_before=msg.consumed_time)
+        if _trace.ENABLED:
+            _trace.RECORDER.instant(
+                "pt2pt.consume", msg.dst_world, ctx.now,
+                args={"src": msg.src_world, "tag": msg.tag, "nbytes": nbytes,
+                      "arrival": arrival, "rendezvous": msg.rendezvous},
+            )
         return arrival
 
     # ------------------------------------------------------------- diagnostics

@@ -24,12 +24,14 @@ only guaranteed to advance inside MPI calls.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.mpi import collectives as coll
+from repro.obs import trace as _trace
 from repro.mpi import datatypes as dts
 from repro.mpi import ops as mpi_ops
 from repro.mpi.algorithms.decision import CollectiveSelector
@@ -71,6 +73,31 @@ LazyBuffer = Union[BufferLike, "Callable[[], BufferLike]"]
 def _supplied(buf):
     """Resolve a :data:`LazyBuffer` to the concrete buffer."""
     return buf() if callable(buf) else buf
+
+
+def _traced(name: str):
+    """Wrap one MPI entry point in a trace span (one per call, per rank).
+
+    The enabled flag is checked before anything else -- including argument
+    evaluation for the event -- so a disabled trace costs one module
+    attribute read per call.  Spans are stamped with the rank's virtual
+    clock on entry and exit; the recorder adds the wall clock.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            if not _trace.ENABLED:
+                return fn(self, *args, **kwargs)
+            recorder = _trace.RECORDER
+            recorder.begin(name, self.rank_world, self.ctx.now)
+            try:
+                return fn(self, *args, **kwargs)
+            finally:
+                recorder.end(self.rank_world, self.ctx.now)
+        return wrapper
+
+    return decorate
 
 
 # --------------------------------------------------------- pending operations
@@ -353,6 +380,7 @@ class MPIRuntime:
         if peer not in (ANY_SOURCE, PROC_NULL) and not 0 <= peer < comm.size:
             raise InvalidRankError(f"peer rank {peer} out of range for {comm.name} of size {comm.size}")
 
+    @_traced("MPI_Send")
     def send(
         self,
         buf: BufferLike,
@@ -382,6 +410,7 @@ class MPIRuntime:
             blocking=True,
         )
 
+    @_traced("MPI_Recv")
     def recv(
         self,
         buf: Optional[BufferLike],
@@ -440,6 +469,7 @@ class MPIRuntime:
             extra_overhead=extra_overhead,
         )
 
+    @_traced("MPI_Sendrecv")
     def sendrecv(
         self,
         sendbuf: BufferLike,
@@ -477,6 +507,7 @@ class MPIRuntime:
             self.world.matching.wait_send(self.ctx, msg)
         return status
 
+    @_traced("MPI_Isend")
     def isend(
         self,
         buf: BufferLike,
@@ -514,6 +545,7 @@ class MPIRuntime:
         self._activate(req, _PendingSend(msg, Status(source=dest, tag=tag, count_bytes=nbytes)))
         return req
 
+    @_traced("MPI_Irecv")
     def irecv(
         self,
         buf: LazyBuffer,
@@ -630,6 +662,7 @@ class MPIRuntime:
             )
         self.progress()
 
+    @_traced("MPI_Wait")
     def wait(self, request: Request) -> Status:
         """``MPI_Wait``: block until ``request`` completes.
 
@@ -672,6 +705,7 @@ class MPIRuntime:
         self.ctx.advance_to(min(times))
         return True
 
+    @_traced("MPI_Waitall")
     def waitall(self, requests: List[Request]) -> List[Status]:
         """``MPI_Waitall``."""
         return [self.wait(r) for r in requests]
@@ -691,6 +725,7 @@ class MPIRuntime:
             return True
         return False
 
+    @_traced("MPI_Test")
     def test(self, request: Request) -> Tuple[bool, Status]:
         """``MPI_Test``: non-blocking completion check.
 
@@ -715,6 +750,7 @@ class MPIRuntime:
     #: blocking wait (which integrates with the engine's deadlock detection).
     WAITANY_SPIN_LIMIT = 1024
 
+    @_traced("MPI_Waitany")
     def waitany(self, requests: List[Request]) -> Tuple[int, Status]:
         """``MPI_Waitany``: block until one request completes.
 
@@ -755,6 +791,7 @@ class MPIRuntime:
                 reason=f"waitany over {len(active)} request(s)",
             )
 
+    @_traced("MPI_Testall")
     def testall(self, requests: List[Request]) -> Tuple[bool, List[Status]]:
         """``MPI_Testall``: complete every request if all can complete now.
 
@@ -829,6 +866,12 @@ class MPIRuntime:
         self.world.metrics.record_collective(
             collective, algorithm, nbytes if bytes_moved is None else bytes_moved
         )
+        if _trace.ENABLED:
+            _trace.RECORDER.instant(
+                "coll.algorithm", self.rank_world, self.ctx.now,
+                args={"collective": collective, "algorithm": algorithm,
+                      "nbytes": int(nbytes), "comm_size": comm.size},
+            )
         return algorithm
 
     def _start_collective(
@@ -913,8 +956,10 @@ class MPIRuntime:
             recv_nb=recv_nb,
             now=lambda: self.ctx.now,
             advance_to=self.ctx.advance_to,
+            world_rank=self.rank_world,
         )
 
+    @_traced("MPI_Barrier")
     def barrier(self, comm: Optional[Communicator] = None) -> None:
         """``MPI_Barrier``."""
         self._require_init()
@@ -922,6 +967,7 @@ class MPIRuntime:
         algorithm = self._select_algorithm("barrier", comm, 0)
         coll.barrier(self._collective_context(comm), self._next_seq(comm), algorithm=algorithm)
 
+    @_traced("MPI_Bcast")
     def bcast(
         self,
         buf: BufferLike,
@@ -945,6 +991,7 @@ class MPIRuntime:
         if nbytes > 0:
             view[:nbytes] = tmp[:nbytes]
 
+    @_traced("MPI_Reduce")
     def reduce(
         self,
         sendbuf: BufferLike,
@@ -970,6 +1017,7 @@ class MPIRuntime:
         if out is not None and recvbuf is not None and nbytes > 0:
             _writable(recvbuf, nbytes, "reduce recv")[:nbytes] = out
 
+    @_traced("MPI_Allreduce")
     def allreduce(
         self,
         sendbuf: BufferLike,
@@ -993,6 +1041,7 @@ class MPIRuntime:
         if nbytes > 0:
             _writable(recvbuf, nbytes, "allreduce recv")[:nbytes] = out
 
+    @_traced("MPI_Gather")
     def gather(
         self,
         sendbuf: BufferLike,
@@ -1024,6 +1073,7 @@ class MPIRuntime:
             total = recvcount * recvtype.size * comm.size
             _writable(recvbuf, total, "gather recv")[: nbytes * comm.size] = out
 
+    @_traced("MPI_Scatter")
     def scatter(
         self,
         sendbuf: Optional[BufferLike],
@@ -1055,6 +1105,7 @@ class MPIRuntime:
         )
         _writable(recvbuf, nbytes, "scatter recv")[:nbytes] = out
 
+    @_traced("MPI_Allgather")
     def allgather(
         self,
         sendbuf: BufferLike,
@@ -1078,6 +1129,7 @@ class MPIRuntime:
         )
         _writable(recvbuf, nbytes * comm.size, "allgather recv")[: nbytes * comm.size] = out
 
+    @_traced("MPI_Alltoall")
     def alltoall(
         self,
         sendbuf: BufferLike,
@@ -1114,6 +1166,7 @@ class MPIRuntime:
     # completion time, so communication overlaps any compute between the post
     # and the wait.
 
+    @_traced("MPI_Ibarrier")
     def ibarrier(self, comm: Optional[Communicator] = None) -> Request:
         """``MPI_Ibarrier``."""
         self._require_init()
@@ -1124,6 +1177,7 @@ class MPIRuntime:
         )
         return self._start_collective("ibarrier", comm, schedule, {})
 
+    @_traced("MPI_Ibcast")
     def ibcast(
         self,
         buf: LazyBuffer,
@@ -1155,6 +1209,7 @@ class MPIRuntime:
 
         return self._start_collective("ibcast", comm, schedule, {"data": data}, finalize=finalize)
 
+    @_traced("MPI_Iallreduce")
     def iallreduce(
         self,
         sendbuf: LazyBuffer,
@@ -1187,6 +1242,7 @@ class MPIRuntime:
             datatype=datatype, op=op, finalize=finalize,
         )
 
+    @_traced("MPI_Iallgather")
     def iallgather(
         self,
         sendbuf: LazyBuffer,
@@ -1224,6 +1280,7 @@ class MPIRuntime:
             finalize=finalize,
         )
 
+    @_traced("MPI_Ialltoall")
     def ialltoall(
         self,
         sendbuf: LazyBuffer,
@@ -1263,6 +1320,7 @@ class MPIRuntime:
 
     # ------------------------------------------------------------ communicators
 
+    @_traced("MPI_Comm_dup")
     def comm_dup(self, comm: Optional[Communicator] = None) -> Communicator:
         """``MPI_Comm_dup``: same group, fresh context id (collective)."""
         self._require_init()
@@ -1277,6 +1335,7 @@ class MPIRuntime:
         coll.barrier(self._collective_context(comm), seq, algorithm=algorithm)
         return Communicator(comm.group, name=f"{comm.name}.dup", context_id=context_id)
 
+    @_traced("MPI_Comm_split")
     def comm_split(
         self, comm: Optional[Communicator], color: int, key: int
     ) -> Optional[Communicator]:

@@ -1,0 +1,137 @@
+"""Exporters from :class:`repro.obs.trace.TraceRecorder` snapshots.
+
+Two formats:
+
+* **Chrome trace-event JSON** (``{"traceEvents": [...]}``) -- loadable in
+  Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  The
+  simulated clock is the timeline axis (converted to microseconds, the
+  unit the format requires); the host wall clock rides along in each
+  event's ``args``.  Campaign merges map job lanes to Chrome *processes*
+  (``pid``) and MPI ranks to *threads* (``tid``).
+* **JSON-lines** -- one event dict per line, for ad-hoc ``jq``/pandas
+  analysis of raw event streams.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "merge_traces",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+_SECONDS_TO_US = 1e6
+
+Snapshot = Dict[str, object]
+
+
+def _event_list(snapshot_or_events: Union[Snapshot, Sequence[dict]]) -> List[dict]:
+    if isinstance(snapshot_or_events, dict):
+        return list(snapshot_or_events.get("events", []))  # type: ignore[arg-type]
+    return list(snapshot_or_events)
+
+
+def _chrome_event(event: dict, pid: int) -> dict:
+    out = {
+        "name": event.get("name", "?"),
+        "ph": event.get("ph", "i"),
+        "pid": pid,
+        "tid": int(event.get("tid", 0)),
+        "ts": float(event.get("ts", 0.0)) * _SECONDS_TO_US,
+    }
+    args = dict(event.get("args", {}))
+    if "wall" in event:
+        args["wall_s"] = event["wall"]
+    if out["ph"] == "X":
+        out["dur"] = float(event.get("dur", 0.0)) * _SECONDS_TO_US
+        if "wall_dur" in event:
+            args["wall_dur_s"] = event["wall_dur"]
+    elif out["ph"] == "i":
+        # Thread-scoped instants render as small arrows on the rank lane.
+        out["s"] = "t"
+    if args:
+        out["args"] = args
+    return out
+
+
+def _metadata(pid: int, process_name: Optional[str], tids: Iterable[int]) -> List[dict]:
+    events: List[dict] = []
+    if process_name:
+        events.append({"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                       "ts": 0, "args": {"name": process_name}})
+    for tid in sorted(set(tids)):
+        events.append({"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                       "ts": 0, "args": {"name": f"rank {tid}"}})
+    return events
+
+
+def to_chrome_trace(snapshot_or_events: Union[Snapshot, Sequence[dict]],
+                    *, pid: int = 1,
+                    process_name: Optional[str] = None) -> dict:
+    """Convert one recorder snapshot (or raw event list) to a Chrome trace doc."""
+    events = _event_list(snapshot_or_events)
+    doc_events = _metadata(pid, process_name, (e.get("tid", 0) for e in events))
+    doc_events.extend(_chrome_event(e, pid) for e in events)
+    doc: dict = {"traceEvents": doc_events, "displayTimeUnit": "ms"}
+    if isinstance(snapshot_or_events, dict):
+        doc["metadata"] = {
+            "dropped_events": snapshot_or_events.get("dropped", 0),
+            "unbalanced_ends": snapshot_or_events.get("unbalanced", 0),
+            "clock": "simulated seconds scaled to microseconds",
+        }
+    return doc
+
+
+def merge_traces(labeled: Sequence[Tuple[str, Union[Snapshot, Sequence[dict]]]]) -> dict:
+    """Merge per-job snapshots into one timeline: job lanes become Chrome
+    processes (``pid`` = 1..n, named after the job), ranks stay threads."""
+    merged: List[dict] = []
+    dropped = 0
+    unbalanced = 0
+    for pid, (label, snap) in enumerate(labeled, start=1):
+        events = _event_list(snap)
+        merged.extend(_metadata(pid, label, (e.get("tid", 0) for e in events)))
+        merged.extend(_chrome_event(e, pid) for e in events)
+        if isinstance(snap, dict):
+            dropped += int(snap.get("dropped", 0))  # type: ignore[arg-type]
+            unbalanced += int(snap.get("unbalanced", 0))  # type: ignore[arg-type]
+    return {
+        "traceEvents": merged,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "jobs": len(labeled),
+            "dropped_events": dropped,
+            "unbalanced_ends": unbalanced,
+            "clock": "simulated seconds scaled to microseconds",
+        },
+    }
+
+
+def write_chrome_trace(path, doc_or_snapshot: Union[dict, Sequence[dict]], **kwargs) -> Path:
+    """Write a Chrome trace JSON file; accepts a finished doc or a snapshot."""
+    if isinstance(doc_or_snapshot, dict) and "traceEvents" in doc_or_snapshot:
+        doc = doc_or_snapshot
+    else:
+        doc = to_chrome_trace(doc_or_snapshot, **kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return Path(path)
+
+
+def to_jsonl(snapshot_or_events: Union[Snapshot, Sequence[dict]]) -> str:
+    """One JSON object per line, in record order."""
+    return "".join(json.dumps(e, sort_keys=True) + "\n"
+                   for e in _event_list(snapshot_or_events))
+
+
+def write_jsonl(path, snapshot_or_events: Union[Snapshot, Sequence[dict]]) -> Path:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_jsonl(snapshot_or_events))
+    return Path(path)

@@ -1,0 +1,142 @@
+"""Opt-in sampled profiling hooks for the threaded-dispatch interpreter.
+
+The interpreter's dispatch loop (:mod:`repro.wasm.interpreter`) checks the
+module-level :data:`ACTIVE` slot once per function call; when it is
+``None`` (the default) the plain loop runs and profiling costs one
+attribute read per *call*, not per instruction.  When a profiler is
+installed the instrumented loop counts every ``sample_every``-th handler
+hit -- handler function names are the histogram keys, so fused
+superinstructions (``_h_get_get_bin``, ``_h_get_const_bin``, ...) show up
+as first-class rows, proving which fusions actually fire -- and tracks
+per-function call counts and self/total wall time via an enter/exit
+stack.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "ACTIVE",
+    "InterpreterProfiler",
+    "format_profile_report",
+    "profiling",
+]
+
+# Module-level fast path: ``interpreter._exec`` reads this once per call.
+ACTIVE: Optional["InterpreterProfiler"] = None
+
+
+class InterpreterProfiler:
+    """Handler-hit histogram plus per-function call/self-time accounting.
+
+    ``sample_every=1`` counts every dispatched handler (exact); larger
+    strides count one in N and the report scales the estimate back up.
+    """
+
+    def __init__(self, sample_every: int = 1):
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.sample_every = sample_every
+        # Exact dispatch count, maintained by the interpreter loop so the
+        # modulo sampling keeps its phase across function calls.
+        self.dispatches = 0
+        self.handler_hits: Counter = Counter()
+        self.calls: Counter = Counter()
+        self.self_seconds: Dict[str, float] = {}
+        self.total_seconds: Dict[str, float] = {}
+        # Enter/exit stack entries: [function name, start wall, child time].
+        self._stack: List[List] = []
+
+    # -------------------------------------------------- interpreter callbacks
+
+    def enter(self, name: str) -> None:
+        self.calls[name] += 1
+        self._stack.append([name, time.perf_counter(), 0.0])
+
+    def exit(self, name: str) -> None:
+        frame = self._stack.pop()
+        total = time.perf_counter() - frame[1]
+        self.self_seconds[name] = self.self_seconds.get(name, 0.0) + total - frame[2]
+        self.total_seconds[name] = self.total_seconds.get(name, 0.0) + total
+        if self._stack:
+            self._stack[-1][2] += total
+
+    # ------------------------------------------------------------------ query
+
+    def handler_histogram(self) -> Dict[str, int]:
+        """Estimated dispatch counts per handler, scaled by the stride."""
+        return {name: hits * self.sample_every
+                for name, hits in sorted(self.handler_hits.items(),
+                                         key=lambda kv: (-kv[1], kv[0]))}
+
+    def fused_hits(self) -> int:
+        """Estimated dispatches that went through a fused superinstruction."""
+        fused_handlers = ("_h_get_get_bin", "_h_get_const_bin", "_h_pad")
+        return sum(hits * self.sample_every
+                   for name, hits in self.handler_hits.items()
+                   if name in fused_handlers or "fused" in name)
+
+    def report(self) -> dict:
+        """Plain-data profile report (the ``--json`` CLI output)."""
+        functions = []
+        for name in sorted(self.total_seconds,
+                           key=lambda n: -self.self_seconds.get(n, 0.0)):
+            functions.append({
+                "name": name,
+                "calls": self.calls.get(name, 0),
+                "self_seconds": self.self_seconds.get(name, 0.0),
+                "total_seconds": self.total_seconds.get(name, 0.0),
+            })
+        return {
+            "sample_every": self.sample_every,
+            "dispatches": self.dispatches,
+            "sampled_dispatches": sum(self.handler_hits.values()),
+            "estimated_dispatches": sum(self.handler_hits.values()) * self.sample_every,
+            "fused_dispatches": self.fused_hits(),
+            "handlers": self.handler_histogram(),
+            "functions": functions,
+        }
+
+    def clear(self) -> None:
+        self.dispatches = 0
+        self.handler_hits.clear()
+        self.calls.clear()
+        self.self_seconds.clear()
+        self.total_seconds.clear()
+        self._stack.clear()
+
+
+def format_profile_report(profiler: InterpreterProfiler, top: int = 15) -> str:
+    """Human-readable report: handler histogram then hot functions."""
+    report = profiler.report()
+    lines = ["interpreter profile "
+             f"(stride {report['sample_every']}, "
+             f"{report['estimated_dispatches']} dispatches, "
+             f"{report['fused_dispatches']} via fused superinstructions)", ""]
+    lines.append(f"{'handler':<28} {'hits':>12} {'share':>8}")
+    total = max(report["estimated_dispatches"], 1)
+    for name, hits in list(report["handlers"].items())[:top]:
+        lines.append(f"{name:<28} {hits:>12} {hits / total:>7.1%}")
+    lines.append("")
+    lines.append(f"{'function':<28} {'calls':>10} {'self s':>10} {'total s':>10}")
+    for row in report["functions"][:top]:
+        lines.append(f"{row['name']:<28} {row['calls']:>10} "
+                     f"{row['self_seconds']:>10.6f} {row['total_seconds']:>10.6f}")
+    return "\n".join(lines)
+
+
+@contextmanager
+def profiling(sample_every: int = 1,
+              profiler: Optional[InterpreterProfiler] = None) -> Iterator[InterpreterProfiler]:
+    """Install a profiler for the duration of the block, restoring prior state."""
+    global ACTIVE
+    prev = ACTIVE
+    ACTIVE = profiler if profiler is not None else InterpreterProfiler(sample_every)
+    try:
+        yield ACTIVE
+    finally:
+        ACTIVE = prev

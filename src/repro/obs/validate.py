@@ -1,0 +1,102 @@
+"""Structural validation of Chrome trace-event JSON documents.
+
+Checks the subset of the trace-event format this repo emits: every event
+carries ``ph``/``ts``/``pid``/``tid``, complete events carry a
+non-negative ``dur``, and within each (pid, tid) lane the complete-event
+spans nest properly (no partial overlap).  Runnable as a module for CI::
+
+    python -m repro.obs.validate trace.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List, Tuple
+
+__all__ = ["validate_chrome_trace", "validate_file"]
+
+_REQUIRED = ("ph", "ts", "pid", "tid")
+# Sub-microsecond float slop when comparing span boundaries.
+_EPS = 1e-6
+
+
+def validate_chrome_trace(doc: dict) -> List[str]:
+    """Return a list of structural problems (empty when the doc is valid)."""
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    lanes: Dict[Tuple[object, object], List[Tuple[float, float, str]]] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event #{i} is not an object")
+            continue
+        missing = [key for key in _REQUIRED if key not in event]
+        if missing:
+            problems.append(f"event #{i} ({event.get('name', '?')}) "
+                            f"missing {', '.join(missing)}")
+            continue
+        ph = event["ph"]
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event #{i} ({event.get('name', '?')}) "
+                                f"has invalid dur {dur!r}")
+                continue
+            lane = lanes.setdefault((event["pid"], event["tid"]), [])
+            lane.append((float(event["ts"]), float(dur), str(event.get("name", "?"))))
+    for (pid, tid), spans in sorted(lanes.items(), key=lambda kv: str(kv[0])):
+        problems.extend(_check_nesting(pid, tid, spans))
+    return problems
+
+
+def _check_nesting(pid, tid, spans: List[Tuple[float, float, str]]) -> List[str]:
+    """Sweep spans in start order; each must close before its parent does."""
+    problems: List[str] = []
+    # Ties on start time order longest-first so a parent precedes children
+    # it starts simultaneously with.
+    ordered = sorted(spans, key=lambda s: (s[0], -s[1]))
+    stack: List[Tuple[float, float, str]] = []
+    for ts, dur, name in ordered:
+        while stack and stack[-1][0] + stack[-1][1] <= ts + _EPS:
+            stack.pop()
+        if stack and ts + dur > stack[-1][0] + stack[-1][1] + _EPS:
+            parent = stack[-1]
+            problems.append(
+                f"lane pid={pid} tid={tid}: span '{name}' "
+                f"[{ts}, {ts + dur}] partially overlaps '{parent[2]}' "
+                f"[{parent[0]}, {parent[0] + parent[1]}]")
+            continue
+        stack.append((ts, dur, name))
+    return problems
+
+
+def validate_file(path) -> List[str]:
+    """Load ``path`` and validate it; JSON errors become problems."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"cannot load {path}: {exc}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: top-level JSON value is not an object"]
+    return validate_chrome_trace(doc)
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.validate <trace.json>", file=sys.stderr)
+        return 2
+    problems = validate_file(argv[0])
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        return 1
+    print(f"{argv[0]}: valid Chrome trace")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,10 +42,16 @@ def module_hash(wasm_bytes: bytes, backend_name: str, ir_version: int = IR_VERSI
 
 
 class _CacheStatsMixin:
-    """Hit/miss accounting shared by both cache flavours."""
+    """Hit/miss accounting shared by both cache flavours.
+
+    ``last_hit_tier`` records which tier served the most recent lookup
+    (``"memory"``, ``"fs"``, or ``None`` on a miss) so the embedder can
+    attribute each compile's cache outcome in the metrics registry.
+    """
 
     hits: int
     misses: int
+    last_hit_tier: Optional[str]
 
     def stats(self) -> Dict[str, int]:
         """Counters in the shape the metrics registry and reports consume."""
@@ -91,6 +97,7 @@ class FileSystemCache(_CacheStatsMixin):
         self.hits = 0
         self.misses = 0
         self.compiles = 0
+        self.last_hit_tier: Optional[str] = None
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.mpiwasm"
@@ -210,9 +217,11 @@ class FileSystemCache(_CacheStatsMixin):
         compiled = self._read(key, module)
         if compiled is None:
             self.misses += 1
+            self.last_hit_tier = None
             self._log_event("miss", key)
             return None
         self.hits += 1
+        self.last_hit_tier = "fs"
         self._log_event("hit", key)
         return compiled
 
@@ -256,6 +265,7 @@ class FileSystemCache(_CacheStatsMixin):
         compiled = self._read(key, module)
         if compiled is not None:
             self.hits += 1
+            self.last_hit_tier = "fs"
             self._log_event("hit", key)
             return compiled, True
         lock = self._lock_path(key)
@@ -272,6 +282,7 @@ class FileSystemCache(_CacheStatsMixin):
                     compiled = self._read(key, module)
                     if compiled is not None:
                         self.hits += 1
+                        self.last_hit_tier = "fs"
                         self._log_event("hit", key)
                         return compiled, True
                     time.sleep(self.LOCK_POLL)
@@ -284,12 +295,14 @@ class FileSystemCache(_CacheStatsMixin):
             compiled = self._read(key, module)
             if compiled is not None:
                 self.hits += 1
+                self.last_hit_tier = "fs"
                 self._log_event("hit", key)
                 return compiled, True
             compiled = compute()
             self.store(key, compiled)
             self.compiles += 1
             self.misses += 1
+            self.last_hit_tier = None
             self._log_event("miss", key)
             self._log_event("compile", key)
             return compiled, False
@@ -345,6 +358,7 @@ class InMemoryCache(_CacheStatsMixin):
         self.hits = 0
         self.misses = 0
         self.compiles = 0
+        self.last_hit_tier: Optional[str] = None
 
     def contains(self, key: str) -> bool:
         """Whether an artifact for ``key`` is cached."""
@@ -359,8 +373,10 @@ class InMemoryCache(_CacheStatsMixin):
         cached = self._store.get(key)
         if cached is None or cached.ir_version != IR_VERSION:
             self.misses += 1
+            self.last_hit_tier = None
             return None
         self.hits += 1
+        self.last_hit_tier = "memory"
         return CompiledModule(
             backend_name=cached.backend_name,
             module=module,
@@ -414,6 +430,7 @@ class TieredCache(_CacheStatsMixin):
         self.hits = 0
         self.misses = 0
         self.compiles = 0
+        self.last_hit_tier: Optional[str] = None
 
     def contains(self, key: str) -> bool:
         """Whether either tier holds an artifact for ``key``."""
@@ -430,18 +447,22 @@ class TieredCache(_CacheStatsMixin):
         cached = self.memory.load(key, module)
         if cached is not None:
             self.hits += 1
+            self.last_hit_tier = "memory"
             if self.disk is not None:
                 self.disk.log_external_hit(key)
             return cached
         if self.disk is None:
             self.misses += 1
+            self.last_hit_tier = None
             return None
         cached = self.disk.load(key, module)
         if cached is None:
             self.misses += 1
+            self.last_hit_tier = None
             return None
         self.memory.store(key, cached)
         self.hits += 1
+        self.last_hit_tier = "fs"
         return cached
 
     def load_or_compute(
@@ -451,6 +472,7 @@ class TieredCache(_CacheStatsMixin):
         cached = self.memory.load(key, module)
         if cached is not None:
             self.hits += 1
+            self.last_hit_tier = "memory"
             if self.disk is not None:
                 self.disk.log_external_hit(key)
             return cached, True
@@ -459,14 +481,17 @@ class TieredCache(_CacheStatsMixin):
             self.memory.store(key, compiled)
             self.misses += 1
             self.compiles += 1
+            self.last_hit_tier = None
             return compiled, False
         compiled, was_hit = self.disk.load_or_compute(key, module, compute)
         self.memory.store(key, compiled)
         if was_hit:
             self.hits += 1
+            self.last_hit_tier = "fs"
         else:
             self.misses += 1
             self.compiles += 1
+            self.last_hit_tier = None
         return compiled, was_hit
 
     def clear(self) -> int:
