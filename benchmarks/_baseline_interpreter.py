@@ -119,11 +119,44 @@ class BaselineInterpreter(Executor):
                 return len(body)
             return frame.end + 1
 
-        while pc < len(body):
-            instr = body[pc]
-            name = instr.name
+        # Hot-path hygiene (the baseline stays string-dispatched, but it
+        # should be an honest baseline): bound methods hoisted out of the
+        # loop, ``info.name`` read without the property descriptor, and the
+        # dispatch chain ordered by dynamic frequency -- locals, ALU and
+        # constants first, control flow after.
+        push = stack.append
+        pop = stack.pop
+        n_body = len(body)
 
-            if name == "nop":
+        while pc < n_body:
+            instr = body[pc]
+            name = instr.info.name
+
+            if name == "local.get":
+                push(locals_[instr.operands[0]])
+                pc += 1
+            elif name in _I32_BIN:
+                b = pop()
+                a = pop()
+                push(_I32_BIN[name](a, b))
+                pc += 1
+            elif name == "i32.const":
+                push(V.wrap32(instr.operands[0]))
+                pc += 1
+            elif name == "local.set":
+                locals_[instr.operands[0]] = pop()
+                pc += 1
+            elif name == "br_if":
+                if pop():
+                    pc = do_branch(instr.operands[0])
+                else:
+                    pc += 1
+            elif name == "br":
+                pc = do_branch(instr.operands[0])
+            elif name == "local.tee":
+                locals_[instr.operands[0]] = stack[-1]
+                pc += 1
+            elif name == "nop":
                 pc += 1
             elif name == "unreachable":
                 raise UnreachableTrap()
@@ -156,13 +189,6 @@ class BaselineInterpreter(Executor):
             elif name == "end":
                 frames.pop()
                 pc += 1
-            elif name == "br":
-                pc = do_branch(instr.operands[0])
-            elif name == "br_if":
-                if stack.pop():
-                    pc = do_branch(instr.operands[0])
-                else:
-                    pc += 1
             elif name == "br_table":
                 targets, default = instr.operands
                 idx = stack.pop()
@@ -205,23 +231,11 @@ class BaselineInterpreter(Executor):
                 a = stack.pop()
                 stack.append(a if cond else b)
                 pc += 1
-            elif name == "local.get":
-                stack.append(locals_[instr.operands[0]])
-                pc += 1
-            elif name == "local.set":
-                locals_[instr.operands[0]] = stack.pop()
-                pc += 1
-            elif name == "local.tee":
-                locals_[instr.operands[0]] = stack[-1]
-                pc += 1
             elif name == "global.get":
                 stack.append(instance.globals[instr.operands[0]].value)
                 pc += 1
             elif name == "global.set":
                 instance.globals[instr.operands[0]].set(stack.pop())
-                pc += 1
-            elif name == "i32.const":
-                stack.append(V.wrap32(instr.operands[0]))
                 pc += 1
             elif name == "i64.const":
                 stack.append(V.wrap64(instr.operands[0]))
@@ -269,11 +283,6 @@ class BaselineInterpreter(Executor):
             elif name == "memory.grow":
                 delta = stack.pop()
                 stack.append(memory.grow(delta) & V.MASK32)
-                pc += 1
-            elif name in _I32_BIN:
-                b = stack.pop()
-                a = stack.pop()
-                stack.append(_I32_BIN[name](a, b))
                 pc += 1
             elif name in _I64_BIN:
                 b = stack.pop()

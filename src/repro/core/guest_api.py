@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.env import Env
+from repro.core.memory_translation import write_handle_array
 from repro.toolchain import mpi_header as abi
 from repro.wasm.runtime import Instance
 
@@ -211,8 +212,7 @@ class GuestAPI:
         memory = self.instance.exported_memory()
         n = len(request_handles)
         arr_ptr = self.malloc(max(4 * n, 4))
-        for i, handle in enumerate(request_handles):
-            memory.store_int(arr_ptr + 4 * i, handle, 4)
+        write_handle_array(memory, arr_ptr, request_handles)
         self._call("MPI_Waitany", n, arr_ptr, self._scratch_i32, self._scratch_status)
         index = int(memory.load_int(self._scratch_i32, 4, signed=True))
         self.free(arr_ptr)
@@ -230,8 +230,7 @@ class GuestAPI:
         n = len(request_handles)
         arr_ptr = self.malloc(max(4 * n, 4))
         statuses_ptr = self.malloc(max(abi.STATUS_SIZE_BYTES * n, 4))
-        for i, handle in enumerate(request_handles):
-            memory.store_int(arr_ptr + 4 * i, handle, 4)
+        write_handle_array(memory, arr_ptr, request_handles)
         self._call("MPI_Testall", n, arr_ptr, self._scratch_i32, statuses_ptr)
         flag = bool(memory.load_int(self._scratch_i32, 4))
         statuses = (

@@ -39,13 +39,17 @@ class AddressTranslator:
         Raises :class:`MemoryOutOfBoundsTrap` when the range does not lie
         inside the module's linear memory -- the embedder-side bound check.
         """
-        if guest_ptr < 0 or guest_ptr > 0xFFFFFFFF:
+        if guest_ptr < 0 or guest_ptr > 0xFFFFFFFF or nbytes < 0:
             raise MemoryOutOfBoundsTrap(guest_ptr, nbytes, self.memory.size)
         return self.memory.view(guest_ptr, nbytes)
 
     def to_host_ndarray(self, guest_ptr: int, count: int, dtype) -> np.ndarray:
         """Zero-copy NumPy view of ``count`` elements at ``guest_ptr``."""
         return self.memory.ndarray(guest_ptr, count, dtype)
+
+    def copy_guest_range(self, dst_ptr: int, src_ptr: int, nbytes: int) -> None:
+        """Bulk guest-to-guest copy with ``memmove`` overlap semantics."""
+        self.memory.copy_within(dst_ptr, src_ptr, nbytes)
 
     # -------------------------------------------------------------- from host
 
@@ -94,3 +98,28 @@ class AddressTranslator:
 def translator_for(instance: Instance) -> AddressTranslator:
     """Build an :class:`AddressTranslator` for an instantiated module."""
     return AddressTranslator(instance.exported_memory())
+
+
+# --------------------------------------------------------- bulk handle arrays
+#
+# MPI array calls (Waitall/Testall/Waitany) move arrays of 32-bit guest
+# handles across the boundary.  These helpers replace the per-element
+# ``load_int``/``store_int`` loops with one vectorized NumPy cast over the
+# whole array; handles are little-endian u32 regardless of host endianness.
+
+_HANDLE_DTYPE = np.dtype("<u4")
+
+
+def read_handle_array(memory: LinearMemory, guest_ptr: int, count: int) -> np.ndarray:
+    """Bulk-read ``count`` guest u32 handles as a host-owned copy."""
+    if count <= 0:
+        return np.empty(0, dtype=_HANDLE_DTYPE)
+    return memory.ndarray(guest_ptr, count, _HANDLE_DTYPE).copy()
+
+
+def write_handle_array(memory: LinearMemory, guest_ptr: int, values) -> None:
+    """Bulk-write u32 handles into guest memory in one vectorized store."""
+    arr = np.asarray(values, dtype=_HANDLE_DTYPE)
+    if arr.size == 0:
+        return
+    memory.ndarray(guest_ptr, arr.size, _HANDLE_DTYPE)[:] = arr

@@ -24,7 +24,11 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.core.env import Env
-from repro.core.memory_translation import AddressTranslator
+from repro.core.memory_translation import (
+    AddressTranslator,
+    read_handle_array,
+    write_handle_array,
+)
 from repro.mpi.errors import MPIError
 from repro.mpi.pt2pt import ANY_SOURCE, ANY_TAG, PROC_NULL
 from repro.mpi.status import Request, Status
@@ -89,8 +93,10 @@ def _live_requests(env: Env, memory, requests_ptr: int, count: int):
     """
     requests: List[Request] = []
     slots: List[int] = []
-    for i in range(count):
-        handle = memory.load_int(requests_ptr + 4 * i, 4)
+    # One bulk read of the whole handle array, then a pure-Python filter --
+    # the guest memory round trip is vectorized, the liveness check is not.
+    for i, handle in enumerate(read_handle_array(memory, requests_ptr, count)):
+        handle = int(handle)
         if handle == abi.MPI_REQUEST_NULL or not env.requests.contains(handle):
             continue
         requests.append(env.requests.lookup(handle))
@@ -348,16 +354,19 @@ def build_mpi_imports() -> Dict[str, Callable]:
         env.charge_overhead("MPI_Waitall", "MPI_BYTE", 0, n_datatype_args=0)
         memory = instance.exported_memory()
         count = _signed(count)
-        for i in range(count):
-            handle = memory.load_int(requests_ptr + 4 * i, 4)
+        handles = read_handle_array(memory, requests_ptr, count)
+        for i, handle in enumerate(handles):
+            handle = int(handle)
             if handle == abi.MPI_REQUEST_NULL or not env.requests.contains(handle):
                 continue
             request: Request = env.requests.lookup(handle)
             status = env.runtime.wait(request)
             env.requests.release(handle)
-            memory.store_int(requests_ptr + 4 * i, abi.MPI_REQUEST_NULL, 4)
+            handles[i] = abi.MPI_REQUEST_NULL
             if statuses_ptr not in (0, abi.MPI_STATUS_IGNORE):
                 _write_status(instance, statuses_ptr + abi.STATUS_SIZE_BYTES * i, status)
+        # Null handles go back in one vectorized store, not N store_ints.
+        write_handle_array(memory, requests_ptr, handles)
         return abi.MPI_SUCCESS
 
     @define("MPI_Waitany")
@@ -395,17 +404,22 @@ def build_mpi_imports() -> Dict[str, Callable]:
             # Release every completed request and write back null handles
             # plus the statuses at their original slots.
             by_slot = dict(zip(slots, statuses))
-            for i in range(count):
-                handle = memory.load_int(requests_ptr + 4 * i, 4)
+            for i, handle in enumerate(read_handle_array(memory, requests_ptr, count)):
+                handle = int(handle)
                 if handle != abi.MPI_REQUEST_NULL and env.requests.contains(handle):
                     env.requests.release(handle)
-                memory.store_int(requests_ptr + 4 * i, abi.MPI_REQUEST_NULL, 4)
                 if statuses_ptr not in (0, abi.MPI_STATUS_IGNORE):
                     _write_status(
                         instance,
                         statuses_ptr + abi.STATUS_SIZE_BYTES * i,
                         by_slot.get(i, Status()),
                     )
+            if count > 0:
+                # Null the whole handle array in one vectorized fill.
+                translator = _translator(instance)
+                translator.to_host_ndarray(requests_ptr, count, "<u4").fill(
+                    abi.MPI_REQUEST_NULL
+                )
         return abi.MPI_SUCCESS
 
     @define("MPI_Iprobe")

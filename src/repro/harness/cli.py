@@ -178,14 +178,31 @@ def _cmd_profile(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
     with Session(backend=args.backend) as session:
         with profiling(sample_every=args.sample_every) as profiler:
             job = session.run(args.benchmark, args.nranks, machine=args.machine)
+    fusion_table = None
+    if args.emit_fusion_report:
+        from repro.wasm.lowering import mine_superinstructions
+
+        fusion_table = mine_superinstructions(
+            profiler.ir_traces.values(), histogram=profiler.handler_histogram())
     if args.json:
         report = profiler.report()
         report["functions"] = report["functions"][:args.top]
         report["handlers"] = dict(list(report["handlers"].items())[:args.top])
         report["makespan"] = job.makespan
+        if fusion_table is not None:
+            report["fusion_report"] = fusion_table
         print(json.dumps(report, indent=2))
     else:
         print(format_profile_report(profiler, top=args.top))
+        if fusion_table is not None:
+            print("\nmined superinstruction candidates "
+                  f"(from {len(profiler.ir_traces)} traced function(s))")
+            print(f"{'chain':<48} {'sites':>6} {'score':>12}")
+            for rec in fusion_table:
+                chain = " + ".join(rec["kinds"])
+                print(f"{chain:<48} {rec['occurrences']:>6} {rec['score']:>12.0f}")
+            if not fusion_table:
+                print("(no chains cleared the mining thresholds)")
         print(f"\nmakespan: {job.makespan:.6f} virtual seconds")
     return 0
 
@@ -243,6 +260,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="count one in N dispatched handlers (default 1 = exact)")
     profile_parser.add_argument("--json", action="store_true",
                                 help="dump the raw profile report as JSON")
+    profile_parser.add_argument("--emit-fusion-report", action="store_true",
+                                help="mine hot handler chains from the recorded IR "
+                                     "traces and report superinstruction candidates")
     return parser
 
 

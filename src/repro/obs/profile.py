@@ -50,12 +50,21 @@ class InterpreterProfiler:
         self.total_seconds: Dict[str, float] = {}
         # Enter/exit stack entries: [function name, start wall, child time].
         self._stack: List[List] = []
+        # Serial IR op lists per executed function, recorded once on first
+        # profiled entry -- the input (together with the handler histogram)
+        # for lowering.mine_superinstructions().
+        self.ir_traces: Dict[str, List] = {}
 
     # -------------------------------------------------- interpreter callbacks
 
     def enter(self, name: str) -> None:
         self.calls[name] += 1
         self._stack.append([name, time.perf_counter(), 0.0])
+
+    def record_ir(self, name: str, ops) -> None:
+        """Record a function's serial lowered ops (first profiled entry wins)."""
+        if name not in self.ir_traces:
+            self.ir_traces[name] = list(ops)
 
     def exit(self, name: str) -> None:
         frame = self._stack.pop()
@@ -73,12 +82,31 @@ class InterpreterProfiler:
                 for name, hits in sorted(self.handler_hits.items(),
                                          key=lambda kv: (-kv[1], kv[0]))}
 
+    _FUSED_HANDLERS = (
+        "_h_get_get_bin", "_h_get_const_bin", "_h_get_const_store",
+        "_h_cmp_br_if", "_h_eqz_br_if", "_h_get_get_cmp_br_if",
+        "_h_get_get_bin_set", "_h_get_const_bin_set", "_h_bin_set",
+        "_h_get_get_bin_set_br", "_h_get_const_bin_set_br", "_h_set_br",
+        "_h_pad",
+    )
+
     def fused_hits(self) -> int:
         """Estimated dispatches that went through a fused superinstruction."""
-        fused_handlers = ("_h_get_get_bin", "_h_get_const_bin", "_h_pad")
         return sum(hits * self.sample_every
                    for name, hits in self.handler_hits.items()
-                   if name in fused_handlers or "fused" in name)
+                   if name in self._FUSED_HANDLERS or "fused" in name)
+
+    def mined_hits(self) -> Dict[str, int]:
+        """Estimated dispatches per *mined* superinstruction, by chain name.
+
+        Mined chain executors carry ``__name__ = "_h_fused_mined__<kinds>"``
+        (see ``lowering._chain_handler``), so their histogram rows attribute
+        each learned fusion individually.
+        """
+        return {name: hits * self.sample_every
+                for name, hits in sorted(self.handler_hits.items(),
+                                         key=lambda kv: (-kv[1], kv[0]))
+                if name.startswith("_h_fused_mined__")}
 
     def report(self) -> dict:
         """Plain-data profile report (the ``--json`` CLI output)."""
@@ -97,6 +125,7 @@ class InterpreterProfiler:
             "sampled_dispatches": sum(self.handler_hits.values()),
             "estimated_dispatches": sum(self.handler_hits.values()) * self.sample_every,
             "fused_dispatches": self.fused_hits(),
+            "mined_superinstructions": self.mined_hits(),
             "handlers": self.handler_histogram(),
             "functions": functions,
         }
@@ -108,6 +137,7 @@ class InterpreterProfiler:
         self.self_seconds.clear()
         self.total_seconds.clear()
         self._stack.clear()
+        self.ir_traces.clear()
 
 
 def format_profile_report(profiler: InterpreterProfiler, top: int = 15) -> str:
@@ -121,6 +151,13 @@ def format_profile_report(profiler: InterpreterProfiler, top: int = 15) -> str:
     total = max(report["estimated_dispatches"], 1)
     for name, hits in list(report["handlers"].items())[:top]:
         lines.append(f"{name:<28} {hits:>12} {hits / total:>7.1%}")
+    mined = report.get("mined_superinstructions", {})
+    if mined:
+        lines.append("")
+        lines.append(f"{'mined superinstruction':<48} {'hits':>12}")
+        for name, hits in list(mined.items())[:top]:
+            chain = " + ".join(name[len("_h_fused_mined__"):].split("__"))
+            lines.append(f"{chain:<48} {hits:>12}")
     lines.append("")
     lines.append(f"{'function':<28} {'calls':>10} {'self s':>10} {'total s':>10}")
     for row in report["functions"][:top]:

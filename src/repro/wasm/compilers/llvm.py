@@ -20,6 +20,7 @@ epilogue of the target construct consumes the branch.
 from __future__ import annotations
 
 import math
+import re
 import struct
 from typing import Dict, List, Optional, Sequence
 
@@ -32,6 +33,7 @@ from repro.wasm.lowering import (
     _BINOPS,
     _UNOPS,
     _simd_binary,
+    _simd_unary,
     lower_module,
 )
 from repro.wasm.module import Module
@@ -48,32 +50,40 @@ _INLINE_EXPR = {
     "i32.and": "({a}) & ({b})",
     "i32.or": "({a}) | ({b})",
     "i32.xor": "({a}) ^ ({b})",
+    "i32.shl": "(({a}) << (({b}) % 32)) & 0xFFFFFFFF",
+    "i32.shr_u": "({a}) >> (({b}) % 32)",
+    "i32.shr_s": "(_S32({a}) >> (({b}) % 32)) & 0xFFFFFFFF",
     "i32.eq": "int(({a}) == ({b}))",
     "i32.ne": "int(({a}) != ({b}))",
     "i32.lt_u": "int(({a}) < ({b}))",
     "i32.gt_u": "int(({a}) > ({b}))",
     "i32.le_u": "int(({a}) <= ({b}))",
     "i32.ge_u": "int(({a}) >= ({b}))",
-    "i32.lt_s": "int(_S32({a}) < _S32({b}))",
-    "i32.gt_s": "int(_S32({a}) > _S32({b}))",
-    "i32.le_s": "int(_S32({a}) <= _S32({b}))",
-    "i32.ge_s": "int(_S32({a}) >= _S32({b}))",
+    # Signed comparisons use the xor-bias trick: flipping the sign bit maps
+    # signed order onto unsigned order, so no _S32/_S64 call is needed.
+    "i32.lt_s": "int((({a}) ^ 0x80000000) < (({b}) ^ 0x80000000))",
+    "i32.gt_s": "int((({a}) ^ 0x80000000) > (({b}) ^ 0x80000000))",
+    "i32.le_s": "int((({a}) ^ 0x80000000) <= (({b}) ^ 0x80000000))",
+    "i32.ge_s": "int((({a}) ^ 0x80000000) >= (({b}) ^ 0x80000000))",
     "i64.add": "(({a}) + ({b})) & 0xFFFFFFFFFFFFFFFF",
     "i64.sub": "(({a}) - ({b})) & 0xFFFFFFFFFFFFFFFF",
     "i64.mul": "(({a}) * ({b})) & 0xFFFFFFFFFFFFFFFF",
     "i64.and": "({a}) & ({b})",
     "i64.or": "({a}) | ({b})",
     "i64.xor": "({a}) ^ ({b})",
+    "i64.shl": "(({a}) << (({b}) % 64)) & 0xFFFFFFFFFFFFFFFF",
+    "i64.shr_u": "({a}) >> (({b}) % 64)",
+    "i64.shr_s": "(_S64({a}) >> (({b}) % 64)) & 0xFFFFFFFFFFFFFFFF",
     "i64.eq": "int(({a}) == ({b}))",
     "i64.ne": "int(({a}) != ({b}))",
     "i64.lt_u": "int(({a}) < ({b}))",
     "i64.gt_u": "int(({a}) > ({b}))",
     "i64.le_u": "int(({a}) <= ({b}))",
     "i64.ge_u": "int(({a}) >= ({b}))",
-    "i64.lt_s": "int(_S64({a}) < _S64({b}))",
-    "i64.gt_s": "int(_S64({a}) > _S64({b}))",
-    "i64.le_s": "int(_S64({a}) <= _S64({b}))",
-    "i64.ge_s": "int(_S64({a}) >= _S64({b}))",
+    "i64.lt_s": "int((({a}) ^ 0x8000000000000000) < (({b}) ^ 0x8000000000000000))",
+    "i64.gt_s": "int((({a}) ^ 0x8000000000000000) > (({b}) ^ 0x8000000000000000))",
+    "i64.le_s": "int((({a}) ^ 0x8000000000000000) <= (({b}) ^ 0x8000000000000000))",
+    "i64.ge_s": "int((({a}) ^ 0x8000000000000000) >= (({b}) ^ 0x8000000000000000))",
     "f32.add": "_F32(({a}) + ({b}))",
     "f32.sub": "_F32(({a}) - ({b}))",
     "f32.mul": "_F32(({a}) * ({b}))",
@@ -103,8 +113,26 @@ def _binexpr(name: str, a: str, b: str) -> str:
     return f"_BIN[{name!r}]({a}, {b})"
 
 
-def _addr(offset: int) -> str:
-    return f"S.pop() + {offset}" if offset else "S.pop()"
+def _as_test(expr: str) -> str:
+    """Strip the ``int(...)`` wrapper when an expression feeds an ``if``.
+
+    Comparison templates produce ``int(<cmp>)`` because Wasm comparisons
+    push an i32, but in test position the bool is enough and the call is
+    pure overhead.
+    """
+    if expr.startswith("int(") and expr.endswith(")"):
+        inner = expr[4:-1]
+        if inner.count("(") == inner.count(")"):
+            return inner
+    return expr
+
+
+# An expression is foldable when deferring its evaluation to the consuming
+# statement cannot change behaviour: no stack traffic, no memory/global/call
+# effects, and no lower-case scratch temporaries (those are reassigned by
+# later statements).  Locals (``L[i]``) are safe because folding only ever
+# spans the immediately preceding push -- nothing can mutate ``L`` in between.
+_IMPURE = re.compile(r"S\.|call\(|M\.|G\[|instance|\b_[a-z][a-z0-9]*\b")
 
 
 class _FunctionCodeGen:
@@ -130,6 +158,47 @@ class _FunctionCodeGen:
 
     def _target(self, depth: int) -> int:
         return self.labels[-1 - depth][0]
+
+    def _pop_expr(self) -> Optional[str]:
+        """Stack-to-expression peephole: reclaim the last pushed pure value.
+
+        When the immediately preceding emitted line is ``S.append(<expr>)``
+        at the current indent and ``<expr>`` is side-effect free, delete the
+        push and hand the expression to the consumer, eliding the stack
+        round trip entirely.  The one-line lookback means a fold can never
+        cross another statement, a control-flow join (those dedent), or a
+        mutation of anything the expression reads.
+        """
+        if self.lines:
+            prefix = "    " * self.indent + "S.append("
+            line = self.lines[-1]
+            if line.startswith(prefix) and line.endswith(")"):
+                expr = line[len(prefix):-1]
+                if _IMPURE.search(expr) is None:
+                    self.lines.pop()
+                    return expr
+        return None
+
+    def _pop_or_runtime(self) -> str:
+        expr = self._pop_expr()
+        return expr if expr is not None else "S.pop()"
+
+    def _addr(self, offset: int) -> str:
+        base = self._pop_or_runtime()
+        return f"{base} + {offset}" if offset else base
+
+    def _bin_operands(self) -> tuple:
+        """Operand expressions for a two-operand consumer, fold-aware.
+
+        ``b`` (top of stack) can only fold if it was the last push, and ``a``
+        only if ``b`` folded too, so stack pop order is preserved; when
+        neither folds the caller must spill through temporaries because every
+        inline template evaluates ``a`` textually first.
+        """
+        b = self._pop_expr()
+        if b is None:
+            return None, None
+        return self._pop_or_runtime(), b
 
     # ---------------------------------------------------------------- generate
 
@@ -164,8 +233,21 @@ class _FunctionCodeGen:
     # --------------------------------------------------------------------- ops
 
     def _branch_stmts(self, depth: int) -> None:
-        self._emit(f"    _br = {self._target(depth)}")
-        self._emit("    break")
+        for stmt in self._branch_code(depth):
+            self._emit("    " + stmt)
+
+    def _branch_code(self, depth: int) -> List[str]:
+        """Statements realising a branch to relative ``depth``.
+
+        A depth-0 branch needs no label plumbing: the innermost region is
+        the target, so a bare ``continue`` (loop back-edge) or ``break``
+        (block/if/function exit, with ``_br`` still ``None``) lands exactly
+        on the target's fallthrough path.
+        """
+        label, kind = self.labels[-1 - depth]
+        if depth == 0:
+            return ["continue" if kind == "loop" else "break"]
+        return [f"_br = {label}", "break"]
 
     def _op(self, kind: str, imm) -> None:  # noqa: C901 - one big dispatcher
         emit = self._emit
@@ -192,9 +274,10 @@ class _FunctionCodeGen:
         elif kind == "if":
             label = self._new_label()
             self.labels.append((label, "if"))
+            cond = _as_test(self._pop_or_runtime())
             emit("while True:")
             self.indent += 1
-            emit("if S.pop():")
+            emit(f"if {cond}:")
             self.indent += 1
             emit("pass")
         elif kind == "else":
@@ -229,10 +312,10 @@ class _FunctionCodeGen:
             else:  # pragma: no cover - function-level end handled by generate()
                 raise Trap("unexpected end at function level")
         elif kind == "br":
-            emit(f"_br = {self._target(imm)}")
-            emit("break")
+            for stmt in self._branch_code(imm):
+                emit(stmt)
         elif kind == "br_if":
-            emit("if S.pop():")
+            emit(f"if {_as_test(self._pop_or_runtime())}:")
             self._branch_stmts(imm)
         elif kind == "br_table":
             targets, default = imm
@@ -269,20 +352,21 @@ class _FunctionCodeGen:
 
         # ----- parametric / variables ----------------------------------------
         elif kind == "drop":
-            emit("S.pop()")
+            if self._pop_expr() is None:
+                emit("S.pop()")
         elif kind == "select":
             emit("_c = S.pop(); _b = S.pop(); _a = S.pop()")
             emit("S.append(_a if _c else _b)")
         elif kind == "local.get":
             emit(f"S.append(L[{imm}])")
         elif kind == "local.set":
-            emit(f"L[{imm}] = S.pop()")
+            emit(f"L[{imm}] = {self._pop_or_runtime()}")
         elif kind == "local.tee":
             emit(f"L[{imm}] = S[-1]")
         elif kind == "global.get":
             emit(f"S.append(G[{imm}].value)")
         elif kind == "global.set":
-            emit(f"G[{imm}].set(S.pop())")
+            emit(f"G[{imm}].set({self._pop_or_runtime()})")
 
         # ----- constants (pre-validated at lower time) -----------------------
         elif kind == "const":
@@ -290,43 +374,61 @@ class _FunctionCodeGen:
 
         # ----- memory ---------------------------------------------------------
         elif kind == "load.u":
-            emit(f"S.append(M.load_int({_addr(imm[0])}, {imm[1]}))")
+            emit(f"S.append(M.load_int({self._addr(imm[0])}, {imm[1]}))")
         elif kind == "load.s32":
-            emit(f"S.append(M.load_int({_addr(imm[0])}, {imm[1]}, signed=True) & 0xFFFFFFFF)")
+            emit(f"S.append(M.load_int({self._addr(imm[0])}, {imm[1]}, signed=True) & 0xFFFFFFFF)")
         elif kind == "load.s64":
             emit(
-                f"S.append(M.load_int({_addr(imm[0])}, {imm[1]}, signed=True)"
+                f"S.append(M.load_int({self._addr(imm[0])}, {imm[1]}, signed=True)"
                 " & 0xFFFFFFFFFFFFFFFF)"
             )
         elif kind == "load.f32":
-            emit(f"S.append(M.load_f32({_addr(imm)}))")
+            emit(f"S.append(M.load_f32({self._addr(imm)}))")
         elif kind == "load.f64":
-            emit(f"S.append(M.load_f64({_addr(imm)}))")
+            emit(f"S.append(M.load_f64({self._addr(imm)}))")
         elif kind == "load.v128":
-            emit(f"S.append(M.read({_addr(imm)}, 16))")
+            emit(f"S.append(M.read({self._addr(imm)}, 16))")
         elif kind == "store.i":
-            emit("_v = S.pop()")
-            emit(f"M.store_int({_addr(imm[0])}, _v, {imm[1]})")
+            v = self._pop_expr()
+            if v is None:
+                emit("_v = S.pop()")
+                v = "_v"
+            emit(f"M.store_int({self._addr(imm[0])}, {v}, {imm[1]})")
         elif kind == "store.f32":
-            emit("_v = S.pop()")
-            emit(f"M.store_f32({_addr(imm)}, _v)")
+            v = self._pop_expr()
+            if v is None:
+                emit("_v = S.pop()")
+                v = "_v"
+            emit(f"M.store_f32({self._addr(imm)}, {v})")
         elif kind == "store.f64":
-            emit("_v = S.pop()")
-            emit(f"M.store_f64({_addr(imm)}, _v)")
+            v = self._pop_expr()
+            if v is None:
+                emit("_v = S.pop()")
+                v = "_v"
+            emit(f"M.store_f64({self._addr(imm)}, {v})")
         elif kind == "store.v128":
             emit("_v = S.pop()")
-            emit(f"M.write({_addr(imm)}, bytes(_v))")
+            emit(f"M.write({self._addr(imm)}, bytes(_v))")
         elif kind == "memory.size":
             emit("S.append(M.pages)")
         elif kind == "memory.grow":
             emit("S.append(M.grow(S.pop()) & 0xFFFFFFFF)")
+        elif kind == "memory.copy":
+            emit("_n = S.pop(); _s = S.pop()")
+            emit("M.copy_within(S.pop(), _s, _n)")
+        elif kind == "memory.fill":
+            emit("_n = S.pop(); _v = S.pop()")
+            emit("M.fill(S.pop(), _v, _n)")
 
         # ----- numeric --------------------------------------------------------
         elif kind == "bin":
-            emit("_b = S.pop(); _a = S.pop()")
-            emit(f"S.append({_binexpr(imm, '_a', '_b')})")
+            a, b = self._bin_operands()
+            if b is None:
+                emit("_b = S.pop(); _a = S.pop()")
+                a, b = "_a", "_b"
+            emit(f"S.append({_binexpr(imm, a, b)})")
         elif kind == "un":
-            emit(f"S.append(_UN[{imm!r}](S.pop()))")
+            emit(f"S.append(_UN[{imm!r}]({self._pop_or_runtime()}))")
 
         # ----- superinstructions ---------------------------------------------
         elif kind == "fused.get_get_bin":
@@ -341,32 +443,73 @@ class _FunctionCodeGen:
             emit(f"M.store_int({base}, {value!r}, {nbytes})")
         elif kind == "fused.cmp_br_if":
             name, depth = imm
-            emit("_b = S.pop(); _a = S.pop()")
-            emit(f"if {_binexpr(name, '_a', '_b')}:")
+            a, b = self._bin_operands()
+            if b is None:
+                emit("_b = S.pop(); _a = S.pop()")
+                a, b = "_a", "_b"
+            emit(f"if {_as_test(_binexpr(name, a, b))}:")
             self._branch_stmts(depth)
         elif kind == "fused.eqz_br_if":
-            emit("if not S.pop():")
+            emit(f"if not ({_as_test(self._pop_or_runtime())}):")
             self._branch_stmts(imm)
         elif kind == "fused.get_get_cmp_br_if":
             a, b, name, depth = imm
-            emit(f"if {_binexpr(name, f'L[{a}]', f'L[{b}]')}:")
+            emit(f"if {_as_test(_binexpr(name, f'L[{a}]', f'L[{b}]'))}:")
             self._branch_stmts(depth)
+        elif kind == "fused.get_get_bin_set":
+            a, b, name, dest = imm
+            emit(f"L[{dest}] = {_binexpr(name, f'L[{a}]', f'L[{b}]')}")
+        elif kind == "fused.get_const_bin_set":
+            a, const, name, dest = imm
+            emit(f"L[{dest}] = {_binexpr(name, f'L[{a}]', repr(const))}")
+        elif kind == "fused.bin_set":
+            name, dest = imm
+            a, b = self._bin_operands()
+            if b is None:
+                emit("_b = S.pop(); _a = S.pop()")
+                a, b = "_a", "_b"
+            emit(f"L[{dest}] = {_binexpr(name, a, b)}")
+        elif kind == "fused.get_get_bin_set_br":
+            a, b, name, dest, depth = imm
+            emit(f"L[{dest}] = {_binexpr(name, f'L[{a}]', f'L[{b}]')}")
+            for stmt in self._branch_code(depth):
+                emit(stmt)
+        elif kind == "fused.get_const_bin_set_br":
+            a, const, name, dest, depth = imm
+            emit(f"L[{dest}] = {_binexpr(name, f'L[{a}]', repr(const))}")
+            for stmt in self._branch_code(depth):
+                emit(stmt)
+        elif kind == "fused.set_br":
+            dest, depth = imm
+            emit(f"L[{dest}] = {self._pop_or_runtime()}")
+            for stmt in self._branch_code(depth):
+                emit(stmt)
+        elif kind == "fused.mined":
+            # A mined chain is just its constituents back-to-back: generated
+            # code has no dispatch loop, so emitting them inline is exact.
+            for sub_kind, sub_imm in zip(*imm):
+                self._op(sub_kind, sub_imm)
 
         # ----- SIMD -----------------------------------------------------------
         elif kind == "splat":
             fmt, count, size = imm
             if fmt in ("f", "d"):
-                emit(f"S.append(struct.pack('<{fmt}', S.pop()) * {count})")
+                emit(f"S.append(_V128L[{fmt!r}].pack(S.pop()) * {count})")
             else:
                 emit(
                     f"S.append((S.pop() & {(1 << (8 * size)) - 1}).to_bytes({size}, 'little')"
                     f" * {count})"
                 )
         elif kind == "extract_lane":
-            fmt, size, lane = imm
+            fmt, size, lane, signed = imm
             lo, hi = lane * size, (lane + 1) * size
             if fmt in ("f", "d"):
-                emit(f"S.append(struct.unpack('<{fmt}', S.pop()[{lo}:{hi}])[0])")
+                emit(f"S.append(_V128L[{fmt!r}].unpack(S.pop()[{lo}:{hi}])[0])")
+            elif signed:
+                emit(
+                    f"S.append(int.from_bytes(S.pop()[{lo}:{hi}], 'little', signed=True)"
+                    " & 0xFFFFFFFF)"
+                )
             else:
                 emit(f"S.append(int.from_bytes(S.pop()[{lo}:{hi}], 'little'))")
         elif kind == "replace_lane":
@@ -374,7 +517,7 @@ class _FunctionCodeGen:
             lo, hi = lane * size, (lane + 1) * size
             emit("_v = S.pop(); _vec = bytearray(S.pop())")
             if fmt in ("f", "d"):
-                emit(f"_vec[{lo}:{hi}] = struct.pack('<{fmt}', _v)")
+                emit(f"_vec[{lo}:{hi}] = _V128L[{fmt!r}].pack(_v)")
             else:
                 emit(f"_vec[{lo}:{hi}] = (_v & {(1 << (8 * size)) - 1}).to_bytes({size}, 'little')")
             emit("S.append(bytes(_vec))")
@@ -383,16 +526,11 @@ class _FunctionCodeGen:
                 "S.append((~int.from_bytes(S.pop(), 'little') & ((1 << 128) - 1))"
                 ".to_bytes(16, 'little'))"
             )
-        elif kind == "f64x2.sqrt":
-            emit("_a, _b = struct.unpack('<2d', S.pop())")
-            emit(
-                "S.append(struct.pack('<2d', "
-                "math.sqrt(_a) if _a >= 0 else math.nan, "
-                "math.sqrt(_b) if _b >= 0 else math.nan))"
-            )
         elif kind == "simd.bin":
             emit("_b = S.pop(); _a = S.pop()")
             emit(f"S.append(_SIMD_BIN({imm!r}, _a, _b))")
+        elif kind == "simd.un":
+            emit(f"S.append(_SIMD_UN({imm!r}, S.pop()))")
         else:
             raise Trap(f"LLVM backend cannot translate lowered op {kind!r}")
 
@@ -440,6 +578,8 @@ def _exec_namespace() -> Dict[str, object]:
         "_BIN": _BINOPS,
         "_UN": _UNOPS,
         "_SIMD_BIN": _simd_binary,
+        "_SIMD_UN": _simd_unary,
+        "_V128L": V.V128_LANE,
         "_S32": V.signed32,
         "_S64": V.signed64,
         "_F32": V.round_f32,

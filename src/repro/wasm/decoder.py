@@ -119,6 +119,8 @@ def _decode_instruction(r: _Reader) -> Instruction:
     opcode = r.byte()
     if opcode == 0xFD:
         opcode = 0xFD00 | r.u32()
+    elif opcode == 0xFC:
+        opcode = 0xFC00 | r.u32()
     try:
         info = opcodes.info(opcode)
     except KeyError as exc:
@@ -133,6 +135,8 @@ def _decode_instruction(r: _Reader) -> Instruction:
         return Instruction(info, (BlockType(result),))
     if imm in (Imm.LABEL, Imm.FUNC, Imm.LOCAL, Imm.GLOBAL, Imm.MEMORY, Imm.LANE):
         return Instruction(info, (r.u32(),))
+    if imm == Imm.MEMORY_PAIR:
+        return Instruction(info, (r.u32(), r.u32()))
     if imm == Imm.LABEL_TABLE:
         n = r.u32()
         targets = tuple(r.u32() for _ in range(n))

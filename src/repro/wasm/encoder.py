@@ -164,6 +164,9 @@ def encode_instruction(instr: Instruction) -> bytes:
     if info.is_simd:
         out.append(0xFD)
         out += encode_u32(info.opcode & 0xFF)
+    elif (info.opcode >> 8) == 0xFC:
+        out.append(0xFC)
+        out += encode_u32(info.opcode & 0xFF)
     else:
         out.append(info.opcode)
 
@@ -176,6 +179,8 @@ def encode_instruction(instr: Instruction) -> bytes:
         out.append(0x40 if bt.result is None else bt.result.value)
     elif imm in (Imm.LABEL, Imm.FUNC, Imm.LOCAL, Imm.GLOBAL, Imm.MEMORY, Imm.LANE):
         out += encode_u32(int(ops[0]))
+    elif imm == Imm.MEMORY_PAIR:
+        out += encode_u32(int(ops[0])) + encode_u32(int(ops[1]))
     elif imm == Imm.LABEL_TABLE:
         targets, default = ops
         out += encode_vec(encode_u32(t) for t in targets)

@@ -110,6 +110,11 @@ def make(name: str, *operands) -> Instruction:
             ops = (MemArg(0, int(ops[0])),)
     elif info.imm == Imm.MEMORY:
         ops = (int(ops[0]) if ops else 0,)
+    elif info.imm == Imm.MEMORY_PAIR:
+        if len(ops) == 2:
+            ops = (int(ops[0]), int(ops[1]))
+        else:
+            ops = (0, 0)
     elif info.imm == Imm.CALL_INDIRECT:
         if len(ops) == 1:
             ops = (int(ops[0]), 0)

@@ -158,6 +158,7 @@ class Interpreter(Executor):
         name = lowered.name or f"func[{local_index}]"
         stride = prof.sample_every
         tick = prof.dispatches
+        prof.record_ir(name, lowered.ops)
         prof.enter(name)
         try:
             hits = prof.handler_hits

@@ -34,9 +34,11 @@ back-ends agree bit-for-bit) live here as well; they delegate to
 from __future__ import annotations
 
 import math
-import struct
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.wasm import values as V
 from repro.wasm.errors import IndirectCallTrap, Trap, UnreachableTrap
@@ -45,7 +47,11 @@ from repro.wasm.module import Function, Module
 
 #: Version stamp of the lowered representation.  Part of the compilation-cache
 #: key: bumping it transparently invalidates every cached artifact.
-IR_VERSION = 1
+#: Version 2: bulk memory (``memory.copy``/``memory.fill``), the full SIMD
+#: lane-arithmetic set (NumPy-backed), signedness-aware ``extract_lane``
+#: immediates, and the mined-superinstruction op kind ``fused.mined`` plus the
+#: serialized fusion table.
+IR_VERSION = 2
 
 
 # ------------------------------------------------------------ semantic tables
@@ -261,6 +267,7 @@ def _simd_lanes(name: str) -> Tuple[str, int, int]:
     shape = name.split(".")[0]
     return {
         "i8x16": ("b", 16, 1),
+        "i16x8": ("h", 8, 2),
         "i32x4": ("i", 4, 4),
         "i64x2": ("q", 2, 8),
         "f32x4": ("f", 4, 4),
@@ -268,7 +275,46 @@ def _simd_lanes(name: str) -> Tuple[str, int, int]:
     }[shape]
 
 
+# NumPy lane dtypes: one handler dispatch does all 16 bytes of lane work.
+_NP_LANES = {
+    "b": np.int8,
+    "h": np.int16,
+    "i": np.int32,
+    "q": np.int64,
+    "f": np.float32,
+    "d": np.float64,
+}
+_NP_UNSIGNED = {"b": np.uint8, "h": np.uint16, "i": np.uint32, "q": np.uint64}
+# Comparison results are integer lane masks of the operand's lane width.
+_NP_MASK = {
+    "b": np.int8,
+    "h": np.int16,
+    "i": np.int32,
+    "q": np.int64,
+    "f": np.int32,
+    "d": np.int64,
+}
+
+
+def _np_minmax(x: np.ndarray, y: np.ndarray, is_min: bool) -> np.ndarray:
+    """Wasm float lane min/max: NaN-propagating (canonical NaN), -0 < +0."""
+    dt = x.dtype
+    r = np.minimum(x, y) if is_min else np.maximum(x, y)
+    both_zero = (x == 0) & (y == 0)
+    if both_zero.any():
+        sx, sy = np.signbit(x), np.signbit(y)
+        neg = (sx | sy) if is_min else (sx & sy)
+        r = np.where(both_zero, np.where(neg, dt.type(-0.0), dt.type(0.0)), r)
+    return np.where(np.isnan(x) | np.isnan(y), dt.type(np.nan), r)
+
+
 def _simd_binary(name: str, a: bytes, b: bytes) -> bytes:
+    """All-lanes binary SIMD op on two 16-byte vectors (NumPy-vectorized).
+
+    Shared by the interpreter and every back-end, which is what keeps the
+    engines bit-for-bit identical.  NaN results are canonicalized so the
+    output never depends on platform NaN payload conventions.
+    """
     if name.startswith("v128."):
         ia = int.from_bytes(a, "little")
         ib = int.from_bytes(b, "little")
@@ -281,37 +327,68 @@ def _simd_binary(name: str, a: bytes, b: bytes) -> bytes:
         else:  # pragma: no cover
             raise Trap(f"unknown v128 op {name}")
         return r.to_bytes(16, "little")
-    fmt, count, size = _simd_lanes(name)
-    la = struct.unpack(f"<{count}{fmt}", a)
-    lb = struct.unpack(f"<{count}{fmt}", b)
+    fmt, _count, _size = _simd_lanes(name)
     op = name.split(".")[1]
-    int_lane = fmt in ("b", "i", "q")
-    out = []
-    for x, y in zip(la, lb):
+    x = np.frombuffer(a, dtype=_NP_LANES[fmt])
+    y = np.frombuffer(b, dtype=_NP_LANES[fmt])
+    if op.endswith("_u") and fmt in _NP_UNSIGNED:
+        x = x.view(_NP_UNSIGNED[fmt])
+        y = y.view(_NP_UNSIGNED[fmt])
+        op = op[:-2]
+    elif op.endswith("_s"):
+        op = op[:-2]
+    with np.errstate(all="ignore"):
         if op == "add":
-            v = x + y
+            r = x + y
         elif op == "sub":
-            v = x - y
+            r = x - y
         elif op == "mul":
-            v = x * y
+            r = x * y
         elif op == "div":
-            v = _fdiv(x, y)
+            r = x / y
+            r = np.where(np.isnan(r), r.dtype.type(np.nan), r)
         elif op == "min":
-            v = V.float_min(x, y)
+            r = _np_minmax(x, y, True)
         elif op == "max":
-            v = V.float_max(x, y)
+            r = _np_minmax(x, y, False)
+        elif op in ("eq", "ne", "lt", "gt", "le", "ge"):
+            if op == "eq":
+                cond = x == y
+            elif op == "ne":
+                cond = x != y
+            elif op == "lt":
+                cond = x < y
+            elif op == "gt":
+                cond = x > y
+            elif op == "le":
+                cond = x <= y
+            else:
+                cond = x >= y
+            # All-ones lanes for true, zero for false.
+            r = np.zeros(len(cond), dtype=_NP_MASK[fmt])
+            r[cond] = -1
         else:  # pragma: no cover
             raise Trap(f"unknown SIMD lane op {name}")
-        if int_lane:
-            # Wrap to the signed lane range for struct packing.
-            lane_bits = 8 * size
-            v &= (1 << lane_bits) - 1
-            if v >= 1 << (lane_bits - 1):
-                v -= 1 << lane_bits
-        elif fmt == "f":
-            v = V.round_f32(v)
-        out.append(v)
-    return struct.pack(f"<{count}{fmt}", *out)
+    return r.tobytes()
+
+
+def _simd_unary(name: str, a: bytes) -> bytes:
+    """All-lanes unary SIMD op (neg/abs/sqrt) on one 16-byte vector."""
+    fmt, _count, _size = _simd_lanes(name)
+    op = name.split(".")[1]
+    x = np.frombuffer(a, dtype=_NP_LANES[fmt])
+    with np.errstate(all="ignore"):
+        if op == "neg":
+            r = -x
+        elif op == "abs":
+            # Integer abs wraps (|INT_MIN| stays INT_MIN), matching the spec.
+            r = np.abs(x)
+        elif op == "sqrt":
+            r = np.sqrt(x)
+            r = np.where(np.isnan(r), r.dtype.type(np.nan), r)
+        else:  # pragma: no cover
+            raise Trap(f"unknown SIMD unary op {name}")
+    return r.tobytes()
 
 
 # --------------------------------------------------------------- control scan
@@ -643,6 +720,24 @@ def _h_memory_grow(st, pc, imm):
     return pc + 1
 
 
+@_op_handler("memory.copy")
+def _h_memory_copy(st, pc, imm):
+    stack = st.stack
+    n = stack.pop()
+    src = stack.pop()
+    st.memory.copy_within(stack.pop(), src, n)
+    return pc + 1
+
+
+@_op_handler("memory.fill")
+def _h_memory_fill(st, pc, imm):
+    stack = st.stack
+    n = stack.pop()
+    value = stack.pop()
+    st.memory.fill(stack.pop(), value, n)
+    return pc + 1
+
+
 @_op_handler("bin", linker=lambda name: _BINOPS[name])
 def _h_bin(st, pc, imm):
     stack = st.stack
@@ -664,7 +759,7 @@ def _h_splat(st, pc, imm):
     stack = st.stack
     value = stack.pop()
     if fmt in ("f", "d"):
-        lane = struct.pack(f"<{fmt}", value)
+        lane = V.V128_LANE[fmt].pack(value)
     else:
         lane = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
     stack.append(lane * count)
@@ -673,11 +768,14 @@ def _h_splat(st, pc, imm):
 
 @_op_handler("extract_lane")
 def _h_extract_lane(st, pc, imm):
-    fmt, size, lane_idx = imm
+    # imm = (fmt, size, lane index, sign-extend?)
+    fmt, size, lane_idx, signed = imm
     stack = st.stack
     lane = stack[-1][lane_idx * size: (lane_idx + 1) * size]
     if fmt in ("f", "d"):
-        stack[-1] = struct.unpack(f"<{fmt}", lane)[0]
+        stack[-1] = V.V128_LANE[fmt].unpack(lane)[0]
+    elif signed:
+        stack[-1] = int.from_bytes(lane, "little", signed=True) & V.MASK32
     else:
         stack[-1] = int.from_bytes(lane, "little")
     return pc + 1
@@ -690,7 +788,7 @@ def _h_replace_lane(st, pc, imm):
     value = stack.pop()
     vec = bytearray(stack[-1])
     if fmt in ("f", "d"):
-        vec[lane_idx * size: (lane_idx + 1) * size] = struct.pack(f"<{fmt}", value)
+        vec[lane_idx * size: (lane_idx + 1) * size] = V.V128_LANE[fmt].pack(value)
     else:
         vec[lane_idx * size: (lane_idx + 1) * size] = (
             value & ((1 << (8 * size)) - 1)
@@ -708,13 +806,10 @@ def _h_v128_not(st, pc, imm):
 
 @_op_handler("f64x2.sqrt")
 def _h_f64x2_sqrt(st, pc, imm):
+    # Legacy kind kept for handler-table compatibility; lowering now emits
+    # ("simd.un", "f64x2.sqrt") instead.
     stack = st.stack
-    a, b = struct.unpack("<2d", stack[-1])
-    stack[-1] = struct.pack(
-        "<2d",
-        math.sqrt(a) if a >= 0 else math.nan,
-        math.sqrt(b) if b >= 0 else math.nan,
-    )
+    stack[-1] = _simd_unary("f64x2.sqrt", stack[-1])
     return pc + 1
 
 
@@ -723,6 +818,13 @@ def _h_simd_bin(st, pc, imm):
     stack = st.stack
     b = stack.pop()
     stack[-1] = _simd_binary(imm, stack[-1], b)
+    return pc + 1
+
+
+@_op_handler("simd.un")
+def _h_simd_un(st, pc, imm):
+    stack = st.stack
+    stack[-1] = _simd_unary(imm, stack[-1])
     return pc + 1
 
 
@@ -787,6 +889,252 @@ def _h_get_get_cmp_br_if(st, pc, imm):
     return pc + 4
 
 
+def _link_fused_bin_set(imm):
+    a, b, name, dest = imm
+    return (a, b, _BINOPS[name], dest)
+
+
+@_op_handler("fused.get_get_bin_set", linker=_link_fused_bin_set)
+def _h_get_get_bin_set(st, pc, imm):
+    # local.get a ; local.get b ; binop ; local.set dest -- never touches the
+    # value stack at all.
+    a, b, op, dest = imm
+    locals_ = st.locals
+    locals_[dest] = op(locals_[a], locals_[b])
+    return pc + 4
+
+
+@_op_handler("fused.get_const_bin_set", linker=_link_fused_bin_set)
+def _h_get_const_bin_set(st, pc, imm):
+    a, c, op, dest = imm
+    locals_ = st.locals
+    locals_[dest] = op(locals_[a], c)
+    return pc + 4
+
+
+@_op_handler("fused.bin_set", linker=lambda imm: (_BINOPS[imm[0]], imm[1]))
+def _h_bin_set(st, pc, imm):
+    op, dest = imm
+    stack = st.stack
+    b = stack.pop()
+    st.locals[dest] = op(stack.pop(), b)
+    return pc + 2
+
+
+# Loop back-edge superinstructions: an induction-variable update followed by
+# an unconditional ``br`` (the tail of every counted loop) collapses into one
+# dispatch that updates the local and takes the branch.
+
+
+def _link_fused_bin_set_br(imm):
+    a, b, name, dest, depth = imm
+    return (a, b, _BINOPS[name], dest, depth)
+
+
+@_op_handler("fused.get_get_bin_set_br", linker=_link_fused_bin_set_br)
+def _h_get_get_bin_set_br(st, pc, imm):
+    a, b, op, dest, depth = imm
+    locals_ = st.locals
+    locals_[dest] = op(locals_[a], locals_[b])
+    return _branch(st, depth)
+
+
+@_op_handler("fused.get_const_bin_set_br", linker=_link_fused_bin_set_br)
+def _h_get_const_bin_set_br(st, pc, imm):
+    a, c, op, dest, depth = imm
+    locals_ = st.locals
+    locals_[dest] = op(locals_[a], c)
+    return _branch(st, depth)
+
+
+@_op_handler("fused.set_br")
+def _h_set_br(st, pc, imm):
+    dest, depth = imm
+    st.locals[dest] = st.stack.pop()
+    return _branch(st, depth)
+
+
+# ---- profile-guided superinstruction mining ---------------------------------
+
+#: Op kinds safe to chain into a mined superinstruction: every handler here
+#: unconditionally returns ``pc + 1`` (no branching, no calls), so a chain of
+#: them can be executed back-to-back in one dispatch.
+_CHAINABLE_KINDS = frozenset({
+    "nop", "drop", "select",
+    "local.get", "local.set", "local.tee", "global.get", "global.set",
+    "const", "bin", "un",
+    "load.u", "load.s32", "load.s64", "load.f32", "load.f64", "load.v128",
+    "store.i", "store.f32", "store.f64", "store.v128",
+    "memory.size", "memory.grow", "memory.copy", "memory.fill",
+    "splat", "extract_lane", "replace_lane", "v128.not",
+    "simd.bin", "simd.un",
+})
+
+#: Memoized chain executors, keyed by the tuple of constituent op kinds.  The
+#: closure's ``__name__`` encodes the chain so profiler histograms attribute
+#: mined superinstructions by name.
+_CHAIN_CACHE: Dict[Tuple[str, ...], Callable] = {}
+
+
+def _chain_handler(kinds: Tuple[str, ...]) -> Callable:
+    """The executor for one mined chain: run the linked constituents in order."""
+    kinds = tuple(kinds)
+    cached = _CHAIN_CACHE.get(kinds)
+    if cached is not None:
+        return cached
+    width = len(kinds)
+
+    def _h_mined(st, pc, imm):
+        for handler, sub in imm:
+            handler(st, pc, sub)
+        return pc + width
+
+    _h_mined.__name__ = "_h_fused_mined__" + "__".join(
+        k.replace(".", "_") for k in kinds
+    )
+    _CHAIN_CACHE[kinds] = _h_mined
+    return _h_mined
+
+
+def _link_mined(imm) -> Tuple:
+    """Link a ``fused.mined`` immediate: (kinds, imms) -> ((handler, imm), ...)."""
+    kinds, imms = imm
+    pairs = []
+    for kind, sub in zip(kinds, imms):
+        linker = _LINKERS.get(kind)
+        pairs.append((_HANDLERS[kind], linker(sub) if linker is not None else sub))
+    return tuple(pairs)
+
+
+def _serial_jump_targets(ops: Sequence[Tuple[str, object]]) -> set:
+    """Offsets a lowered op may jump to, recovered from the serial form.
+
+    Branch immediates are pre-resolved at lower time, so the set is exactly:
+    function entry, ``block``/``if`` continuations, ``else`` jump targets,
+    and loop headers.
+    """
+    targets = {0}
+    for pc, (kind, imm) in enumerate(ops):
+        if kind == "block":
+            targets.add(imm[1])
+        elif kind == "if":
+            targets.add(imm[1])
+            targets.add(imm[2])
+        elif kind == "else":
+            targets.add(imm)
+        elif kind == "loop":
+            targets.add(pc + 1)
+    return targets
+
+
+def _iter_chains(ops: Sequence[Tuple[str, object]], max_width: int):
+    """Yield (start, kinds_tuple) for every fusable straight-line run."""
+    targets = _serial_jump_targets(ops)
+    n = len(ops)
+    for i in range(n):
+        if ops[i][0] not in _CHAINABLE_KINDS:
+            continue
+        for width in range(2, max_width + 1):
+            end = i + width
+            if end > n:
+                break
+            if ops[end - 1][0] not in _CHAINABLE_KINDS:
+                break
+            if any(j in targets for j in range(i + 1, end)):
+                break
+            yield i, tuple(kind for kind, _ in ops[i:end])
+
+
+def mine_superinstructions(
+    functions: Iterable,
+    histogram: Optional[Dict[str, int]] = None,
+    max_width: int = 3,
+    min_occurrences: int = 2,
+    top: int = 8,
+) -> List[dict]:
+    """Profile-guided superinstruction discovery.
+
+    ``functions`` is an iterable of :class:`LoweredFunction` objects or raw
+    serial op lists (e.g. the IR traces recorded by
+    :class:`repro.obs.profile.InterpreterProfiler`).  ``histogram`` is a
+    profiler handler histogram (handler ``__name__`` -> estimated hits); when
+    given, chains whose constituent handlers were hot score higher.  Returns
+    the fusion table: records sorted by score, each
+    ``{"kinds": [...], "width": w, "occurrences": n, "score": s}``.
+    """
+    counts: Counter = Counter()
+    for fn in functions:
+        ops = fn.ops if isinstance(fn, LoweredFunction) else list(fn)
+        ops = [tuple(op) for op in ops]
+        for _start, kinds in _iter_chains(ops, max_width):
+            counts[kinds] += 1
+
+    weights: Dict[str, float] = {}
+    if histogram:
+        for kind in _CHAINABLE_KINDS:
+            handler = _HANDLERS.get(kind)
+            if handler is not None:
+                weights[kind] = float(histogram.get(handler.__name__, 0))
+
+    records = []
+    for kinds, occurrences in counts.items():
+        if occurrences < min_occurrences:
+            continue
+        if histogram:
+            weight = min(weights.get(k, 0.0) for k in kinds)
+            if weight == 0.0:
+                continue  # a constituent never fired in the profile
+        else:
+            weight = 1.0
+        records.append({
+            "kinds": list(kinds),
+            "width": len(kinds),
+            "occurrences": occurrences,
+            # Dispatches saved per execution of the chain = width - 1.
+            "score": occurrences * weight * (len(kinds) - 1),
+        })
+    records.sort(key=lambda r: (-r["score"], -r["width"], r["kinds"]))
+    return records[:top]
+
+
+def apply_fusion_table(
+    lowered: Sequence["LoweredFunction"], table: Sequence[dict]
+) -> int:
+    """Rewrite lowered ops in place with the mined ``fused.mined`` chains.
+
+    Longest chains first; interior offsets become pads exactly like the
+    static fusion pass.  Returns the number of chains formed.
+    """
+    patterns = sorted(
+        (tuple(rec["kinds"]) for rec in table), key=len, reverse=True
+    )
+    formed = 0
+    for lf in lowered:
+        ops = lf.ops
+        targets = _serial_jump_targets(ops)
+        n = len(ops)
+        i = 0
+        while i < n:
+            for kinds in patterns:
+                width = len(kinds)
+                end = i + width
+                if end > n:
+                    continue
+                if any(j in targets for j in range(i + 1, end)):
+                    continue
+                if tuple(kind for kind, _ in ops[i:end]) != kinds:
+                    continue
+                ops[i] = ("fused.mined", (kinds, tuple(imm for _, imm in ops[i:end])))
+                for j in range(i + 1, end):
+                    ops[j] = _PAD
+                formed += 1
+                i = end - 1
+                break
+            i += 1
+        lf.code = None  # force a re-link
+    return formed
+
+
 # ----------------------------------------------------------------- lowered IR
 
 
@@ -832,6 +1180,10 @@ def link(lowered: LoweredFunction) -> List[Tuple[Callable, object]]:
     """Resolve the serial ops to ``(handler, immediate)`` pairs (memoized)."""
     code = []
     for kind, imm in lowered.ops:
+        if kind == "fused.mined":
+            kinds = tuple(imm[0])
+            code.append((_chain_handler(kinds), _link_mined((kinds, imm[1]))))
+            continue
         handler = _HANDLERS.get(kind)
         if handler is None:
             raise Trap(f"unknown lowered op kind {kind!r} (IR version skew?)")
@@ -940,6 +1292,10 @@ def _lower_instruction(
         return ("memory.size", None)
     if name == "memory.grow":
         return ("memory.grow", None)
+    if name == "memory.copy":
+        return ("memory.copy", None)
+    if name == "memory.fill":
+        return ("memory.fill", None)
 
     # ----- numeric
     if name in _BINOPS:
@@ -952,15 +1308,15 @@ def _lower_instruction(
         return ("splat", _simd_lanes(name))
     if ".extract_lane" in name:
         fmt, _count, size = _simd_lanes(name)
-        return ("extract_lane", (fmt, size, instr.operands[0]))
+        return ("extract_lane", (fmt, size, instr.operands[0], name.endswith("_s")))
     if ".replace_lane" in name:
         fmt, _count, size = _simd_lanes(name)
         return ("replace_lane", (fmt, size, instr.operands[0]))
     if name == "v128.not":
         return ("v128.not", None)
-    if name == "f64x2.sqrt":
-        return ("f64x2.sqrt", None)
     if instr.info.is_simd:
+        if name.split(".")[1] in ("neg", "abs", "sqrt"):
+            return ("simd.un", name)
         return ("simd.bin", name)
 
     raise Trap(f"instruction {name!r} not supported by the lowering pass")
@@ -1016,13 +1372,36 @@ def _fuse(ops: List[Tuple[str, object]], targets: set) -> int:
             if i + 2 < n and i + 1 not in targets and i + 2 not in targets:
                 k1, v1 = ops[i + 1]
                 k2, v2 = ops[i + 2]
+                # Four-wide forms ending in local.set bypass the value stack
+                # entirely (the inner loop of every reduction kernel).
+                tail_set = (
+                    i + 3 < n and i + 3 not in targets and ops[i + 3][0] == "local.set"
+                )
                 if k1 == "local.get" and k2 == "bin":
+                    if tail_set:
+                        ops[i] = (
+                            "fused.get_get_bin_set",
+                            (ops[i][1], v1, v2, ops[i + 3][1]),
+                        )
+                        ops[i + 1] = ops[i + 2] = ops[i + 3] = _PAD
+                        fused += 1
+                        i += 4
+                        continue
                     ops[i] = ("fused.get_get_bin", (ops[i][1], v1, v2))
                     ops[i + 1] = ops[i + 2] = _PAD
                     fused += 1
                     i += 3
                     continue
                 if k1 == "const" and k2 == "bin":
+                    if tail_set:
+                        ops[i] = (
+                            "fused.get_const_bin_set",
+                            (ops[i][1], v1, v2, ops[i + 3][1]),
+                        )
+                        ops[i + 1] = ops[i + 2] = ops[i + 3] = _PAD
+                        fused += 1
+                        i += 4
+                        continue
                     ops[i] = ("fused.get_const_bin", (ops[i][1], v1, v2))
                     ops[i + 1] = ops[i + 2] = _PAD
                     fused += 1
@@ -1040,6 +1419,12 @@ def _fuse(ops: List[Tuple[str, object]], targets: set) -> int:
             fused += 1
             i += 2
             continue
+        elif kind == "bin" and i + 1 < n and i + 1 not in targets and ops[i + 1][0] == "local.set":
+            ops[i] = ("fused.bin_set", (ops[i][1], ops[i + 1][1]))
+            ops[i + 1] = _PAD
+            fused += 1
+            i += 2
+            continue
         elif (
             kind == "un"
             and ops[i][1] in ("i32.eqz", "i64.eqz")
@@ -1053,7 +1438,35 @@ def _fuse(ops: List[Tuple[str, object]], targets: set) -> int:
             i += 2
             continue
         i += 1
+
+    # Back-edge sweep: an induction-variable update superinstruction (or a
+    # bare local.set) immediately followed by an unconditional br is the tail
+    # of every counted loop -- collapse the pair into one dispatch.
+    i = 0
+    while i < n:
+        width = _SET_BR_WIDTHS.get(ops[i][0])
+        if width is not None:
+            j = i + width
+            if j < n and j not in targets and ops[j][0] == "br":
+                kind, imm = ops[i]
+                if kind == "local.set":
+                    ops[i] = ("fused.set_br", (imm, ops[j][1]))
+                else:
+                    ops[i] = (kind + "_br", (*imm, ops[j][1]))
+                ops[j] = _PAD
+                fused += 1
+                i = j + 1
+                continue
+        i += 1
     return fused
+
+
+#: Slot widths of the set-style ops eligible for back-edge fusion.
+_SET_BR_WIDTHS = {
+    "fused.get_get_bin_set": 4,
+    "fused.get_const_bin_set": 4,
+    "local.set": 1,
+}
 
 
 def lower_function(module: Module, func: Function, func_type) -> LoweredFunction:
@@ -1086,13 +1499,25 @@ def lower_module(module: Module) -> List[LoweredFunction]:
 # --------------------------------------------------------------- serialization
 
 
-def serialize_lowered(lowered: Sequence[LoweredFunction]) -> dict:
-    """Serial artifact payload for a lowered module (IR-versioned)."""
-    return {
+def serialize_lowered(
+    lowered: Sequence[LoweredFunction],
+    fusion_table: Optional[Sequence[dict]] = None,
+) -> dict:
+    """Serial artifact payload for a lowered module (IR-versioned).
+
+    ``fusion_table`` is the learned superinstruction table from
+    :func:`mine_superinstructions`; when given it is persisted alongside the
+    ops (which already contain the applied ``fused.mined`` chains), so a
+    cached artifact replays the profile-guided fusion decisions.
+    """
+    payload = {
         "kind": "lowered-ir",
         "ir_version": IR_VERSION,
         "functions": [lf.to_payload() for lf in lowered],
     }
+    if fusion_table is not None:
+        payload["fusion_table"] = [dict(rec) for rec in fusion_table]
+    return payload
 
 
 def deserialize_lowered(payload: object) -> Optional[List[LoweredFunction]]:

@@ -106,6 +106,17 @@ class LinearMemory:
         self._check(address, nbytes)
         self._buffer[address : address + nbytes] = bytes([value & 0xFF]) * nbytes
 
+    def copy_within(self, dst: int, src: int, nbytes: int) -> None:
+        """memmove-style copy inside the memory (bounds-checked, overlap-safe).
+
+        This is the ``memory.copy`` primitive: slicing the source first makes
+        a copy, so overlapping ranges behave like ``memmove``, as the
+        bulk-memory proposal requires.
+        """
+        self._check(dst, nbytes)
+        self._check(src, nbytes)
+        self._buffer[dst : dst + nbytes] = self._buffer[src : src + nbytes]
+
     # ------------------------------------------------------------ scalar access
 
     def load_int(self, address: int, nbytes: int, signed: bool = False) -> int:

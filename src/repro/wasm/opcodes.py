@@ -38,7 +38,8 @@ class Imm(Enum):
     LOCAL = "local"                # local.get/set/tee
     GLOBAL = "global"              # global.get/set
     MEMARG = "memarg"              # loads/stores: align + offset
-    MEMORY = "memory"              # memory.size/grow: memory index (0x00)
+    MEMORY = "memory"              # memory.size/grow/fill: memory index (0x00)
+    MEMORY_PAIR = "memory_pair"    # memory.copy: dst + src memory indices
     I32_CONST = "i32"
     I64_CONST = "i64"
     F32_CONST = "f32"
@@ -280,6 +281,11 @@ _op("i64.extend8_s", 0xC2, pops=(I64,), pushes=(I64,))
 _op("i64.extend16_s", 0xC3, pops=(I64,), pushes=(I64,))
 _op("i64.extend32_s", 0xC4, pops=(I64,), pushes=(I64,))
 
+# ---------------------------------------------------- bulk memory (0xFC prefix)
+# Opcodes are 0xFC00 | subopcode, matching the bulk-memory-operations proposal.
+_op("memory.copy", 0xFC0A, Imm.MEMORY_PAIR, pops=(I32, I32, I32))
+_op("memory.fill", 0xFC0B, Imm.MEMORY, pops=(I32, I32, I32))
+
 # ----------------------------------------------------------- SIMD (0xFD prefix)
 # Opcodes are 0xFD00 | subopcode, matching the fixed-width SIMD proposal.
 def _simd(name: str, sub: int, imm: Imm = Imm.NONE, pops=(), pushes=()) -> OpcodeInfo:
@@ -290,36 +296,93 @@ _simd("v128.load", 0x00, Imm.MEMARG, pops=(I32,), pushes=(V128,))
 _simd("v128.store", 0x0B, Imm.MEMARG, pops=(I32, V128))
 _simd("v128.const", 0x0C, Imm.V128_CONST, pushes=(V128,))
 _simd("i8x16.splat", 0x0F, pops=(I32,), pushes=(V128,))
+_simd("i16x8.splat", 0x10, pops=(I32,), pushes=(V128,))
 _simd("i32x4.splat", 0x11, pops=(I32,), pushes=(V128,))
 _simd("i64x2.splat", 0x12, pops=(I64,), pushes=(V128,))
 _simd("f32x4.splat", 0x13, pops=(F32,), pushes=(V128,))
 _simd("f64x2.splat", 0x14, pops=(F64,), pushes=(V128,))
+_simd("i8x16.extract_lane_s", 0x15, Imm.LANE, pops=(V128,), pushes=(I32,))
+_simd("i8x16.extract_lane_u", 0x16, Imm.LANE, pops=(V128,), pushes=(I32,))
+_simd("i8x16.replace_lane", 0x17, Imm.LANE, pops=(V128, I32), pushes=(V128,))
+_simd("i16x8.extract_lane_s", 0x18, Imm.LANE, pops=(V128,), pushes=(I32,))
+_simd("i16x8.extract_lane_u", 0x19, Imm.LANE, pops=(V128,), pushes=(I32,))
+_simd("i16x8.replace_lane", 0x1A, Imm.LANE, pops=(V128, I32), pushes=(V128,))
 _simd("i32x4.extract_lane", 0x1B, Imm.LANE, pops=(V128,), pushes=(I32,))
 _simd("i32x4.replace_lane", 0x1C, Imm.LANE, pops=(V128, I32), pushes=(V128,))
 _simd("i64x2.extract_lane", 0x1D, Imm.LANE, pops=(V128,), pushes=(I64,))
+_simd("i64x2.replace_lane", 0x1E, Imm.LANE, pops=(V128, I64), pushes=(V128,))
 _simd("f32x4.extract_lane", 0x1F, Imm.LANE, pops=(V128,), pushes=(F32,))
+_simd("f32x4.replace_lane", 0x20, Imm.LANE, pops=(V128, F32), pushes=(V128,))
 _simd("f64x2.extract_lane", 0x21, Imm.LANE, pops=(V128,), pushes=(F64,))
 _simd("f64x2.replace_lane", 0x22, Imm.LANE, pops=(V128, F64), pushes=(V128,))
 _simd("v128.not", 0x4D, pops=(V128,), pushes=(V128,))
 _simd("v128.and", 0x4E, pops=(V128, V128), pushes=(V128,))
 _simd("v128.or", 0x50, pops=(V128, V128), pushes=(V128,))
 _simd("v128.xor", 0x51, pops=(V128, V128), pushes=(V128,))
+
+# SIMD lane-wise comparisons: each lane yields all-ones (true) or all-zeros.
+_simd("i8x16.eq", 0x23, pops=(V128, V128), pushes=(V128,))
+_simd("i8x16.ne", 0x24, pops=(V128, V128), pushes=(V128,))
+_simd("i16x8.eq", 0x2D, pops=(V128, V128), pushes=(V128,))
+_simd("i16x8.ne", 0x2E, pops=(V128, V128), pushes=(V128,))
+_simd("i32x4.eq", 0x37, pops=(V128, V128), pushes=(V128,))
+_simd("i32x4.ne", 0x38, pops=(V128, V128), pushes=(V128,))
+_simd("i32x4.lt_s", 0x39, pops=(V128, V128), pushes=(V128,))
+_simd("i32x4.lt_u", 0x3A, pops=(V128, V128), pushes=(V128,))
+_simd("i32x4.gt_s", 0x3B, pops=(V128, V128), pushes=(V128,))
+_simd("i32x4.gt_u", 0x3C, pops=(V128, V128), pushes=(V128,))
+_simd("i32x4.le_s", 0x3D, pops=(V128, V128), pushes=(V128,))
+_simd("i32x4.le_u", 0x3E, pops=(V128, V128), pushes=(V128,))
+_simd("i32x4.ge_s", 0x3F, pops=(V128, V128), pushes=(V128,))
+_simd("i32x4.ge_u", 0x40, pops=(V128, V128), pushes=(V128,))
+_simd("f32x4.eq", 0x41, pops=(V128, V128), pushes=(V128,))
+_simd("f32x4.ne", 0x42, pops=(V128, V128), pushes=(V128,))
+_simd("f32x4.lt", 0x43, pops=(V128, V128), pushes=(V128,))
+_simd("f32x4.gt", 0x44, pops=(V128, V128), pushes=(V128,))
+_simd("f32x4.le", 0x45, pops=(V128, V128), pushes=(V128,))
+_simd("f32x4.ge", 0x46, pops=(V128, V128), pushes=(V128,))
+_simd("f64x2.eq", 0x47, pops=(V128, V128), pushes=(V128,))
+_simd("f64x2.ne", 0x48, pops=(V128, V128), pushes=(V128,))
+_simd("f64x2.lt", 0x49, pops=(V128, V128), pushes=(V128,))
+_simd("f64x2.gt", 0x4A, pops=(V128, V128), pushes=(V128,))
+_simd("f64x2.le", 0x4B, pops=(V128, V128), pushes=(V128,))
+_simd("f64x2.ge", 0x4C, pops=(V128, V128), pushes=(V128,))
+
+# SIMD lane arithmetic.
+_simd("i8x16.neg", 0x61, pops=(V128,), pushes=(V128,))
+_simd("i8x16.add", 0x6E, pops=(V128, V128), pushes=(V128,))
+_simd("i8x16.sub", 0x71, pops=(V128, V128), pushes=(V128,))
+_simd("i16x8.neg", 0x81, pops=(V128,), pushes=(V128,))
+_simd("i16x8.add", 0x8E, pops=(V128, V128), pushes=(V128,))
+_simd("i16x8.sub", 0x91, pops=(V128, V128), pushes=(V128,))
+_simd("i16x8.mul", 0x95, pops=(V128, V128), pushes=(V128,))
+_simd("i32x4.abs", 0xA0, pops=(V128,), pushes=(V128,))
+_simd("i32x4.neg", 0xA1, pops=(V128,), pushes=(V128,))
 _simd("i32x4.add", 0xAE, pops=(V128, V128), pushes=(V128,))
 _simd("i32x4.sub", 0xB1, pops=(V128, V128), pushes=(V128,))
 _simd("i32x4.mul", 0xB5, pops=(V128, V128), pushes=(V128,))
+_simd("i64x2.neg", 0xC1, pops=(V128,), pushes=(V128,))
 _simd("i64x2.add", 0xCE, pops=(V128, V128), pushes=(V128,))
 _simd("i64x2.sub", 0xD1, pops=(V128, V128), pushes=(V128,))
+_simd("i64x2.mul", 0xD5, pops=(V128, V128), pushes=(V128,))
+_simd("f32x4.abs", 0xE0, pops=(V128,), pushes=(V128,))
+_simd("f32x4.neg", 0xE1, pops=(V128,), pushes=(V128,))
+_simd("f32x4.sqrt", 0xE3, pops=(V128,), pushes=(V128,))
 _simd("f32x4.add", 0xE4, pops=(V128, V128), pushes=(V128,))
 _simd("f32x4.sub", 0xE5, pops=(V128, V128), pushes=(V128,))
 _simd("f32x4.mul", 0xE6, pops=(V128, V128), pushes=(V128,))
 _simd("f32x4.div", 0xE7, pops=(V128, V128), pushes=(V128,))
+_simd("f32x4.min", 0xE8, pops=(V128, V128), pushes=(V128,))
+_simd("f32x4.max", 0xE9, pops=(V128, V128), pushes=(V128,))
+_simd("f64x2.abs", 0xEC, pops=(V128,), pushes=(V128,))
+_simd("f64x2.neg", 0xED, pops=(V128,), pushes=(V128,))
+_simd("f64x2.sqrt", 0xEF, pops=(V128,), pushes=(V128,))
 _simd("f64x2.add", 0xF0, pops=(V128, V128), pushes=(V128,))
 _simd("f64x2.sub", 0xF1, pops=(V128, V128), pushes=(V128,))
 _simd("f64x2.mul", 0xF2, pops=(V128, V128), pushes=(V128,))
 _simd("f64x2.div", 0xF3, pops=(V128, V128), pushes=(V128,))
 _simd("f64x2.min", 0xF4, pops=(V128, V128), pushes=(V128,))
 _simd("f64x2.max", 0xF5, pops=(V128, V128), pushes=(V128,))
-_simd("f64x2.sqrt", 0xEF, pops=(V128,), pushes=(V128,))
 
 
 def info(name_or_opcode) -> OpcodeInfo:

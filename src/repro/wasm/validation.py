@@ -228,7 +228,9 @@ class FunctionValidator:
                     raise ValidationError(f"global.set on immutable global {index}")
                 self._pop(gtype.value_type)
             return
-        if info.imm == Imm.MEMARG or name in ("memory.size", "memory.grow"):
+        if info.imm == Imm.MEMARG or name in (
+            "memory.size", "memory.grow", "memory.copy", "memory.fill",
+        ):
             if not self.module.memories and not self.module.imported_memories():
                 raise ValidationError(f"{name} requires a linear memory")
             self._pop_many(info.pops)

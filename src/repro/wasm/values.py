@@ -26,6 +26,26 @@ _F64 = struct.Struct("<d")
 _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
 
+# Pre-compiled v128 lane codecs, keyed by lane struct char (same idiom as the
+# scalar codecs above).  ``V128_LANE`` packs/unpacks one lane (splat,
+# extract_lane, replace_lane); ``V128_VEC`` a whole 16-byte vector.
+V128_LANE = {
+    "b": struct.Struct("<b"),
+    "h": struct.Struct("<h"),
+    "i": struct.Struct("<i"),
+    "q": struct.Struct("<q"),
+    "f": _F32,
+    "d": _F64,
+}
+V128_VEC = {
+    "b": struct.Struct("<16b"),
+    "h": struct.Struct("<8h"),
+    "i": struct.Struct("<4i"),
+    "q": struct.Struct("<2q"),
+    "f": struct.Struct("<4f"),
+    "d": struct.Struct("<2d"),
+}
+
 
 # ----------------------------------------------------------------- int helpers
 

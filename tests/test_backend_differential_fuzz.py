@@ -5,6 +5,13 @@ modules through :mod:`repro.wasm.builder`, runs them under Singlepass,
 Cranelift and LLVM, and asserts identical results.  The generator emits by
 construction-valid, trap-free code (no division/truncation), so any
 divergence is a genuine lowering or code-generation bug.
+
+Two extra corpora cover the PR-7 surface: v128 lane modules (splat, lane
+arithmetic/comparisons, extract/replace lane) and bulk-memory modules
+(``memory.copy``/``memory.fill``, including overlapping ranges).  Those are
+additionally executed under the plain interpreter with a *mined* fusion
+table applied, so profile-guided superinstructions are in the bit-for-bit
+contract too.
 """
 
 from __future__ import annotations
@@ -15,7 +22,12 @@ import pytest
 
 from repro.wasm import ImportObject, Instance, ModuleBuilder, validate_module
 from repro.wasm.compilers import get_backend
-from repro.wasm.lowering import lower_module
+from repro.wasm.interpreter import Interpreter
+from repro.wasm.lowering import (
+    apply_fusion_table,
+    lower_module,
+    mine_superinstructions,
+)
 
 BACKENDS = ("singlepass", "cranelift", "llvm")
 
@@ -161,6 +173,154 @@ def test_non_finite_float_constants_agree(value):
 
     bits = {_struct.pack("<d", r) for r in results}
     assert len(bits) == 1, f"backends diverge on f64.const {value!r}: {results}"
+
+
+def _all_executor_results(module, export, inputs):
+    """Results per executor: interpreter, interpreter+mined fusion, back-ends."""
+    results = {}
+    plain = lower_module(module)
+    instance = Instance(module, ImportObject(), executor=Interpreter(lowered=plain))
+    results["interpreter"] = [instance.invoke(export, *args) for args in inputs]
+
+    fused = lower_module(module)
+    table = mine_superinstructions(fused, min_occurrences=1)
+    formed = apply_fusion_table(fused, table)
+    instance = Instance(module, ImportObject(), executor=Interpreter(lowered=fused))
+    results["interpreter+mined"] = [instance.invoke(export, *args) for args in inputs]
+
+    for name in BACKENDS:
+        backend = get_backend(name)
+        compiled = backend.compile(module)
+        instance = Instance(module, ImportObject(),
+                            executor=backend.executor_for(compiled))
+        results[name] = [instance.invoke(export, *args) for args in inputs]
+    return results, formed
+
+
+def _assert_all_agree(results, label):
+    reference = results["interpreter"]
+    for name, rows in results.items():
+        assert rows == reference, (
+            f"{label}: {name} diverges from the interpreter:\n"
+            f"  {name}: {rows}\n  interpreter: {reference}"
+        )
+
+
+_V128_BIN = (
+    "i32x4.add", "i32x4.sub", "i32x4.mul",
+    "i32x4.eq", "i32x4.ne", "i32x4.lt_s", "i32x4.gt_u",
+    "i32x4.le_s", "i32x4.ge_u",
+    "v128.and", "v128.or", "v128.xor",
+)
+
+_V128_UN = ("i32x4.neg", "i32x4.abs", "v128.not")
+
+
+def _v128_module(seed: int):
+    """A seeded module mixing splats, lane ops and extract/replace lanes."""
+    rng = random.Random(seed ^ 0x5E1F)
+    mb = ModuleBuilder(name=f"v128-fuzz-{seed}")
+    mb.add_memory(1)
+    f = mb.function("vfuzz", params=[("a", "i32"), ("b", "i32")],
+                    results=["i32"], export=True)
+    f.add_local("x", "v128")
+    f.add_local("y", "v128")
+    f.get("a").emit("i32x4.splat").set("x")
+    f.get("b").emit("i32x4.splat").set("y")
+    for _ in range(rng.randrange(4, 9)):
+        kind = rng.randrange(4)
+        if kind == 0:
+            f.get("x").get("y").emit(rng.choice(_V128_BIN)).set("x")
+        elif kind == 1:
+            f.get(rng.choice(("x", "y"))).emit(rng.choice(_V128_UN)).set("y")
+        elif kind == 2:
+            # Replace one lane of x with a scalar derived from a lane of y.
+            f.get("x")
+            f.get("y").emit("i32x4.extract_lane", rng.randrange(4))
+            f.i32_const(rng.randrange(-(2**31), 2**31)).emit("i32.xor")
+            f.emit("i32x4.replace_lane", rng.randrange(4))
+            f.set("x")
+        else:
+            # Round-trip through linear memory (v128.store / v128.load).
+            addr = rng.randrange(0, 256) * 16
+            f.i32_const(addr).get("x").store("v128.store")
+            f.i32_const(addr).load("v128.load").set("y")
+    # Fold all four lanes of x into the scalar result.
+    f.get("x").emit("i32x4.extract_lane", 0)
+    for lane in (1, 2, 3):
+        f.get("x").emit("i32x4.extract_lane", lane).emit("i32.xor")
+    module = mb.build()
+    validate_module(module)
+    return module
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_v128_lane_modules_bit_for_bit(seed):
+    module = _v128_module(seed)
+    inputs = [(0, 0), (1, -1), (0x7FFFFFFF, 0x80000000), (123456789, 42)]
+    results, _formed = _all_executor_results(module, "vfuzz", inputs)
+    _assert_all_agree(results, f"v128 seed {seed}")
+
+
+def _bulk_memory_module(seed: int):
+    """A seeded module of fills, (overlapping) copies, and a checksum loop."""
+    rng = random.Random(seed ^ 0xB17C)
+    mb = ModuleBuilder(name=f"bulk-fuzz-{seed}")
+    mb.add_memory(1)
+    f = mb.function("blk", params=[("a", "i32"), ("b", "i32")],
+                    results=["i32"], export=True)
+    f.add_local("acc", "i32")
+    f.add_local("i", "i32")
+    f.add_local("end", "i32")
+    for _ in range(rng.randrange(4, 8)):
+        kind = rng.randrange(3)
+        if kind == 0:
+            # memory.fill: value comes from a parameter (low byte is used).
+            dst = rng.randrange(0, 1024) * 4
+            f.i32_const(dst).get(rng.choice(("a", "b")))
+            f.i32_const(rng.randrange(0, 512)).emit("memory.fill")
+        elif kind == 1:
+            # memory.copy with ranges that may overlap in either direction.
+            dst = rng.randrange(0, 1024) * 4
+            src = rng.randrange(max(0, dst // 4 - 64), 1024) * 4
+            f.i32_const(dst).i32_const(src)
+            f.i32_const(rng.randrange(0, 512)).emit("memory.copy")
+        else:
+            # Seed some non-uniform bytes so copies move real data around.
+            addr = rng.randrange(0, 1024) * 4
+            f.i32_const(addr).get("a").get("b").emit("i32.xor")
+            f.i32_const(rng.randrange(-(2**31), 2**31)).emit("i32.add")
+            f.store("i32.store")
+    # Order-sensitive checksum of the first 4 KiB: acc = rotl(acc, 1) ^ word.
+    f.i32_const(1024).set("end")
+    with f.for_range("i", end_local="end"):
+        f.get("acc").i32_const(1).emit("i32.rotl")
+        f.get("i").i32_const(2).emit("i32.shl").load("i32.load")
+        f.emit("i32.xor").set("acc")
+    f.get("acc")
+    module = mb.build()
+    validate_module(module)
+    return module
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_bulk_memory_modules_bit_for_bit(seed):
+    module = _bulk_memory_module(seed)
+    inputs = [(0, 0), (0xAB, 0xCD), (0xFFFFFFFF, 1), (77, 0x12345678)]
+    results, _formed = _all_executor_results(module, "blk", inputs)
+    _assert_all_agree(results, f"bulk-memory seed {seed}")
+
+
+def test_extended_corpus_forms_mined_chains():
+    """The mined-fusion leg must actually fuse something across the corpus."""
+    total = 0
+    for seed in range(8):
+        for module, export in ((_v128_module(seed), "vfuzz"),
+                               (_bulk_memory_module(seed), "blk")):
+            lowered = lower_module(module)
+            table = mine_superinstructions(lowered, min_occurrences=1)
+            total += apply_fusion_table(lowered, table)
+    assert total > 0, "no mined superinstruction ever applied to the corpus"
 
 
 def test_fuzz_corpus_exercises_superinstructions():

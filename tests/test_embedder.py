@@ -50,6 +50,10 @@ def test_address_translation_bounds_checked():
         translator.to_host(-4, 8)
     with pytest.raises(MemoryOutOfBoundsTrap):
         translator.to_host(5_000_000_000, 8)
+    # Regression: a negative byte count must be rejected outright, not be
+    # interpreted as a from-the-end Python slice of the linear memory.
+    with pytest.raises(MemoryOutOfBoundsTrap):
+        translator.to_host(256, -8)
 
 
 # -------------------------------------------------------- datatype translation
@@ -65,6 +69,29 @@ def test_datatype_translation_guest_to_host_and_back():
         translator.datatype(999)
     with pytest.raises(DatatypeTranslationError):
         translator.op(999)
+
+
+def test_bulk_handle_array_translation_round_trips():
+    from repro.core.memory_translation import read_handle_array, write_handle_array
+
+    memory = LinearMemory(MemoryType(Limits(1)))
+    handles = [7, 0, 2**32 - 1, 42]
+    write_handle_array(memory, 512, handles)
+    back = read_handle_array(memory, 512, len(handles))
+    assert back.dtype == np.dtype("<u4") and back.tolist() == handles
+    # The read is a defensive copy: mutating it must not touch guest memory.
+    back[0] = 99
+    assert read_handle_array(memory, 512, 1).tolist() == [7]
+    assert read_handle_array(memory, 512, 0).size == 0
+
+
+def test_datatype_translator_bulk_casts_are_vectorized():
+    translator = DatatypeTranslator(TranslationOverheadModel())
+    raw = np.arange(8, dtype="<i4").tobytes()
+    viewed = translator.as_ndarray(raw, abi.MPI_INT, 8)
+    assert viewed.tolist() == list(range(8))
+    widened = translator.cast_array(raw, abi.MPI_INT, abi.MPI_DOUBLE, 8)
+    assert widened.dtype == np.dtype("<f8") and widened.tolist() == list(range(8))
 
 
 def test_translation_latency_matches_figure6_calibration():

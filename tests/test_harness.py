@@ -223,3 +223,21 @@ def test_harness_cli_runs_selected_experiment(capsys):
     assert "static/wasm" in out
     with pytest.raises(SystemExit):
         main(["tableX"])
+
+
+def test_harness_cli_profile_emits_fusion_report(capsys):
+    import json
+
+    from repro.harness.cli import main
+
+    assert main(["profile", "allreduce", "--nranks", "2",
+                 "--emit-fusion-report"]) == 0
+    out = capsys.readouterr().out
+    assert "mined superinstruction candidates" in out
+
+    assert main(["profile", "allreduce", "--nranks", "2",
+                 "--emit-fusion-report", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert "fusion_report" in report
+    for rec in report["fusion_report"]:
+        assert rec["width"] == len(rec["kinds"]) >= 2 and rec["score"] > 0

@@ -15,8 +15,10 @@ from repro.wasm.interpreter import Interpreter
 from repro.wasm.lowering import (
     IR_VERSION,
     LoweredFunction,
+    apply_fusion_table,
     deserialize_lowered,
     lower_module,
+    mine_superinstructions,
     serialize_lowered,
 )
 
@@ -45,8 +47,8 @@ def test_lowering_pre_resolves_branches_and_constants():
     # No string-dispatch leftovers: every op is a resolved kind, and the
     # for_range exit check collapsed into one compare-branch superinstruction.
     assert "fused.get_get_cmp_br_if" in kinds
-    assert "fused.get_get_bin" in kinds      # acc + i
-    assert "fused.get_const_bin" in kinds    # i + 1
+    assert "fused.get_get_bin_set" in kinds      # acc + i -> acc, stack-free
+    assert "fused.get_const_bin_set_br" in kinds  # i + 1 -> i, plus back-edge
     # Branch targets are absolute offsets, not run-time scans.
     block_imms = [imm for kind, imm in lowered.ops if kind == "block"]
     assert block_imms and all(isinstance(imm[1], int) for imm in block_imms)
@@ -80,6 +82,76 @@ def test_lazy_interpreter_lowers_on_first_call_only():
     assert executor._functions == {}            # prepare() did no work
     assert instance.invoke("sum_to", 10) == [45]
     assert set(executor._functions) == {0}      # lowered exactly on first call
+
+
+# -------------------------------------------- profile-guided superinstructions
+
+
+def _v128_mix_module():
+    """Repeated (local.get, splat) and (local.get, extract_lane) runs: chains
+    the static fusion pass does not cover, so the miner has work to do."""
+    mb = ModuleBuilder(name="mining-tests")
+    mb.add_memory(1)
+    f = mb.function("mix", params=[("a", "i32"), ("b", "i32")],
+                    results=["i32"], export=True)
+    f.add_local("x", "v128")
+    f.get("a").emit("i32x4.splat")
+    f.get("b").emit("i32x4.splat")
+    f.emit("i32x4.add").set("x")
+    f.get("a").emit("i32x4.splat")
+    f.get("b").emit("i32x4.splat")
+    f.emit("i32x4.mul")
+    f.get("x").emit("v128.xor").set("x")
+    f.get("x").emit("i32x4.extract_lane", 0)
+    for lane in (1, 2, 3):
+        f.get("x").emit("i32x4.extract_lane", lane).emit("i32.xor")
+    module = mb.build()
+    validate_module(module)
+    return module
+
+
+def test_mined_fusion_round_trips_through_serialized_artifact():
+    """Acceptance: mine -> apply -> serialize -> deserialize -> link -> run."""
+    module = _v128_mix_module()
+    inputs = [(0, 0), (5, 9), (-3, 0x7FFFFFFF)]
+    plain = Instance(module, ImportObject(), executor=Interpreter())
+    reference = [plain.invoke("mix", a, b) for a, b in inputs]
+
+    lowered = lower_module(module)
+    table = mine_superinstructions(lowered)
+    assert table, "the repeated splat/extract runs must clear default thresholds"
+    assert all(rec["width"] >= 2 and rec["occurrences"] >= 2 for rec in table)
+    formed = apply_fusion_table(lowered, table)
+    assert formed > 0
+    [mixed] = lowered
+    assert any(kind == "fused.mined" for kind, _ in mixed.ops)
+
+    payload = serialize_lowered(lowered, fusion_table=table)
+    assert payload["fusion_table"] == table     # decisions ride in the artifact
+    rebuilt = deserialize_lowered(payload)
+    assert any(kind == "fused.mined" for kind, _ in rebuilt[0].ops)
+
+    fused = Instance(module, ImportObject(), executor=Interpreter(lowered=lowered))
+    replayed = Instance(module, ImportObject(), executor=Interpreter(lowered=rebuilt))
+    for (a, b), expected in zip(inputs, reference):
+        assert fused.invoke("mix", a, b) == expected
+        assert replayed.invoke("mix", a, b) == expected
+
+
+def test_mining_consumes_profiler_traces_and_histogram():
+    from repro.obs import profiling
+
+    module = _v128_mix_module()
+    with profiling() as profiler:
+        instance = Instance(module, ImportObject(), executor=Interpreter())
+        instance.invoke("mix", 1, 2)
+    assert profiler.ir_traces, "profiled execution must record serial IR traces"
+    table = mine_superinstructions(profiler.ir_traces.values(),
+                                   histogram=profiler.handler_histogram())
+    assert table and all(rec["score"] > 0 for rec in table)
+    # A histogram in which no constituent handler ever fired kills every chain.
+    assert mine_superinstructions(profiler.ir_traces.values(),
+                                  histogram={"_h_unrelated": 99}) == []
 
 
 # -------------------------------------------------------------------- caching

@@ -270,6 +270,41 @@ def test_profiler_counts_fused_superinstructions():
     assert any(name.startswith("_h_") for name in report["handlers"])
 
 
+def test_profiler_attributes_mined_superinstructions_by_chain():
+    from repro.obs import format_profile_report
+    from repro.wasm import ImportObject, Instance, ModuleBuilder, validate_module
+    from repro.wasm.interpreter import Interpreter
+    from repro.wasm.lowering import (
+        apply_fusion_table,
+        lower_module,
+        mine_superinstructions,
+    )
+
+    mb = ModuleBuilder(name="mined-attribution")
+    mb.add_memory(1)
+    f = mb.function("mix", params=[("a", "i32")], results=["i32"], export=True)
+    f.add_local("x", "v128")
+    f.get("a").emit("i32x4.splat").set("x")
+    f.get("a").emit("i32x4.splat").set("x")
+    f.get("x").emit("i32x4.extract_lane", 0)
+    f.get("x").emit("i32x4.extract_lane", 1).emit("i32.xor")
+    module = mb.build()
+    validate_module(module)
+
+    lowered = lower_module(module)
+    table = mine_superinstructions(lowered, min_occurrences=1)
+    assert apply_fusion_table(lowered, table) > 0
+    with profiling() as profiler:
+        instance = Instance(module, ImportObject(),
+                            executor=Interpreter(lowered=lowered))
+        assert instance.invoke("mix", 7) == [0]
+    mined = profiler.mined_hits()
+    assert mined, "mined chain executors must appear in the histogram"
+    assert all(name.startswith("_h_fused_mined__") for name in mined)
+    assert profiler.report()["mined_superinstructions"] == mined
+    assert "mined superinstruction" in format_profile_report(profiler)
+
+
 def test_profiler_sampling_scales_estimates():
     p = InterpreterProfiler(sample_every=4)
     p.handler_hits["_h_bin"] = 10
