@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of ``repro-harness serve`` (the CI ``serve-smoke`` job).
+
+Starts the daemon as a subprocess with the two example tenants, then:
+
+1. submits a campaign as ``alice`` (unmetered) and polls it to completion,
+   fetching a compiled artifact back out of the shared AoT cache,
+2. proves the over-quota tenant ``bob`` (``max_jobs: 1``) gets 429 with a
+   ``Retry-After`` header on his second submission,
+3. checks ``/healthz`` and the per-worker cache counters in ``/metrics``
+   (compile-once-per-worker: exactly one miss service-wide),
+4. sends SIGTERM and verifies a clean graceful-drain exit (code 0).
+
+Exits non-zero on the first failed expectation.
+"""
+
+import json
+import pathlib
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+HERE = pathlib.Path(__file__).resolve().parent
+PORT = 8123
+BASE = f"http://127.0.0.1:{PORT}"
+ALICE = "alice-secret-key-0001"
+BOB = "bob-secret-key-00002"
+
+
+def call(method, path, body=None, key=None):
+    req = urllib.request.Request(BASE + path, method=method)
+    if key:
+        req.add_header("Authorization", f"Bearer {key}")
+    data = None
+    if body is not None:
+        data = json.dumps(body).encode()
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, data=data, timeout=30) as resp:
+            raw, headers, status = resp.read(), dict(resp.headers), resp.status
+    except urllib.error.HTTPError as err:
+        raw, headers, status = err.read(), dict(err.headers), err.code
+    if headers.get("Content-Type", "").startswith("application/json"):
+        raw = json.loads(raw or b"{}")
+    return status, headers, raw
+
+
+def expect(condition, message):
+    if not condition:
+        print(f"FAIL: {message}")
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def wait_for_server(deadline=30.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        try:
+            status, _, _ = call("GET", "/healthz")
+            if status == 200:
+                return
+        except OSError:
+            pass
+        time.sleep(0.2)
+    print("FAIL: server did not come up")
+    sys.exit(1)
+
+
+def main():
+    cache_dir = tempfile.mkdtemp(prefix="serve-smoke-cache-")
+    daemon = subprocess.Popen([
+        sys.executable, "-m", "repro.harness.cli", "serve",
+        "--port", str(PORT), "--workers", "2", "--queue-size", "16",
+        "--tenants", str(HERE / "serve_tenants.json"),
+        "--backend", "cranelift", "--cache-dir", cache_dir,
+        "--drain-timeout", "60",
+    ])
+    try:
+        wait_for_server()
+
+        # --- alice: a campaign, polled to completion -------------------------
+        status, _, body = call("POST", "/v1/jobs", {
+            "kind": "campaign",
+            "spec": {"name": "serve-smoke", "benchmarks": [
+                {"benchmark": "pingpong", "nranks": [2], "backend": "cranelift",
+                 "repeats": 2},
+            ]},
+        }, key=ALICE)
+        expect(status == 202, f"alice campaign accepted (202), got {status}")
+        job_id = body["job_id"]
+        end = time.monotonic() + 120
+        state = None
+        while time.monotonic() < end:
+            _, _, record = call("GET", f"/v1/jobs/{job_id}", key=ALICE)
+            state = record["state"]
+            if state in ("done", "error", "cancelled"):
+                break
+            time.sleep(0.25)
+        expect(state == "done", f"alice campaign finished 'done', got {state!r}")
+
+        _, _, record = call("GET", f"/v1/jobs/{job_id}/result", key=ALICE)
+        result = record["result"]
+        expect(result["jobs_total"] == 2 and result["jobs_failed"] == 0,
+               "campaign ran 2 jobs, 0 failed")
+        expect(len(result["artifacts"]) == 1, "campaign names one compiled artifact")
+        artifact_key = result["artifacts"][0]
+        status, _, blob = call("GET", f"/v1/artifacts/{artifact_key}", key=ALICE)
+        expect(status == 200 and isinstance(blob, bytes) and blob,
+               f"artifact {artifact_key[:12]}... fetched from the AoT cache "
+               f"({len(blob)} bytes)")
+
+        # --- bob: one job in quota, then 429 + Retry-After -------------------
+        status, _, body = call("POST", "/v1/jobs", {
+            "benchmark": "pingpong", "nranks": 2, "backend": "cranelift",
+        }, key=BOB)
+        expect(status == 202, f"bob's first job accepted (202), got {status}")
+        status, headers, body = call("POST", "/v1/jobs", {
+            "benchmark": "pingpong", "nranks": 2,
+        }, key=BOB)
+        expect(status == 429, f"bob over quota gets 429, got {status}")
+        expect(int(headers.get("Retry-After", 0)) >= 1,
+               f"429 carries Retry-After ({headers.get('Retry-After')})")
+
+        # --- health + metrics -------------------------------------------------
+        status, _, health = call("GET", "/healthz")
+        expect(status == 200 and health["status"] == "ok", "healthz is ok")
+        expect(health["admission"]["quota_refused_total"] == 1,
+               "healthz counts the quota refusal")
+        _, _, metrics = call("GET", "/metrics")
+        text = metrics.decode()
+        misses = [float(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines()
+                  if line.startswith("repro_serve_worker_cache_misses{")]
+        expect(sum(misses) == 1.0,
+               f"compile-once-per-worker: one miss service-wide, got {misses}")
+
+        # --- graceful SIGTERM drain ------------------------------------------
+        daemon.send_signal(signal.SIGTERM)
+        code = daemon.wait(timeout=90)
+        expect(code == 0, f"daemon exited 0 on SIGTERM, got {code}")
+        print("serve smoke passed")
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10)
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

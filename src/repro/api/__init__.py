@@ -87,6 +87,13 @@ _EXPORT_SOURCES = {
     "InterpreterProfiler": "repro.obs",
     "profiling": "repro.obs",
     "format_profile_report": "repro.obs",
+    # Serving (repro.serve): the multi-tenant job service over warm sessions.
+    "ServeConfig": "repro.serve",
+    "JobService": "repro.serve",
+    "Tenant": "repro.serve",
+    "TenantStore": "repro.serve",
+    "create_server": "repro.serve",
+    "run_server": "repro.serve",
 }
 
 __all__ = sorted(["API_VERSION", "DEPRECATIONS", *_EXPORT_SOURCES])
@@ -131,6 +138,14 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         resolve_machine,
         run,
         use_session,
+    )
+    from repro.serve import (  # noqa: F401
+        JobService,
+        ServeConfig,
+        Tenant,
+        TenantStore,
+        create_server,
+        run_server,
     )
 
 

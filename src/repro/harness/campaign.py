@@ -541,6 +541,21 @@ def _run_experiment_job(spec: JobSpec, outcome: JobOutcome) -> None:
     outcome.exit_codes = [0]
 
 
+def _interrupted_outcome(spec: JobSpec, campaign_seed: int) -> JobOutcome:
+    """Structured record for a job the interrupt cut short (or never started)."""
+    return JobOutcome(
+        job_id=spec.job_id,
+        spec=spec,
+        seed=spec.seed(campaign_seed),
+        status="interrupted",
+        error={
+            "type": "KeyboardInterrupt",
+            "message": "campaign interrupted before this job completed",
+            "traceback": "",
+        },
+    )
+
+
 # ---------------------------------------------------------------- the runner
 
 
@@ -555,10 +570,14 @@ class CampaignResult:
     cache_stats: Dict[str, int] = field(default_factory=dict)
     compiled_modules: List[str] = field(default_factory=list)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: True when the campaign was cut short by ``KeyboardInterrupt``: the
+    #: pool was terminated and joined, and every job that had not finished
+    #: carries a status ``"interrupted"`` record instead of a result.
+    interrupted: bool = False
 
     @property
     def ok(self) -> bool:
-        return not self.errors
+        return not self.errors and not self.interrupted
 
     @property
     def errors(self) -> List[JobOutcome]:
@@ -606,6 +625,7 @@ class CampaignResult:
             "name": self.name,
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
+            "interrupted": self.interrupted,
             "jobs_total": len(self.outcomes),
             "jobs_failed": len(self.errors),
             "cache": self.cache_stats,
@@ -655,6 +675,11 @@ def run_campaign(
     per-worker session stores alone.  ``trace`` overrides the spec's
     ``trace`` flag; when on, every job records a per-rank event trace and
     :meth:`CampaignResult.trace_timeline` merges them into one Chrome trace.
+
+    ``KeyboardInterrupt`` does not orphan workers: the pool is terminated
+    and joined, unfinished jobs become ``"interrupted"`` records, and the
+    *partial* :class:`CampaignResult` is returned (``interrupted=True``) so
+    callers can still write an accounting ``campaign.json``.
     """
     if not isinstance(spec, CampaignSpec):
         spec = CampaignSpec.from_mapping(spec)
@@ -685,15 +710,19 @@ def run_campaign(
 
     start = time.perf_counter()
     outcomes: List[JobOutcome] = []
+    interrupted = False
     try:
         if workers == 1:
             job_session = session if session is not None else _fresh_session(shared_cache)
-            for job in jobs:
-                outcome = run_job(job, spec.seed, shared_cache,
-                                  session=job_session, trace=do_trace)
-                outcomes.append(outcome)
-                if progress is not None:
-                    progress(outcome)
+            try:
+                for job in jobs:
+                    outcome = run_job(job, spec.seed, shared_cache,
+                                      session=job_session, trace=do_trace)
+                    outcomes.append(outcome)
+                    if progress is not None:
+                        progress(outcome)
+            except KeyboardInterrupt:
+                interrupted = True
         else:
             from functools import partial
 
@@ -703,14 +732,29 @@ def run_campaign(
                 initializer=_init_worker_session,
                 initargs=(shared_cache,),
             ) as pool:
-                for outcome in pool.imap(
-                    partial(run_job, campaign_seed=spec.seed,
-                            cache_dir=shared_cache, trace=do_trace),
-                    jobs,
-                ):
-                    outcomes.append(outcome)
-                    if progress is not None:
-                        progress(outcome)
+                try:
+                    for outcome in pool.imap(
+                        partial(run_job, campaign_seed=spec.seed,
+                                cache_dir=shared_cache, trace=do_trace),
+                        jobs,
+                    ):
+                        outcomes.append(outcome)
+                        if progress is not None:
+                            progress(outcome)
+                except KeyboardInterrupt:
+                    # Ctrl-C (or a SIGINT to the process group): stop the
+                    # workers instead of orphaning them mid-job, then report
+                    # a *partial* campaign -- every unfinished job gets an
+                    # "interrupted" record so campaign.json still accounts
+                    # for the whole job list.
+                    interrupted = True
+                    pool.terminate()
+                    pool.join()
+        if interrupted:
+            done = {o.job_id for o in outcomes}
+            for job in jobs:
+                if job.job_id not in done:
+                    outcomes.append(_interrupted_outcome(job, spec.seed))
         if stats_cache is not None:
             cache_stats = stats_cache.global_stats(since=baseline_events)
             compiled = stats_cache.compiled_keys(since=baseline_events)
@@ -728,6 +772,7 @@ def run_campaign(
         wall_seconds=time.perf_counter() - start,
         cache_stats=cache_stats,
         compiled_modules=compiled,
+        interrupted=interrupted,
     )
     for outcome in outcomes:
         if outcome.metrics:

@@ -17,6 +17,10 @@ Two subcommands, both built on the campaign runner
 * ``profile <benchmark>`` -- run one benchmark job with the interpreter's
   sampled profiling hooks active and print the handler-hit histogram
   (proving which fused superinstructions fire) and hot-function self-times.
+* ``serve`` -- run the multi-tenant job service (:mod:`repro.serve`): a
+  long-running HTTP daemon accepting run/campaign/compile submissions onto
+  a bounded queue drained by warm per-worker sessions, with per-tenant
+  API keys, throttling/quotas, load-shedding, and ``/healthz``+``/metrics``.
 
 ``--workers 1`` (the default) keeps the serial in-process path, which
 determinism-sensitive tests rely on; higher worker counts produce identical
@@ -132,6 +136,11 @@ def _cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
         print()
         print(format_campaign_report(result))
     print(f"\nwrote {out_path}")
+    if result.interrupted:
+        unfinished = sum(1 for o in result.outcomes if o.status == "interrupted")
+        print(f"interrupted: {unfinished} of {len(result.outcomes)} jobs did not run "
+              "(partial results written)")
+        return 130
     if not result.ok:
         print(f"{len(result.errors)} of {len(result.outcomes)} jobs failed")
         return 1
@@ -207,6 +216,32 @@ def _cmd_profile(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.serve import ServeConfig, TenantStore, run_server
+
+    tenants = None
+    if args.tenants:
+        try:
+            tenants = TenantStore.from_file(args.tenants)
+        except (OSError, ValueError, KeyError) as exc:
+            parser.error(f"cannot load tenants file {args.tenants!r}: {exc}")
+    elif args.dev_key:
+        tenants = TenantStore.dev_store(args.dev_key)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        tenants=tenants,
+        backend=args.backend,
+        machine=args.machine,
+        cache_dir=args.cache_dir,
+        drain_timeout=args.drain_timeout,
+        quiet=not args.verbose,
+    )
+    return run_server(config)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-harness",
@@ -263,6 +298,39 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument("--emit-fusion-report", action="store_true",
                                 help="mine hot handler chains from the recorded IR "
                                      "traces and report superinstruction candidates")
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the multi-tenant job service (warm worker sessions)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8765,
+                              help="bind port; 0 picks an ephemeral port (default 8765)")
+    serve_parser.add_argument("--workers", type=int, default=2,
+                              help="warm worker sessions draining the queue (default 2)")
+    serve_parser.add_argument("--queue-size", type=int, default=16,
+                              help="bounded submission queue depth; overflow is shed "
+                                   "with 503 + Retry-After (default 16)")
+    serve_parser.add_argument("--tenants", default=None,
+                              help="tenants JSON file (API keys, rates, quotas); "
+                                   "default: one generated 'dev' tenant, key printed "
+                                   "at startup")
+    serve_parser.add_argument("--dev-key", default=None,
+                              help="run with a single unmetered 'dev' tenant using "
+                                   "this API key (ignored with --tenants)")
+    serve_parser.add_argument("--backend", default=None,
+                              help="compiler backend for worker sessions (default: "
+                                   "session default)")
+    serve_parser.add_argument("--machine", default=None,
+                              help="machine preset for worker sessions (default: "
+                                   "session default)")
+    serve_parser.add_argument("--cache-dir", default=None,
+                              help="shared AoT cache directory backing /v1/artifacts "
+                                   "(default: a private temp dir, removed at shutdown)")
+    serve_parser.add_argument("--drain-timeout", type=float, default=30.0,
+                              help="seconds to let queued jobs finish on SIGTERM "
+                                   "(default 30)")
+    serve_parser.add_argument("--verbose", action="store_true",
+                              help="log every HTTP request to stderr")
     return parser
 
 
@@ -273,7 +341,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Back-compat: `repro-experiments table1 figure3` (no subcommand) still
     # works -- anything that is not a subcommand is treated as `run ...`.
-    if not argv or argv[0] not in ("campaign", "run", "trace", "profile", "-h", "--help"):
+    if not argv or argv[0] not in (
+        "campaign", "run", "trace", "profile", "serve", "-h", "--help"
+    ):
         argv = ["run", *argv]
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -283,6 +353,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_trace(args, parser)
     if args.command == "profile":
         return _cmd_profile(args, parser)
+    if args.command == "serve":
+        return _cmd_serve(args, parser)
     return _cmd_run(args, parser)
 
 

@@ -1,0 +1,43 @@
+"""``repro.serve`` -- a multi-tenant job service over warm Sessions.
+
+The serving tier of the reproduction: a stdlib-only HTTP daemon
+(``repro-harness serve``) that keeps a pool of warm per-worker
+:class:`~repro.api.Session` objects (compile-once-per-worker, shared
+on-disk AoT cache) and exposes run/campaign/compile submissions, job
+status and results, compiled-artifact downloads, and operational
+``/healthz`` + ``/metrics`` endpoints.  See ``docs/SERVING.md``.
+"""
+
+from repro.serve.auth import AuthError, Tenant, TenantStore
+from repro.serve.jobs import BoundedJobQueue, JobRecord, JobStore
+from repro.serve.pool import WorkerPool
+from repro.serve.quota import AdmissionController, QuotaLedger, ThrottledError, TokenBucket
+from repro.serve.server import (
+    JobService,
+    ServeConfig,
+    ServeHTTPServer,
+    create_server,
+    run_server,
+)
+from repro.serve.wire import WireError, validate_submission
+
+__all__ = [
+    "AdmissionController",
+    "AuthError",
+    "BoundedJobQueue",
+    "JobRecord",
+    "JobService",
+    "JobStore",
+    "QuotaLedger",
+    "ServeConfig",
+    "ServeHTTPServer",
+    "Tenant",
+    "TenantStore",
+    "ThrottledError",
+    "TokenBucket",
+    "WireError",
+    "WorkerPool",
+    "create_server",
+    "run_server",
+    "validate_submission",
+]

@@ -1,0 +1,131 @@
+"""Tenant identity for the job service: API keys and their limits.
+
+The service is multi-tenant: every ``/v1/*`` request presents an API key
+(``Authorization: Bearer <key>`` or ``X-API-Key``), which maps to a
+:class:`Tenant` carrying that tenant's throttle rate, burst size, and job
+quota.  Key comparison is constant-time (:func:`hmac.compare_digest`) and
+the store always scans *every* tenant, so response timing leaks neither key
+contents nor which tenants exist.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import secrets
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.serve.wire import WireError
+
+
+class AuthError(WireError):
+    """Missing or unrecognised API key (HTTP 401)."""
+
+    def __init__(self, message: str = "missing or invalid API key"):
+        super().__init__(401, message, code="unauthorized")
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant: an API key plus the limits the service enforces for it.
+
+    ``rate`` is the sustained submission rate (requests refilled per
+    second) and ``burst`` the token-bucket depth; ``max_jobs`` is a hard
+    cumulative quota on admitted jobs (``None`` = unmetered).  A campaign
+    counts as its expanded job count, not 1.
+    """
+
+    name: str
+    key: str
+    rate: float = 10.0
+    burst: int = 20
+    max_jobs: Optional[int] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if not self.key or len(self.key) < 8:
+            raise ValueError(f"tenant {self.name!r}: API key must be at least 8 characters")
+        if self.rate <= 0 or self.burst < 1:
+            raise ValueError(f"tenant {self.name!r}: rate must be > 0 and burst >= 1")
+
+
+class TenantStore:
+    """Immutable collection of tenants keyed by API key."""
+
+    def __init__(self, tenants: Iterable[Tenant]):
+        self._tenants: List[Tenant] = list(tenants)
+        names = [t.name for t in self._tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {sorted(names)}")
+        if len({t.key for t in self._tenants}) != len(self._tenants):
+            raise ValueError("two tenants share one API key")
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __iter__(self):
+        return iter(self._tenants)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "TenantStore":
+        """Build a store from the ``tenants.json`` schema::
+
+            {"tenants": [{"name": "alice", "key": "...", "rate": 5,
+                          "burst": 10, "max_jobs": 100}, ...]}
+        """
+        entries = mapping.get("tenants")
+        if not isinstance(entries, list) or not entries:
+            raise ValueError("tenants file must contain a non-empty 'tenants' list")
+        tenants = []
+        for entry in entries:
+            if not isinstance(entry, Mapping):
+                raise ValueError(f"tenant entry must be an object, got {entry!r}")
+            unknown = set(entry) - {"name", "key", "rate", "burst", "max_jobs"}
+            if unknown:
+                raise ValueError(f"unknown tenant keys {sorted(unknown)}")
+            tenants.append(Tenant(
+                name=str(entry["name"]),
+                key=str(entry["key"]),
+                rate=float(entry.get("rate", 10.0)),
+                burst=int(entry.get("burst", 20)),
+                max_jobs=(None if entry.get("max_jobs") is None
+                          else int(entry["max_jobs"])),
+            ))
+        return cls(tenants)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "TenantStore":
+        return cls.from_mapping(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    @classmethod
+    def dev_store(cls, key: Optional[str] = None) -> "TenantStore":
+        """A single unmetered ``dev`` tenant (random key unless given)."""
+        return cls([Tenant(name="dev", key=key or secrets.token_hex(16),
+                           rate=1000.0, burst=1000)])
+
+    def authenticate(self, presented: Optional[str]) -> Tenant:
+        """The tenant owning ``presented``, or :class:`AuthError` (401).
+
+        Compares against every stored key with ``hmac.compare_digest`` --
+        no early exit, so timing does not reveal whether a prefix matched.
+        """
+        if not presented:
+            raise AuthError("missing API key (use 'Authorization: Bearer <key>')")
+        matched: Optional[Tenant] = None
+        for tenant in self._tenants:
+            if hmac.compare_digest(tenant.key.encode(), presented.encode()):
+                matched = tenant
+        if matched is None:
+            raise AuthError()
+        return matched
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """The ``tenants.json`` form (for generated dev configurations)."""
+        return {"tenants": [
+            {"name": t.name, "key": t.key, "rate": t.rate, "burst": t.burst,
+             "max_jobs": t.max_jobs}
+            for t in self._tenants
+        ]}

@@ -1,0 +1,207 @@
+"""Job records, the job store, and the bounded submission queue.
+
+Memory never grows without bound: the queue has a hard capacity (overflow
+is *shed* with 503 at the HTTP layer, counted, never buffered), and the
+store retains at most ``max_records`` jobs, evicting the oldest *finished*
+records once full (in-flight jobs are never evicted).
+"""
+
+from __future__ import annotations
+
+import collections
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+# Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+ERROR = "error"
+CANCELLED = "cancelled"
+
+STATES = (QUEUED, RUNNING, DONE, ERROR, CANCELLED)
+_FINISHED = (DONE, ERROR, CANCELLED)
+
+
+def new_job_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass
+class JobRecord:
+    """One submitted job as tracked by the service.
+
+    ``payload`` is the *normalised* submission (see
+    :func:`repro.serve.wire.validate_submission`); it may hold raw bytes
+    (compile jobs), so :meth:`to_wire` exposes only JSON-safe fields.
+    """
+
+    job_id: str
+    tenant: str
+    kind: str
+    payload: Dict[str, Any]
+    cost: int = 1
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    submitted_mono: float = field(default_factory=time.monotonic)
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
+    worker: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[Dict[str, Any]] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state in _FINISHED
+
+    def wall_seconds(self) -> Optional[float]:
+        if self.started_mono is None or self.finished_mono is None:
+            return None
+        return self.finished_mono - self.started_mono
+
+    def to_wire(self, include_result: bool = False) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "state": self.state,
+            "cost": self.cost,
+            "submitted_at": self.submitted_at,
+            "worker": self.worker,
+        }
+        wall = self.wall_seconds()
+        if wall is not None:
+            body["wall_seconds"] = round(wall, 6)
+        if self.error is not None:
+            body["error"] = self.error
+        if include_result:
+            body["result"] = self.result
+        return body
+
+
+class JobStore:
+    """Thread-safe bounded store of job records, insertion-ordered."""
+
+    def __init__(self, max_records: int = 1024):
+        if max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        self.max_records = max_records
+        self._records: "collections.OrderedDict[str, JobRecord]" = collections.OrderedDict()
+        self._lock = threading.Lock()
+
+    def add(self, record: JobRecord) -> None:
+        with self._lock:
+            self._records[record.job_id] = record
+            self._evict_locked()
+
+    def _evict_locked(self) -> None:
+        if len(self._records) <= self.max_records:
+            return
+        # Oldest finished records go first; live jobs are never dropped.
+        for job_id in list(self._records):
+            if len(self._records) <= self.max_records:
+                break
+            if self._records[job_id].finished:
+                del self._records[job_id]
+
+    def get(self, job_id: str, tenant: Optional[str] = None) -> Optional[JobRecord]:
+        """Fetch a record, scoped to ``tenant`` when given: a job belonging
+        to another tenant reads as absent, not forbidden."""
+        with self._lock:
+            record = self._records.get(job_id)
+        if record is None:
+            return None
+        if tenant is not None and record.tenant != tenant:
+            return None
+        return record
+
+    def discard(self, job_id: str) -> None:
+        with self._lock:
+            self._records.pop(job_id, None)
+
+    def list_for(self, tenant: str, limit: int = 100) -> List[JobRecord]:
+        with self._lock:
+            records = [r for r in self._records.values() if r.tenant == tenant]
+        return records[-limit:]
+
+    def mark_running(self, record: JobRecord, worker: str) -> None:
+        with self._lock:
+            record.state = RUNNING
+            record.worker = worker
+            record.started_mono = time.monotonic()
+
+    def mark_done(self, record: JobRecord, result: Dict[str, Any]) -> None:
+        with self._lock:
+            record.state = DONE
+            record.result = result
+            record.finished_mono = time.monotonic()
+
+    def mark_error(self, record: JobRecord, error: Dict[str, Any]) -> None:
+        with self._lock:
+            record.state = ERROR
+            record.error = error
+            record.finished_mono = time.monotonic()
+
+    def mark_cancelled(self, record: JobRecord, reason: str) -> None:
+        with self._lock:
+            record.state = CANCELLED
+            record.error = {"type": "Cancelled", "message": reason}
+            record.finished_mono = time.monotonic()
+
+    def counts(self) -> Dict[str, int]:
+        out = {state: 0 for state in STATES}
+        with self._lock:
+            for record in self._records.values():
+                out[record.state] += 1
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+class BoundedJobQueue:
+    """A hard-capacity FIFO between the HTTP layer and the worker pool.
+
+    ``try_put`` never blocks: a full queue returns ``False`` immediately
+    (the caller sheds with 503), so a flood translates to refused requests,
+    not resident memory.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self._q: "queue.Queue[JobRecord]" = queue.Queue(maxsize=capacity)
+
+    def try_put(self, record: JobRecord) -> bool:
+        try:
+            self._q.put_nowait(record)
+            return True
+        except queue.Full:
+            return False
+
+    def get(self, timeout: float) -> Optional[JobRecord]:
+        try:
+            return self._q.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def drain_now(self) -> List[JobRecord]:
+        """Empty the queue immediately (shutdown path)."""
+        out = []
+        while True:
+            try:
+                out.append(self._q.get_nowait())
+            except queue.Empty:
+                return out
+
+    def depth(self) -> int:
+        return self._q.qsize()
+
+    def empty(self) -> bool:
+        return self._q.empty()

@@ -1,0 +1,166 @@
+"""Admission control: per-tenant token buckets and job quotas.
+
+Two independent mechanisms gate every submission:
+
+* a **token bucket** per tenant smooths the request *rate* (``tenant.rate``
+  tokens/second refill, ``tenant.burst`` depth).  An empty bucket means
+  HTTP 429 with ``Retry-After`` computed from the exact refill deficit,
+* a **quota ledger** caps the *cumulative* number of jobs a tenant may
+  admit (``tenant.max_jobs``).  Campaigns charge their expanded job count.
+  Exhausted quota is also 429, with a long advisory ``Retry-After``.
+
+All clocks here are monotonic -- admission decisions must not wobble when
+the wall clock steps (see the same policy in
+:meth:`repro.wasm.compilers.cache.FileSystemCache.load_or_compute`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.serve.auth import Tenant
+from repro.serve.wire import WireError
+
+#: Advisory Retry-After for a hard quota refusal (nothing refills it).
+QUOTA_RETRY_AFTER = 3600.0
+
+
+class ThrottledError(WireError):
+    """Rate or quota limit hit (HTTP 429 + Retry-After)."""
+
+    def __init__(self, message: str, retry_after: float, code: str):
+        super().__init__(429, message, retry_after=retry_after, code=code)
+
+
+class TokenBucket:
+    """Thread-safe monotonic token bucket.
+
+    ``acquire(n)`` returns ``0.0`` when ``n`` tokens were taken, else the
+    seconds until the deficit refills (and takes nothing).
+    """
+
+    def __init__(self, rate: float, burst: float):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp = time.monotonic()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def acquire(self, tokens: float = 1.0) -> float:
+        with self._lock:
+            now = time.monotonic()
+            self._refill(now)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return 0.0
+            return (tokens - self._tokens) / self.rate
+
+    def available(self) -> float:
+        with self._lock:
+            self._refill(time.monotonic())
+            return self._tokens
+
+
+class QuotaLedger:
+    """Cumulative per-tenant job accounting against ``max_jobs``."""
+
+    def __init__(self) -> None:
+        self._admitted: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def charge(self, tenant: Tenant, cost: int) -> Optional[int]:
+        """Admit ``cost`` jobs; returns the new total, or ``None`` when the
+        charge would exceed the tenant's quota (nothing is charged)."""
+        with self._lock:
+            used = self._admitted.get(tenant.name, 0)
+            if tenant.max_jobs is not None and used + cost > tenant.max_jobs:
+                return None
+            self._admitted[tenant.name] = used + cost
+            return used + cost
+
+    def refund(self, tenant: Tenant, cost: int) -> None:
+        """Undo a charge whose submission was shed before it was queued."""
+        with self._lock:
+            self._admitted[tenant.name] = max(0, self._admitted.get(tenant.name, 0) - cost)
+
+    def used(self, tenant_name: str) -> int:
+        with self._lock:
+            return self._admitted.get(tenant_name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._admitted)
+
+
+class AdmissionController:
+    """The gate every submission passes: bucket first, then quota.
+
+    Keeps its own refusal counters (throttled / quota-refused, total and
+    per-tenant) for ``/metrics``.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.ledger = QuotaLedger()
+        self._lock = threading.Lock()
+        self.throttled_total = 0
+        self.quota_refused_total = 0
+        self._refused_by_tenant: Dict[str, int] = {}
+
+    def _bucket(self, tenant: Tenant) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant.name)
+            if bucket is None:
+                bucket = self._buckets[tenant.name] = TokenBucket(tenant.rate, tenant.burst)
+            return bucket
+
+    def _count_refusal(self, tenant: Tenant, kind: str) -> None:
+        with self._lock:
+            if kind == "throttle":
+                self.throttled_total += 1
+            else:
+                self.quota_refused_total += 1
+            name = tenant.name
+            self._refused_by_tenant[name] = self._refused_by_tenant.get(name, 0) + 1
+
+    def admit(self, tenant: Tenant, cost: int) -> None:
+        """Raise :class:`ThrottledError` (429) unless ``cost`` jobs may pass.
+
+        One submission costs one bucket token regardless of ``cost`` (the
+        bucket limits request *rate*); the ledger charges the full ``cost``.
+        """
+        retry_after = self._bucket(tenant).acquire(1.0)
+        if retry_after > 0:
+            self._count_refusal(tenant, "throttle")
+            raise ThrottledError(
+                f"tenant {tenant.name!r} is over its submission rate "
+                f"({tenant.rate:g}/s, burst {tenant.burst:g})",
+                retry_after=max(retry_after, 0.001),
+                code="rate_limited",
+            )
+        if self.ledger.charge(tenant, cost) is None:
+            self._count_refusal(tenant, "quota")
+            raise ThrottledError(
+                f"tenant {tenant.name!r} has exhausted its job quota "
+                f"({self.ledger.used(tenant.name)}/{tenant.max_jobs} jobs used; "
+                f"this submission needs {cost})",
+                retry_after=QUOTA_RETRY_AFTER,
+                code="quota_exhausted",
+            )
+
+    def refund(self, tenant: Tenant, cost: int) -> None:
+        """Roll back the ledger charge of a submission shed at the queue."""
+        self.ledger.refund(tenant, cost)
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "throttled_total": self.throttled_total,
+                "quota_refused_total": self.quota_refused_total,
+            }

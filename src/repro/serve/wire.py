@@ -1,0 +1,233 @@
+"""Wire-level concerns of the job service: errors, validation, rendering.
+
+Everything that crosses the HTTP boundary is funnelled through this module:
+
+* :class:`WireError` -- the one exception family the request handler turns
+  into an HTTP response (status, JSON body, optional ``Retry-After``),
+* :func:`validate_submission` -- normalises an untrusted JSON submission
+  into a typed job payload, rejecting anything malformed with a 400 *before*
+  it reaches a worker (including hostile ``.wasm`` bytes, which surface as
+  :class:`~repro.wasm.decoder.DecodeError` / ``ValidationError`` -- typed
+  :class:`~repro.wasm.errors.WasmError` subclasses mapped to 400 here),
+* :func:`render_prometheus` -- flat counter/gauge mappings as Prometheus
+  text exposition format for ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import re
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.wasm.errors import WasmError
+
+#: Submission kinds the service understands.
+KINDS = ("run", "campaign", "compile")
+
+#: Hex content-hash keys as produced by ``module_hash`` (blake2b-256).
+ARTIFACT_KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+class WireError(Exception):
+    """A request failure with a definite HTTP status.
+
+    The handler catches exactly this family and renders ``to_payload()`` as
+    the JSON response body; ``retry_after`` (seconds) becomes a
+    ``Retry-After`` header so throttled (429) and shed (503) clients know
+    when to come back.
+    """
+
+    def __init__(self, status: int, message: str, *,
+                 retry_after: Optional[float] = None,
+                 code: Optional[str] = None):
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+        self.retry_after = retry_after
+        self.code = code
+
+    def to_payload(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"error": self.message, "status": self.status}
+        if self.code:
+            payload["code"] = self.code
+        if self.retry_after is not None:
+            payload["retry_after"] = round(float(self.retry_after), 3)
+        return payload
+
+
+def _require(payload: Mapping[str, Any], key: str, types: Tuple[type, ...],
+             kind_name: str) -> Any:
+    value = payload.get(key)
+    if value is None:
+        raise WireError(400, f"{kind_name} submission requires {key!r}", code="missing_field")
+    if not isinstance(value, types):
+        names = "/".join(t.__name__ for t in types)
+        raise WireError(
+            400, f"{key!r} must be {names}, got {type(value).__name__}", code="bad_field")
+    return value
+
+
+def _optional_str(payload: Mapping[str, Any], key: str) -> Optional[str]:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise WireError(400, f"{key!r} must be a string", code="bad_field")
+    return value
+
+
+def _check_registered(registry_name: str, name: str) -> None:
+    """400 for names the registries do not know, with the known list."""
+    from repro.api import registry as registries
+
+    registry = getattr(registries, registry_name)
+    try:
+        registry.get(name)
+    except Exception as exc:  # UnknownEntryError lists the alternatives
+        raise WireError(400, str(exc), code="unknown_name") from exc
+
+
+def validate_submission(
+    payload: Any,
+    *,
+    max_nranks: int = 4096,
+    max_campaign_jobs: int = 256,
+) -> Dict[str, Any]:
+    """Validate one untrusted submission body into a normalised job payload.
+
+    Returns a dict with at least ``kind`` and ``cost`` (the number of
+    underlying jobs, used for quota accounting).  Raises :class:`WireError`
+    (status 400) for anything the service should refuse synchronously --
+    including module bytes that fail decode/validation, so hostile binaries
+    never occupy a worker.
+    """
+    if not isinstance(payload, Mapping):
+        raise WireError(400, "submission body must be a JSON object", code="bad_body")
+    kind = payload.get("kind", "run")
+    if kind not in KINDS:
+        raise WireError(400, f"unknown submission kind {kind!r}; known: {list(KINDS)}",
+                        code="unknown_kind")
+
+    if kind == "run":
+        benchmark = _require(payload, "benchmark", (str,), "run")
+        _check_registered("BENCHMARKS", benchmark)
+        nranks = payload.get("nranks", 2)
+        if not isinstance(nranks, int) or isinstance(nranks, bool) or nranks < 1:
+            raise WireError(400, "'nranks' must be a positive integer", code="bad_field")
+        if nranks > max_nranks:
+            raise WireError(400, f"'nranks' exceeds the service limit of {max_nranks}",
+                            code="limit_exceeded")
+        mode = payload.get("mode", "wasm")
+        if not isinstance(mode, str):
+            raise WireError(400, "'mode' must be a string", code="bad_field")
+        _check_registered("MODES", mode)
+        backend = _optional_str(payload, "backend")
+        if backend is not None:
+            _check_registered("BACKENDS", backend)
+        machine = _optional_str(payload, "machine")
+        if machine is not None:
+            _check_registered("MACHINES", machine)
+        algorithms = payload.get("algorithms")
+        if algorithms is not None and not (
+            isinstance(algorithms, Mapping)
+            and all(isinstance(k, str) and isinstance(v, str) for k, v in algorithms.items())
+        ):
+            raise WireError(400, "'algorithms' must map collective names to algorithm names",
+                            code="bad_field")
+        guest_args = payload.get("guest_args", [])
+        if not (isinstance(guest_args, (list, tuple))
+                and all(isinstance(a, str) for a in guest_args)):
+            raise WireError(400, "'guest_args' must be a list of strings", code="bad_field")
+        return {
+            "kind": "run",
+            "benchmark": benchmark,
+            "nranks": nranks,
+            "mode": mode,
+            "backend": backend,
+            "machine": machine,
+            "algorithms": dict(algorithms) if algorithms else None,
+            "guest_args": list(guest_args),
+            "cost": 1,
+        }
+
+    if kind == "campaign":
+        from repro.harness.campaign import CampaignSpec
+
+        spec = _require(payload, "spec", (Mapping,), "campaign")
+        try:
+            jobs = CampaignSpec.from_mapping(spec).expand()
+        except (ValueError, TypeError, KeyError) as exc:
+            raise WireError(400, f"invalid campaign spec: {exc}", code="bad_spec") from exc
+        if not jobs:
+            raise WireError(400, "campaign spec expands to zero jobs", code="bad_spec")
+        if len(jobs) > max_campaign_jobs:
+            raise WireError(
+                400,
+                f"campaign expands to {len(jobs)} jobs; the service limit is "
+                f"{max_campaign_jobs}",
+                code="limit_exceeded",
+            )
+        return {"kind": "campaign", "spec": dict(spec), "cost": len(jobs)}
+
+    # kind == "compile": raw module bytes, the fully untrusted path.
+    from repro.wasm.decoder import decode_module
+    from repro.wasm.validation import validate_module
+
+    encoded = _require(payload, "wasm_base64", (str,), "compile")
+    try:
+        wasm_bytes = base64.b64decode(encoded, validate=True)
+    except (binascii.Error, ValueError) as exc:
+        raise WireError(400, f"'wasm_base64' is not valid base64: {exc}",
+                        code="bad_field") from exc
+    backend = _optional_str(payload, "backend")
+    if backend is not None:
+        _check_registered("BACKENDS", backend)
+    try:
+        module = decode_module(wasm_bytes)
+        validate_module(module)
+    except WasmError as exc:
+        raise WireError(400, f"rejected module: {type(exc).__name__}: {exc}",
+                        code="bad_module") from exc
+    return {
+        "kind": "compile",
+        "wasm_bytes": wasm_bytes,
+        "backend": backend,
+        "cost": 1,
+    }
+
+
+def metric_name(name: str) -> str:
+    """A dotted internal counter name as a legal Prometheus metric name."""
+    return _METRIC_NAME_RE.sub("_", name)
+
+
+def render_prometheus(
+    counters: Mapping[str, float],
+    gauges: Mapping[str, float],
+    labelled: Iterable[Tuple[str, Mapping[str, str], float]] = (),
+) -> str:
+    """Flat metrics as Prometheus text exposition format (version 0.0.4)."""
+    lines = []
+    for name in sorted(counters):
+        safe = metric_name(name)
+        lines.append(f"# TYPE {safe} counter")
+        lines.append(f"{safe} {counters[name]}")
+    for name in sorted(gauges):
+        safe = metric_name(name)
+        lines.append(f"# TYPE {safe} gauge")
+        lines.append(f"{safe} {gauges[name]}")
+    typed = set()
+    for name, labels, value in labelled:
+        safe = metric_name(name)
+        if safe not in typed:
+            typed.add(safe)
+            lines.append(f"# TYPE {safe} gauge")
+        rendered = ",".join(
+            f'{metric_name(k)}="{str(v).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+            for k, v in sorted(labels.items())
+        )
+        lines.append(f"{safe}{{{rendered}}} {value}")
+    return "\n".join(lines) + "\n"

@@ -227,20 +227,55 @@ class FileSystemCache(_CacheStatsMixin):
 
     # ----------------------------------------------------- compile-once path
 
+    def _stat_lock(self, lock: Path):
+        """``os.stat`` of the lock file, ``None`` if it vanished meanwhile.
+
+        A separate method so concurrency tests can interpose between the
+        staleness judgment and the identity re-check below.
+        """
+        try:
+            return os.stat(lock)
+        except FileNotFoundError:
+            return None
+
+    def _break_stale_lock(self, lock: Path, observed) -> None:
+        """Break ``lock``, but only if it is still the exact file ``observed``.
+
+        Two waiters can both judge the same lock stale; the first unlink wins
+        the break and a third process may immediately re-acquire by creating
+        a *fresh* lock at the same path.  An unconditional second unlink
+        would then delete that fresh lock and let two compiles run
+        concurrently.  Re-stat immediately before unlinking and compare the
+        file's identity (device, inode, mtime) with the stat that justified
+        the staleness judgment: a mismatch means the stale lock is already
+        gone and whatever sits at the path now is someone else's live lock.
+        """
+        current = self._stat_lock(lock)
+        if current is None:
+            return  # released (or broken by another waiter) meanwhile
+        if (current.st_dev, current.st_ino, current.st_mtime_ns) != (
+            observed.st_dev, observed.st_ino, observed.st_mtime_ns
+        ):
+            return  # a different (fresh) lock took the path: not ours to break
+        try:
+            lock.unlink()
+        except FileNotFoundError:
+            pass  # another breaker got there between the re-stat and here
+
     def _try_acquire(self, lock: Path) -> bool:
-        for _attempt in range(2):
+        for _attempt in range(3):
             try:
                 fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
             except FileExistsError:
-                try:
-                    # Re-stat immediately before breaking so a lock another
-                    # process just (re)acquired is not mistaken for the stale
-                    # one observed earlier.
-                    if time.time() - lock.stat().st_mtime <= self.LOCK_TIMEOUT:
-                        return False
-                    lock.unlink()  # holder died mid-compile; break the lock
-                except FileNotFoundError:
-                    pass  # released meanwhile -- retry the acquire
+                observed = self._stat_lock(lock)
+                if observed is None:
+                    continue  # released meanwhile -- retry the acquire
+                # Staleness is judged on wall-clock mtime: the holder may be
+                # another process, and mtimes are the only clock both share.
+                if time.time() - observed.st_mtime <= self.LOCK_TIMEOUT:
+                    return False
+                # Holder died mid-compile: break the lock (identity-checked).
+                self._break_stale_lock(lock, observed)
                 continue
             os.close(fd)
             return True
@@ -269,7 +304,14 @@ class FileSystemCache(_CacheStatsMixin):
             self._log_event("hit", key)
             return compiled, True
         lock = self._lock_path(key)
-        deadline = time.time() + 2 * self.LOCK_TIMEOUT
+        # The wait deadline is *monotonic*: it times out a wait happening in
+        # this process, where wall-clock steps must not matter (a backwards
+        # step would spin far past the intended deadline, a forwards step
+        # would give up on a perfectly live compiler).  The lock *staleness*
+        # check in _try_acquire stays wall-clock on purpose -- it compares
+        # against another process's mtime stamp, and file mtimes are
+        # wall-clock (monotonic readings are not comparable across processes).
+        deadline = time.monotonic() + 2 * self.LOCK_TIMEOUT
         acquired = False
         try:
             while True:
@@ -278,7 +320,7 @@ class FileSystemCache(_CacheStatsMixin):
                     break
                 # Somebody else holds the lock: wait for their publish (hit)
                 # or their release (retry the acquire) instead of compiling.
-                while lock.exists() and time.time() < deadline:
+                while lock.exists() and time.monotonic() < deadline:
                     compiled = self._read(key, module)
                     if compiled is not None:
                         self.hits += 1
@@ -286,7 +328,7 @@ class FileSystemCache(_CacheStatsMixin):
                         self._log_event("hit", key)
                         return compiled, True
                     time.sleep(self.LOCK_POLL)
-                if time.time() >= deadline:
+                if time.monotonic() >= deadline:
                     # Liveness backstop: the holder is wedged well past the
                     # stale threshold -- compile without the lock.
                     break

@@ -13,6 +13,7 @@ from typing import List, Optional, Tuple
 
 from repro.wasm import opcodes
 from repro.wasm.encoder import MAGIC, VERSION
+from repro.wasm.errors import WasmError
 from repro.wasm.instructions import BlockType, Instruction, MemArg
 from repro.wasm.module import (
     CustomSection,
@@ -34,8 +35,15 @@ _F32 = struct.Struct("<f")
 _F64 = struct.Struct("<d")
 
 
-class DecodeError(ValueError):
-    """Raised when the byte stream is not a valid module for this decoder."""
+class DecodeError(WasmError, ValueError):
+    """Raised when the byte stream is not a valid module for this decoder.
+
+    A :class:`~repro.wasm.errors.WasmError` subclass (and still a
+    ``ValueError`` for backwards compatibility), so embedders facing
+    untrusted module bytes -- the serve layer maps decode failures to
+    HTTP 400 -- can catch one typed error family instead of low-level
+    ``struct.error`` / ``IndexError`` leaks.
+    """
 
 
 class _Reader:
@@ -44,7 +52,11 @@ class _Reader:
     def __init__(self, data: bytes, pos: int = 0, end: Optional[int] = None):
         self.data = data
         self.pos = pos
-        self.end = len(data) if end is None else end
+        # Clamp to the real data: a declared section/body size larger than
+        # the remaining bytes (truncated or hostile input) must surface as a
+        # bounds-checked DecodeError from bytes(), never as a short slice
+        # that a struct unpack later chokes on.
+        self.end = len(data) if end is None else min(end, len(data))
 
     def eof(self) -> bool:
         return self.pos >= self.end
@@ -196,8 +208,32 @@ def _decode_import(r: _Reader) -> Import:
     return Import(module=module, name=name, kind=kind, desc=desc)
 
 
+#: Upper bound on declared locals per function.  Engines impose similar
+#: implementation limits (the reference interpreter allows 50k); without one
+#: a 5-byte hostile count would make the decoder allocate gigabytes.
+MAX_FUNCTION_LOCALS = 100_000
+
+
 def decode_module(data: bytes) -> Module:
-    """Decode ``.wasm`` bytes into a :class:`Module`."""
+    """Decode ``.wasm`` bytes into a :class:`Module`.
+
+    The byte stream is untrusted input (the serve layer feeds it straight
+    from HTTP bodies): *any* malformed, truncated, or hostile input raises
+    :class:`DecodeError` -- a typed :class:`~repro.wasm.errors.WasmError` --
+    never a raw ``struct.error`` / ``IndexError`` / ``KeyError``.
+    """
+    try:
+        return _decode_module(data)
+    except DecodeError:
+        raise
+    except (IndexError, KeyError, ValueError, OverflowError, UnicodeDecodeError) as exc:
+        # Belt-and-braces: low-level decode helpers (valtype/extern-kind
+        # lookups, UTF-8 names, float unpacks) must not leak their native
+        # exception types to callers handling untrusted bytes.
+        raise DecodeError(f"malformed module: {type(exc).__name__}: {exc}") from exc
+
+
+def _decode_module(data: bytes) -> Module:
     if data[:4] != MAGIC:
         raise DecodeError("not a Wasm module: bad magic")
     if data[4:8] != VERSION:
@@ -209,6 +245,11 @@ def decode_module(data: bytes) -> Module:
     while not r.eof():
         section_id = r.byte()
         size = r.u32()
+        if r.pos + size > r.end:
+            raise DecodeError(
+                f"section {section_id} declares {size} bytes but only "
+                f"{r.end - r.pos} remain"
+            )
         section = _Reader(r.data, r.pos, r.pos + size)
         r.pos += size
 
@@ -257,12 +298,21 @@ def decode_module(data: bytes) -> Module:
                 raise DecodeError("function and code section counts disagree")
             for type_index in func_type_indices:
                 body_size = section.u32()
+                if section.pos + body_size > section.end:
+                    raise DecodeError(
+                        f"function body declares {body_size} bytes but only "
+                        f"{section.end - section.pos} remain"
+                    )
                 body_reader = _Reader(section.data, section.pos, section.pos + body_size)
                 section.pos += body_size
                 locals_list: List[ValType] = []
                 for _ in range(body_reader.u32()):
                     n = body_reader.u32()
                     vt = body_reader.valtype()
+                    if len(locals_list) + n > MAX_FUNCTION_LOCALS:
+                        raise DecodeError(
+                            f"function declares more than {MAX_FUNCTION_LOCALS} locals"
+                        )
                     locals_list.extend([vt] * n)
                 body = _decode_expression(body_reader)
                 module.functions.append(

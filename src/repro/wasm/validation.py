@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.wasm.errors import ValidationError
+from repro.wasm.errors import Trap, ValidationError
 from repro.wasm.instructions import BlockType, Instruction
 from repro.wasm.module import ExternKind, Module
 from repro.wasm.opcodes import Imm
@@ -243,7 +243,23 @@ class FunctionValidator:
 
 
 def validate_module(module: Module) -> None:
-    """Validate a whole module; raises :class:`ValidationError` on failure."""
+    """Validate a whole module; raises :class:`ValidationError` on failure.
+
+    Decoded-but-hostile modules can hold structurally absurd values (indices
+    and enum bytes the decoder has no context to reject); whatever low-level
+    exception those provoke inside the checks is converted to a typed
+    :class:`ValidationError` so callers validating untrusted input handle
+    one :class:`~repro.wasm.errors.WasmError` family.
+    """
+    try:
+        _validate_module(module)
+    except (ValidationError, Trap):
+        raise
+    except (IndexError, KeyError, ValueError, TypeError, AttributeError) as exc:
+        raise ValidationError(f"malformed module: {type(exc).__name__}: {exc}") from exc
+
+
+def _validate_module(module: Module) -> None:
     # Type indices referenced by imports and functions must exist.
     for imp in module.imports:
         if imp.kind == ExternKind.FUNC and imp.desc >= len(module.types):

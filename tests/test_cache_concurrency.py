@@ -185,6 +185,103 @@ def test_event_log_counts_match_local_counters(tmp_path):
     assert FileSystemCache(tmp_path).global_stats()["hits"] == 3
 
 
+def test_stale_lock_break_aborts_when_lock_was_reacquired(tmp_path):
+    """TOCTOU regression: a waiter that judged the lock stale must NOT break
+    it if, between the judgment and the unlink, another process released the
+    stale lock and a third process re-acquired with a fresh one.  The fresh
+    lock has to survive, so _try_acquire reports the key as still locked."""
+    app = _app()
+    cache = FileSystemCache(tmp_path)
+    cache.LOCK_TIMEOUT = 0.2
+    key = module_hash(app.wasm_bytes, "cranelift")
+    lock = tmp_path / f"{key}.lock"
+    lock.touch()
+    old = time.time() - 10
+    os.utime(lock, (old, old))  # looks stale to any waiter
+
+    real_stat = cache._stat_lock
+    calls = {"n": 0}
+
+    def racing_stat(path):
+        # First call: the identity re-check inside _break_stale_lock.  Swap
+        # the stale lock for a *fresh* one right before it, simulating the
+        # stale holder's release plus a third process's re-acquire landing in
+        # the window between the staleness judgment and the unlink... except
+        # the very first call, which is the staleness judgment itself.
+        calls["n"] += 1
+        if calls["n"] == 2:
+            os.unlink(path)           # stale holder finally releases
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            os.close(fd)              # third process re-acquires, fresh mtime
+        return real_stat(path)
+
+    cache._stat_lock = racing_stat
+    assert cache._try_acquire(lock) is False, "fresh lock must be respected"
+    assert lock.exists(), "the re-acquired lock must not be deleted"
+    # The fresh lock's mtime is recent, so a plain retry still sees it held.
+    cache._stat_lock = real_stat
+    assert cache._try_acquire(lock) is False
+
+
+def test_stale_lock_break_tolerates_concurrent_breaker(tmp_path):
+    """Two waiters racing to break the same stale lock: the loser's unlink
+    target is already gone, which must read as 'retry', not crash."""
+    app = _app()
+    cache = FileSystemCache(tmp_path)
+    cache.LOCK_TIMEOUT = 0.2
+    key = module_hash(app.wasm_bytes, "cranelift")
+    lock = tmp_path / f"{key}.lock"
+    lock.touch()
+    old = time.time() - 10
+    os.utime(lock, (old, old))
+
+    real_stat = cache._stat_lock
+    calls = {"n": 0}
+
+    def racing_stat(path):
+        calls["n"] += 1
+        if calls["n"] == 2 and path.exists():
+            os.unlink(path)  # the other breaker wins the unlink race
+        return real_stat(path)
+
+    cache._stat_lock = racing_stat
+    # With the lock gone, the retry acquires cleanly.
+    assert cache._try_acquire(lock) is True
+    assert lock.exists()
+
+
+def test_lock_wait_deadline_is_monotonic(tmp_path, monkeypatch):
+    """A wall-clock step backwards while waiting must not extend the wait:
+    the deadline is timed on the monotonic clock."""
+    app = _app()
+    cache = FileSystemCache(tmp_path)
+    cache.LOCK_TIMEOUT = 0.05
+    cache.LOCK_POLL = 0.005
+    key = module_hash(app.wasm_bytes, "cranelift")
+    lock = tmp_path / f"{key}.lock"
+    lock.touch()  # a live-looking lock that is never released...
+
+    # ...whose mtime is permanently refreshed to "now", so the staleness
+    # branch never fires and only the monotonic deadline can end the wait.
+    real_time = time.time
+
+    def fresh_mtime():
+        now = real_time()
+        os.utime(lock, (now, now))
+        return now - 3600.0  # wall clock stepped back one hour
+
+    monkeypatch.setattr(time, "time", fresh_mtime)
+    start = time.monotonic()
+    compiled, hit = cache.load_or_compute(
+        key, app.module, lambda: get_backend("cranelift").compile(app.module)
+    )
+    elapsed = time.monotonic() - start
+    assert compiled is not None and not hit
+    # 2 * LOCK_TIMEOUT = 0.1s deadline; a wall-clock-timed wait would have
+    # spun for the full hour of the backwards step.
+    assert elapsed < 30.0
+
+
 def test_stale_lock_is_broken(tmp_path):
     app = _app()
     cache = FileSystemCache(tmp_path)

@@ -335,3 +335,106 @@ def test_cli_run_back_compat_and_workers(capsys):
     # Explicit subcommand with a worker pool.
     assert main(["run", "table2", "--workers", "2"]) == 0
     assert "static/wasm" in capsys.readouterr().out
+
+
+# ------------------------------------------------------- graceful interrupts
+
+
+def _register_interrupt_drivers():
+    """In-test experiment drivers for the KeyboardInterrupt contract.
+
+    Registered lazily (idempotently) so importing this module never mutates
+    the registry for unrelated tests.
+    """
+    from repro.api.registry import EXPERIMENTS, register_experiment
+
+    if "ki-noop" not in EXPERIMENTS.entries:
+        @register_experiment("ki-noop")
+        def _noop_driver():
+            return {"ran": True}
+
+    if "ki-self-signal" not in EXPERIMENTS.entries:
+        @register_experiment("ki-self-signal")
+        def _self_signal_driver():
+            # A self-signalling job: raise the interrupt exactly the way a
+            # Ctrl-C would surface it mid-job (SIGINT to ourselves; the
+            # Python handler turns it into KeyboardInterrupt at the next
+            # bytecode boundary, which time.sleep guarantees reaching).
+            import os
+            import signal
+            import time
+
+            os.kill(os.getpid(), signal.SIGINT)
+            time.sleep(5)
+            return {"ran": True}  # pragma: no cover - the signal fires first
+
+
+def test_keyboard_interrupt_yields_partial_campaign(tmp_path):
+    """Serial path: an interrupt mid-campaign terminates cleanly, records the
+    in-flight job and every never-started job as 'interrupted', and the
+    partial campaign.json still accounts for the whole job list."""
+    _register_interrupt_drivers()
+    spec = CampaignSpec.from_mapping({
+        "name": "interrupt-serial",
+        "experiments": [
+            {"experiment": "ki-noop"},
+            {"experiment": "ki-self-signal"},
+            {"experiment": "figure6", "params": {"functional": False}},
+        ],
+    })
+    result = run_campaign(spec)
+    assert result.interrupted
+    assert not result.ok
+    by_id = {o.spec.name: o for o in result.outcomes}
+    assert len(result.outcomes) == 3, "every job must have a record"
+    assert by_id["ki-noop"].ok
+    assert by_id["ki-self-signal"].status == "interrupted"
+    assert by_id["ki-self-signal"].error["type"] == "KeyboardInterrupt"
+    assert by_id["figure6"].status == "interrupted"
+    out = result.write(tmp_path / "campaign.json")
+    doc = json.loads(out.read_text())
+    assert doc["interrupted"] is True
+    assert doc["jobs_total"] == 3
+    assert doc["jobs_failed"] == 2
+    statuses = {j["job_id"]: j["status"] for j in doc["jobs"]}
+    assert sorted(statuses.values()) == ["interrupted", "interrupted", "ok"]
+
+
+def test_keyboard_interrupt_terminates_parallel_pool(tmp_path):
+    """Parallel path: SIGINT delivered to the parent while workers are busy
+    terminates and joins the pool (no orphans, no hang) and produces
+    interrupted records for unfinished jobs."""
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fork start method required for in-test drivers")
+    _register_interrupt_drivers()
+    from repro.api.registry import EXPERIMENTS, register_experiment
+
+    if "ki-signal-parent" not in EXPERIMENTS.entries:
+        @register_experiment("ki-signal-parent")
+        def _signal_parent_driver():
+            import os
+            import signal
+            import time
+
+            os.kill(os.getppid(), signal.SIGINT)
+            time.sleep(30)  # keep this worker busy so terminate() matters
+            return {"ran": True}  # pragma: no cover
+
+    spec = CampaignSpec.from_mapping({
+        "name": "interrupt-parallel",
+        "experiments": [
+            {"experiment": "ki-signal-parent"},
+            {"experiment": "ki-noop", "repeats": 3},
+        ],
+    })
+    result = run_campaign(spec, workers=2)
+    assert result.interrupted
+    assert len(result.outcomes) == 4, "every job must have a record"
+    interrupted = [o for o in result.outcomes if o.status == "interrupted"]
+    assert interrupted, "the busy job must be recorded as interrupted"
+    assert all(o.error["type"] == "KeyboardInterrupt" for o in interrupted)
+    # The partial result still serialises.
+    doc = json.loads(result.write(tmp_path / "campaign.json").read_text())
+    assert doc["interrupted"] is True

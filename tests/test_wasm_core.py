@@ -26,6 +26,7 @@ from repro.wasm.errors import (
     IntegerOverflowTrap,
     MemoryOutOfBoundsTrap,
     ValidationError,
+    WasmError,
 )
 from repro.wasm.instructions import make
 from repro.wasm.memory import PAGE_SIZE, LinearMemory
@@ -338,3 +339,104 @@ def test_functype_wat_and_valtype_helpers():
     assert ValType.from_byte(0x7F) is ValType.I32
     with pytest.raises(ValueError):
         ValType.from_byte(0x00)
+
+
+# ----------------------------------------- untrusted-bytes decode hardening
+
+import random as _random  # noqa: E402
+
+from repro.wasm.decoder import MAX_FUNCTION_LOCALS  # noqa: E402
+
+
+def _fuzz_corpus_modules():
+    """Small seeded builder modules covering every binary section kind."""
+    modules = []
+    for seed in (11, 29, 47):
+        rng = _random.Random(seed)
+        mb = ModuleBuilder(name=f"harden-{seed}")
+        mb.add_memory(1)
+        mb.add_data(0, bytes(rng.randrange(256) for _ in range(16)))
+        g = mb.add_global("counter", "i32", rng.randrange(-100, 100), mutable=True)
+        f = mb.function("work", params=[("a", "i32"), ("b", "i32")],
+                        results=["i32"], export=True)
+        f.add_local("t", "i32")
+        for _ in range(rng.randrange(3, 7)):
+            f.get(rng.choice(("a", "b")))
+            f.i32_const(rng.randrange(-1000, 1000))
+            f.emit(rng.choice(("i32.add", "i32.sub", "i32.mul", "i32.xor")))
+            f.set("t")
+        f.i32_const(rng.randrange(0, 64) * 4)
+        f.get("t")
+        f.store("i32.store")
+        f.get("t")
+        f.get_global(g) if hasattr(f, "get_global") else f.emit("drop")
+        modules.append(mb.build())
+    return modules
+
+
+def test_decode_error_is_a_typed_wasm_error():
+    assert issubclass(DecodeError, WasmError)
+    assert issubclass(DecodeError, ValueError)  # backwards compatibility
+
+
+@pytest.mark.parametrize("module", _fuzz_corpus_modules(),
+                         ids=lambda m: m.name or "m")
+def test_truncation_fuzz_raises_only_typed_errors(module):
+    """Every truncation of a valid module either decodes (a prefix can be a
+    complete smaller module) or raises a typed WasmError -- never a raw
+    struct.error / IndexError / KeyError."""
+    data = encode_module(module)
+    decode_module(data)  # the full module must decode
+    for cut in range(len(data)):
+        truncated = data[:cut]
+        try:
+            decoded = decode_module(truncated)
+        except WasmError:
+            continue
+        # A truncation that still decodes must also survive validation
+        # without leaking low-level exceptions.
+        try:
+            validate_module(decoded)
+        except WasmError:
+            pass
+
+
+@pytest.mark.parametrize("module", _fuzz_corpus_modules(),
+                         ids=lambda m: m.name or "m")
+def test_mutation_fuzz_raises_only_typed_errors(module):
+    """Seeded random byte flips: garbage input must never escape the
+    WasmError family from decode or validation."""
+    data = bytearray(encode_module(module))
+    rng = _random.Random(0xF00D ^ len(data))
+    for _trial in range(300):
+        mutated = bytearray(data)
+        for _ in range(rng.randrange(1, 4)):
+            mutated[rng.randrange(8, len(mutated))] = rng.randrange(256)
+        try:
+            decoded = decode_module(bytes(mutated))
+            validate_module(decoded)
+        except WasmError:
+            continue
+
+
+def test_decoder_rejects_oversized_section_and_locals():
+    # Section declaring more bytes than the stream holds.
+    with pytest.raises(DecodeError):
+        decode_module(b"\x00asm\x01\x00\x00\x00" + b"\x01\x7f\x01")
+    # Hostile locals count: one entry declaring ~2^32 i32 locals must be
+    # rejected by the MAX_FUNCTION_LOCALS bound, not attempted as an
+    # allocation.
+    mb = ModuleBuilder()
+    f = mb.function("f", results=["i32"])
+    f.i32_const(1)
+    data = bytearray(encode_module(mb.build()))
+    # Locate the code section (id 10) and rewrite its single body to declare
+    # a huge run of locals: body = [locals_vec_len=1, (n=0xFFFFFFFF, i32)].
+    idx = data.index(b"\x0a", 8)
+    huge = b"\x01" + b"\xff\xff\xff\xff\x0f" + b"\x7f"  # 1 entry, n=2^32-1, i32
+    body = huge + b"\x41\x01\x0b"                        # i32.const 1; end
+    code = b"\x01" + bytes([len(body)]) + body           # 1 function
+    data[idx:] = b"\x0a" + bytes([len(code)]) + code
+    with pytest.raises(DecodeError) as excinfo:
+        decode_module(bytes(data))
+    assert str(MAX_FUNCTION_LOCALS) in str(excinfo.value)
