@@ -1,0 +1,320 @@
+"""AST-based project-invariant linter (stdlib ``ast`` only).
+
+Each rule encodes an invariant this repo has already paid for in bugfixes --
+the linter exists so those regressions stay fixed:
+
+* ``no-wallclock-in-lock-code`` -- ``time.time()`` inside a function that
+  deals in locks/deadlines/timeouts.  PR 8 replaced wall-clock deadline
+  arithmetic with ``time.monotonic()`` after wall-clock adjustments produced
+  spurious lock expiries; new timing code must not reintroduce it.
+* ``env-reads-via-envvars`` -- ``os.environ`` / ``os.getenv`` anywhere but
+  ``core/envvars.py``.  PR 5 consolidated every knob behind typed accessors
+  so ``repro-harness campaign`` can enumerate and pin them; a stray read is
+  an invisible knob.
+* ``no-mutable-default-args`` -- the classic shared-state trap.
+* ``no-bare-except`` -- swallows ``KeyboardInterrupt``/``SystemExit``; name
+  an exception type (``Exception`` at the broadest).
+* ``obs-fastpath-discipline`` -- calls on the trace ``RECORDER`` must sit
+  under an ``ENABLED`` guard so the disabled-tracing fast path never
+  constructs trace arguments (the PR 6 overhead contract: BENCH gates assume
+  a sub-1% disabled-path cost).
+
+Findings are baseline-gated: :func:`apply_baseline` demotes violations whose
+stable key (``rule::relpath::qualname`` -- line numbers excluded, so pure
+code motion never churns the baseline) appears in the checked-in
+``.codelint-baseline.json`` to notes; anything new stays an error.  CI runs
+``repro-harness analyze lint --self`` and fails on new violations only.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding, Report, Severity
+
+#: Identifier fragments that mark a function as lock/deadline code for the
+#: wall-clock rule.
+_TIMING_HINTS = ("lock", "deadline", "timeout", "expire", "expiry", "stale")
+
+#: Default baseline file name, resolved against the lint root.
+BASELINE_NAME = ".codelint-baseline.json"
+
+#: Files exempt from ``env-reads-via-envvars`` (the accessor module itself).
+_ENV_EXEMPT_SUFFIX = ("core/envvars.py",)
+
+
+def _qualname_stack(stack: Sequence[ast.AST]) -> str:
+    names = [
+        node.name
+        for node in stack
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+    ]
+    return ".".join(names) or "<module>"
+
+
+def _call_name(node: ast.Call) -> str:
+    """Dotted name of a call target, best effort (``time.time``, ``getenv``)."""
+    parts: List[str] = []
+    cur = node.func
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+    return ".".join(reversed(parts))
+
+
+class _FileLinter(ast.NodeVisitor):
+    """One file's lint pass; accumulates findings with baseline keys."""
+
+    def __init__(self, relpath: str, env_exempt: bool):
+        self.relpath = relpath
+        self.env_exempt = env_exempt
+        self.findings: List[Finding] = []
+        self._stack: List[ast.AST] = []        # enclosing class/function defs
+        self._if_enabled_depth = 0             # inside an ENABLED-guarded if
+
+    # ------------------------------------------------------------- reporting
+
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        qualname = _qualname_stack(self._stack)
+        self.findings.append(Finding(
+            analyzer="lint",
+            rule=rule,
+            severity=Severity.ERROR,
+            message=message,
+            location=f"{self.relpath}:{getattr(node, 'lineno', 0)}",
+            details={"baseline_key": f"{rule}::{self.relpath}::{qualname}"},
+        ))
+
+    # ------------------------------------------------------------- traversal
+
+    def _function_hints(self, node: ast.AST) -> bool:
+        """Whether the enclosing function's identifiers mark timing code."""
+        for anc in reversed(self._stack):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if any(h in anc.name.lower() for h in _TIMING_HINTS):
+                    return True
+                for sub in ast.walk(anc):
+                    name = None
+                    if isinstance(sub, ast.Name):
+                        name = sub.id
+                    elif isinstance(sub, ast.Attribute):
+                        name = sub.attr
+                    elif isinstance(sub, ast.arg):
+                        name = sub.arg
+                    if name and any(h in name.lower() for h in _TIMING_HINTS):
+                        return True
+                return False
+        return False
+
+    def _visit_def(self, node) -> None:
+        args = node.args
+        defaults = list(args.defaults) + list(args.kw_defaults)
+        for default in defaults:
+            if default is None:
+                continue
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and _call_name(default) in ("list", "dict", "set", "bytearray")
+                and not default.args and not default.keywords
+            ):
+                self._stack.append(node)
+                self._report(
+                    "no-mutable-default-args", default,
+                    f"mutable default argument in {node.name}() is shared "
+                    "across calls; default to None and allocate inside",
+                )
+                self._stack.pop()
+        self._stack.append(node)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    visit_FunctionDef = _visit_def
+    visit_AsyncFunctionDef = _visit_def
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._stack.append(node)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report(
+                "no-bare-except", node,
+                "bare 'except:' also swallows KeyboardInterrupt/SystemExit; "
+                "catch Exception (or narrower)",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _mentions_enabled(test: ast.AST) -> bool:
+        for sub in ast.walk(test):
+            if isinstance(sub, ast.Name) and sub.id == "ENABLED":
+                return True
+            if isinstance(sub, ast.Attribute) and sub.attr == "ENABLED":
+                return True
+        return False
+
+    def visit_If(self, node: ast.If) -> None:
+        guarded = self._mentions_enabled(node.test)
+        self.visit(node.test)
+        if guarded:
+            self._if_enabled_depth += 1
+        for child in node.body:
+            self.visit(child)
+        if guarded:
+            self._if_enabled_depth -= 1
+        for child in node.orelse:
+            self.visit(child)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        if name.endswith("time.time") or name == "time.time":
+            if self._function_hints(node):
+                self._report(
+                    "no-wallclock-in-lock-code", node,
+                    "time.time() in lock/deadline code jumps with wall-clock "
+                    "adjustments; use time.monotonic()",
+                )
+        if not self.env_exempt and name in (
+            "os.getenv", "getenv", "os.environ.get", "environ.get"
+        ):
+            self._report(
+                "env-reads-via-envvars", node,
+                f"{name}() bypasses core/envvars.py; add a typed accessor "
+                "there so the knob is enumerable",
+            )
+        if ".RECORDER." in f".{name}." and self._if_enabled_depth == 0:
+            self._report(
+                "obs-fastpath-discipline", node,
+                "RECORDER call without an ENABLED guard in scope: the "
+                "disabled-tracing fast path must not construct trace args",
+            )
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # os.environ["X"] reads (and writes -- equally invisible knobs).
+        if not self.env_exempt and isinstance(node.value, ast.Attribute):
+            if (node.value.attr == "environ"
+                    and isinstance(node.value.value, ast.Name)
+                    and node.value.value.id == "os"):
+                self._report(
+                    "env-reads-via-envvars", node,
+                    "os.environ[...] bypasses core/envvars.py; add a typed "
+                    "accessor there so the knob is enumerable",
+                )
+        self.generic_visit(node)
+
+
+def lint_source(source: str, relpath: str, report: Optional[Report] = None) -> Report:
+    """Lint one file's source text; findings carry ``relpath:line`` locations."""
+    report = report if report is not None else Report()
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        report.error("lint", "syntax-error", f"does not parse: {exc}",
+                     f"{relpath}:{exc.lineno or 0}")
+        return report
+    env_exempt = any(relpath.endswith(sfx) for sfx in _ENV_EXEMPT_SUFFIX)
+    linter = _FileLinter(relpath, env_exempt)
+    linter.visit(tree)
+    report.findings.extend(linter.findings)
+    return report
+
+
+def iter_python_files(root: Path) -> Iterable[Path]:
+    if root.is_file():
+        yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" not in path.parts:
+            yield path
+
+
+def lint_paths(paths: Sequence[Path], root: Optional[Path] = None) -> Report:
+    """Lint every ``.py`` file under ``paths``; locations are ``root``-relative."""
+    report = Report()
+    for base in paths:
+        base = Path(base)
+        rel_root = root if root is not None else (base if base.is_dir() else base.parent)
+        for path in iter_python_files(base):
+            try:
+                relpath = path.relative_to(rel_root).as_posix()
+            except ValueError:
+                relpath = path.as_posix()
+            lint_source(path.read_text(encoding="utf-8"), relpath, report)
+    return report
+
+
+# ------------------------------------------------------------------- baseline
+
+
+def baseline_key(finding: Finding) -> str:
+    return finding.details.get("baseline_key", finding.key)
+
+
+def load_baseline(path: Path) -> List[str]:
+    if not Path(path).exists():
+        return []
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, list):
+        raise ValueError(f"baseline {path} must be a JSON list of keys")
+    return [str(k) for k in data]
+
+
+def save_baseline(report: Report, path: Path) -> List[str]:
+    """Write the sorted key set of ``report``'s lint errors as the baseline."""
+    keys = sorted({
+        baseline_key(f) for f in report.findings
+        if f.analyzer == "lint" and f.severity is Severity.ERROR
+    })
+    Path(path).write_text(json.dumps(keys, indent=2) + "\n", encoding="utf-8")
+    return keys
+
+
+def apply_baseline(report: Report, baseline: Iterable[str]) -> Report:
+    """Demote baselined violations to notes; new ones stay errors.
+
+    Returns a new :class:`Report` (the input is not mutated).
+    """
+    allowed = set(baseline)
+    out = Report()
+    for finding in report.findings:
+        if (finding.analyzer == "lint" and finding.severity is Severity.ERROR
+                and baseline_key(finding) in allowed):
+            out.add(finding.analyzer, finding.rule, Severity.NOTE,
+                    f"baselined: {finding.message}", finding.location,
+                    **finding.details)
+        else:
+            out.findings.append(finding)
+    return out
+
+
+def self_lint(repo_root: Optional[Path] = None,
+              update_baseline: bool = False) -> Tuple[Report, Path]:
+    """Lint this repo's ``src/`` tree against its checked-in baseline.
+
+    Returns ``(baseline-applied report, baseline path)``; with
+    ``update_baseline`` the current violations are written back first.
+    """
+    root = Path(repo_root) if repo_root is not None else _find_repo_root()
+    src = root / "src"
+    target = src if src.is_dir() else root
+    report = lint_paths([target], root=root)
+    baseline_path = root / BASELINE_NAME
+    if update_baseline:
+        save_baseline(report, baseline_path)
+    return apply_baseline(report, load_baseline(baseline_path)), baseline_path
+
+
+def _find_repo_root() -> Path:
+    """The checkout root: nearest ancestor of this file holding ``src/``."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "src").is_dir() and (parent / "src" / "repro").is_dir():
+            return parent
+    return Path.cwd()

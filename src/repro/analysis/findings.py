@@ -1,0 +1,192 @@
+"""Shared findings model for the static-analysis layer (``repro.analysis``).
+
+Every analyzer -- the cross-rank schedule checker, the lowered-IR verifier
+and the project-invariant linter -- reports through the same three types so
+one CLI can print, merge and JSON-encode their results uniformly:
+
+* :class:`Severity` -- ``error`` (must fail the run), ``warning`` (reported,
+  fails strict runs), ``note`` (informational: skipped points, context).
+* :class:`Finding` -- one diagnostic with a machine-readable location.
+  Locations are ``file:line`` strings for source findings, and analyzer
+  coordinates (``bcast/binomial p=8 rank 3 step 5``) for artifact findings.
+* :class:`Report` -- an ordered collection of findings with exit-code
+  semantics (:attr:`Report.ok`) and a :meth:`Report.raise_if_error` hook for
+  callers that want a typed exception instead of a result object.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ordered so ``ERROR > WARNING > NOTE``."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 2, "warning": 1, "note": 0}[self.value]
+
+
+@dataclass
+class Finding:
+    """One diagnostic produced by an analyzer.
+
+    ``analyzer`` names the producing pass (``schedule``, ``ir``, ``lint``),
+    ``rule`` the specific invariant (``deadlock-cycle``, ``bad-jump-target``,
+    ``no-bare-except``); together with ``location`` they form the stable
+    identity baselines and tests key on.
+    """
+
+    analyzer: str
+    rule: str
+    severity: Severity
+    message: str
+    location: str = ""
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable form (the JSON output of the CLI)."""
+        out: Dict[str, Any] = {
+            "analyzer": self.analyzer,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "location": self.location,
+        }
+        if self.details:
+            out["details"] = dict(self.details)
+        return out
+
+    @property
+    def key(self) -> str:
+        """Stable identity used by lint baselines: rule + location."""
+        return f"{self.rule}::{self.location}"
+
+    def format(self) -> str:
+        loc = f"{self.location}: " if self.location else ""
+        return f"{self.severity.value}[{self.analyzer}/{self.rule}] {loc}{self.message}"
+
+
+class Report:
+    """Ordered findings plus the exit-code contract shared by all analyzers.
+
+    ``ok`` is ``True`` when no finding is ``ERROR``-severity: notes (skipped
+    sweep points, context lines) and plain warnings never fail a run on
+    their own -- the CLI's ``--strict`` escalates warnings.
+    """
+
+    def __init__(self, findings: Optional[Iterable[Finding]] = None):
+        self.findings: List[Finding] = list(findings or [])
+
+    # --------------------------------------------------------------- building
+
+    def add(
+        self,
+        analyzer: str,
+        rule: str,
+        severity: Severity,
+        message: str,
+        location: str = "",
+        **details: Any,
+    ) -> Finding:
+        finding = Finding(analyzer, rule, severity, message, location, dict(details))
+        self.findings.append(finding)
+        return finding
+
+    def error(self, analyzer: str, rule: str, message: str, location: str = "",
+              **details: Any) -> Finding:
+        return self.add(analyzer, rule, Severity.ERROR, message, location, **details)
+
+    def warning(self, analyzer: str, rule: str, message: str, location: str = "",
+                **details: Any) -> Finding:
+        return self.add(analyzer, rule, Severity.WARNING, message, location, **details)
+
+    def note(self, analyzer: str, rule: str, message: str, location: str = "",
+             **details: Any) -> Finding:
+        return self.add(analyzer, rule, Severity.NOTE, message, location, **details)
+
+    def merge(self, other: "Report") -> "Report":
+        self.findings.extend(other.findings)
+        return self
+
+    # -------------------------------------------------------------- inspection
+
+    def by_severity(self, severity: Severity) -> List[Finding]:
+        return [f for f in self.findings if f.severity is severity]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def notes(self) -> List[Finding]:
+        return self.by_severity(Severity.NOTE)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "error": len(self.errors),
+            "warning": len(self.warnings),
+            "note": len(self.notes),
+        }
+
+    def exit_code(self, strict: bool = False) -> int:
+        """CLI exit code: 1 on errors (or warnings under ``--strict``)."""
+        if self.errors or (strict and self.warnings):
+            return 1
+        return 0
+
+    # ------------------------------------------------------------------ output
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "counts": self.counts(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def format_text(self, verbose: bool = False) -> str:
+        """Human-readable listing, worst findings first; notes only when
+        ``verbose`` (they describe coverage, not problems)."""
+        shown = [f for f in self.findings if verbose or f.severity is not Severity.NOTE]
+        shown.sort(key=lambda f: -f.severity.rank)
+        lines = [f.format() for f in shown]
+        counts = self.counts()
+        summary = (
+            f"{counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['note']} note(s)"
+        )
+        lines.append(summary if lines else f"clean: {summary}")
+        return "\n".join(lines)
+
+    def raise_if_error(self, exc_type: type = RuntimeError, prefix: str = "") -> None:
+        """Raise ``exc_type`` summarizing the error findings, if any."""
+        if self.ok:
+            return
+        errors = self.errors
+        head = "; ".join(f.format() for f in errors[:3])
+        more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+        raise exc_type(f"{prefix}{head}{more}")
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __iter__(self):
+        return iter(self.findings)

@@ -19,6 +19,12 @@ Three subsystems make up the surface:
 * :mod:`repro.api.config` -- layered :class:`ResolvedConfig` (defaults <
   config file < ``REPRO_*`` environment < kwargs) with recorded provenance.
 
+The static-analysis layer (:mod:`repro.analysis`) is re-exported here too:
+the :class:`Finding`/:class:`Severity`/:class:`Report` findings model plus
+:func:`check_schedules` / :func:`check_schedule_point` / :func:`schedule_sweep`
+(cross-rank schedule verification) and :func:`verify_lowered_artifact`
+(lowered-IR artifact verification).
+
 The observability subsystem (:mod:`repro.obs`) is re-exported here as well:
 :func:`tracing` / :class:`TraceRecorder` record per-rank MPI event traces,
 :func:`to_chrome_trace` / :func:`merge_traces` / :func:`write_chrome_trace`
@@ -94,6 +100,14 @@ _EXPORT_SOURCES = {
     "TenantStore": "repro.serve",
     "create_server": "repro.serve",
     "run_server": "repro.serve",
+    # Static analysis (repro.analysis): findings model + analyzer entry points.
+    "Finding": "repro.analysis",
+    "Report": "repro.analysis",
+    "Severity": "repro.analysis",
+    "check_schedules": "repro.analysis.schedule_check",
+    "check_schedule_point": "repro.analysis.schedule_check",
+    "schedule_sweep": "repro.analysis.schedule_check",
+    "verify_lowered_artifact": "repro.analysis.ir_verify",
 }
 
 __all__ = sorted(["API_VERSION", "DEPRECATIONS", *_EXPORT_SOURCES])
@@ -146,6 +160,19 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         TenantStore,
         create_server,
         run_server,
+    )
+    from repro.analysis import (  # noqa: F401
+        Finding,
+        Report,
+        Severity,
+    )
+    from repro.analysis.ir_verify import (  # noqa: F401
+        verify_lowered_artifact,
+    )
+    from repro.analysis.schedule_check import (  # noqa: F401
+        check_schedule_point,
+        check_schedules,
+        schedule_sweep,
     )
 
 

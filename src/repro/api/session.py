@@ -279,6 +279,12 @@ class Session:
         ``module`` to skip re-decoding).  Repeated compiles of the same
         module (any job, same session) are served from the warm store; the
         lookup is recorded in the session's ``metrics.cache_summary()``.
+
+        Compiled lowered-IR artifacts -- freshly built or loaded from the
+        shared on-disk cache -- are statically verified
+        (:mod:`repro.analysis.ir_verify`) before they are returned; a
+        structurally-broken artifact raises
+        :class:`~repro.wasm.errors.ValidationError`.
         """
         self._check_open()
         config = self._embedder_config(backend=backend)
@@ -292,6 +298,14 @@ class Session:
             embedder.last_cache_hit,
             tier=getattr(embedder, "last_cache_tier", None),
         )
+        artifact = getattr(compiled, "artifact", None)
+        if isinstance(artifact, dict) and artifact.get("kind") == "lowered-ir":
+            from repro.analysis.ir_verify import verify_artifact
+            from repro.wasm.errors import ValidationError
+
+            verify_artifact(artifact).raise_if_error(
+                ValidationError, "compiled artifact rejected: "
+            )
         return compiled
 
     # -------------------------------------------------------------- execution

@@ -21,6 +21,10 @@ Two subcommands, both built on the campaign runner
   long-running HTTP daemon accepting run/campaign/compile submissions onto
   a bounded queue drained by warm per-worker sessions, with per-tenant
   API keys, throttling/quotas, load-shedding, and ``/healthz``+``/metrics``.
+* ``analyze`` -- the static verification layer (:mod:`repro.analysis`):
+  cross-rank schedule deadlock/conservation checks (``analyze schedules``),
+  lowered-IR/fusion-table verification (``analyze ir``), and the
+  project-invariant linter (``analyze lint`` / ``--self-lint``).
 
 ``--workers 1`` (the default) keeps the serial in-process path, which
 determinism-sensitive tests rely on; higher worker counts produce identical
@@ -242,6 +246,12 @@ def _cmd_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
     return run_server(config)
 
 
+def _cmd_analyze(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.analysis import cli as analysis_cli
+
+    return analysis_cli.run(args, parser)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-harness",
@@ -331,6 +341,12 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(default 30)")
     serve_parser.add_argument("--verbose", action="store_true",
                               help="log every HTTP request to stderr")
+
+    analyze_parser = sub.add_parser(
+        "analyze", help="static verification: schedules, lowered IR, lints")
+    from repro.analysis.cli import configure_parser as _configure_analyze
+
+    _configure_analyze(analyze_parser)
     return parser
 
 
@@ -342,11 +358,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # Back-compat: `repro-experiments table1 figure3` (no subcommand) still
     # works -- anything that is not a subcommand is treated as `run ...`.
     if not argv or argv[0] not in (
-        "campaign", "run", "trace", "profile", "serve", "-h", "--help"
+        "campaign", "run", "trace", "profile", "serve", "analyze", "-h", "--help"
     ):
         argv = ["run", *argv]
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "analyze":
+        return _cmd_analyze(args, parser)
     if args.command == "campaign":
         return _cmd_campaign(args, parser)
     if args.command == "trace":

@@ -32,7 +32,7 @@ modules and the runtime's non-blocking entry points both look them up here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.mpi.algorithms.base import CollectiveContext, combine_segment
@@ -41,8 +41,30 @@ from repro.mpi.ops import Op
 from repro.obs import trace as _trace
 
 
+class _StepBase:
+    """Shared step behaviour: a stable ``round_index`` and ``describe()``.
+
+    ``round_index`` is stamped by :class:`Schedule` when the step joins a
+    round (``None`` until then), so round attribution is a property of the
+    step itself rather than of its position in the flattened list -- the
+    analyzer's findings and the obs trace labels therefore name the same
+    round.  It is excluded from equality/hash: two steps describing the same
+    exchange compare equal regardless of which round holds them.
+    """
+
+    round_index: Optional[int]
+
+    def _stamp_round(self, round_no: int) -> None:
+        # The step dataclasses are frozen (schedules are shareable, reusable
+        # values); the one sanctioned mutation is this build-time stamp.
+        object.__setattr__(self, "round_index", round_no)
+
+    def _round_suffix(self) -> str:
+        return f" @round {self.round_index}" if self.round_index is not None else ""
+
+
 @dataclass(frozen=True)
-class SendStep:
+class SendStep(_StepBase):
     """Send ``nbytes`` of buffer ``buf`` at byte offset ``lo`` to ``peer``.
 
     ``buf`` may be ``None`` for zero-byte token messages (barriers).
@@ -53,10 +75,15 @@ class SendStep:
     buf: Optional[str] = None
     lo: int = 0
     nbytes: int = 0
+    round_index: Optional[int] = field(default=None, compare=False)
+
+    def describe(self) -> str:
+        payload = f"{self.buf}[{self.lo}:{self.lo + self.nbytes})" if self.buf else "token"
+        return f"send({payload} -> rank {self.peer}, tag={self.tag}){self._round_suffix()}"
 
 
 @dataclass(frozen=True)
-class RecvStep:
+class RecvStep(_StepBase):
     """Receive ``nbytes`` from ``peer`` into buffer ``buf`` at offset ``lo``.
 
     ``buf`` may be ``None`` for zero-byte token messages; the receive still
@@ -68,10 +95,15 @@ class RecvStep:
     buf: Optional[str] = None
     lo: int = 0
     nbytes: int = 0
+    round_index: Optional[int] = field(default=None, compare=False)
+
+    def describe(self) -> str:
+        payload = f"{self.buf}[{self.lo}:{self.lo + self.nbytes})" if self.buf else "token"
+        return f"recv({payload} <- rank {self.peer}, tag={self.tag}){self._round_suffix()}"
 
 
 @dataclass(frozen=True)
-class CopyStep:
+class CopyStep(_StepBase):
     """Copy ``nbytes`` from ``src``@``slo`` to ``dst``@``dlo`` (local, free)."""
 
     src: str
@@ -79,10 +111,17 @@ class CopyStep:
     dst: str
     dlo: int
     nbytes: int
+    round_index: Optional[int] = field(default=None, compare=False)
+
+    def describe(self) -> str:
+        return (
+            f"copy({self.src}[{self.slo}:{self.slo + self.nbytes}) -> "
+            f"{self.dst}[{self.dlo}:{self.dlo + self.nbytes})){self._round_suffix()}"
+        )
 
 
 @dataclass(frozen=True)
-class ReduceStep:
+class ReduceStep(_StepBase):
     """Combine ``count`` elements from ``src``@``slo`` (bytes) into the
     accumulator ``dst`` starting at element ``elem_offset``.
 
@@ -95,6 +134,13 @@ class ReduceStep:
     dst: str
     elem_offset: int
     count: int
+    round_index: Optional[int] = field(default=None, compare=False)
+
+    def describe(self) -> str:
+        return (
+            f"reduce({self.src}[{self.slo}:...) -> {self.dst} "
+            f"elems [{self.elem_offset}:{self.elem_offset + self.count})){self._round_suffix()}"
+        )
 
 
 Step = Union[SendStep, RecvStep, CopyStep, ReduceStep]
@@ -117,6 +163,9 @@ class Schedule:
     def round(self, steps: Optional[List[Step]] = None) -> List[Step]:
         """Open a new round (optionally pre-populated) and return it."""
         rnd: List[Step] = list(steps or [])
+        round_no = len(self.rounds)
+        for step in rnd:
+            step._stamp_round(round_no)
         self.rounds.append(rnd)
         return rnd
 
@@ -124,6 +173,7 @@ class Schedule:
         """Append ``step`` to the current (last) round, opening one if needed."""
         if not self.rounds:
             self.rounds.append([])
+        step._stamp_round(len(self.rounds) - 1)
         self.rounds[-1].append(step)
 
     def temp(self, name: str, nbytes: int) -> str:
@@ -315,8 +365,13 @@ class ScheduleExecutor:
         """Instant event for one executed step (callers guard on the flag)."""
         args = None
         if step is not None:
-            args = {"kind": type(step).__name__,
-                    "round": self._round_of[self._pc - 1] if self._pc else 0}
+            # Prefer the step's own (build-time) round stamp so trace labels
+            # agree with repro.analysis findings; positional attribution is
+            # only the fallback for hand-built steps never added to a round.
+            round_no = step.round_index
+            if round_no is None:
+                round_no = self._round_of[self._pc - 1] if self._pc else 0
+            args = {"kind": type(step).__name__, "round": round_no}
             peer = getattr(step, "peer", None)
             if peer is not None:
                 args["peer"] = peer

@@ -236,9 +236,40 @@ class JobService:
                             code="bad_key")
         path = Path(self.cache_dir) / f"{key}.mpiwasm"
         try:
-            return path.read_bytes()
+            raw = path.read_bytes()
         except FileNotFoundError:
             raise WireError(404, f"no compiled artifact {key!r}", code="not_found") from None
+        self._verify_artifact(key, raw)
+        return raw
+
+    def _verify_artifact(self, key: str, raw: bytes) -> None:
+        """Statically verify a cached lowered-IR artifact before streaming it.
+
+        The cache directory is shared with other processes; a corrupt or
+        tampered artifact is a 500 with ``artifact_corrupt`` (and a
+        ``repro_serve_artifact_verify_failures`` metric tick), never a
+        download a tenant would go on to execute.
+        """
+        import pickle
+
+        from repro.analysis.ir_verify import verify_artifact
+
+        try:
+            payload = pickle.loads(raw)
+        except Exception:
+            self.metrics.increment("serve.artifact_verify_failures")
+            raise WireError(500, f"artifact {key!r} does not deserialize",
+                            code="artifact_corrupt") from None
+        artifact = payload.get("artifact") if isinstance(payload, dict) else None
+        report = verify_artifact(artifact, loc=key)
+        if not report.ok:
+            self.metrics.increment("serve.artifact_verify_failures")
+            first = report.errors[0]
+            raise WireError(
+                500,
+                f"artifact {key!r} failed static verification: {first.format()}",
+                code="artifact_corrupt",
+            )
 
     # -------------------------------------------------------------- telemetry
 
@@ -264,6 +295,11 @@ class JobService:
             for name, value in self.metrics.counters().items()
             if name.startswith("serve.")
         }
+        # Exact-name metric (no _total suffix): artifact GETs that failed
+        # static verification (repro.analysis.ir_verify) before streaming.
+        counters["repro_serve_artifact_verify_failures"] = self.metrics.counter(
+            "serve.artifact_verify_failures")
+        counters.pop("repro_serve_artifact_verify_failures_total", None)
         counters["repro_serve_throttled_total"] = self.admission.throttled_total
         counters["repro_serve_quota_refused_total"] = self.admission.quota_refused_total
         counters["repro_serve_jobs_done_total"] = self.pool.jobs_done

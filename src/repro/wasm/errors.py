@@ -70,7 +70,28 @@ class StackExhaustionTrap(Trap):
 
 
 class ValidationError(WasmError):
-    """The module failed validation (type-checking) before instantiation."""
+    """The module failed validation (type-checking) before instantiation.
+
+    Carries the failure's coordinates when known -- which function (index and
+    name), which instruction offset, which opcode -- so API consumers (the
+    serve daemon's 400 responses, analyzer findings) can point at the broken
+    instruction instead of echoing a bare "stack underflow".
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        func_index: "int | None" = None,
+        func_name: "str | None" = None,
+        instr_offset: "int | None" = None,
+        opcode: "str | None" = None,
+    ):
+        super().__init__(message)
+        self.func_index = func_index
+        self.func_name = func_name
+        self.instr_offset = instr_offset
+        self.opcode = opcode
 
 
 class LinkError(WasmError):

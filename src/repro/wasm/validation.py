@@ -110,7 +110,11 @@ class FunctionValidator:
             try:
                 self._validate_instruction(instr)
             except ValidationError as exc:
-                raise ValidationError(f"at instruction {position} ({instr.name}): {exc}") from None
+                raise ValidationError(
+                    f"at instruction {position} ({instr.name}): {exc}",
+                    instr_offset=position,
+                    opcode=instr.name,
+                ) from None
         # The implicit end of the function body.
         frame = self._pop_frame()
         self._push_many(frame.end_types)
@@ -312,4 +316,13 @@ def _validate_module(module: Module) -> None:
         try:
             validator.validate(func.body)
         except ValidationError as exc:
-            raise ValidationError(f"function {func.name or i}: {exc}") from None
+            # Re-wrap with the function's coordinates, keeping the inner
+            # error's instruction offset/opcode so consumers (serve's 400
+            # responses, analyzer findings) can point at the instruction.
+            raise ValidationError(
+                f"function {i} ({func.name or '?'}): {exc}",
+                func_index=i,
+                func_name=func.name or None,
+                instr_offset=getattr(exc, "instr_offset", None),
+                opcode=getattr(exc, "opcode", None),
+            ) from None

@@ -1,0 +1,187 @@
+"""Project-invariant linter: rule units, baseline round-trip, self-lint."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.codelint import (
+    apply_baseline,
+    baseline_key,
+    lint_source,
+    load_baseline,
+    save_baseline,
+    self_lint,
+)
+from repro.analysis.findings import Severity
+
+
+def _rules(source: str, relpath: str = "src/repro/x.py"):
+    report = lint_source(textwrap.dedent(source), relpath)
+    return report, {f.rule for f in report.errors}
+
+
+# ------------------------------------------------------------------ rule units
+
+
+def test_wallclock_in_lock_code_is_flagged():
+    _, rules = _rules("""
+        import time
+
+        def check_lock_deadline(deadline):
+            return time.time() > deadline
+    """)
+    assert "no-wallclock-in-lock-code" in rules
+
+
+def test_wallclock_in_if_condition_is_flagged():
+    # Regression: calls inside the *test* expression of an `if` must be
+    # visited too (the guard-depth tracking visitor used to skip them).
+    _, rules = _rules("""
+        import time
+
+        class Cache:
+            LOCK_TIMEOUT = 5.0
+
+            def stale(self, observed):
+                if time.time() - observed.st_mtime <= self.LOCK_TIMEOUT:
+                    return False
+                return True
+    """)
+    assert "no-wallclock-in-lock-code" in rules
+
+
+def test_wallclock_outside_lock_code_is_fine():
+    _, rules = _rules("""
+        import time
+
+        def timestamp_report(report):
+            report["generated_at"] = time.time()
+    """)
+    assert "no-wallclock-in-lock-code" not in rules
+
+
+def test_env_reads_flagged_outside_envvars_module():
+    _, rules = _rules("""
+        import os
+
+        def configure():
+            a = os.environ["REPRO_MODE"]
+            b = os.getenv("REPRO_CACHE", "")
+            return a, b
+    """)
+    assert "env-reads-via-envvars" in rules
+    _, rules = _rules(
+        """
+        import os
+
+        def read():
+            return os.environ["REPRO_MODE"]
+        """,
+        relpath="src/repro/core/envvars.py",
+    )
+    assert "env-reads-via-envvars" not in rules
+
+
+def test_mutable_default_args_flagged():
+    _, rules = _rules("""
+        def f(xs=[]):
+            return xs
+
+        def g(m=dict()):
+            return m
+    """)
+    assert "no-mutable-default-args" in rules
+    _, rules = _rules("""
+        def f(xs=None, y=0, name=""):
+            return xs
+    """)
+    assert "no-mutable-default-args" not in rules
+
+
+def test_bare_except_flagged():
+    _, rules = _rules("""
+        def f():
+            try:
+                return 1
+            except:
+                return 0
+    """)
+    assert "no-bare-except" in rules
+    _, rules = _rules("""
+        def f():
+            try:
+                return 1
+            except Exception:
+                return 0
+    """)
+    assert "no-bare-except" not in rules
+
+
+def test_recorder_fastpath_guard_rule():
+    _, rules = _rules("""
+        from repro.obs import trace
+
+        def hot_loop(step):
+            trace.RECORDER.record(step)
+    """)
+    assert "obs-fastpath-discipline" in rules
+    _, rules = _rules("""
+        from repro.obs import trace
+
+        def hot_loop(step):
+            if trace.ENABLED:
+                trace.RECORDER.record(step)
+    """)
+    assert "obs-fastpath-discipline" not in rules
+
+
+def test_findings_carry_location_and_baseline_key():
+    report, _ = _rules("""
+        def f(xs=[]):
+            return xs
+    """)
+    [finding] = report.errors
+    assert finding.severity is Severity.ERROR
+    assert finding.location.startswith("src/repro/x.py:")
+    assert finding.details["baseline_key"] == "no-mutable-default-args::src/repro/x.py::f"
+    assert baseline_key(finding) == finding.details["baseline_key"]
+
+
+def test_syntax_error_is_a_finding_not_a_crash():
+    report = lint_source("def broken(:\n", "src/repro/x.py")
+    assert not report.ok
+
+
+# ------------------------------------------------------------------- baseline
+
+
+def test_baseline_round_trip_demotes_to_notes(tmp_path):
+    report, _ = _rules("""
+        def f(xs=[]):
+            return xs
+    """)
+    path = tmp_path / "baseline.json"
+    keys = save_baseline(report, path)
+    assert load_baseline(path) == keys == sorted(keys)
+    applied = apply_baseline(report, load_baseline(path))
+    assert applied.ok
+    [note] = applied.notes
+    assert note.severity is Severity.NOTE
+    assert note.message.startswith("baselined: ")
+    # A finding NOT in the baseline stays an error.
+    fresh, _ = _rules("""
+        def f(xs=[]):
+            return xs
+
+        def g(ys=[]):
+            return ys
+    """)
+    applied = apply_baseline(fresh, keys)
+    assert not applied.ok and len(applied.errors) == 1
+
+
+def test_self_lint_is_clean_against_checked_in_baseline():
+    report, baseline_path = self_lint()
+    assert baseline_path.name == ".codelint-baseline.json"
+    assert baseline_path.exists(), "checked-in baseline missing"
+    assert report.ok, report.format_text()

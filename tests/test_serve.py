@@ -496,3 +496,99 @@ class TestArtifacts:
         with pytest.raises(WireError) as excinfo:
             service.artifact_bytes("t-key-0123456789", "0" * 64)
         assert excinfo.value.status == 404
+
+
+class TestArtifactVerification:
+    """Artifact GETs run the static IR verifier before streaming bytes."""
+
+    KEY = "a" * 64
+
+    def _service(self, tmp_path):
+        config = ServeConfig(
+            port=0, workers=1, queue_size=2,
+            tenants=TenantStore([Tenant(name="t", key="t-key-0123456789")]),
+            cache_dir=str(tmp_path),
+        )
+        return JobService(config)   # no pool needed
+
+    def _write(self, tmp_path, payload):
+        import pickle
+
+        (tmp_path / f"{self.KEY}.mpiwasm").write_bytes(pickle.dumps(payload))
+
+    def _lowered_payload(self):
+        from repro.wasm import ModuleBuilder, validate_module
+        from repro.wasm.lowering import lower_module, serialize_lowered
+
+        mb = ModuleBuilder(name="serve-artifact")
+        f = mb.function("one", params=[], results=["i32"], export=True)
+        f.i32_const(1)
+        module = mb.build()
+        validate_module(module)
+        return serialize_lowered(lower_module(module))
+
+    def test_clean_artifact_streams(self, tmp_path):
+        service = self._service(tmp_path)
+        self._write(tmp_path, {"artifact": self._lowered_payload()})
+        raw = service.artifact_bytes("t-key-0123456789", self.KEY)
+        assert raw
+        assert service.metrics.counter("serve.artifact_verify_failures") == 0
+
+    def test_corrupt_lowered_ir_is_500_and_counted(self, tmp_path):
+        service = self._service(tmp_path)
+        payload = self._lowered_payload()
+        payload["functions"][0]["ops"][0][0] = "i32.frobnicate"
+        self._write(tmp_path, {"artifact": payload})
+        with pytest.raises(WireError) as excinfo:
+            service.artifact_bytes("t-key-0123456789", self.KEY)
+        assert excinfo.value.status == 500
+        assert excinfo.value.code == "artifact_corrupt"
+        assert "failed static verification" in excinfo.value.message
+        assert service.metrics.counter("serve.artifact_verify_failures") == 1
+
+    def test_unpicklable_artifact_is_500_and_counted(self, tmp_path):
+        service = self._service(tmp_path)
+        (tmp_path / f"{self.KEY}.mpiwasm").write_bytes(b"\x80garbage not a pickle")
+        with pytest.raises(WireError) as excinfo:
+            service.artifact_bytes("t-key-0123456789", self.KEY)
+        assert excinfo.value.status == 500
+        assert excinfo.value.code == "artifact_corrupt"
+        assert service.metrics.counter("serve.artifact_verify_failures") == 1
+
+    def test_non_lowered_artifact_still_streams(self, tmp_path):
+        # Backends whose artifacts carry no lowered IR are passed through.
+        service = self._service(tmp_path)
+        self._write(tmp_path, {"artifact": {"kind": "module", "blob": b"x"}})
+        assert service.artifact_bytes("t-key-0123456789", self.KEY)
+
+    def test_metric_appears_in_metrics_text(self, tmp_path):
+        service = self._service(tmp_path)
+        payload = self._lowered_payload()
+        payload["functions"][0]["ops"][0][0] = "i32.frobnicate"
+        self._write(tmp_path, {"artifact": payload})
+        with pytest.raises(WireError):
+            service.artifact_bytes("t-key-0123456789", self.KEY)
+        text = service.metrics_text()
+        assert "repro_serve_artifact_verify_failures 1" in text
+        assert "repro_serve_artifact_verify_failures_total" not in text
+
+
+class TestPoolVerifyFlag:
+    def test_pool_lifetime_scopes_verify_on_load(self):
+        from repro.serve.pool import WorkerPool
+        from repro.wasm import lowering
+
+        class _FakeSession:
+            def close(self):
+                pass
+
+        store = JobStore()
+        queue = BoundedJobQueue(capacity=2)
+        pool = WorkerPool(1, lambda name: _FakeSession(), store, queue)
+        assert lowering.VERIFY_ON_LOAD is False
+        pool.start()
+        try:
+            assert lowering.VERIFY_ON_LOAD is True
+        finally:
+            pool.stop(drain=False, timeout=2.0)
+        assert lowering.VERIFY_ON_LOAD is False
