@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Resumable-campaign smoke: crash a journaled campaign, resume it (the CI
+``chaos-smoke`` job).
+
+1. runs a small journaled campaign to completion against an on-disk AoT
+   cache (every job transition lands in ``journal.jsonl`` as it happens),
+2. forges a crash by scrubbing one job's terminal record -- exactly the
+   on-disk state a SIGKILL after ``started`` leaves behind, since the
+   ``O_APPEND`` journal never rewrites earlier records,
+3. resumes with ``run_campaign(None, journal_dir=..., resume=True)`` (the
+   CLI's ``repro-harness campaign --resume``) and proves the contract:
+   finished jobs are restored without re-running, the lost job -- and only
+   the lost job -- re-runs, fingerprints match the uninterrupted run
+   bit-for-bit, and the warm cache means zero re-compiles.
+
+Exits non-zero on the first failed expectation.
+"""
+
+import json
+import pathlib
+import sys
+import tempfile
+
+from repro.fault.journal import Journal
+from repro.harness.campaign import run_campaign
+
+SPEC = {
+    "name": "chaos-resume-smoke",
+    "seed": 11,
+    "benchmarks": [
+        {"benchmark": "allreduce", "nranks": 2, "backend": "cranelift",
+         "machine": "graviton2", "repeats": 2},
+    ],
+}
+
+
+def expect(condition, message):
+    if not condition:
+        print(f"FAIL: {message}")
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="chaos-resume-") as tmp:
+        tmp = pathlib.Path(tmp)
+        jdir, cache = tmp / "journal", str(tmp / "aot-cache")
+
+        first = run_campaign(dict(SPEC), journal_dir=jdir, cache_dir=cache)
+        expect(first.ok, "journaled campaign completes")
+        expect(first.cache_stats["compiles"] == 1,
+               "the guest module compiled exactly once")
+        job_ids = [o.job_id for o in first.outcomes]
+        journal = Journal(jdir)
+        expect(journal.unfinished() == {},
+               "a clean run leaves no unfinished jobs")
+
+        # Forge the crash: drop job 1's terminal record, as if the process
+        # died right after journaling "started".
+        keep = [r for r in journal.events()
+                if not (r["job_id"] == job_ids[1] and r["event"] == "done")]
+        journal.path.write_text(
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in keep))
+        expect(set(journal.unfinished()) == {job_ids[1]},
+               "exactly the crashed job is unfinished")
+
+        # Resume: no spec argument -- it is restored from journal/spec.json.
+        resumed = run_campaign(None, journal_dir=jdir, resume=True,
+                               cache_dir=cache)
+        expect(resumed.ok, "resumed campaign completes")
+        expect(resumed.outcome(job_ids[0]).resumed is True,
+               "the finished job is restored, not re-run")
+        expect(resumed.outcome(job_ids[1]).resumed is False,
+               "the crashed job is re-run")
+        started_before = sum(1 for r in keep if r["event"] == "started")
+        expect(Journal(jdir).event_count("started") == started_before + 1,
+               "no duplicate executions (exactly one new start)")
+        expect(resumed.fingerprints() == first.fingerprints(),
+               "restored + re-run results are bit-for-bit the original")
+        expect(resumed.cache_stats["compiles"] == 0,
+               "zero re-compiles against the warm cache")
+    print("chaos_resume_smoke: all expectations held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

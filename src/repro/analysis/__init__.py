@@ -15,6 +15,9 @@ findings model (:mod:`repro.analysis.findings`) and one CLI
 * :mod:`repro.analysis.codelint` -- AST linter for invariants this repo has
   already paid for in bugfixes (monotonic clocks in lock code, env reads
   via ``core/envvars.py``, obs fast-path discipline, ...), baseline-gated.
+* :mod:`repro.analysis.checkpoint_verify` -- document-level verification of
+  :mod:`repro.fault.checkpoint` snapshots (digest, rank coverage, executor
+  position bounds, memory-image consistency) without resuming them.
 
 The findings types are eagerly importable; the analyzers themselves load
 lazily so ``import repro.analysis`` stays cheap (the schedule checker pulls
@@ -29,16 +32,23 @@ __all__ = [
     "Finding",
     "Report",
     "Severity",
+    "checkpoint_verify",
     "codelint",
     "findings",
     "ir_verify",
     "schedule_check",
+    "verify_checkpoint",
 ]
 
 
 def __getattr__(name: str):
-    if name in ("codelint", "findings", "ir_verify", "schedule_check"):
+    if name in ("checkpoint_verify", "codelint", "findings", "ir_verify",
+                "schedule_check"):
         import importlib
 
         return importlib.import_module(f"repro.analysis.{name}")
+    if name == "verify_checkpoint":
+        from repro.analysis.checkpoint_verify import verify_checkpoint
+
+        return verify_checkpoint
     raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")

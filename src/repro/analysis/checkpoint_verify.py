@@ -1,0 +1,190 @@
+"""Static verification of checkpoint documents (``repro.fault.checkpoint``).
+
+``repro-harness analyze checkpoint <path>`` validates a snapshot *without*
+resuming it: file integrity (format marker, version, content digest), shape
+(rank coverage against the declared world size), per-rank executor position
+invariants, and guest-state consistency (the embedded linear-memory image
+must decompress to exactly ``memory_pages`` Wasm pages and hash to the
+stored digest).  A checkpoint that passes here can still diverge at
+replay-validation time -- this pass proves the *document* is internally
+consistent, which is the cheap half of restore safety and the half a CI job
+can run on archived snapshots.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import zlib
+from pathlib import Path
+
+from repro.analysis.findings import Report
+from repro.fault.checkpoint import FORMAT, VERSION, _digest_bytes, content_digest
+
+#: Bytes per Wasm linear-memory page (the spec constant).
+PAGE_SIZE = 65536
+
+ANALYZER = "checkpoint"
+
+
+def _verify_executor(report: Report, state: dict, loc: str) -> None:
+    executor = state.get("executor")
+    if not isinstance(executor, dict):
+        report.error(ANALYZER, "missing-executor",
+                     "rank state carries no schedule-executor snapshot", loc)
+        return
+    pc = executor.get("pc")
+    n_steps = executor.get("n_steps")
+    if not isinstance(pc, int) or not isinstance(n_steps, int):
+        report.error(ANALYZER, "bad-executor-state",
+                     f"executor pc/n_steps must be integers, got {pc!r}/{n_steps!r}", loc)
+        return
+    if not 0 <= pc <= n_steps:
+        report.error(ANALYZER, "pc-out-of-bounds",
+                     f"executor pc {pc} outside [0, {n_steps}]", loc,
+                     pc=pc, n_steps=n_steps)
+    done = pc >= n_steps
+    round_no = executor.get("round")
+    if done and round_no != -1:
+        report.error(ANALYZER, "round-after-done",
+                     f"finished executor (pc={pc}) still reports round {round_no}", loc)
+    if not done and (not isinstance(round_no, int) or round_no < 0):
+        report.error(ANALYZER, "bad-round",
+                     f"in-flight executor reports invalid round {round_no!r}", loc)
+    if executor.get("finished") and not done:
+        report.error(ANALYZER, "finished-before-done",
+                     f"executor marked finished with pc {pc} of {n_steps} steps", loc)
+    data_time = executor.get("data_time")
+    if not isinstance(data_time, (int, float)) or data_time < 0:
+        report.error(ANALYZER, "bad-data-time",
+                     f"executor data_time {data_time!r} is not a non-negative number", loc)
+
+
+def _verify_guest(report: Report, guest: dict, loc: str) -> None:
+    pages = guest.get("memory_pages", 0)
+    if not isinstance(pages, int) or pages < 0:
+        report.error(ANALYZER, "bad-memory-pages",
+                     f"memory_pages {pages!r} is not a non-negative integer", loc)
+        return
+    encoded = guest.get("memory_b64")
+    if encoded is None:
+        report.note(ANALYZER, "digest-only-memory",
+                    "snapshot keeps only the memory digest (replay-validation "
+                    "form); write-back restore is not possible from it", loc)
+        return
+    try:
+        raw = zlib.decompress(base64.b64decode(encoded))
+    except (binascii.Error, ValueError, zlib.error) as exc:
+        report.error(ANALYZER, "bad-memory-image",
+                     f"memory_b64 does not decode: {exc}", loc)
+        return
+    expected = pages * PAGE_SIZE
+    if len(raw) != expected:
+        report.error(ANALYZER, "memory-size-mismatch",
+                     f"memory image is {len(raw)} bytes but {pages} pages "
+                     f"declare {expected}", loc,
+                     image_bytes=len(raw), memory_pages=pages)
+    digest = guest.get("memory_digest")
+    if digest and _digest_bytes(raw) != digest:
+        report.error(ANALYZER, "memory-digest-mismatch",
+                     "memory image does not hash to the stored memory_digest", loc)
+
+
+def _verify_rank(report: Report, state: dict, nranks: int, loc_prefix: str) -> None:
+    rank = state.get("rank")
+    loc = f"{loc_prefix} rank {rank}"
+    if not isinstance(rank, int) or not 0 <= rank < max(nranks, 1):
+        report.error(ANALYZER, "rank-out-of-range",
+                     f"rank {rank!r} outside the declared world of {nranks}", loc)
+    clock = state.get("clock")
+    if not isinstance(clock, (int, float)) or clock < 0:
+        report.error(ANALYZER, "bad-clock",
+                     f"rank clock {clock!r} is not a non-negative number", loc)
+    _verify_executor(report, state, loc)
+    for i, request in enumerate(state.get("requests") or []):
+        if not isinstance(request, dict) or "kind" not in request or "complete" not in request:
+            report.error(ANALYZER, "bad-request-state",
+                         f"request #{i} must record 'kind' and 'complete', "
+                         f"got {request!r}", loc)
+    guest = state.get("guest")
+    if guest is None:
+        report.note(ANALYZER, "no-guest-state",
+                    "rank captured without an instance snapshot "
+                    "(native mode, or capture before instantiation)", loc)
+    else:
+        _verify_guest(report, guest, loc)
+
+
+def verify_payload(payload: dict, report: Report, location: str) -> None:
+    """Verify one already-parsed checkpoint payload into ``report``."""
+    if payload.get("format") != FORMAT:
+        report.error(ANALYZER, "bad-format",
+                     f"not a {FORMAT} document (format={payload.get('format')!r})",
+                     location)
+        return
+    if payload.get("version") != VERSION:
+        report.error(ANALYZER, "unsupported-version",
+                     f"checkpoint version {payload.get('version')!r}; this build "
+                     f"reads version {VERSION}", location)
+        return
+    stored = payload.get("digest")
+    if stored is None:
+        report.error(ANALYZER, "missing-digest",
+                     "payload carries no content digest", location)
+    elif stored != content_digest(payload):
+        report.error(ANALYZER, "digest-mismatch",
+                     f"stored digest {stored} does not match the payload",
+                     location)
+    nranks = payload.get("nranks")
+    if not isinstance(nranks, int) or nranks < 1:
+        report.error(ANALYZER, "bad-nranks",
+                     f"nranks {nranks!r} is not a positive integer", location)
+        nranks = 0
+    ranks = payload.get("ranks")
+    if not isinstance(ranks, list) or not ranks:
+        report.error(ANALYZER, "no-rank-states",
+                     "checkpoint captured no per-rank states", location)
+        return
+    seen = [s.get("rank") for s in ranks if isinstance(s, dict)]
+    duplicates = sorted({r for r in seen if seen.count(r) > 1})
+    if duplicates:
+        report.error(ANALYZER, "duplicate-rank",
+                     f"rank state(s) {duplicates} appear more than once", location)
+    if nranks and len(set(seen)) < nranks:
+        missing = sorted(set(range(nranks)) - set(seen))
+        report.warning(ANALYZER, "partial-capture",
+                       f"{len(set(seen))} of {nranks} ranks captured "
+                       f"(missing {missing}); resume validation only covers "
+                       "captured ranks", location)
+    for state in ranks:
+        if isinstance(state, dict):
+            _verify_rank(report, state, nranks, location)
+    if not payload.get("job"):
+        report.warning(ANALYZER, "no-job-descriptor",
+                       "checkpoint has no job descriptor; "
+                       "resume_from_checkpoint cannot replay it", location)
+    report.note(ANALYZER, "verified",
+                f"{len(ranks)} rank state(s) at round crossing "
+                f"{payload.get('at_round')}", location)
+
+
+def verify_checkpoint(path) -> Report:
+    """Verify the checkpoint file at ``path``; returns the findings report."""
+    report = Report()
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        report.error(ANALYZER, "unreadable", f"cannot read file: {exc}", str(path))
+        return report
+    except ValueError as exc:
+        report.error(ANALYZER, "not-json", f"not valid JSON: {exc}", str(path))
+        return report
+    if not isinstance(payload, dict):
+        report.error(ANALYZER, "bad-format",
+                     f"top-level JSON value is {type(payload).__name__}, "
+                     "expected an object", str(path))
+        return report
+    verify_payload(payload, report, str(path))
+    return report

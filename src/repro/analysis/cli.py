@@ -1,7 +1,7 @@
 """Command line driver for the static-analysis layer.
 
 Mounted as ``repro-harness analyze`` and runnable standalone as
-``python -m repro.analysis``.  Three subcommands mirror the three analyzers:
+``python -m repro.analysis``.  Four subcommands mirror the four analyzers:
 
 * ``analyze schedules`` -- build every per-rank schedule of the selected
   (or all) registered collective algorithms across a rank/payload grid and
@@ -11,6 +11,9 @@ Mounted as ``repro-harness analyze`` and runnable standalone as
 * ``analyze ir`` -- verify lowered-IR artifacts: cached ``*.mpiwasm`` files,
   directories of them, or ``.wasm``/``.wat`` sources (compiled in-process,
   then verified) -- the CI pass runs this over the bench-smoke modules.
+* ``analyze checkpoint`` -- verify :mod:`repro.fault.checkpoint` snapshot
+  documents (digest, rank coverage, executor bounds, memory image) without
+  resuming them.
 * ``analyze lint`` -- the project-invariant linter over source trees;
   ``--self`` (or top-level ``--self-lint``) lints this repo's ``src/``
   against the checked-in ``.codelint-baseline.json``.
@@ -122,6 +125,27 @@ def _cmd_ir(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     return _finish(report, args)
 
 
+# ----------------------------------------------------------------- checkpoint
+
+
+def _cmd_checkpoint(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.analysis import checkpoint_verify
+
+    report = Report()
+    for raw in args.paths:
+        path = Path(raw)
+        if path.is_dir():
+            found = sorted(path.glob("*.ckpt.json"))
+            if not found:
+                report.note("checkpoint", "no-checkpoints",
+                            "directory holds no *.ckpt.json files", str(path))
+            for file in found:
+                report.merge(checkpoint_verify.verify_checkpoint(file))
+        else:
+            report.merge(checkpoint_verify.verify_checkpoint(path))
+    return _finish(report, args)
+
+
 # ----------------------------------------------------------------------- lint
 
 
@@ -181,6 +205,14 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     _common_flags(ir)
     ir.set_defaults(analyze_func=_cmd_ir)
 
+    ckpt = sub.add_parser(
+        "checkpoint", help="verify checkpoint snapshot documents")
+    ckpt.add_argument("paths", nargs="+",
+                      help="checkpoint files (repro.fault.checkpoint JSON) or "
+                           "directories of *.ckpt.json snapshots")
+    _common_flags(ckpt)
+    ckpt.set_defaults(analyze_func=_cmd_checkpoint)
+
     lint = sub.add_parser(
         "lint", help="run the project-invariant linter")
     lint.add_argument("paths", nargs="*",
@@ -213,7 +245,8 @@ def run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         return _finish(report, args)
     func = getattr(args, "analyze_func", None)
     if func is None:
-        parser.error("choose an analyzer: schedules | ir | lint (or --self-lint)")
+        parser.error("choose an analyzer: schedules | ir | checkpoint | lint "
+                     "(or --self-lint)")
     if getattr(args, "analyze_what", None) == "schedules" and args.max_steps is None:
         from repro.analysis.schedule_check import DEFAULT_MAX_STEPS
 

@@ -25,6 +25,14 @@ the :class:`Finding`/:class:`Severity`/:class:`Report` findings model plus
 (cross-rank schedule verification) and :func:`verify_lowered_artifact`
 (lowered-IR artifact verification).
 
+The fault-tolerance subsystem (:mod:`repro.fault`) is re-exported here:
+:func:`capture_checkpoint` / :func:`load_checkpoint` /
+:func:`resume_from_checkpoint` for checkpoint/restart, :class:`FaultPlan` /
+:func:`inject_faults` for deterministic fault injection,
+:func:`run_with_recovery` for restart-level recovery, and :class:`Journal`
+for the crash-safe job journal behind resumable campaigns and the serve
+daemon (:func:`verify_checkpoint` statically checks snapshot documents).
+
 The observability subsystem (:mod:`repro.obs`) is re-exported here as well:
 :func:`tracing` / :class:`TraceRecorder` record per-rank MPI event traces,
 :func:`to_chrome_trace` / :func:`merge_traces` / :func:`write_chrome_trace`
@@ -108,6 +116,20 @@ _EXPORT_SOURCES = {
     "check_schedule_point": "repro.analysis.schedule_check",
     "schedule_sweep": "repro.analysis.schedule_check",
     "verify_lowered_artifact": "repro.analysis.ir_verify",
+    "verify_checkpoint": "repro.analysis",
+    # Fault tolerance (repro.fault): checkpoint/restart, injection, recovery.
+    "Checkpoint": "repro.fault",
+    "Fault": "repro.fault",
+    "FaultPlan": "repro.fault",
+    "InjectedFault": "repro.fault",
+    "Journal": "repro.fault",
+    "RecoveryResult": "repro.fault",
+    "capture_checkpoint": "repro.fault",
+    "inject_faults": "repro.fault",
+    "job_descriptor": "repro.fault",
+    "load_checkpoint": "repro.fault",
+    "resume_from_checkpoint": "repro.fault",
+    "run_with_recovery": "repro.fault",
 }
 
 __all__ = sorted(["API_VERSION", "DEPRECATIONS", *_EXPORT_SOURCES])
@@ -166,8 +188,25 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         Report,
         Severity,
     )
+    from repro.analysis.checkpoint_verify import (  # noqa: F401
+        verify_checkpoint,
+    )
     from repro.analysis.ir_verify import (  # noqa: F401
         verify_lowered_artifact,
+    )
+    from repro.fault import (  # noqa: F401
+        Checkpoint,
+        Fault,
+        FaultPlan,
+        InjectedFault,
+        Journal,
+        RecoveryResult,
+        capture_checkpoint,
+        inject_faults,
+        job_descriptor,
+        load_checkpoint,
+        resume_from_checkpoint,
+        run_with_recovery,
     )
     from repro.analysis.schedule_check import (  # noqa: F401
         check_schedule_point,

@@ -33,10 +33,11 @@ from repro.api.registry import BENCHMARKS, MACHINES, MODES, register_mode
 from repro.core import envvars
 from repro.core.config import EmbedderConfig
 from repro.core.embedder import GuestResult, MPIWasm
+from repro.fault import checkpoint as _checkpoint
 from repro.mpi.runtime import MPIRuntime, MPIWorld
 from repro.obs import trace as _trace
 from repro.sim.cluster import Cluster
-from repro.sim.engine import SimEngine
+from repro.sim.engine import RankFailedError, SimEngine
 from repro.sim.machines import MachinePreset
 from repro.sim.metrics import MetricsRegistry
 from repro.toolchain.guest import GuestProgram
@@ -120,8 +121,17 @@ def execute_job(
     world = MPIWorld.install(cluster, engine, metrics)
     if collective_algorithms:
         world.collectives.force_many(dict(collective_algorithms))
+    if _checkpoint.CAPTURE is not None:
+        _checkpoint.CAPTURE.register_world(world)
     engine.spawn_all(program_factory(world, metrics))
-    rank_results = engine.run()
+    try:
+        rank_results = engine.run()
+    except RankFailedError as err:
+        # Survivors are already torn down (the engine guarantees it); attach
+        # the job's final metrics so the error record carries each rank's
+        # counters at failure time.
+        err.metrics_snapshot = metrics.snapshot()
+        raise
     return rank_results, engine.max_clock, metrics
 
 
@@ -385,7 +395,8 @@ class Session:
 
     def campaign(self, spec, *, workers: Optional[int] = None,
                  cache_dir: Any = None, progress: Optional[Callable] = None,
-                 trace: Optional[bool] = None):
+                 trace: Optional[bool] = None,
+                 journal_dir: Any = None, resume: bool = False):
         """Expand and execute a campaign spec through this session.
 
         Serial campaigns (``workers <= 1``) run every job on *this* warm
@@ -399,6 +410,9 @@ class Session:
         -- still beats the environment.  ``trace`` forces per-job event
         tracing on (``True``) or off (``False``); ``None`` defers to the
         spec's ``"trace"`` key, then the session's ``trace`` config.
+        ``journal_dir`` keeps a crash-safe on-disk journal of job outcomes
+        (:mod:`repro.fault.journal`); ``resume=True`` re-runs only the jobs
+        that journal records as unfinished (``spec`` may then be ``None``).
         Returns the :class:`repro.harness.campaign.CampaignResult`.
         """
         self._check_open()
@@ -413,7 +427,7 @@ class Session:
                 cache_dir = self.config.cache_dir
         result = run_campaign(
             spec, workers=workers, cache_dir=cache_dir, progress=progress,
-            session=self, trace=trace,
+            session=self, trace=trace, journal_dir=journal_dir, resume=resume,
         )
         if workers > 1:
             # Serial jobs already merged through Session.run; parallel jobs

@@ -27,6 +27,7 @@ from repro.wasm.compilers.cache import (
 )
 from repro.core.config import EmbedderConfig
 from repro.core.env import Env
+from repro.fault import checkpoint as _checkpoint
 from repro.core.guest_api import GuestAPI
 from repro.core.mpi_imports import register_mpi_imports
 from repro.mpi.runtime import MPIRuntime
@@ -158,8 +159,25 @@ class MPIWasm:
         env = Env(runtime=runtime, config=self.config, wasi=wasi_env)
         instance.host_state[Env.HOST_STATE_KEY] = env
         instance.run_start()
+        if _checkpoint.CAPTURE is not None:
+            _checkpoint.CAPTURE.register_instance(runtime.ctx.rank, instance)
         api = GuestAPI(instance, env)
         return instance, env, api
+
+    # ------------------------------------------------------- checkpoint/restore
+
+    def snapshot(self, instance: Instance, include_memory: bool = True) -> dict:
+        """Capture the instance's quiescent state (memory, globals, tables).
+
+        Only meaningful between guest calls; for mid-run snapshots use
+        :func:`repro.fault.checkpoint.capture_checkpoint`, which captures at
+        schedule-round boundaries.
+        """
+        return _checkpoint.capture_instance_state(instance, include_memory=include_memory)
+
+    def restore(self, instance: Instance, state: dict) -> None:
+        """Write a :meth:`snapshot` back into a (quiescent) instance."""
+        _checkpoint.restore_instance_state(instance, state)
 
     # --------------------------------------------------------------- execution
 

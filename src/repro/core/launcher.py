@@ -106,11 +106,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--machine", default="supermuc-ng")
     parser.add_argument("--native", action="store_true", help="run the native baseline instead of Wasm")
     parser.add_argument("--backend", default="llvm", choices=BACKENDS.names())
+    parser.add_argument("--fault-plan", default=None, metavar="FILE",
+                        help="inject the faults described by this FaultPlan "
+                             "JSON file (see repro.fault.inject)")
+    parser.add_argument("--max-restarts", type=int, default=2,
+                        help="with --fault-plan: restart budget for recovering "
+                             "past injected rank failures (default 2)")
     args = parser.parse_args(argv)
 
+    mode = "native" if args.native else "wasm"
     with Session(machine=args.machine, backend=args.backend) as session:
-        job = session.run(args.benchmark, args.nranks,
-                          mode="native" if args.native else "wasm")
+        if args.fault_plan:
+            from pathlib import Path
+
+            from repro.fault import FaultPlan, run_with_recovery
+
+            try:
+                plan = FaultPlan.from_json(Path(args.fault_plan).read_text(encoding="utf-8"))
+            except (OSError, ValueError, TypeError) as exc:
+                parser.error(f"cannot load fault plan {args.fault_plan!r}: {exc}")
+            recovery = run_with_recovery(
+                args.benchmark, args.nranks, plan=plan,
+                max_restarts=args.max_restarts, session=session, mode=mode,
+            )
+            job = recovery.job
+            if recovery.fired:
+                detail = "; ".join(f["detail"] for f in recovery.fired)
+                print(f"injected: {detail}")
+                print(f"recovered after {recovery.attempts} attempt(s)")
+        else:
+            job = session.run(args.benchmark, args.nranks, mode=mode)
     print(f"benchmark={args.benchmark} mode={job.mode} ranks={job.nranks} "
           f"machine={job.machine} makespan={job.makespan*1e6:.2f} us")
     if job.stdout:

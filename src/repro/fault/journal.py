@@ -1,0 +1,129 @@
+"""Append-only on-disk job journal.
+
+One JSON record per line, appended with a single ``os.write`` on an
+``O_APPEND`` descriptor (the same atomic-publish idiom as the compile
+cache's event log): a SIGKILL between jobs can at worst truncate the final
+line, never corrupt earlier records, and :meth:`Journal.replay` skips a torn
+tail.  Both the campaign runner (``repro-harness campaign --journal/--resume``)
+and the serve daemon's job store write through this class, so a killed
+worker's jobs are re-run instead of lost.
+
+Event model: every job progresses ``accepted`` -> ``started`` -> one of the
+terminal events (``done`` / ``error`` / ``cancelled``).  A job whose last
+record is non-terminal is *unfinished* -- a resume re-runs exactly those.
+Metadata documents (the campaign spec, serve submissions) are published
+atomically next to the journal with tmp-file + ``os.replace``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+#: Events after which a job never runs again.
+TERMINAL_EVENTS = ("done", "error", "cancelled")
+
+#: Every event the journal accepts (anything else raises ``ValueError``).
+KNOWN_EVENTS = ("accepted", "started", "broken", *TERMINAL_EVENTS)
+
+
+class Journal:
+    """An append-only, crash-safe journal of job state transitions."""
+
+    FILENAME = "journal.jsonl"
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / self.FILENAME
+
+    # ------------------------------------------------------------------ append
+
+    def record(self, event: str, job_id: str, **fields) -> None:
+        """Append one event record (a single atomic ``O_APPEND`` write)."""
+        if event not in KNOWN_EVENTS:
+            raise ValueError(f"unknown journal event {event!r}")
+        payload = {"event": event, "job_id": job_id, **fields}
+        data = (json.dumps(payload, sort_keys=True, default=str) + "\n").encode("utf-8")
+        fd = os.open(self.path, os.O_APPEND | os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            # A crash mid-write can leave a torn final line with no newline;
+            # appending straight after it would corrupt THIS record too.  Seal
+            # the torn tail first (the worst concurrent-append race is an
+            # extra blank line, which replay skips).
+            size = os.fstat(fd).st_size
+            if size and os.pread(fd, 1, size - 1) != b"\n":
+                data = b"\n" + data
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+
+    # -------------------------------------------------------------------- read
+
+    def _iter_records(self) -> Iterator[dict]:
+        if not self.path.exists():
+            return
+        with open(self.path, "rb") as fh:
+            for raw in fh:
+                try:
+                    record = json.loads(raw.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    continue  # torn tail from a crash mid-write
+                if isinstance(record, dict) and "job_id" in record and "event" in record:
+                    yield record
+
+    def events(self) -> List[dict]:
+        """Every well-formed record, in append order."""
+        return list(self._iter_records())
+
+    def replay(self) -> Dict[str, dict]:
+        """Latest record per job id, in first-seen order."""
+        state: Dict[str, dict] = {}
+        for record in self._iter_records():
+            state[record["job_id"]] = record
+        return state
+
+    def unfinished(self) -> Dict[str, dict]:
+        """Jobs whose latest record is not terminal (these must re-run)."""
+        return {
+            job_id: record
+            for job_id, record in self.replay().items()
+            if record["event"] not in TERMINAL_EVENTS
+        }
+
+    def finished(self) -> Dict[str, dict]:
+        """Jobs whose latest record is terminal."""
+        return {
+            job_id: record
+            for job_id, record in self.replay().items()
+            if record["event"] in TERMINAL_EVENTS
+        }
+
+    def event_count(self, event: Optional[str] = None) -> int:
+        """Number of records (optionally of one event kind)."""
+        return sum(
+            1 for record in self._iter_records()
+            if event is None or record["event"] == event
+        )
+
+    # --------------------------------------------------------------- metadata
+
+    def write_meta(self, name: str, payload) -> Path:
+        """Atomically publish a JSON metadata document next to the journal."""
+        target = self.directory / name
+        tmp = target.with_name(f".{target.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str))
+        os.replace(tmp, target)
+        return target
+
+    def read_meta(self, name: str):
+        """Load a metadata document (``None`` if absent)."""
+        target = self.directory / name
+        if not target.exists():
+            return None
+        return json.loads(target.read_text())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Journal({str(self.directory)!r})"

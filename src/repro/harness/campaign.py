@@ -171,6 +171,14 @@ class JobOutcome:
     #: and from :meth:`to_dict` (the merged campaign timeline is exported
     #: separately; per-job raw events would bloat ``campaign.json``).
     trace: Optional[dict] = None
+    #: Fingerprint recorded in the journal at completion time.  Restored
+    #: outcomes honor it verbatim: recomputing from JSON-round-tripped fields
+    #: would not survive repr-encoded values, and the journal's digest *is*
+    #: the original run's.
+    stored_fingerprint: Optional[str] = None
+    #: True when this outcome was restored from a resume journal instead of
+    #: executed (``campaign --resume`` re-runs only unfinished jobs).
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -194,6 +202,8 @@ class JobOutcome:
         excluded because they depend on scheduling and host load, not on
         the simulation.
         """
+        if self.stored_fingerprint is not None:
+            return self.stored_fingerprint
         counters = {
             k: v for k, v in self.metrics.get("counters", {}).items()
             if not k.startswith(_FINGERPRINT_EXCLUDE)
@@ -235,6 +245,7 @@ class JobOutcome:
             "metrics_counters": self.metrics.get("counters", {}),
             "error": self.error,
             "fingerprint": self.fingerprint(),
+            "resumed": self.resumed,
         }
 
 
@@ -313,6 +324,21 @@ class CampaignSpec:
                 ) from exc
             return cls.from_mapping(yaml.safe_load(text))
         return cls.from_mapping(json.loads(text))
+
+    def to_mapping(self) -> Dict[str, object]:
+        """Plain-data form (accepted back by :meth:`from_mapping`).
+
+        A resumable campaign persists this into its journal directory, so
+        ``campaign --resume <dir>`` needs no spec argument.
+        """
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "cache_dir": self.cache_dir,
+            "trace": self.trace,
+            "benchmarks": list(self.benchmarks),
+            "experiments": list(self.experiments),
+        }
 
     def expand(self) -> List[JobSpec]:
         """Expand the matrix into the concrete, validated job list."""
@@ -556,6 +582,77 @@ def _interrupted_outcome(spec: JobSpec, campaign_seed: int) -> JobOutcome:
     )
 
 
+def _broken_outcome(spec: JobSpec, campaign_seed: int, exc: BaseException) -> JobOutcome:
+    """Structured record for a job whose worker process died (e.g. SIGKILL)."""
+    return JobOutcome(
+        job_id=spec.job_id,
+        spec=spec,
+        seed=spec.seed(campaign_seed),
+        status="error",
+        error={
+            "type": "BrokenProcessPool",
+            "message": str(exc) or "a campaign worker process died before the job finished",
+            "traceback": "",
+        },
+    )
+
+
+def _run_job_with_journal(
+    spec: JobSpec,
+    campaign_seed: int = 0,
+    cache_dir: Union[str, bool, None] = None,
+    trace: bool = False,
+    journal_dir: Union[str, None] = None,
+) -> JobOutcome:
+    """Pool entry point for journaled campaigns.
+
+    The ``started`` event is written *by the worker* (a single ``O_APPEND``
+    write, safe across processes), so a worker killed mid-job leaves its job
+    at a non-terminal event and a resume re-runs exactly that job.
+    """
+    if journal_dir is not None:
+        from repro.fault.journal import Journal
+
+        Journal(journal_dir).record("started", spec.job_id)
+    return run_job(spec, campaign_seed, cache_dir, trace=trace)
+
+
+def _journal_terminal(journal, outcome: JobOutcome) -> None:
+    """Record a job's terminal event with everything a resume needs."""
+    journal.record(
+        "done" if outcome.status == "ok" else "error",
+        outcome.job_id,
+        status=outcome.status,
+        wall_seconds=outcome.wall_seconds,
+        makespan=outcome.makespan,
+        exit_codes=outcome.exit_codes,
+        return_values=outcome.return_values,
+        result=outcome.result,
+        metrics=outcome.metrics,
+        error=outcome.error,
+        fingerprint=outcome.fingerprint(),
+    )
+
+
+def _outcome_from_record(job: JobSpec, campaign_seed: int, record: Mapping[str, object]) -> JobOutcome:
+    """Reconstruct a finished job's outcome from its journal record."""
+    return JobOutcome(
+        job_id=job.job_id,
+        spec=job,
+        seed=job.seed(campaign_seed),
+        status=str(record.get("status", "ok")),
+        wall_seconds=float(record.get("wall_seconds") or 0.0),
+        makespan=record.get("makespan"),
+        exit_codes=list(record.get("exit_codes") or []),
+        return_values=list(record.get("return_values") or []),
+        result=record.get("result"),
+        metrics=dict(record.get("metrics") or {}),
+        error=record.get("error"),
+        stored_fingerprint=record.get("fingerprint"),
+        resumed=True,
+    )
+
+
 # ---------------------------------------------------------------- the runner
 
 
@@ -654,12 +751,14 @@ def _pool_context():
 
 
 def run_campaign(
-    spec: Union[CampaignSpec, Mapping[str, object]],
+    spec: Union[CampaignSpec, Mapping[str, object], None],
     workers: int = 1,
     cache_dir: Union[str, bool, None] = None,
     progress: Optional[Callable[[JobOutcome], None]] = None,
     session=None,
     trace: Optional[bool] = None,
+    journal_dir: Union[str, Path, None] = None,
+    resume: bool = False,
 ) -> CampaignResult:
     """Expand ``spec`` and execute every job, serially or on a worker pool.
 
@@ -676,16 +775,69 @@ def run_campaign(
     ``trace`` flag; when on, every job records a per-rank event trace and
     :meth:`CampaignResult.trace_timeline` merges them into one Chrome trace.
 
+    ``journal_dir`` makes the campaign *resumable*: every job's lifecycle
+    (``accepted`` / ``started`` / ``done`` / ``error`` / ``broken``) is
+    appended to a crash-safe :class:`repro.fault.journal.Journal` in that
+    directory, alongside the spec itself.  ``resume=True`` replays the
+    journal first: jobs whose last event is terminal are restored from their
+    journal record (marked ``resumed``, keeping their original fingerprint)
+    and only the rest execute -- a job whose worker was SIGKILLed mid-run is
+    left at ``started``/``broken`` and therefore re-runs.  When resuming,
+    ``spec`` may be ``None``: the journal's stored spec is used.
+
     ``KeyboardInterrupt`` does not orphan workers: the pool is terminated
     and joined, unfinished jobs become ``"interrupted"`` records, and the
     *partial* :class:`CampaignResult` is returned (``interrupted=True``) so
-    callers can still write an accounting ``campaign.json``.
+    callers can still write an accounting ``campaign.json``.  A worker that
+    *dies* (killed, segfaulted) does not hang the campaign either: its job
+    -- and any job still queued behind the broken pool -- becomes a
+    structured ``BrokenProcessPool`` error record, journaled as ``broken``
+    so a resume re-runs it.
     """
+    journal = None
+    if journal_dir is not None:
+        from repro.fault.journal import Journal
+
+        journal = Journal(journal_dir)
+    if resume:
+        if journal is None:
+            raise ValueError("resume=True requires journal_dir")
+        if spec is None:
+            stored = journal.read_meta("spec.json")
+            if stored is None:
+                raise ValueError(f"no stored spec to resume from in {journal_dir}")
+            spec = CampaignSpec.from_mapping(stored)
+    if spec is None:
+        raise ValueError("spec is required (except when resuming from a journal)")
     if not isinstance(spec, CampaignSpec):
         spec = CampaignSpec.from_mapping(spec)
     jobs = spec.expand()
     workers = max(1, int(workers))
     do_trace = bool(spec.trace) if trace is None else bool(trace)
+
+    restored: Dict[str, JobOutcome] = {}
+    pending: List[JobSpec] = jobs
+    if journal is not None:
+        from repro.fault.journal import TERMINAL_EVENTS
+
+        if resume:
+            replayed = journal.replay()
+            for job in jobs:
+                record = replayed.get(job.job_id)
+                if record is not None and record.get("event") in TERMINAL_EVENTS:
+                    restored[job.job_id] = _outcome_from_record(job, spec.seed, record)
+            pending = [job for job in jobs if job.job_id not in restored]
+            if progress is not None:
+                # Announce restored outcomes up front, in expansion order, so
+                # a resume's progress stream accounts for every job.
+                for job in jobs:
+                    if job.job_id in restored:
+                        progress(restored[job.job_id])
+        else:
+            journal.write_meta("spec.json", spec.to_mapping())
+        for job in pending:
+            journal.record("accepted", job.job_id)
+    journal_path = str(journal.directory) if journal is not None else None
 
     # Explicit argument beats the spec beats the user's persistent
     # REPRO_CACHE_DIR; only a fully-unconfigured run gets a throwaway cache.
@@ -712,46 +864,77 @@ def run_campaign(
     outcomes: List[JobOutcome] = []
     interrupted = False
     try:
-        if workers == 1:
+        if workers == 1 or not pending:
             job_session = session if session is not None else _fresh_session(shared_cache)
             try:
-                for job in jobs:
+                for job in pending:
+                    if journal is not None:
+                        journal.record("started", job.job_id)
                     outcome = run_job(job, spec.seed, shared_cache,
                                       session=job_session, trace=do_trace)
                     outcomes.append(outcome)
+                    if journal is not None:
+                        _journal_terminal(journal, outcome)
                     if progress is not None:
                         progress(outcome)
             except KeyboardInterrupt:
                 interrupted = True
         else:
-            from functools import partial
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures.process import BrokenProcessPool
 
             ctx = _pool_context()
-            with ctx.Pool(
-                processes=min(workers, len(jobs)),
+            executor = ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)),
+                mp_context=ctx,
                 initializer=_init_worker_session,
                 initargs=(shared_cache,),
-            ) as pool:
-                try:
-                    for outcome in pool.imap(
-                        partial(run_job, campaign_seed=spec.seed,
-                                cache_dir=shared_cache, trace=do_trace),
-                        jobs,
-                    ):
+            )
+            try:
+                futures = [
+                    executor.submit(
+                        _run_job_with_journal, job, campaign_seed=spec.seed,
+                        cache_dir=shared_cache, trace=do_trace,
+                        journal_dir=journal_path,
+                    )
+                    for job in pending
+                ]
+                for job, future in zip(pending, futures):
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool as exc:
+                        # A worker died (SIGKILL, segfault, OOM): the executor
+                        # noticed instead of hanging.  This job -- and every
+                        # job still queued behind the broken pool -- becomes a
+                        # structured error record; journaled as "broken"
+                        # (non-terminal), so a resume re-runs it.
+                        outcome = _broken_outcome(job, spec.seed, exc)
+                        if journal is not None:
+                            journal.record("broken", job.job_id,
+                                           message=outcome.error["message"])
                         outcomes.append(outcome)
                         if progress is not None:
                             progress(outcome)
-                except KeyboardInterrupt:
-                    # Ctrl-C (or a SIGINT to the process group): stop the
-                    # workers instead of orphaning them mid-job, then report
-                    # a *partial* campaign -- every unfinished job gets an
-                    # "interrupted" record so campaign.json still accounts
-                    # for the whole job list.
-                    interrupted = True
-                    pool.terminate()
-                    pool.join()
+                        continue
+                    outcomes.append(outcome)
+                    if journal is not None:
+                        _journal_terminal(journal, outcome)
+                    if progress is not None:
+                        progress(outcome)
+            except KeyboardInterrupt:
+                # Ctrl-C (or a SIGINT to the process group): stop the
+                # workers instead of orphaning them mid-job, then report
+                # a *partial* campaign -- every unfinished job gets an
+                # "interrupted" record so campaign.json still accounts
+                # for the whole job list.
+                interrupted = True
+                for proc in list(getattr(executor, "_processes", {}).values()):
+                    proc.terminate()
+                executor.shutdown(wait=False, cancel_futures=True)
+            else:
+                executor.shutdown(wait=True)
         if interrupted:
-            done = {o.job_id for o in outcomes}
+            done = {o.job_id for o in outcomes} | set(restored)
             for job in jobs:
                 if job.job_id not in done:
                     outcomes.append(_interrupted_outcome(job, spec.seed))
@@ -764,6 +947,12 @@ def run_campaign(
     finally:
         if temporary_cache:
             shutil.rmtree(shared_cache, ignore_errors=True)
+
+    if restored:
+        # Splice restored outcomes back into expansion order.
+        by_id = {o.job_id: o for o in outcomes}
+        by_id.update(restored)
+        outcomes = [by_id[job.job_id] for job in jobs if job.job_id in by_id]
 
     result = CampaignResult(
         name=spec.name,

@@ -21,6 +21,10 @@ Two subcommands, both built on the campaign runner
   long-running HTTP daemon accepting run/campaign/compile submissions onto
   a bounded queue drained by warm per-worker sessions, with per-tenant
   API keys, throttling/quotas, load-shedding, and ``/healthz``+``/metrics``.
+* ``chaos`` -- the fault-tolerance acceptance drill (:mod:`repro.fault`):
+  kill one rank mid-``MPI_Allreduce``, recover by deterministic restart,
+  resume a mid-run checkpoint, and verify every result bit-for-bit against
+  a clean-run oracle (optionally writing the fault-event Chrome trace).
 * ``analyze`` -- the static verification layer (:mod:`repro.analysis`):
   cross-rank schedule deadlock/conservation checks (``analyze schedules``),
   lowered-IR/fusion-table verification (``analyze ir``), and the
@@ -119,20 +123,38 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
-    try:
-        spec = CampaignSpec.from_file(args.spec)
-    except (OSError, ValueError, RuntimeError) as exc:
-        parser.error(f"cannot load campaign spec {args.spec!r}: {exc}")
+    if args.resume and args.journal:
+        parser.error("--resume already names the journal directory; drop --journal")
+    journal_dir = args.resume or args.journal
+    if args.resume:
+        # The journal's spec.json is authoritative on resume; a spec argument
+        # would be ambiguous (which one wins?) so it is rejected outright.
+        if args.spec is not None:
+            parser.error("--resume re-loads the spec from the journal; "
+                         "drop the spec argument")
+        spec = None
+    elif args.spec is None:
+        parser.error("a campaign spec file is required (or --resume <journal-dir>)")
+    else:
+        try:
+            spec = CampaignSpec.from_file(args.spec)
+        except (OSError, ValueError, RuntimeError) as exc:
+            parser.error(f"cannot load campaign spec {args.spec!r}: {exc}")
 
     def progress(outcome):
         marker = "ok" if outcome.ok else f"ERROR ({outcome.error['type']})"
-        print(f"[{outcome.job_id}] {marker} wall={outcome.wall_seconds:.3f}s")
+        resumed = " (restored)" if getattr(outcome, "resumed", False) else ""
+        print(f"[{outcome.job_id}] {marker} wall={outcome.wall_seconds:.3f}s{resumed}")
 
     cache_dir = False if args.no_fs_cache else args.cache_dir
-    with Session() as session:
-        result = session.campaign(
-            spec, workers=args.workers, cache_dir=cache_dir, progress=progress
-        )
+    try:
+        with Session() as session:
+            result = session.campaign(
+                spec, workers=args.workers, cache_dir=cache_dir, progress=progress,
+                journal_dir=journal_dir, resume=bool(args.resume),
+            )
+    except (OSError, ValueError) as exc:
+        parser.error(f"cannot run campaign: {exc}")
     out_path = result.write(args.out)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, default=repr))
@@ -220,6 +242,55 @@ def _cmd_profile(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.api.session import use_session
+    from repro.harness.experiments import chaos_recovery
+    from repro.obs import to_chrome_trace, tracing, validate_chrome_trace, write_chrome_trace
+
+    with Session() as session, use_session(session):
+        with tracing() as recorder:
+            result = chaos_recovery(
+                nranks=args.nranks,
+                machine=args.machine,
+                victim=args.victim,
+                kill_call_index=args.kill_call_index,
+                checkpoint_round=args.checkpoint_round,
+                max_restarts=args.max_restarts,
+            )
+        snapshot = recorder.snapshot()
+    fault_events = [e for e in snapshot.get("events", ())
+                    if str(e.get("name", "")).startswith("fault.")]
+    if args.trace_out:
+        doc = to_chrome_trace(snapshot, process_name="chaos")
+        for problem in validate_chrome_trace(doc):
+            print(f"INVALID: {problem}")
+        out_path = write_chrome_trace(args.trace_out, doc)
+        print(f"wrote {out_path} ({len(fault_events)} fault/recovery event(s))")
+    if args.json:
+        result["fault_events"] = fault_events
+        print(json.dumps(result, indent=2, default=str))
+    else:
+        fired = result["fired"][0] if result["fired"] else {}
+        print(f"injected: {fired.get('detail', 'nothing fired')}")
+        print(f"recovered: {result['recovered']} after {result['attempts']} attempt(s)")
+        print(f"checkpoint: {result['checkpoint']['ranks_captured']} rank(s) "
+              f"captured at round crossing {result['checkpoint']['at_round']}")
+        for check in ("checkpoint_run_matches_oracle",
+                      "recovered_matches_oracle", "resume_matches_oracle"):
+            print(f"{check}: {result[check]}")
+    checks_ok = (result["recovered"]
+                 and result["checkpoint_run_matches_oracle"]
+                 and result["recovered_matches_oracle"]
+                 and result["resume_matches_oracle"])
+    if not checks_ok:
+        print("CHAOS CHECK FAILED: recovered/resumed results diverged from the oracle")
+        return 1
+    if not fault_events:
+        print("CHAOS CHECK FAILED: no fault/recovery events reached the trace")
+        return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     from repro.serve import ServeConfig, TenantStore, run_server
 
@@ -242,6 +313,7 @@ def _cmd_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         cache_dir=args.cache_dir,
         drain_timeout=args.drain_timeout,
         quiet=not args.verbose,
+        journal_dir=args.journal_dir,
     )
     return run_server(config)
 
@@ -267,9 +339,18 @@ def build_parser() -> argparse.ArgumentParser:
                             help="worker processes (1 = serial in-process, the default)")
 
     campaign_parser = sub.add_parser("campaign", help="run a scenario-matrix campaign spec")
-    campaign_parser.add_argument("spec", help="campaign spec file (JSON; YAML with PyYAML)")
+    campaign_parser.add_argument("spec", nargs="?", default=None,
+                                 help="campaign spec file (JSON; YAML with PyYAML); "
+                                      "omitted with --resume")
     campaign_parser.add_argument("--workers", type=int, default=1,
                                  help="worker processes (1 = serial in-process, the default)")
+    campaign_parser.add_argument("--journal", default=None, metavar="DIR",
+                                 help="keep a crash-safe journal of job outcomes in DIR "
+                                      "so an interrupted campaign can be resumed")
+    campaign_parser.add_argument("--resume", default=None, metavar="DIR",
+                                 help="resume an interrupted campaign from its journal "
+                                      "directory; only unfinished jobs re-run (the spec "
+                                      "is re-loaded from DIR/spec.json)")
     campaign_parser.add_argument("--out", default="campaign.json",
                                  help="where to write the machine-readable results")
     campaign_parser.add_argument("--cache-dir", default=None,
@@ -309,6 +390,27 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="mine hot handler chains from the recorded IR "
                                      "traces and report superinstruction candidates")
 
+    chaos_parser = sub.add_parser(
+        "chaos", help="kill a rank mid-allreduce; verify recovery and "
+                      "checkpoint resume against a clean-run oracle")
+    chaos_parser.add_argument("--nranks", type=int, default=4, help="rank count (default 4)")
+    chaos_parser.add_argument("--machine", default="graviton2",
+                              help="machine preset (default graviton2)")
+    chaos_parser.add_argument("--victim", type=int, default=1,
+                              help="world rank the fault plan kills (default 1)")
+    chaos_parser.add_argument("--kill-call-index", type=int, default=2,
+                              help="which of the victim's MPI_Allreduce calls "
+                                   "fires the kill (default 2)")
+    chaos_parser.add_argument("--checkpoint-round", type=int, default=1,
+                              help="schedule-round crossing to checkpoint at (default 1)")
+    chaos_parser.add_argument("--max-restarts", type=int, default=2,
+                              help="restart budget for recovery (default 2)")
+    chaos_parser.add_argument("--trace-out", default=None, metavar="FILE",
+                              help="also write the run's Chrome trace (with the "
+                                   "fault/recovery instants) to FILE")
+    chaos_parser.add_argument("--json", action="store_true",
+                              help="dump the full chaos report as JSON")
+
     serve_parser = sub.add_parser(
         "serve", help="run the multi-tenant job service (warm worker sessions)")
     serve_parser.add_argument("--host", default="127.0.0.1",
@@ -336,6 +438,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--cache-dir", default=None,
                               help="shared AoT cache directory backing /v1/artifacts "
                                    "(default: a private temp dir, removed at shutdown)")
+    serve_parser.add_argument("--journal-dir", default=None,
+                              help="crash-safe job journal directory: finished jobs "
+                                   "are restored and unfinished ones re-queued when "
+                                   "the service restarts (default: no journal)")
     serve_parser.add_argument("--drain-timeout", type=float, default=30.0,
                               help="seconds to let queued jobs finish on SIGTERM "
                                    "(default 30)")
@@ -358,13 +464,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # Back-compat: `repro-experiments table1 figure3` (no subcommand) still
     # works -- anything that is not a subcommand is treated as `run ...`.
     if not argv or argv[0] not in (
-        "campaign", "run", "trace", "profile", "serve", "analyze", "-h", "--help"
+        "campaign", "run", "trace", "profile", "serve", "analyze", "chaos",
+        "-h", "--help"
     ):
         argv = ["run", *argv]
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "analyze":
         return _cmd_analyze(args, parser)
+    if args.command == "chaos":
+        return _cmd_chaos(args, parser)
     if args.command == "campaign":
         return _cmd_campaign(args, parser)
     if args.command == "trace":

@@ -633,6 +633,101 @@ def functional_crosscheck(nranks: int = 4, machine: str = "graviton2") -> Dict[s
     return results
 
 
+@register_experiment("chaos")
+def chaos_recovery(
+    nranks: int = 4,
+    machine: str = "graviton2",
+    victim: int = 1,
+    kill_call_index: int = 2,
+    checkpoint_round: int = 1,
+    max_restarts: int = 2,
+) -> Dict[str, object]:
+    """Kill one rank mid-``MPI_Allreduce``; recover and verify bit-for-bit.
+
+    The fault-tolerance acceptance experiment (:mod:`repro.fault`), four
+    phases sharing one IMB-allreduce job:
+
+    1. a clean run establishes the oracle (makespan, exit codes, rows),
+    2. the same job re-runs under a checkpoint capture at a schedule-round
+       boundary, producing a restorable snapshot,
+    3. a seeded :class:`FaultPlan` kills the victim rank on its
+       ``kill_call_index``-th ``MPI_Allreduce`` and
+       :func:`run_with_recovery` restarts past the injected failure,
+    4. :func:`resume_from_checkpoint` replays the snapshot with per-rank
+       state validation at the captured round crossing.
+
+    Both the recovered run and the resumed run must match the oracle
+    exactly -- any divergence is reported (and asserted on by the CI
+    chaos-smoke job) rather than papered over.
+    """
+    from repro.fault import (
+        Fault,
+        FaultPlan,
+        capture_checkpoint,
+        job_descriptor,
+        resume_from_checkpoint,
+        run_with_recovery,
+    )
+    from repro.fault.checkpoint import Checkpoint
+
+    session = current_session()
+    benchmark = "allreduce"
+
+    def oracle_view(job) -> Dict[str, object]:
+        return {
+            "makespan": job.makespan,
+            "exit_codes": job.exit_codes(),
+            "rows": job.return_values()[0]["rows"],
+        }
+
+    baseline = session.run(benchmark, nranks, machine=machine)
+    oracle = oracle_view(baseline)
+
+    with capture_checkpoint(
+        checkpoint_round,
+        job=job_descriptor(benchmark, nranks, machine=machine),
+    ) as capture:
+        ckpt_job = session.run(benchmark, nranks, machine=machine)
+    checkpoint = Checkpoint(capture.build())
+
+    plan = FaultPlan(
+        faults=(Fault(kind="kill_rank", rank=victim, call="MPI_Allreduce",
+                      call_index=kill_call_index),),
+        seed=42,
+    )
+    recovery = run_with_recovery(
+        benchmark, nranks, plan=plan, max_restarts=max_restarts,
+        session=session, machine=machine,
+    )
+    resumed = resume_from_checkpoint(checkpoint, session=session)
+
+    fault_counters = {
+        name: value
+        for name, value in recovery.job.metrics.counters().items()
+        if name.startswith("fault.")
+    }
+    return {
+        "benchmark": benchmark,
+        "nranks": nranks,
+        "victim": victim,
+        "plan": plan.to_dict(),
+        "oracle_makespan": oracle["makespan"],
+        "attempts": recovery.attempts,
+        "recovered": recovery.recovered,
+        "fired": recovery.fired,
+        "failures": recovery.failures,
+        "fault_counters": fault_counters,
+        "checkpoint": {
+            "at_round": checkpoint.at_round,
+            "nranks": checkpoint.nranks,
+            "ranks_captured": len(checkpoint.ranks),
+        },
+        "checkpoint_run_matches_oracle": oracle_view(ckpt_job) == oracle,
+        "recovered_matches_oracle": oracle_view(recovery.job) == oracle,
+        "resume_matches_oracle": oracle_view(resumed) == oracle,
+    }
+
+
 # ------------------------------------------------------------ campaign plumbing
 
 #: Every table/figure driver, keyed by the name the CLI and the campaign

@@ -35,6 +35,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.fault import checkpoint as _checkpoint
+from repro.fault import inject as _inject
 from repro.mpi.algorithms.base import CollectiveContext, combine_segment
 from repro.mpi.datatypes import Datatype
 from repro.mpi.ops import Op
@@ -259,7 +261,48 @@ class ScheduleExecutor:
                 return step
         return None
 
+    def checkpoint_state(self) -> dict:
+        """Executor position for ``repro.fault`` checkpoints.
+
+        Captured at round boundaries, where the position is fully described
+        by the program counter (buffers in earlier rounds have been consumed,
+        later rounds have not started).  JSON-safe by construction: the same
+        dict is compared ``==`` against its serialized copy during
+        digest-validated replay.
+        """
+        return {
+            "pc": self._pc,
+            "n_steps": len(self._steps),
+            "round": self._round_of[self._pc] if not self.done else -1,
+            "data_time": self.data_time,
+            "finished": self._finished,
+        }
+
     # -------------------------------------------------------------- execution
+
+    def _notify_round(self) -> None:
+        """Fault/checkpoint hook at round boundaries.
+
+        Callers invoke this right after every ``_pc`` increment, guarded on
+        the module-level flags (one attribute read each on the unarmed hot
+        path, mirroring ``_trace.ENABLED``).  A *crossing* is the transition
+        out of a round: all steps of earlier rounds executed, none of the
+        next -- schedule completion counts as crossing out of the last round,
+        so single-round schedules still cross once.  The capture hook runs
+        before the injection hook so a checkpoint and a kill armed at the
+        same round capture-then-kill.
+        """
+        pc = self._pc
+        if pc == 0:
+            return
+        if pc < len(self._steps) and self._round_of[pc] == self._round_of[pc - 1]:
+            return
+        rank = self._trace_tid()
+        now = self._trace_now()
+        if _checkpoint.CAPTURE is not None:
+            _checkpoint.CAPTURE.on_schedule_round(rank, now, self)
+        if _inject.ARMED:
+            _inject.ACTIVE.on_schedule_round(rank, now)
 
     def try_progress(self) -> bool:
         """Execute steps in order without ever blocking.
@@ -287,6 +330,8 @@ class ScheduleExecutor:
                         if step.nbytes > 0:
                             self.buffers[step.buf][step.lo : step.lo + step.nbytes] = data
                     self._pc += 1
+                    if _inject.ARMED or _checkpoint.CAPTURE is not None:
+                        self._notify_round()
                     if _trace.ENABLED:
                         self._trace_step("sched.nbc_step", step)
                     continue
@@ -300,6 +345,8 @@ class ScheduleExecutor:
                 return False
             self._execute(step)
             self._pc += 1
+            if _inject.ARMED or _checkpoint.CAPTURE is not None:
+                self._notify_round()
             if _trace.ENABLED:
                 self._trace_step("sched.nbc_step", step)
         self._finish()
@@ -386,6 +433,8 @@ class ScheduleExecutor:
         while not self.done:
             self._execute(self._steps[self._pc])
             self._pc += 1
+            if _inject.ARMED or _checkpoint.CAPTURE is not None:
+                self._notify_round()
         self._finish()
 
     def _run_to_completion_traced(self) -> None:
@@ -413,6 +462,8 @@ class ScheduleExecutor:
             self._execute(step)
             self._pc += 1
             recorder.end(tid, self._trace_now())
+            if _inject.ARMED or _checkpoint.CAPTURE is not None:
+                self._notify_round()
         if current_round >= 0:
             recorder.end(tid, self._trace_now())
         self._finish()

@@ -23,6 +23,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.fault import inject as _inject
 from repro.mpi.errors import TruncationError
 from repro.mpi.status import Status
 from repro.obs import trace as _trace
@@ -150,6 +151,22 @@ class MatchingEngine:
             send_time=ctx.now,
             rendezvous=transport.is_rendezvous(nbytes),
         )
+        if _inject.ARMED:
+            verdict, payload, extra_delay = _inject.ACTIVE.on_message(
+                src_world, dst_world, msg.data, ctx.now
+            )
+            if verdict == "drop":
+                # The sender completes normally (the bytes left its NIC); the
+                # message simply never reaches the destination queue.
+                self.messages_sent += 1
+                self.bytes_sent += nbytes
+                msg.consumed = True
+                msg.consumed_time = ctx.now
+                return msg
+            msg.data = payload
+            # Delaying the injection instant shifts the arrival by the same
+            # amount everywhere it is derived (wake targets and consumption).
+            msg.send_time += extra_delay
         self._queue(dst_world, context_id).append(msg)
         self.messages_sent += 1
         self.bytes_sent += nbytes

@@ -30,6 +30,8 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.fault import checkpoint as _checkpoint
+from repro.fault import inject as _inject
 from repro.mpi import collectives as coll
 from repro.obs import trace as _trace
 from repro.mpi import datatypes as dts
@@ -82,11 +84,18 @@ def _traced(name: str):
     evaluation for the event -- so a disabled trace costs one module
     attribute read per call.  Spans are stamped with the rank's virtual
     clock on entry and exit; the recorder adds the wall clock.
+
+    The fault-injection hook rides the same decorator: one armed-plan check
+    per MPI call covers every entry point by name (``kill_rank`` at the
+    N-th ``MPI_Allreduce``, say), and the unarmed hot path pays exactly one
+    extra module attribute read.
     """
 
     def decorate(fn):
         @functools.wraps(fn)
         def wrapper(self, *args, **kwargs):
+            if _inject.ARMED:
+                _inject.ACTIVE.on_mpi_call(self.rank_world, name, self.ctx.now)
             if not _trace.ENABLED:
                 return fn(self, *args, **kwargs)
             recorder = _trace.RECORDER
@@ -308,6 +317,8 @@ class MPIRuntime:
         # Outstanding (incomplete) requests the progress engine sweeps.
         self._active_requests: List[Request] = []
         self._progressing = False
+        if _checkpoint.CAPTURE is not None:
+            _checkpoint.CAPTURE.register_runtime(ctx.rank, self)
 
     # re-export the wildcard constants for caller convenience
     ANY_SOURCE = ANY_SOURCE

@@ -8,6 +8,7 @@ records once full (in-flight jobs are never evicted).
 
 from __future__ import annotations
 
+import base64
 import collections
 import queue
 import threading
@@ -29,6 +30,28 @@ _FINISHED = (DONE, ERROR, CANCELLED)
 
 def new_job_id() -> str:
     return uuid.uuid4().hex[:16]
+
+
+def jsonable_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Journal-safe form of a submission payload (bytes become base64)."""
+    out: Dict[str, Any] = {}
+    for key, value in payload.items():
+        if isinstance(value, (bytes, bytearray)):
+            out[key] = {"__bytes_b64__": base64.b64encode(bytes(value)).decode("ascii")}
+        else:
+            out[key] = value
+    return out
+
+
+def payload_from_jsonable(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Inverse of :func:`jsonable_payload` (journal replay path)."""
+    out: Dict[str, Any] = {}
+    for key, value in payload.items():
+        if isinstance(value, dict) and set(value) == {"__bytes_b64__"}:
+            out[key] = base64.b64decode(value["__bytes_b64__"])
+        else:
+            out[key] = value
+    return out
 
 
 @dataclass
@@ -84,19 +107,38 @@ class JobRecord:
 
 
 class JobStore:
-    """Thread-safe bounded store of job records, insertion-ordered."""
+    """Thread-safe bounded store of job records, insertion-ordered.
 
-    def __init__(self, max_records: int = 1024):
+    With a :class:`repro.fault.journal.Journal` attached (:attr:`journal`),
+    every lifecycle transition is additionally appended to the crash-safe
+    on-disk journal, so a killed service can restore finished records and
+    *re-queue* unfinished ones on restart (see ``JobService``).  Journal
+    writes happen outside the store lock -- a slow disk never serialises
+    status reads.
+    """
+
+    def __init__(self, max_records: int = 1024, journal=None):
         if max_records < 1:
             raise ValueError("max_records must be >= 1")
         self.max_records = max_records
+        #: Optional repro.fault.journal.Journal receiving lifecycle events.
+        self.journal = journal
         self._records: "collections.OrderedDict[str, JobRecord]" = collections.OrderedDict()
         self._lock = threading.Lock()
+
+    def _journal_event(self, event: str, record: JobRecord, **fields) -> None:
+        if self.journal is not None:
+            self.journal.record(event, record.job_id, **fields)
 
     def add(self, record: JobRecord) -> None:
         with self._lock:
             self._records[record.job_id] = record
             self._evict_locked()
+        self._journal_event(
+            "accepted", record,
+            tenant=record.tenant, kind=record.kind, cost=record.cost,
+            payload=jsonable_payload(record.payload),
+        )
 
     def _evict_locked(self) -> None:
         if len(self._records) <= self.max_records:
@@ -128,29 +170,53 @@ class JobStore:
             records = [r for r in self._records.values() if r.tenant == tenant]
         return records[-limit:]
 
-    def mark_running(self, record: JobRecord, worker: str) -> None:
+    def mark_running(self, record: JobRecord, worker: str) -> bool:
+        """Transition QUEUED -> RUNNING; ``False`` if the job was cancelled
+        between enqueue and dequeue (the worker then skips it)."""
         with self._lock:
+            if record.state == CANCELLED:
+                return False
             record.state = RUNNING
             record.worker = worker
             record.started_mono = time.monotonic()
+        self._journal_event("started", record, worker=worker)
+        return True
 
     def mark_done(self, record: JobRecord, result: Dict[str, Any]) -> None:
         with self._lock:
             record.state = DONE
             record.result = result
             record.finished_mono = time.monotonic()
+        self._journal_event("done", record, result=result)
 
     def mark_error(self, record: JobRecord, error: Dict[str, Any]) -> None:
         with self._lock:
             record.state = ERROR
             record.error = error
             record.finished_mono = time.monotonic()
+        self._journal_event("error", record, error=error)
 
     def mark_cancelled(self, record: JobRecord, reason: str) -> None:
         with self._lock:
             record.state = CANCELLED
             record.error = {"type": "Cancelled", "message": reason}
             record.finished_mono = time.monotonic()
+        self._journal_event("cancelled", record, error=record.error)
+
+    def cancel_if_queued(self, record: JobRecord, reason: str) -> bool:
+        """Atomically cancel a still-QUEUED job.
+
+        ``False`` when a worker won the race (or the job already finished);
+        the caller re-reads the state to pick the right conflict response.
+        """
+        with self._lock:
+            if record.state != QUEUED:
+                return False
+            record.state = CANCELLED
+            record.error = {"type": "Cancelled", "message": reason}
+            record.finished_mono = time.monotonic()
+        self._journal_event("cancelled", record, error=record.error)
+        return True
 
     def counts(self) -> Dict[str, int]:
         out = {state: 0 for state in STATES}

@@ -160,7 +160,9 @@ class WorkerPool:
                     self._busy[name] = None
 
     def _execute(self, name: str, session: Session, record: JobRecord) -> None:
-        self.store.mark_running(record, name)
+        if not self.store.mark_running(record, name):
+            # Cancelled between enqueue and dequeue: skip without running.
+            return
         try:
             result = self._dispatch(session, record)
         except WasmError as exc:

@@ -39,7 +39,7 @@ from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
 from repro.serve.auth import TenantStore
-from repro.serve.jobs import BoundedJobQueue, JobRecord, JobStore, new_job_id
+from repro.serve.jobs import RUNNING, BoundedJobQueue, JobRecord, JobStore, new_job_id
 from repro.serve.pool import WorkerPool
 from repro.serve.quota import AdmissionController
 from repro.serve.wire import (
@@ -73,6 +73,11 @@ class ServeConfig:
     backend: Optional[str] = None
     machine: Optional[str] = None
     cache_dir: Optional[str] = None
+    #: Directory for the crash-safe job journal.  When set, every job's
+    #: lifecycle is appended to ``journal.jsonl`` there, and a restarted
+    #: service restores finished records and re-queues unfinished jobs (a
+    #: SIGKILLed worker loses no accepted work).  ``None`` disables.
+    journal_dir: Optional[str] = None
     drain_timeout: float = 30.0
     max_body_bytes: int = 8 * 1024 * 1024
     max_campaign_jobs: int = 256
@@ -106,6 +111,16 @@ class JobService:
         self.queue = BoundedJobQueue(config.queue_size)
         self.admission = AdmissionController()
         self.metrics = MetricsRegistry()
+        self.journal = None
+        if config.journal_dir:
+            from repro.fault.journal import Journal
+
+            self.journal = Journal(config.journal_dir)
+            # Replay BEFORE attaching the journal to the store: restored
+            # records must not re-append events (a finished job re-journaled
+            # as "accepted" would wrongly re-run on the *next* restart).
+            self._replay_journal()
+            self.store.journal = self.journal
         self.pool = WorkerPool(
             config.workers,
             self._make_worker_session,
@@ -116,6 +131,46 @@ class JobService:
         self._draining = threading.Event()
         self._started_mono = time.monotonic()
         self._closed = False
+
+    def _replay_journal(self) -> None:
+        """Restore job state from a previous life of this service.
+
+        Events are merged per job (``accepted`` carries tenant/kind/payload,
+        the terminal event carries the result), so the last event decides the
+        state and earlier events supply the submission.  Finished jobs come
+        back as readable records; unfinished ones -- accepted or started when
+        the process died -- are re-queued and run again.
+        """
+        from repro.fault.journal import TERMINAL_EVENTS
+        from repro.serve.jobs import DONE, ERROR, CANCELLED, payload_from_jsonable
+
+        merged: Dict[str, Dict[str, Any]] = {}
+        for event in self.journal.events():
+            merged.setdefault(event["job_id"], {}).update(event)
+        for job_id, rec in merged.items():
+            record = JobRecord(
+                job_id=job_id,
+                tenant=str(rec.get("tenant", "unknown")),
+                kind=str(rec.get("kind", "run")),
+                payload=payload_from_jsonable(dict(rec.get("payload") or {})),
+                cost=int(rec.get("cost", 1)),
+            )
+            last = rec.get("event")
+            if last in TERMINAL_EVENTS:
+                record.state = {"done": DONE, "error": ERROR, "cancelled": CANCELLED}[last]
+                record.result = rec.get("result")
+                record.error = rec.get("error")
+                self.store.add(record)
+                continue
+            self.store.add(record)
+            if self.queue.try_put(record):
+                self.metrics.increment("serve.jobs.requeued")
+            else:
+                self.store.mark_error(record, {
+                    "type": "RequeueFailed",
+                    "message": "journal replay found more unfinished jobs than queue capacity",
+                    "http_status": 503,
+                })
 
     def _make_worker_session(self, worker_name: str):
         from repro.api.session import Session
@@ -208,6 +263,30 @@ class JobService:
         if record is None:
             raise WireError(404, f"no job {job_id!r} for this tenant", code="not_found")
         return record
+
+    def cancel_job(self, api_key: Optional[str], job_id: str) -> Dict[str, Any]:
+        """Cancel a tenant's QUEUED job (``DELETE /v1/jobs/<id>``).
+
+        Tenant-scoped like every job read: another tenant's job is a 404.
+        Finished jobs conflict with 409/``finished``; running jobs with
+        409/``running`` (in-flight simulations are not interruptible).  A
+        successful cancel refunds the submission's quota charge -- the job
+        never ran -- and ticks ``serve.jobs.cancelled``.
+        """
+        tenant = self.tenants.authenticate(api_key)
+        record = self.store.get(job_id, tenant=tenant.name)
+        if record is None:
+            raise WireError(404, f"no job {job_id!r} for this tenant", code="not_found")
+        if self.store.cancel_if_queued(record, "cancelled by tenant"):
+            self.admission.refund(tenant, record.cost)
+            self.metrics.increment("serve.jobs.cancelled")
+            self.metrics.increment(f"serve.jobs.cancelled.{tenant.name}")
+            return record.to_wire()
+        if record.state == RUNNING:
+            raise WireError(409, f"job {job_id!r} is running; in-flight jobs "
+                            "cannot be cancelled", code="running")
+        raise WireError(409, f"job {job_id!r} already finished ({record.state})",
+                        code="finished")
 
     def job_status(self, api_key: Optional[str], job_id: str) -> Dict[str, Any]:
         return self._job(api_key, job_id).to_wire()
@@ -422,6 +501,9 @@ class _Handler(BaseHTTPRequestHandler):
             if len(parts) == 3 and method == "GET":
                 self._send_json(200, service.job_status(key, parts[2]))
                 return
+            if len(parts) == 3 and method == "DELETE":
+                self._send_json(200, service.cancel_job(key, parts[2]))
+                return
             if len(parts) == 4 and parts[3] == "result" and method == "GET":
                 self._send_json(200, service.job_result(key, parts[2]))
                 return
@@ -443,6 +525,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
 
 
 class ServeHTTPServer(ThreadingHTTPServer):

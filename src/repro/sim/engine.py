@@ -36,7 +36,11 @@ class RankFailedError(SimulationError):
     """Raised when a rank's program raised an exception.
 
     The original traceback text is preserved in :attr:`rank_traceback` so test
-    failures point at the guest code, not at the engine.
+    failures point at the guest code, not at the engine.  By the time this
+    error propagates out of :meth:`SimEngine.run`, every surviving rank has
+    been deterministically torn down (no parked threads are left behind);
+    :attr:`rank_clocks` and :attr:`rank_states` record the final per-rank
+    clocks and lifecycle states at failure time.
     """
 
     def __init__(self, rank: int, original: BaseException, tb: str):
@@ -44,6 +48,18 @@ class RankFailedError(SimulationError):
         self.rank = rank
         self.original = original
         self.rank_traceback = tb
+        #: Final virtual clocks by rank (filled in by the engine on teardown).
+        self.rank_clocks: List[float] = []
+        #: Final lifecycle states by rank (filled in by the engine on teardown).
+        self.rank_states: Dict[int, "RankState"] = {}
+
+
+class _RankTeardown(BaseException):
+    """Internal unwind signal for surviving rank threads after a failure.
+
+    Derives from ``BaseException`` so guest-level ``except Exception``
+    handlers cannot swallow it; it never escapes :meth:`SimEngine._thread_main`.
+    """
 
 
 class RankState(Enum):
@@ -55,6 +71,8 @@ class RankState(Enum):
     BLOCKED = "blocked"
     DONE = "done"
     FAILED = "failed"
+    #: Unwound by the engine after another rank failed (not a failure itself).
+    TORN_DOWN = "torn_down"
 
 
 @dataclass
@@ -74,6 +92,9 @@ class _RankRecord:
     # Earliest virtual time at which the rank may resume after being woken.
     wake_not_before: float = 0.0
     wake_pending: bool = False
+    # Set by the engine after another rank failed: the next time this rank
+    # holds the token it unwinds via _RankTeardown instead of resuming.
+    teardown: bool = False
 
 
 class RankContext:
@@ -223,6 +244,8 @@ class SimEngine:
     def block(self, rank: int, reason: str = "") -> float:
         """Block the calling rank thread until another rank wakes it."""
         rec = self._records[rank]
+        if rec.teardown:
+            raise _RankTeardown()
         with self._lock:
             if rec.wake_pending:
                 # A wake arrived before we blocked: consume it and continue.
@@ -236,6 +259,8 @@ class SimEngine:
         # Hand the token back to the scheduler.
         self._scheduler_event.set()
         rec.resume_event.wait()
+        if rec.teardown:
+            raise _RankTeardown()
         with self._lock:
             rec.state = RankState.RUNNING
             if rec.wake_not_before > rec.clock:
@@ -246,6 +271,8 @@ class SimEngine:
     def yield_rank(self, rank: int) -> float:
         """Hand the token back to the scheduler while staying runnable."""
         rec = self._records[rank]
+        if rec.teardown:
+            raise _RankTeardown()
         with self._lock:
             if rec.wake_pending:
                 # Someone already re-scheduled us; keep running.
@@ -255,6 +282,8 @@ class SimEngine:
             rec.resume_event.clear()
         self._scheduler_event.set()
         rec.resume_event.wait()
+        if rec.teardown:
+            raise _RankTeardown()
         with self._lock:
             rec.state = RankState.RUNNING
             if rec.wake_not_before > rec.clock:
@@ -289,6 +318,8 @@ class SimEngine:
         try:
             rec.result = rec.target(ctx)
             rec.state = RankState.DONE
+        except _RankTeardown:
+            rec.state = RankState.TORN_DOWN
         except BaseException as exc:  # noqa: BLE001 - report guest failures
             rec.error = exc
             rec.error_tb = traceback.format_exc()
@@ -314,37 +345,69 @@ class SimEngine:
             )
             rec.thread.start()
 
+        terminal = (RankState.DONE, RankState.FAILED, RankState.TORN_DOWN)
         while True:
+            failed_rec: Optional[_RankRecord] = None
             with self._lock:
-                unfinished = [
-                    r for r in self._records if r.state not in (RankState.DONE, RankState.FAILED)
-                ]
+                unfinished = [r for r in self._records if r.state not in terminal]
                 failed = [r for r in self._records if r.state == RankState.FAILED]
                 if failed:
-                    rec = failed[0]
-                    raise RankFailedError(rec.rank, rec.error, rec.error_tb)
-                if not unfinished:
+                    failed_rec = failed[0]
+                elif not unfinished:
                     break
-                runnable = [r for r in unfinished if r.state == RankState.READY]
-                if not runnable:
-                    blocked = ", ".join(
-                        f"rank {r.rank} ({r.block_reason or 'unknown'})"
-                        for r in unfinished
-                        if r.state == RankState.BLOCKED
-                    )
-                    raise DeadlockError(f"simulation deadlocked; blocked: {blocked}")
-                nxt = min(runnable, key=lambda r: (r.clock, r.rank))
-                nxt.state = RankState.RUNNING
-                self._scheduler_event.clear()
+                else:
+                    runnable = [r for r in unfinished if r.state == RankState.READY]
+                    if not runnable:
+                        blocked = ", ".join(
+                            f"rank {r.rank} ({r.block_reason or 'unknown'})"
+                            for r in unfinished
+                            if r.state == RankState.BLOCKED
+                        )
+                        raise DeadlockError(f"simulation deadlocked; blocked: {blocked}")
+                    nxt = min(runnable, key=lambda r: (r.clock, r.rank))
+                    nxt.state = RankState.RUNNING
+                    self._scheduler_event.clear()
+            if failed_rec is not None:
+                # Teardown happens outside the lock: survivor threads need it
+                # to unwind through block()/yield_rank().
+                self._raise_rank_failure(failed_rec)
             nxt.resume_event.set()
             # Wait until the running rank blocks, finishes or fails.
             self._scheduler_event.wait()
 
         failed = [r for r in self._records if r.state == RankState.FAILED]
         if failed:
-            rec = failed[0]
-            raise RankFailedError(rec.rank, rec.error, rec.error_tb)
+            self._raise_rank_failure(failed[0])
         return [r.result for r in self._records]
+
+    def _teardown_survivors(self) -> None:
+        """Deterministically unwind every rank still parked after a failure.
+
+        Survivors are woken in rank order with their ``teardown`` flag set, so
+        each unwinds via :class:`_RankTeardown` (running ``finally`` blocks on
+        the way out) and reaches :attr:`RankState.TORN_DOWN`; each thread is
+        joined before the next is woken, keeping the unwind order -- and any
+        side effects it has on shared state -- reproducible.
+        """
+        with self._lock:
+            survivors = [
+                r for r in self._records
+                if r.state in (RankState.READY, RankState.BLOCKED)
+            ]
+            for rec in survivors:
+                rec.teardown = True
+        for rec in sorted(survivors, key=lambda r: r.rank):
+            rec.resume_event.set()
+            if rec.thread is not None:
+                rec.thread.join(timeout=10.0)
+
+    def _raise_rank_failure(self, rec: _RankRecord) -> None:
+        """Tear down survivors, then raise the enriched RankFailedError."""
+        self._teardown_survivors()
+        err = RankFailedError(rec.rank, rec.error, rec.error_tb)
+        err.rank_clocks = self.clocks()
+        err.rank_states = self.states()
+        raise err from rec.error
 
     # ------------------------------------------------------------- inspection
 

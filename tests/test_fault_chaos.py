@@ -1,0 +1,142 @@
+"""End-to-end chaos acceptance: the ``chaos`` experiment and its CLI mounts.
+
+The acceptance scenario of the fault subsystem: kill a rank mid-allreduce in
+a chaos campaign, recover by deterministic restart, resume the checkpoint,
+and verify everything against the uninterrupted oracle -- with the injected
+fault and the recovery visible in the trace and the metrics.  Also covers
+the ``repro-harness campaign --journal/--resume`` and ``mpiwasm-run
+--fault-plan`` command-line surfaces.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.session import Session, use_session
+from repro.harness.experiments import chaos_recovery
+
+
+@pytest.fixture(scope="module")
+def chaos_result():
+    from repro.obs import tracing
+
+    with Session(backend="cranelift", machine="graviton2") as session, \
+            use_session(session):
+        with tracing() as recorder:
+            result = chaos_recovery(nranks=4)
+        snapshot = recorder.snapshot()
+    return result, snapshot
+
+
+def test_chaos_recovers_and_matches_oracle(chaos_result):
+    result, _snapshot = chaos_result
+    assert result["recovered"] is True
+    assert result["attempts"] == 2
+    assert result["fired"] and result["fired"][0]["kind"] == "kill_rank"
+    assert result["checkpoint"]["ranks_captured"] == 4
+    # The three oracle checks: the checkpointed run, the recovered run, and
+    # the resumed run are all bit-for-bit the uninterrupted run.
+    assert result["checkpoint_run_matches_oracle"] is True
+    assert result["recovered_matches_oracle"] is True
+    assert result["resume_matches_oracle"] is True
+
+
+def test_chaos_fault_events_reach_trace_and_metrics(chaos_result):
+    result, snapshot = chaos_result
+    names = [str(e.get("name", "")) for e in snapshot.get("events", ())]
+    assert any(n == "fault.injected" for n in names)
+    assert any(n == "fault.recovery.restart" for n in names)
+    assert any(n == "fault.recovered" for n in names)
+    assert result["fault_counters"]["fault.injected"] == 1
+    assert result["fault_counters"]["fault.restarts"] == 1
+    assert result["fault_counters"]["fault.recovered"] == 1
+
+
+# ------------------------------------------------------------------------ CLI
+
+
+def test_cli_chaos_smoke(tmp_path, capsys):
+    from repro.harness.cli import main
+
+    trace_out = tmp_path / "chaos.trace.json"
+    assert main(["chaos", "--nranks", "2", "--victim", "1",
+                 "--kill-call-index", "1", "--trace-out", str(trace_out)]) == 0
+    printed = capsys.readouterr().out
+    assert "recovered" in printed
+    assert "oracle" in printed
+    doc = json.loads(trace_out.read_text())
+    fault_events = [e for e in doc["traceEvents"]
+                    if str(e.get("name", "")).startswith("fault.")]
+    assert fault_events, "injected faults must be visible in the trace"
+
+
+def test_cli_chaos_json_output(capsys):
+    from repro.harness.cli import main
+
+    assert main(["chaos", "--nranks", "2", "--victim", "0",
+                 "--kill-call-index", "1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["recovered"] is True
+    assert payload["resume_matches_oracle"] is True
+    assert payload["fault_events"]
+
+
+def test_cli_campaign_journal_and_resume(tmp_path, capsys):
+    from repro.harness.cli import main
+
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps({
+        "name": "cli-journal",
+        "benchmarks": [{"benchmark": "allreduce", "nranks": 2}],
+    }))
+    jdir = tmp_path / "journal"
+    assert main(["campaign", str(spec_path), "--journal", str(jdir),
+                 "--out", str(tmp_path / "c1.json")]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "--resume", str(jdir),
+                 "--out", str(tmp_path / "c2.json")]) == 0
+    printed = capsys.readouterr().out
+    assert "(restored)" in printed
+    first = json.loads((tmp_path / "c1.json").read_text())
+    second = json.loads((tmp_path / "c2.json").read_text())
+    assert [j["fingerprint"] for j in first["jobs"]] == \
+        [j["fingerprint"] for j in second["jobs"]]
+
+
+def test_cli_campaign_resume_flag_conflicts(tmp_path):
+    from repro.harness.cli import main
+
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text("{}")
+    with pytest.raises(SystemExit):
+        main(["campaign", str(spec_path), "--resume", str(tmp_path)])
+    with pytest.raises(SystemExit):
+        main(["campaign", "--resume", str(tmp_path), "--journal", str(tmp_path)])
+    with pytest.raises(SystemExit):
+        main(["campaign"])  # no spec and not resuming
+
+
+def test_launcher_fault_plan_flag(tmp_path, capsys):
+    from repro.core.launcher import main as launcher_main
+    from repro.fault import Fault, FaultPlan
+
+    plan = FaultPlan(faults=(
+        Fault(kind="kill_rank", rank=1, call="MPI_Allreduce", call_index=0),))
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text(plan.to_json())
+    assert launcher_main(["allreduce", "-np", "2", "--backend", "cranelift",
+                          "--fault-plan", str(plan_path)]) == 0
+    printed = capsys.readouterr().out
+    assert "injected" in printed
+    assert "recovered after 2 attempt(s)" in printed
+
+
+def test_launcher_rejects_bad_fault_plan(tmp_path):
+    from repro.core.launcher import main as launcher_main
+
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(SystemExit):
+        launcher_main(["allreduce", "-np", "2", "--fault-plan", str(bad)])

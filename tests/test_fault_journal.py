@@ -1,0 +1,215 @@
+"""Tests for :mod:`repro.fault.journal` and resumable campaigns.
+
+Covers the append-only journal itself (last-record-wins replay, torn-tail
+tolerance, atomic metadata), the campaign journal integration
+(``run_campaign(journal_dir=..., resume=...)``: restored outcomes, identical
+fingerprints, zero re-compiles on resume), and the acceptance chaos case:
+a campaign worker SIGKILLed mid-job neither hangs the campaign nor loses an
+accepted job -- the job surfaces as a structured ``BrokenProcessPool`` error,
+is journaled non-terminally, and a ``--resume`` re-runs exactly it.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.fault.journal import KNOWN_EVENTS, TERMINAL_EVENTS, Journal
+from repro.harness.campaign import CampaignSpec, run_campaign
+
+BENCH_SPEC = {
+    "name": "journal-sweep",
+    "seed": 5,
+    "benchmarks": [
+        {"benchmark": "allreduce", "nranks": 2, "backend": "cranelift",
+         "machine": "graviton2", "repeats": 2},
+    ],
+}
+
+
+# -------------------------------------------------------------- journal unit
+
+
+def test_replay_keeps_last_record_per_job(tmp_path):
+    journal = Journal(tmp_path)
+    journal.record("accepted", "a")
+    journal.record("accepted", "b")
+    journal.record("started", "a")
+    journal.record("done", "a", status="ok")
+    journal.record("started", "b")
+    state = journal.replay()
+    assert list(state) == ["a", "b"], "first-seen order"
+    assert state["a"]["event"] == "done" and state["a"]["status"] == "ok"
+    assert state["b"]["event"] == "started"
+    assert journal.unfinished() == {"b": state["b"]}
+    assert set(journal.finished()) == {"a"}
+    assert journal.event_count() == 5
+    assert journal.event_count("accepted") == 2
+
+
+def test_unknown_event_is_rejected(tmp_path):
+    journal = Journal(tmp_path)
+    with pytest.raises(ValueError, match="unknown journal event"):
+        journal.record("exploded", "a")
+    assert "broken" in KNOWN_EVENTS and "broken" not in TERMINAL_EVENTS
+
+
+def test_torn_tail_is_skipped_not_fatal(tmp_path):
+    journal = Journal(tmp_path)
+    journal.record("accepted", "a")
+    journal.record("done", "a")
+    with open(journal.path, "ab") as fh:
+        fh.write(b'\xff\xfe not even text\n')
+        fh.write(b'{"event": "accepted", "job_id": "b", "trunca')  # SIGKILL here
+    assert set(journal.replay()) == {"a"}
+    assert journal.finished().keys() == {"a"}
+    # The journal stays appendable after the torn tail.
+    journal.record("accepted", "c")
+    assert set(journal.replay()) == {"a", "c"}
+
+
+def test_meta_documents_publish_atomically(tmp_path):
+    journal = Journal(tmp_path)
+    assert journal.read_meta("spec.json") is None
+    journal.write_meta("spec.json", {"name": "x", "seed": 3})
+    assert journal.read_meta("spec.json") == {"name": "x", "seed": 3}
+    residue = [p.name for p in tmp_path.iterdir()
+               if p.name not in ("spec.json",) and p.name != Journal.FILENAME]
+    assert residue == []
+
+
+# -------------------------------------------------------- campaign integration
+
+
+def test_journaled_campaign_records_full_lifecycle(tmp_path):
+    jdir = tmp_path / "journal"
+    result = run_campaign(dict(BENCH_SPEC), journal_dir=jdir,
+                          cache_dir=str(tmp_path / "cache"))
+    assert result.ok
+    journal = Journal(jdir)
+    assert journal.read_meta("spec.json")["name"] == "journal-sweep"
+    assert journal.event_count("accepted") == 2
+    assert journal.event_count("started") == 2
+    assert set(journal.finished()) == {o.job_id for o in result.outcomes}
+    assert journal.unfinished() == {}
+    record = journal.finished()[result.outcomes[0].job_id]
+    assert record["fingerprint"] == result.outcomes[0].fingerprint()
+
+
+def test_resume_runs_only_unfinished_jobs_with_zero_recompiles(tmp_path):
+    jdir, cache = tmp_path / "journal", str(tmp_path / "cache")
+    first = run_campaign(dict(BENCH_SPEC), journal_dir=jdir, cache_dir=cache)
+    assert first.ok and first.cache_stats["compiles"] == 1
+    job_ids = [o.job_id for o in first.outcomes]
+
+    # Forge a crash: scrub job 1's terminal record, as if the process died
+    # after "started" -- earlier records survive untouched (O_APPEND).
+    journal = Journal(jdir)
+    keep = [r for r in journal.events()
+            if not (r["job_id"] == job_ids[1] and r["event"] == "done")]
+    journal.path.write_text(
+        "".join(json.dumps(r, sort_keys=True) + "\n" for r in keep))
+    assert set(journal.unfinished()) == {job_ids[1]}
+
+    resumed = run_campaign(None, journal_dir=jdir, resume=True, cache_dir=cache)
+    assert resumed.ok and len(resumed.outcomes) == 2
+    assert resumed.outcome(job_ids[0]).resumed is True
+    assert resumed.outcome(job_ids[1]).resumed is False
+    # Bit-for-bit: restored and re-run jobs both reproduce the original
+    # fingerprints, and the warm cache means nothing re-compiles.
+    assert resumed.fingerprints() == first.fingerprints()
+    assert resumed.cache_stats["compiles"] == 0
+    # Only the re-run job was re-accepted.
+    assert Journal(jdir).event_count("accepted") == 3
+
+
+def test_full_resume_restores_everything_without_running(tmp_path):
+    jdir, cache = tmp_path / "journal", str(tmp_path / "cache")
+    first = run_campaign(dict(BENCH_SPEC), journal_dir=jdir, cache_dir=cache)
+    resumed = run_campaign(None, journal_dir=jdir, resume=True, cache_dir=cache)
+    assert resumed.ok
+    assert all(o.resumed for o in resumed.outcomes)
+    assert resumed.fingerprints() == first.fingerprints()
+    assert resumed.cache_stats["compiles"] == 0
+    assert Journal(jdir).event_count("started") == 2  # nothing re-ran
+
+
+def test_resume_error_paths(tmp_path):
+    with pytest.raises(ValueError, match="requires journal_dir"):
+        run_campaign(None, resume=True)
+    with pytest.raises(ValueError, match="no stored spec"):
+        run_campaign(None, journal_dir=tmp_path / "empty", resume=True)
+    with pytest.raises(ValueError, match="spec is required"):
+        run_campaign(None)
+
+
+# -------------------------------------------------------------- SIGKILL chaos
+
+
+def _register_chaos_drivers():
+    """In-test drivers for the worker-death contract (idempotent)."""
+    from repro.api.registry import EXPERIMENTS, register_experiment
+
+    if "journal-noop" not in EXPERIMENTS.entries:
+        @register_experiment("journal-noop")
+        def _noop_driver():
+            return {"ran": True}
+
+    if "kill-once" not in EXPERIMENTS.entries:
+        @register_experiment("kill-once")
+        def _kill_once_driver(marker=""):
+            # First execution: leave a marker, then die the hard way (SIGKILL
+            # is uncatchable -- the worker process vanishes mid-job).  A
+            # resumed execution finds the marker and completes normally.
+            import os
+            import signal
+            from pathlib import Path
+
+            path = Path(marker)
+            if not path.exists():
+                path.touch()
+                os.kill(os.getpid(), signal.SIGKILL)
+            return {"ran": True, "survived": True}  # pragma: no cover - resume path
+
+
+def test_sigkilled_worker_neither_hangs_nor_loses_jobs(tmp_path):
+    """Acceptance: SIGKILL a campaign worker mid-job.  The campaign completes
+    (no hang), the dead worker's job becomes a structured error journaled
+    non-terminally, and ``resume`` re-runs exactly the lost work."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fork start method required for in-test drivers")
+    _register_chaos_drivers()
+    jdir = tmp_path / "journal"
+    marker = tmp_path / "killed.marker"
+    spec = {
+        "name": "sigkill-chaos",
+        "seed": 3,
+        "experiments": [
+            {"experiment": "kill-once", "params": {"marker": str(marker)}},
+            {"experiment": "journal-noop", "repeats": 2},
+        ],
+    }
+    result = run_campaign(spec, workers=2, journal_dir=jdir,
+                          cache_dir=str(tmp_path / "cache"))
+    assert len(result.outcomes) == 3, "every accepted job has a record"
+    kill = next(o for o in result.outcomes if o.spec.name == "kill-once")
+    assert kill.status == "error"
+    assert kill.error["type"] == "BrokenProcessPool"
+    assert marker.exists(), "the worker really ran (and died) once"
+
+    journal = Journal(jdir)
+    assert journal.event_count("broken") >= 1
+    assert kill.job_id in journal.unfinished(), \
+        "a broken job is non-terminal: a resume must re-run it"
+    # Zero accepted jobs lost: every accepted id has an outcome record.
+    accepted = {r["job_id"] for r in journal.events() if r["event"] == "accepted"}
+    assert accepted == {o.job_id for o in result.outcomes}
+
+    resumed = run_campaign(None, journal_dir=jdir, resume=True,
+                           cache_dir=str(tmp_path / "cache"))
+    assert resumed.ok, [o.error for o in resumed.errors]
+    rerun = resumed.outcome(kill.job_id)
+    assert rerun.resumed is False and rerun.ok
+    assert rerun.result["survived"] is True

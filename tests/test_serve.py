@@ -573,6 +573,178 @@ class TestArtifactVerification:
         assert "repro_serve_artifact_verify_failures_total" not in text
 
 
+class TestCancellation:
+    """DELETE /v1/jobs/<id>: tenant-scoped cancellation of queued jobs."""
+
+    def _quiet_service(self, tmp_path):
+        """Service whose pool never starts: submissions stay QUEUED."""
+        config = ServeConfig(
+            port=0, workers=1, queue_size=8,
+            tenants=TenantStore([
+                Tenant(name="t", key="t-key-0123456789", rate=1000.0, burst=1000),
+                Tenant(name="u", key="u-key-0123456789", rate=1000.0, burst=1000),
+            ]),
+            cache_dir=str(tmp_path),
+        )
+        service = JobService(config)
+        server = ServeHTTPServer((config.host, 0), _Handler)
+        server.service = service
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        return service, server, thread, f"http://{host}:{port}"
+
+    def test_cancel_queued_job_refunds_and_counts(self, tmp_path):
+        service, server, thread, base = self._quiet_service(tmp_path)
+        try:
+            _, _, accepted = _call(base, "POST", "/v1/jobs", {
+                "benchmark": "pingpong", "nranks": 2,
+            }, key="t-key-0123456789")
+            job_id = accepted["job_id"]
+            assert service.admission.ledger.used("t") == 1
+
+            status, _, body = _call(base, "DELETE", f"/v1/jobs/{job_id}",
+                                    key="t-key-0123456789")
+            assert status == 200
+            assert body["state"] == "cancelled"
+            assert service.admission.ledger.used("t") == 0, "quota refunded"
+            flat, _ = _scrape(base)
+            assert flat["repro_serve_jobs_cancelled_total"] == 1
+
+            # A second DELETE conflicts: the job already finished (cancelled).
+            status, _, body = _call(base, "DELETE", f"/v1/jobs/{job_id}",
+                                    key="t-key-0123456789")
+            assert status == 409 and body["code"] == "finished"
+        finally:
+            server.shutdown()
+            server.server_close()
+            for record in service.queue.drain_now():
+                service.store.mark_cancelled(record, "test teardown")
+            thread.join(10)
+
+    def test_cancel_is_tenant_scoped_and_404s_missing(self, tmp_path):
+        service, server, thread, base = self._quiet_service(tmp_path)
+        try:
+            _, _, accepted = _call(base, "POST", "/v1/jobs", {
+                "benchmark": "pingpong", "nranks": 2,
+            }, key="t-key-0123456789")
+            job_id = accepted["job_id"]
+            # Another tenant's job reads as absent, not forbidden.
+            status, _, body = _call(base, "DELETE", f"/v1/jobs/{job_id}",
+                                    key="u-key-0123456789")
+            assert status == 404 and body["code"] == "not_found"
+            assert _call(base, "DELETE", "/v1/jobs/nope",
+                         key="t-key-0123456789")[0] == 404
+            assert _call(base, "DELETE", f"/v1/jobs/{job_id}")[0] == 401
+            # Still queued: the failed cancels changed nothing.
+            record = service.store.get(job_id)
+            assert record.state == "queued"
+        finally:
+            server.shutdown()
+            server.server_close()
+            for record in service.queue.drain_now():
+                service.store.mark_cancelled(record, "test teardown")
+            thread.join(10)
+
+    def test_cancel_running_job_conflicts(self, tmp_path):
+        config = ServeConfig(
+            port=0, workers=1, queue_size=4,
+            tenants=TenantStore([Tenant(name="t", key="t-key-0123456789")]),
+            cache_dir=str(tmp_path),
+        )
+        service = JobService(config)   # no pool: drive the transition by hand
+        accepted = service.submit("t-key-0123456789",
+                                  {"benchmark": "pingpong", "nranks": 2})
+        record = service.store.get(accepted["job_id"])
+        assert service.store.mark_running(record, worker="w0")
+        with pytest.raises(WireError) as excinfo:
+            service.cancel_job("t-key-0123456789", record.job_id)
+        assert excinfo.value.status == 409
+        assert excinfo.value.code == "running"
+        service.store.mark_cancelled(record, "test teardown")
+
+    def test_cancel_finished_job_conflicts(self, two_tenant_server):
+        base, _server = two_tenant_server
+        _, _, accepted = _call(base, "POST", "/v1/jobs", {
+            "benchmark": "pingpong", "nranks": 2, "backend": "cranelift",
+        }, key=ALICE_KEY)
+        assert _wait_done(base, ALICE_KEY, accepted["job_id"])["state"] == "done"
+        status, _, body = _call(base, "DELETE", f"/v1/jobs/{accepted['job_id']}",
+                                key=ALICE_KEY)
+        assert status == 409 and body["code"] == "finished"
+
+
+class TestServeJournal:
+    """serve --journal-dir: jobs survive a service restart."""
+
+    def _config(self, tmp_path):
+        return ServeConfig(
+            port=0, workers=1, queue_size=8,
+            tenants=TenantStore([Tenant(name="t", key="t-key-0123456789")]),
+            cache_dir=str(tmp_path / "cache"), backend="cranelift",
+            journal_dir=str(tmp_path / "journal"),
+        )
+
+    def test_restart_restores_finished_and_requeues_unfinished(self, tmp_path):
+        from repro.fault.journal import Journal
+
+        first = JobService(self._config(tmp_path))
+        first.start()
+        try:
+            done_id = first.submit("t-key-0123456789", {
+                "benchmark": "pingpong", "nranks": 2})["job_id"]
+            deadline = time.monotonic() + 60
+            while not first.store.get(done_id).finished:
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+        finally:
+            first.shutdown(drain=True)
+        # Forge a job the service accepted but never finished (as if the
+        # process was killed mid-run): journal it behind the service's back.
+        journal = Journal(tmp_path / "journal")
+        journal.record("accepted", "lostjob0000000aa", tenant="t", kind="run",
+                       cost=1, payload={"kind": "run", "benchmark": "pingpong",
+                                        "nranks": 2})
+        journal.record("started", "lostjob0000000aa", worker="w0")
+
+        second = JobService(self._config(tmp_path))
+        try:
+            restored = second.store.get(done_id)
+            assert restored is not None and restored.state == "done"
+            assert restored.result["exit_codes"] == [0, 0]
+            assert second.store.get("lostjob0000000aa").state == "queued"
+            assert second.queue.depth() == 1, "unfinished job re-queued"
+            assert second.metrics.counter("serve.jobs.requeued") == 1
+            # Replay re-appended nothing: the done job stays accepted once.
+            accepted = [r for r in journal.events()
+                        if r["event"] == "accepted" and r["job_id"] == done_id]
+            assert len(accepted) == 1
+            # Run the re-queued job to completion on the new service.
+            second.start()
+            deadline = time.monotonic() + 60
+            while not second.store.get("lostjob0000000aa").finished:
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            assert second.store.get("lostjob0000000aa").state == "done"
+        finally:
+            second.shutdown(drain=True)
+
+    def test_cancellation_is_durable_across_restart(self, tmp_path):
+        first = JobService(self._config(tmp_path))   # pool never started
+        job_id = first.submit("t-key-0123456789", {
+            "benchmark": "pingpong", "nranks": 2})["job_id"]
+        assert first.cancel_job("t-key-0123456789", job_id)["state"] == "cancelled"
+        first.shutdown(drain=False)
+
+        second = JobService(self._config(tmp_path))
+        try:
+            record = second.store.get(job_id)
+            assert record is not None and record.state == "cancelled"
+            assert second.queue.depth() == 0, "cancelled jobs are not re-queued"
+        finally:
+            second.shutdown(drain=False)
+
+
 class TestPoolVerifyFlag:
     def test_pool_lifetime_scopes_verify_on_load(self):
         from repro.serve.pool import WorkerPool
